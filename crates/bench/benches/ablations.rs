@@ -1,0 +1,95 @@
+//! Ablation benchmarks over the design choices DESIGN.md calls out: the
+//! exclusion policy, the attack-spread level, the IDS latency, and the
+//! system scale. Each benchmark runs a fixed batch of replications, so
+//! throughput differences reflect how much *work* (events) each design
+//! point generates — heavier attack regimes produce more events.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use itua_core::des::ItuaDes;
+use itua_core::params::{ManagementScheme, Params};
+
+fn run_batch(des: &ItuaDes, reps: u64) -> f64 {
+    let mut acc = 0.0;
+    for seed in 0..reps {
+        acc += des.run(seed, 10.0, &[]).unavailability(10.0);
+    }
+    acc
+}
+
+fn bench_schemes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("exclusion_scheme");
+    for (name, scheme) in [
+        ("domain", ManagementScheme::DomainExclusion),
+        ("host", ManagementScheme::HostExclusion),
+    ] {
+        let des = ItuaDes::new(
+            Params::default()
+                .with_domains(10, 3)
+                .with_applications(4, 7)
+                .with_scheme(scheme),
+        )
+        .unwrap();
+        g.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| black_box(run_batch(&des, 20)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_spread(c: &mut Criterion) {
+    let mut g = c.benchmark_group("spread_rate");
+    for spread in [0.0, 5.0, 10.0] {
+        let des = ItuaDes::new(
+            Params::default()
+                .with_domains(10, 3)
+                .with_applications(4, 7)
+                .with_host_corruption_multiplier(5.0)
+                .with_spread_rate(spread),
+        )
+        .unwrap();
+        g.bench_function(BenchmarkId::from_parameter(spread), |b| {
+            b.iter(|| black_box(run_batch(&des, 20)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_ids_latency(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ids_rate");
+    for ids in [0.05, 0.15, 1.0] {
+        let mut p = Params::default().with_domains(10, 3).with_applications(4, 7);
+        p.ids_rate = ids;
+        let des = ItuaDes::new(p).unwrap();
+        g.bench_function(BenchmarkId::from_parameter(ids), |b| {
+            b.iter(|| black_box(run_batch(&des, 20)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_system_scale(c: &mut Criterion) {
+    let mut g = c.benchmark_group("system_scale");
+    for (name, domains, hosts, apps) in [
+        ("small_4x1_2apps", 4usize, 1usize, 2usize),
+        ("baseline_10x3_4apps", 10, 3, 4),
+        ("large_12x4_8apps", 12, 4, 8),
+    ] {
+        let des = ItuaDes::new(
+            Params::default()
+                .with_domains(domains, hosts)
+                .with_applications(apps, 7),
+        )
+        .unwrap();
+        g.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| black_box(run_batch(&des, 20)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = ablations;
+    config = Criterion::default().sample_size(15);
+    targets = bench_schemes, bench_spread, bench_ids_latency, bench_system_scale
+}
+criterion_main!(ablations);

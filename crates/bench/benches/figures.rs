@@ -1,0 +1,42 @@
+//! Benchmarks the cost of regenerating each of the paper's figures.
+//!
+//! One benchmark per figure panel group (Figures 3, 4, 5), measuring a
+//! fixed number of replications per sweep point so the reported times
+//! extrapolate linearly to publication-size runs (the `figure3/4/5`
+//! binaries).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use itua_studies::sweep::SweepConfig;
+use itua_studies::{figure3, figure4, figure5};
+
+fn small_cfg() -> SweepConfig {
+    SweepConfig {
+        replications: 25,
+        ..SweepConfig::default()
+    }
+}
+
+fn bench_figure3(c: &mut Criterion) {
+    c.bench_function("figure3_25_reps_per_point", |b| {
+        b.iter(|| figure3::run(&small_cfg()))
+    });
+}
+
+fn bench_figure4(c: &mut Criterion) {
+    c.bench_function("figure4_25_reps_per_point", |b| {
+        b.iter(|| figure4::run(&small_cfg()))
+    });
+}
+
+fn bench_figure5(c: &mut Criterion) {
+    c.bench_function("figure5_25_reps_per_point", |b| {
+        b.iter(|| figure5::run(&small_cfg()))
+    });
+}
+
+criterion_group! {
+    name = figures;
+    config = Criterion::default().sample_size(10);
+    targets = bench_figure3, bench_figure4, bench_figure5
+}
+criterion_main!(figures);

@@ -1,0 +1,55 @@
+//! Compares the cost of the two ITUA encodings: the faithful SAN build
+//! (Figure 2 composed model executed by the SAN simulator) versus the
+//! direct discrete-event implementation, plus the cost of flattening the
+//! composed model.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use itua_core::des::ItuaDes;
+use itua_core::params::Params;
+use itua_core::san_model;
+use itua_san::simulator::SanSimulator;
+
+fn params() -> Params {
+    Params::default().with_domains(4, 2).with_applications(2, 3)
+}
+
+fn bench_des_run(c: &mut Criterion) {
+    let des = ItuaDes::new(params()).unwrap();
+    let mut seed = 0u64;
+    c.bench_function("itua_des_run_5h", |b| {
+        b.iter(|| {
+            seed += 1;
+            black_box(des.run(seed, 5.0, &[5.0]))
+        })
+    });
+}
+
+fn bench_san_run(c: &mut Criterion) {
+    let model = san_model::build(&params()).unwrap();
+    let sim = SanSimulator::new(model.san.clone());
+    let mut seed = 0u64;
+    c.bench_function("itua_san_run_5h", |b| {
+        b.iter(|| {
+            seed += 1;
+            black_box(sim.run(seed, 5.0, &mut []).unwrap())
+        })
+    });
+}
+
+fn bench_san_build(c: &mut Criterion) {
+    let p = params();
+    c.bench_function("itua_san_flatten", |b| {
+        b.iter(|| black_box(san_model::build(&p).unwrap()))
+    });
+    let big = Params::default().with_domains(10, 3).with_applications(8, 7);
+    c.bench_function("itua_san_flatten_baseline_8apps", |b| {
+        b.iter(|| black_box(san_model::build(&big).unwrap()))
+    });
+}
+
+criterion_group! {
+    name = encodings;
+    config = Criterion::default().sample_size(30);
+    targets = bench_des_run, bench_san_run, bench_san_build
+}
+criterion_main!(encodings);

@@ -1,0 +1,18 @@
+//! Regenerates every figure of the paper in one run.
+
+use itua_bench::FigureCli;
+use itua_studies::{figure3, figure4, figure5, table};
+
+fn main() {
+    let cli = FigureCli::parse(std::env::args().skip(1));
+    for fig in [
+        figure3::run(&cli.cfg),
+        figure4::run(&cli.cfg),
+        figure5::run(&cli.cfg),
+    ] {
+        println!("{}", table::render(&fig));
+        if cli.csv {
+            println!("{}", table::to_csv(&fig));
+        }
+    }
+}

@@ -1,0 +1,13 @@
+//! Regenerates the paper's Figure 3 (§4.1): distributions of 12 hosts.
+
+use itua_bench::FigureCli;
+use itua_studies::{figure3, table};
+
+fn main() {
+    let cli = FigureCli::parse(std::env::args().skip(1));
+    let fig = figure3::run(&cli.cfg);
+    println!("{}", table::render(&fig));
+    if cli.csv {
+        println!("{}", table::to_csv(&fig));
+    }
+}

@@ -1,0 +1,13 @@
+//! Regenerates the paper's Figure 4 (§4.2): hosts in 10 domains.
+
+use itua_bench::FigureCli;
+use itua_studies::{figure4, table};
+
+fn main() {
+    let cli = FigureCli::parse(std::env::args().skip(1));
+    let fig = figure4::run(&cli.cfg);
+    println!("{}", table::render(&fig));
+    if cli.csv {
+        println!("{}", table::to_csv(&fig));
+    }
+}

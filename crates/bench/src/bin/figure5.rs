@@ -1,0 +1,13 @@
+//! Regenerates the paper's Figure 5 (§4.3): exclusion-scheme comparison.
+
+use itua_bench::FigureCli;
+use itua_studies::{figure5, table};
+
+fn main() {
+    let cli = FigureCli::parse(std::env::args().skip(1));
+    let fig = figure5::run(&cli.cfg);
+    println!("{}", table::render(&fig));
+    if cli.csv {
+        println!("{}", table::to_csv(&fig));
+    }
+}

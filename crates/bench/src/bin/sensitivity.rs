@@ -1,0 +1,14 @@
+//! Regenerates the parameter-sensitivity study (§4's "we have also tried
+//! to explore the system's sensitivity to variations in these parameters").
+
+use itua_bench::FigureCli;
+use itua_studies::{sensitivity, table};
+
+fn main() {
+    let cli = FigureCli::parse(std::env::args().skip(1));
+    let fig = sensitivity::run(&cli.cfg);
+    println!("{}", table::render(&fig));
+    if cli.csv {
+        println!("{}", table::to_csv(&fig));
+    }
+}

@@ -1,0 +1,84 @@
+//! Shared helpers for the figure-regeneration binaries and benchmarks.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use itua_studies::sweep::SweepConfig;
+
+/// Parses the common CLI options of the figure binaries.
+///
+/// Supported arguments:
+///
+/// * `--reps N` — replications per sweep point (default 2000),
+/// * `--seed S` — base seed,
+/// * `--csv` — also print the figure as CSV.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FigureCli {
+    /// Sweep configuration assembled from the flags.
+    pub cfg: SweepConfig,
+    /// Whether to print CSV after the tables.
+    pub csv: bool,
+}
+
+impl FigureCli {
+    /// Parses `std::env::args`-style arguments (excluding `argv[0]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on malformed arguments (these are
+    /// developer-facing binaries).
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Self {
+        let mut cfg = SweepConfig::default();
+        let mut csv = false;
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--reps" => {
+                    cfg.replications = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| panic!("--reps needs a positive integer"));
+                }
+                "--seed" => {
+                    cfg.base_seed = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| panic!("--seed needs an integer"));
+                }
+                "--csv" => csv = true,
+                other => panic!("unknown argument '{other}' (try --reps N, --seed S, --csv)"),
+            }
+        }
+        FigureCli { cfg, csv }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_defaults() {
+        let cli = FigureCli::parse(Vec::<String>::new());
+        assert_eq!(cli.cfg.replications, 2000);
+        assert!(!cli.csv);
+    }
+
+    #[test]
+    fn parses_flags() {
+        let cli = FigureCli::parse(
+            ["--reps", "50", "--seed", "9", "--csv"]
+                .into_iter()
+                .map(String::from),
+        );
+        assert_eq!(cli.cfg.replications, 50);
+        assert_eq!(cli.cfg.base_seed, 9);
+        assert!(cli.csv);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_unknown_flag() {
+        FigureCli::parse(["--nope".to_owned()]);
+    }
+}

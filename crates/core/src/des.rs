@@ -1,0 +1,1082 @@
+//! Direct discrete-event simulation of the ITUA replication system.
+//!
+//! This encodes the same stochastic process as the SAN of
+//! [`crate::san_model`], but with explicit state (hosts, domains, replicas,
+//! managers) instead of places, which makes it both much faster and a
+//! semantically independent implementation for cross-validation.
+//!
+//! The process (paper §2/§3; see `DESIGN.md` §3 for the operationalized
+//! semantics):
+//!
+//! * Attacks arrive as Poisson processes per host, per running replica, and
+//!   per manager. Host attacks fall into three categories (script-based /
+//!   exploratory / innovative) with decreasing IDS detection probability.
+//! * Host corruption doubles (configurable) the attack rate on the
+//!   replicas and manager of that host, and spawns one-shot intra-domain
+//!   and system-wide spread events that scale every host's attack rate.
+//! * The IDS detects an intrusion (per-category probability) after an
+//!   exponential latency, or misses it forever. It also raises false
+//!   alarms on uncorrupted hosts; following the paper's SAN description,
+//!   the replica-level false-alarm activity is enabled only once the
+//!   replica is actually corrupt (an extra detection channel), while
+//!   host-level false alarms fire only while the host is clean.
+//! * A corrupt replica misbehaves during group communication at rate 2/h
+//!   and is convicted by its replication group iff fewer than a third of
+//!   the currently active replicas are corrupt.
+//! * On conviction/detection, the management algorithm excludes the whole
+//!   domain (or just the host, per [`ManagementScheme`]), provided the
+//!   managers needed for the response are not themselves compromised, and
+//!   restarts killed replicas in uniformly random eligible domains/hosts.
+
+use crate::measures::{RunOutput, Snapshot};
+use crate::params::{ManagementScheme, Params, ParamsError, PlacementConstraint};
+use itua_sim::queue::EventQueue;
+use itua_sim::rng::Rng;
+use itua_stats::timeweighted::TimeWeighted;
+
+/// Host attack categories (Jonsson & Olovsson classes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AttackCategory {
+    Script,
+    Exploratory,
+    Innovative,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Event {
+    /// Successful attack on a host's OS/services. Carries an epoch so that
+    /// rate changes (spread) invalidate stale schedules.
+    HostAttack { host: usize, epoch: u32 },
+    /// IDS detects the host intrusion (pre-sampled success).
+    HostDetect { host: usize },
+    /// IDS false alarm on an uncorrupted host.
+    HostFalseAlarm { host: usize },
+    /// Successful attack on the manager of a host.
+    MgrAttack { host: usize, epoch: u32 },
+    /// IDS detects the manager intrusion.
+    MgrDetect { host: usize },
+    /// Successful attack on a running replica.
+    RepAttack { replica: usize, epoch: u32 },
+    /// IDS detects the replica corruption (valid_ID).
+    RepDetect { replica: usize },
+    /// Replica-level false-alarm channel (paper-literal: enabled once the
+    /// replica is corrupt).
+    RepFalseDetect { replica: usize },
+    /// Corrupt replica misbehaves during group communication.
+    RepMisbehave { replica: usize },
+    /// One-shot intra-domain attack propagation from a corrupt host.
+    SpreadDomain { host: usize },
+    /// One-shot system-wide attack propagation from a corrupt host.
+    SpreadSystem { host: usize },
+}
+
+#[derive(Debug, Clone)]
+struct Host {
+    domain: usize,
+    /// False once the host is excluded.
+    alive: bool,
+    corrupt: bool,
+    attack_epoch: u32,
+    mgr_alive: bool,
+    mgr_corrupt: bool,
+    mgr_attack_epoch: u32,
+    /// Indices into `replicas` of replicas currently placed here.
+    replicas: Vec<usize>,
+}
+
+#[derive(Debug, Clone)]
+struct Domain {
+    excluded: bool,
+    spread_level: f64,
+    active_hosts: usize,
+    active_mgrs: usize,
+    corrupt_mgrs: usize,
+}
+
+#[derive(Debug, Clone)]
+struct Replica {
+    app: usize,
+    host: usize,
+    alive: bool,
+    corrupt: bool,
+    /// Convicted (by group or IDS): excluded from group communication and
+    /// no longer counted as undetected-corrupt; remains in
+    /// `replicas_running` until its host/domain is shut down (paper
+    /// semantics).
+    convicted: bool,
+    attack_epoch: u32,
+}
+
+#[derive(Debug, Clone)]
+struct App {
+    running: usize,
+    corrupt_undetected: usize,
+    need_recovery: usize,
+    improper: TimeWeighted,
+    byzantine: bool,
+}
+
+/// The ITUA discrete-event model.
+///
+/// Create once per parameter set; every [`ItuaDes::run`] is an independent
+/// replication fully determined by its seed.
+#[derive(Debug, Clone)]
+pub struct ItuaDes {
+    params: Params,
+}
+
+/// Mutable simulation state for one run.
+struct State {
+    p: Params,
+    rng: Rng,
+    queue: EventQueue<Event>,
+    now: f64,
+    hosts: Vec<Host>,
+    domains: Vec<Domain>,
+    replicas: Vec<Replica>,
+    apps: Vec<App>,
+    system_spread_level: f64,
+    active_mgrs_total: usize,
+    corrupt_mgrs_total: usize,
+    excluded_domains: usize,
+    exclusion_fractions: Vec<f64>,
+    first_byzantine_time: Option<f64>,
+    first_improper_time: Option<f64>,
+}
+
+impl ItuaDes {
+    /// Creates the model after validating `params`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamsError`] for invalid parameters.
+    pub fn new(params: Params) -> Result<Self, ParamsError> {
+        params.validate()?;
+        Ok(ItuaDes { params })
+    }
+
+    /// The parameter set.
+    pub fn params(&self) -> &Params {
+        &self.params
+    }
+
+    /// Runs one replication until `horizon`, sampling instant-of-time
+    /// measures at `sample_times` (ascending; values beyond the horizon are
+    /// clamped to it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `horizon` is not positive and finite.
+    pub fn run(&self, seed: u64, horizon: f64, sample_times: &[f64]) -> RunOutput {
+        assert!(horizon > 0.0 && horizon.is_finite(), "bad horizon");
+        let mut st = State::new(self.params.clone(), Rng::seed_from_u64(seed));
+        st.initial_placement();
+
+        let mut samples: Vec<f64> = sample_times
+            .iter()
+            .map(|&t| t.min(horizon))
+            .filter(|&t| t > 0.0)
+            .collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaN sample times"));
+        samples.dedup();
+        let mut snapshots = Vec::with_capacity(samples.len());
+        let mut next_sample = 0usize;
+
+        loop {
+            let next_time = st.queue.peek_time();
+            let cutoff = match next_time {
+                Some(t) if t <= horizon => t,
+                _ => horizon,
+            };
+            while next_sample < samples.len() && samples[next_sample] <= cutoff {
+                snapshots.push(st.snapshot(samples[next_sample]));
+                next_sample += 1;
+            }
+            match next_time {
+                Some(t) if t <= horizon => {
+                    let (t, ev) = st.queue.pop().expect("peeked");
+                    st.now = t;
+                    st.handle(ev);
+                }
+                _ => break,
+            }
+        }
+        st.now = horizon;
+
+        RunOutput {
+            horizon,
+            improper_time_per_app: st
+                .apps
+                .iter()
+                .map(|a| a.improper.integral_until(horizon))
+                .collect(),
+            byzantine_per_app: st.apps.iter().map(|a| a.byzantine).collect(),
+            exclusion_corrupt_fractions: st.exclusion_fractions,
+            snapshots,
+            first_byzantine_time: st.first_byzantine_time,
+            first_improper_time: st.first_improper_time,
+        }
+    }
+}
+
+impl State {
+    fn new(p: Params, rng: Rng) -> Self {
+        let nh = p.total_hosts();
+        let hosts = (0..nh)
+            .map(|h| Host {
+                domain: h / p.hosts_per_domain,
+                alive: true,
+                corrupt: false,
+                attack_epoch: 0,
+                mgr_alive: true,
+                mgr_corrupt: false,
+                mgr_attack_epoch: 0,
+                replicas: Vec::new(),
+            })
+            .collect();
+        let domains = (0..p.num_domains)
+            .map(|_| Domain {
+                excluded: false,
+                spread_level: 0.0,
+                active_hosts: p.hosts_per_domain,
+                active_mgrs: p.hosts_per_domain,
+                corrupt_mgrs: 0,
+            })
+            .collect();
+        let apps = (0..p.num_apps)
+            .map(|_| App {
+                running: 0,
+                corrupt_undetected: 0,
+                need_recovery: 0,
+                improper: TimeWeighted::new(0.0, 1.0), // no replicas yet
+                byzantine: false,
+            })
+            .collect();
+        let active_mgrs_total = nh;
+        State {
+            p,
+            rng,
+            queue: EventQueue::new(),
+            now: 0.0,
+            hosts,
+            domains,
+            replicas: Vec::new(),
+            apps,
+            system_spread_level: 0.0,
+            active_mgrs_total,
+            corrupt_mgrs_total: 0,
+            excluded_domains: 0,
+            exclusion_fractions: Vec::new(),
+            first_byzantine_time: None,
+            first_improper_time: None,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Initialization
+    // ------------------------------------------------------------------
+
+    fn initial_placement(&mut self) {
+        // Place replicas app by app via the same random algorithm the
+        // managers use for recovery.
+        for app in 0..self.p.num_apps {
+            for _ in 0..self.p.reps_per_app {
+                if !self.start_replica_somewhere(app) {
+                    break; // ran out of eligible domains (e.g. D < R)
+                }
+            }
+        }
+        // Arm the per-host processes.
+        for h in 0..self.hosts.len() {
+            self.schedule_host_attack(h);
+            self.schedule_host_false_alarm(h);
+            self.schedule_mgr_attack(h);
+        }
+        // Initial improper state (apps now have replicas).
+        for app in 0..self.apps.len() {
+            self.update_improper(app);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Rates and scheduling
+    // ------------------------------------------------------------------
+
+    fn exp_delay(&mut self, rate: f64) -> Option<f64> {
+        if rate <= 0.0 {
+            None
+        } else {
+            Some(-self.rng.next_f64_open().ln() / rate)
+        }
+    }
+
+    fn schedule_host_attack(&mut self, h: usize) {
+        let host = &self.hosts[h];
+        if !host.alive || host.corrupt {
+            return;
+        }
+        let rate = self.p.host_attack_rate()
+            * self
+                .p
+                .spread_multiplier(self.domains[host.domain].spread_level, self.system_spread_level);
+        let epoch = self.hosts[h].attack_epoch;
+        if let Some(d) = self.exp_delay(rate) {
+            self.queue.schedule(self.now + d, Event::HostAttack { host: h, epoch });
+        }
+    }
+
+    fn schedule_host_false_alarm(&mut self, h: usize) {
+        if !self.hosts[h].alive || self.hosts[h].corrupt {
+            return;
+        }
+        if let Some(d) = self.exp_delay(self.p.host_false_alarm_rate()) {
+            self.queue.schedule(self.now + d, Event::HostFalseAlarm { host: h });
+        }
+    }
+
+    fn schedule_mgr_attack(&mut self, h: usize) {
+        let host = &self.hosts[h];
+        if !host.alive || !host.mgr_alive || host.mgr_corrupt {
+            return;
+        }
+        let rate = if host.corrupt {
+            self.p.corrupt_host_manager_rate()
+        } else {
+            self.p.manager_attack_rate()
+        };
+        let epoch = host.mgr_attack_epoch;
+        if let Some(d) = self.exp_delay(rate) {
+            self.queue.schedule(self.now + d, Event::MgrAttack { host: h, epoch });
+        }
+    }
+
+    fn schedule_replica_attack(&mut self, r: usize) {
+        let rep = &self.replicas[r];
+        if !rep.alive || rep.corrupt {
+            return;
+        }
+        let rate = if self.hosts[rep.host].corrupt {
+            self.p.corrupt_host_replica_rate()
+        } else {
+            self.p.replica_attack_rate()
+        };
+        let epoch = rep.attack_epoch;
+        if let Some(d) = self.exp_delay(rate) {
+            self.queue.schedule(self.now + d, Event::RepAttack { replica: r, epoch });
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Event handling
+    // ------------------------------------------------------------------
+
+    fn handle(&mut self, ev: Event) {
+        match ev {
+            Event::HostAttack { host, epoch } => self.on_host_attack(host, epoch),
+            Event::HostDetect { host } => self.on_host_detect(host),
+            Event::HostFalseAlarm { host } => self.on_host_false_alarm(host),
+            Event::MgrAttack { host, epoch } => self.on_mgr_attack(host, epoch),
+            Event::MgrDetect { host } => self.on_mgr_detect(host),
+            Event::RepAttack { replica, epoch } => self.on_rep_attack(replica, epoch),
+            Event::RepDetect { replica } | Event::RepFalseDetect { replica } => {
+                self.on_rep_convicted_by_ids(replica)
+            }
+            Event::RepMisbehave { replica } => self.on_rep_misbehave(replica),
+            Event::SpreadDomain { host } => self.on_spread_domain(host),
+            Event::SpreadSystem { host } => self.on_spread_system(host),
+        }
+    }
+
+    fn on_host_attack(&mut self, h: usize, epoch: u32) {
+        let host = &self.hosts[h];
+        if !host.alive || host.corrupt || host.attack_epoch != epoch {
+            return;
+        }
+        self.hosts[h].corrupt = true;
+
+        // Category and (pre-sampled) IDS detection.
+        let mix = self.p.attack_mix;
+        let cat = match self
+            .rng
+            .weighted_choice(&[mix.p_script, mix.p_exploratory, mix.p_innovative])
+        {
+            0 => AttackCategory::Script,
+            1 => AttackCategory::Exploratory,
+            _ => AttackCategory::Innovative,
+        };
+        let p_detect = match cat {
+            AttackCategory::Script => mix.detect_script,
+            AttackCategory::Exploratory => mix.detect_exploratory,
+            AttackCategory::Innovative => mix.detect_innovative,
+        };
+        if self.rng.bernoulli(p_detect) {
+            if let Some(d) = self.exp_delay(self.p.ids_rate) {
+                self.queue.schedule(self.now + d, Event::HostDetect { host: h });
+            }
+        }
+
+        // One-shot spread processes.
+        if let Some(d) = self.exp_delay(self.p.spread_rate_domain) {
+            self.queue.schedule(self.now + d, Event::SpreadDomain { host: h });
+        }
+        if let Some(d) = self.exp_delay(self.p.spread_rate_system) {
+            self.queue.schedule(self.now + d, Event::SpreadSystem { host: h });
+        }
+
+        // Replicas and manager on this host become more vulnerable:
+        // invalidate and re-arm their attack processes at the higher rate.
+        let reps: Vec<usize> = self.hosts[h].replicas.clone();
+        for r in reps {
+            if self.replicas[r].alive && !self.replicas[r].corrupt {
+                self.replicas[r].attack_epoch += 1;
+                self.schedule_replica_attack(r);
+            }
+        }
+        if self.hosts[h].mgr_alive && !self.hosts[h].mgr_corrupt {
+            self.hosts[h].mgr_attack_epoch += 1;
+            self.schedule_mgr_attack(h);
+        }
+    }
+
+    fn on_host_detect(&mut self, h: usize) {
+        if !self.hosts[h].alive || !self.hosts[h].corrupt {
+            return;
+        }
+        // Response requires the local manager and the domain's manager
+        // group to be uncompromised (paper §3.4).
+        if self.host_level_response_possible(h) {
+            self.respond_with_exclusion(h);
+        }
+    }
+
+    fn on_host_false_alarm(&mut self, h: usize) {
+        if !self.hosts[h].alive {
+            return;
+        }
+        if self.hosts[h].corrupt {
+            // False alarms are only raised while there has been no actual
+            // intrusion; once corrupt, this channel is disabled.
+            return;
+        }
+        if self.host_level_response_possible(h) {
+            self.respond_with_exclusion(h);
+        }
+        // If the host survived (no response possible, or host-exclusion of
+        // a different host), further false alarms can still occur.
+        if self.hosts[h].alive && !self.hosts[h].corrupt {
+            self.schedule_host_false_alarm(h);
+        }
+    }
+
+    fn on_mgr_attack(&mut self, h: usize, epoch: u32) {
+        let host = &self.hosts[h];
+        if !host.alive || !host.mgr_alive || host.mgr_corrupt || host.mgr_attack_epoch != epoch {
+            return;
+        }
+        self.hosts[h].mgr_corrupt = true;
+        self.domains[self.hosts[h].domain].corrupt_mgrs += 1;
+        self.corrupt_mgrs_total += 1;
+        if self.rng.bernoulli(self.p.detect_manager) {
+            if let Some(d) = self.exp_delay(self.p.ids_rate) {
+                self.queue.schedule(self.now + d, Event::MgrDetect { host: h });
+            }
+        }
+    }
+
+    fn on_mgr_detect(&mut self, h: usize) {
+        if !self.hosts[h].alive || !self.hosts[h].mgr_alive || !self.hosts[h].mgr_corrupt {
+            return;
+        }
+        // The detected manager cannot be required to report itself; the
+        // response goes through the rest of the domain group (or the
+        // system-wide group).
+        let d = self.hosts[h].domain;
+        if !self.domain_mgr_group_corrupt(d) || self.system_mgr_quorum_ok() {
+            self.respond_with_exclusion(h);
+        }
+    }
+
+    fn on_rep_attack(&mut self, r: usize, epoch: u32) {
+        let rep = &self.replicas[r];
+        if !rep.alive || rep.corrupt || rep.attack_epoch != epoch {
+            return;
+        }
+        let app = rep.app;
+        self.replicas[r].corrupt = true;
+        self.apps[app].corrupt_undetected += 1;
+        self.update_improper(app);
+
+        // IDS detection (pre-sampled success), the paper-literal replica
+        // false-alarm channel, and group-communication misbehavior.
+        if self.rng.bernoulli(self.p.detect_replica) {
+            if let Some(d) = self.exp_delay(self.p.ids_rate) {
+                self.queue.schedule(self.now + d, Event::RepDetect { replica: r });
+            }
+        }
+        if let Some(d) = self.exp_delay(self.p.replica_false_alarm_rate()) {
+            self.queue
+                .schedule(self.now + d, Event::RepFalseDetect { replica: r });
+        }
+        if let Some(d) = self.exp_delay(self.p.misbehave_rate) {
+            self.queue.schedule(self.now + d, Event::RepMisbehave { replica: r });
+        }
+    }
+
+    fn on_rep_convicted_by_ids(&mut self, r: usize) {
+        let rep = &self.replicas[r];
+        if !rep.alive || !rep.corrupt || rep.convicted {
+            return;
+        }
+        self.convict_replica(r);
+    }
+
+    fn on_rep_misbehave(&mut self, r: usize) {
+        let rep = &self.replicas[r];
+        if !rep.alive || !rep.corrupt || rep.convicted {
+            return;
+        }
+        let app = rep.app;
+        // Conviction by the replication group requires the group to still
+        // reach Byzantine agreement.
+        if Params::quorum_ok(self.apps[app].running, self.apps[app].corrupt_undetected) {
+            self.convict_replica(r);
+        } else {
+            // The activity is disabled right now but may re-enable; by
+            // memorylessness, re-arming is equivalent.
+            if let Some(d) = self.exp_delay(self.p.misbehave_rate) {
+                self.queue.schedule(self.now + d, Event::RepMisbehave { replica: r });
+            }
+        }
+    }
+
+    fn on_spread_domain(&mut self, h: usize) {
+        if !self.hosts[h].alive || !self.hosts[h].corrupt {
+            return;
+        }
+        let d = self.hosts[h].domain;
+        // The spread variable is both the propagate rate and the increment
+        // (paper §3.4).
+        self.domains[d].spread_level += self.p.spread_rate_domain;
+        // Every clean host in the domain becomes more exposed.
+        let lo = d * self.p.hosts_per_domain;
+        for hh in lo..lo + self.p.hosts_per_domain {
+            if self.hosts[hh].alive && !self.hosts[hh].corrupt {
+                self.hosts[hh].attack_epoch += 1;
+                self.schedule_host_attack(hh);
+            }
+        }
+    }
+
+    fn on_spread_system(&mut self, h: usize) {
+        if !self.hosts[h].alive || !self.hosts[h].corrupt {
+            return;
+        }
+        self.system_spread_level += self.p.spread_rate_system;
+        for hh in 0..self.hosts.len() {
+            if self.hosts[hh].alive && !self.hosts[hh].corrupt {
+                self.hosts[hh].attack_epoch += 1;
+                self.schedule_host_attack(hh);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Conviction, exclusion, recovery
+    // ------------------------------------------------------------------
+
+    /// Group/IDS conviction of a corrupt replica. Per §2, "the replication
+    /// group excludes the convicted replica from all future
+    /// communications": it leaves the group immediately (shrinking
+    /// `replicas_running`) and needs a replacement. The managers
+    /// additionally exclude its domain (or host) if they can still respond.
+    fn convict_replica(&mut self, r: usize) {
+        let app = self.replicas[r].app;
+        let h = self.replicas[r].host;
+        let d = self.hosts[h].domain;
+
+        self.replicas[r].convicted = true;
+        self.apps[app].corrupt_undetected -= 1;
+        self.update_improper(app);
+
+        // Response condition (paper: shut_host): the domain's manager group
+        // is not corrupt, or there are enough good managers system-wide.
+        if !self.domain_mgr_group_corrupt(d) || self.system_mgr_quorum_ok() {
+            // The exclusion kills the convicted replica (still on its
+            // host, so the Figure 3(c) measure sees the compromise) along
+            // with everything else on the host/domain.
+            self.respond_with_exclusion(h);
+        }
+        if self.replicas[r].alive {
+            // No exclusion happened (gated response, or host-exclusion of
+            // a different host cannot occur here). The group has still
+            // excluded the replica from all future communication, and the
+            // correct replicas asked for a replacement.
+            self.replicas[r].alive = false;
+            self.apps[app].running -= 1;
+            self.apps[app].need_recovery += 1;
+            self.hosts[h].replicas.retain(|&rr| rr != r);
+            self.update_improper(app);
+            self.try_recoveries();
+        }
+    }
+
+    /// Excludes the domain of `h` (domain scheme) or `h` itself (host
+    /// scheme), then lets the managers start replacement replicas.
+    fn respond_with_exclusion(&mut self, h: usize) {
+        match self.p.scheme {
+            ManagementScheme::DomainExclusion => self.exclude_domain(self.hosts[h].domain),
+            ManagementScheme::HostExclusion => {
+                self.exclude_host(h);
+            }
+        }
+        self.try_recoveries();
+    }
+
+    fn exclude_domain(&mut self, d: usize) {
+        if self.domains[d].excluded {
+            return;
+        }
+        // Measure: fraction of this domain's hosts with *any* corruption
+        // (host OS, manager, or a replica) at exclusion time.
+        let lo = d * self.p.hosts_per_domain;
+        let hi = lo + self.p.hosts_per_domain;
+        let corrupt = (lo..hi).filter(|&hh| self.host_compromised(hh)).count();
+        self.exclusion_fractions
+            .push(corrupt as f64 / self.p.hosts_per_domain as f64);
+
+        self.domains[d].excluded = true;
+        self.excluded_domains += 1;
+        for hh in lo..hi {
+            self.exclude_host(hh);
+        }
+    }
+
+    fn exclude_host(&mut self, h: usize) {
+        if !self.hosts[h].alive {
+            return;
+        }
+        self.hosts[h].alive = false;
+        let d = self.hosts[h].domain;
+        self.domains[d].active_hosts -= 1;
+        // Kill the manager.
+        if self.hosts[h].mgr_alive {
+            self.hosts[h].mgr_alive = false;
+            self.domains[d].active_mgrs -= 1;
+            self.active_mgrs_total -= 1;
+            if self.hosts[h].mgr_corrupt {
+                self.domains[d].corrupt_mgrs -= 1;
+                self.corrupt_mgrs_total -= 1;
+            }
+        }
+        // Kill every replica on the host.
+        let reps: Vec<usize> = std::mem::take(&mut self.hosts[h].replicas);
+        for r in reps {
+            self.kill_replica(r);
+        }
+    }
+
+    fn kill_replica(&mut self, r: usize) {
+        if !self.replicas[r].alive {
+            return;
+        }
+        self.replicas[r].alive = false;
+        let app = self.replicas[r].app;
+        self.apps[app].running -= 1;
+        if self.replicas[r].corrupt && !self.replicas[r].convicted {
+            self.apps[app].corrupt_undetected -= 1;
+        }
+        self.apps[app].need_recovery += 1;
+        self.update_improper(app);
+    }
+
+    /// Managers start replacement replicas while quorum and eligibility
+    /// allow (instantaneous, like the paper's high-rate activities).
+    fn try_recoveries(&mut self) {
+        if !self.system_mgr_quorum_ok() {
+            return;
+        }
+        for app in 0..self.apps.len() {
+            while self.apps[app].need_recovery > 0 {
+                if !self.start_replica_somewhere(app) {
+                    break;
+                }
+                self.apps[app].need_recovery -= 1;
+            }
+        }
+    }
+
+    /// Starts one replica of `app` on a uniformly random eligible
+    /// domain/host. Returns false if nowhere is eligible.
+    fn start_replica_somewhere(&mut self, app: usize) -> bool {
+        let eligible_domains: Vec<usize> = (0..self.p.num_domains)
+            .filter(|&d| self.domain_eligible(d, app))
+            .collect();
+        let Some(&d) = self.rng.choose(&eligible_domains) else {
+            return false;
+        };
+        let lo = d * self.p.hosts_per_domain;
+        let eligible_hosts: Vec<usize> = (lo..lo + self.p.hosts_per_domain)
+            .filter(|&h| self.host_eligible(h, app))
+            .collect();
+        let Some(&h) = self.rng.choose(&eligible_hosts) else {
+            return false;
+        };
+        let r = self.replicas.len();
+        self.replicas.push(Replica {
+            app,
+            host: h,
+            alive: true,
+            corrupt: false,
+            convicted: false,
+            attack_epoch: 0,
+        });
+        self.hosts[h].replicas.push(r);
+        self.apps[app].running += 1;
+        self.update_improper(app);
+        self.schedule_replica_attack(r);
+        true
+    }
+
+    fn domain_eligible(&self, d: usize, app: usize) -> bool {
+        if self.domains[d].excluded {
+            return false;
+        }
+        let lo = d * self.p.hosts_per_domain;
+        let hi = lo + self.p.hosts_per_domain;
+        match self.p.placement {
+            PlacementConstraint::OnePerDomain => {
+                // No live replica of this app anywhere in the domain, and
+                // at least one live host.
+                self.domains[d].active_hosts > 0
+                    && !(lo..hi).any(|h| self.host_has_app(h, app))
+            }
+            PlacementConstraint::OnePerHost => {
+                (lo..hi).any(|h| self.host_eligible(h, app))
+            }
+        }
+    }
+
+    fn host_eligible(&self, h: usize, app: usize) -> bool {
+        self.hosts[h].alive
+            && match self.p.placement {
+                PlacementConstraint::OnePerDomain => true, // domain filter did the work
+                PlacementConstraint::OnePerHost => !self.host_has_app(h, app),
+            }
+    }
+
+    fn host_has_app(&self, h: usize, app: usize) -> bool {
+        self.hosts[h]
+            .replicas
+            .iter()
+            .any(|&r| self.replicas[r].alive && self.replicas[r].app == app)
+    }
+
+    // ------------------------------------------------------------------
+    // Conditions and measures
+    // ------------------------------------------------------------------
+
+    fn domain_mgr_group_corrupt(&self, d: usize) -> bool {
+        !Params::quorum_ok(self.domains[d].active_mgrs, self.domains[d].corrupt_mgrs)
+    }
+
+    fn system_mgr_quorum_ok(&self) -> bool {
+        Params::quorum_ok(self.active_mgrs_total, self.corrupt_mgrs_total)
+    }
+
+    fn host_level_response_possible(&self, h: usize) -> bool {
+        let host = &self.hosts[h];
+        host.mgr_alive && !host.mgr_corrupt && !self.domain_mgr_group_corrupt(host.domain)
+    }
+
+    /// A host counts as compromised for the Figure 3(c)/4(c) measure if
+    /// any entity on it (OS, manager, or a replica) is corrupt.
+    fn host_compromised(&self, h: usize) -> bool {
+        let host = &self.hosts[h];
+        host.corrupt
+            || host.mgr_corrupt
+            || host
+                .replicas
+                .iter()
+                .any(|&r| self.replicas[r].alive && self.replicas[r].corrupt)
+    }
+
+    fn update_improper(&mut self, app: usize) {
+        let a = &self.apps[app];
+        let improper = a.running == 0
+            || (a.corrupt_undetected > 0 && 3 * a.corrupt_undetected >= a.running);
+        let byz = a.corrupt_undetected > 0 && 3 * a.corrupt_undetected >= a.running;
+        let now = self.now;
+        if improper && self.first_improper_time.is_none() && now > 0.0 {
+            self.first_improper_time = Some(now);
+        }
+        if byz && self.first_byzantine_time.is_none() {
+            self.first_byzantine_time = Some(now);
+        }
+        let a = &mut self.apps[app];
+        a.improper.set(now, if improper { 1.0 } else { 0.0 });
+        if byz {
+            a.byzantine = true;
+        }
+    }
+
+    fn snapshot(&self, time: f64) -> Snapshot {
+        let alive_hosts = self.hosts.iter().filter(|h| h.alive).count();
+        let alive_replicas = self.replicas.iter().filter(|r| r.alive).count();
+        Snapshot {
+            time,
+            frac_domains_excluded: self.excluded_domains as f64 / self.p.num_domains as f64,
+            mean_replicas_running: self.apps.iter().map(|a| a.running as f64).sum::<f64>()
+                / self.apps.len() as f64,
+            load_per_host: if alive_hosts == 0 {
+                0.0
+            } else {
+                alive_replicas as f64 / alive_hosts as f64
+            },
+        }
+    }
+
+    /// Debug invariant check (used by tests).
+    #[cfg(test)]
+    fn check_invariants(&self) {
+        for (i, app) in self.apps.iter().enumerate() {
+            let running = self
+                .replicas
+                .iter()
+                .filter(|r| r.alive && r.app == i)
+                .count();
+            assert_eq!(app.running, running, "app {i} running count");
+            let corrupt = self
+                .replicas
+                .iter()
+                .filter(|r| r.alive && r.app == i && r.corrupt && !r.convicted)
+                .count();
+            assert_eq!(app.corrupt_undetected, corrupt, "app {i} corrupt count");
+        }
+        let mgrs = self.hosts.iter().filter(|h| h.mgr_alive).count();
+        assert_eq!(self.active_mgrs_total, mgrs);
+        let corrupt_mgrs = self
+            .hosts
+            .iter()
+            .filter(|h| h.mgr_alive && h.mgr_corrupt)
+            .count();
+        assert_eq!(self.corrupt_mgrs_total, corrupt_mgrs);
+        let excl = self.domains.iter().filter(|d| d.excluded).count();
+        assert_eq!(self.excluded_domains, excl);
+        for (d, dom) in self.domains.iter().enumerate() {
+            let lo = d * self.p.hosts_per_domain;
+            let hi = lo + self.p.hosts_per_domain;
+            let active = (lo..hi).filter(|&h| self.hosts[h].alive).count();
+            assert_eq!(dom.active_hosts, active, "domain {d} active hosts");
+            if dom.excluded {
+                assert_eq!(active, 0, "excluded domain {d} has live hosts");
+            }
+            // Placement constraint.
+            if self.p.placement == PlacementConstraint::OnePerDomain {
+                for app in 0..self.apps.len() {
+                    let in_domain = (lo..hi)
+                        .flat_map(|h| self.hosts[h].replicas.iter())
+                        .filter(|&&r| self.replicas[r].alive && self.replicas[r].app == app)
+                        .count();
+                    assert!(in_domain <= 1, "app {app} has {in_domain} replicas in domain {d}");
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measures::MeasureSet;
+
+    fn small_params() -> Params {
+        Params::default().with_domains(4, 2).with_applications(2, 3)
+    }
+
+    #[test]
+    fn run_is_reproducible() {
+        let des = ItuaDes::new(small_params()).unwrap();
+        let a = des.run(7, 5.0, &[5.0]);
+        let b = des.run(7, 5.0, &[5.0]);
+        assert_eq!(a, b);
+        let c = des.run(8, 5.0, &[5.0]);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn initial_placement_respects_domain_constraint() {
+        // 3 domains, 7 requested replicas → only 3 start.
+        let p = Params::default().with_domains(3, 4).with_applications(2, 7);
+        let des = ItuaDes::new(p).unwrap();
+        let out = des.run(1, 0.001, &[0.001]);
+        assert!((out.snapshots[0].mean_replicas_running - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn placement_fills_all_domains_when_possible() {
+        let p = Params::default().with_domains(10, 1).with_applications(1, 7);
+        let des = ItuaDes::new(p).unwrap();
+        let out = des.run(3, 0.001, &[0.001]);
+        assert!((out.snapshots[0].mean_replicas_running - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn invariants_hold_through_events() {
+        let p = small_params();
+        for seed in 0..30 {
+            let mut st = State::new(p.clone(), Rng::seed_from_u64(seed));
+            st.initial_placement();
+            st.check_invariants();
+            let mut events = 0;
+            while let Some((t, ev)) = st.queue.pop() {
+                if t > 20.0 || events > 5000 {
+                    break;
+                }
+                st.now = t;
+                st.handle(ev);
+                st.check_invariants();
+                events += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn invariants_hold_host_exclusion_scheme() {
+        let p = small_params().with_scheme(ManagementScheme::HostExclusion);
+        for seed in 0..30 {
+            let mut st = State::new(p.clone(), Rng::seed_from_u64(seed));
+            st.initial_placement();
+            let mut events = 0;
+            while let Some((t, ev)) = st.queue.pop() {
+                if t > 20.0 || events > 5000 {
+                    break;
+                }
+                st.now = t;
+                st.handle(ev);
+                st.check_invariants();
+                events += 1;
+            }
+            // Domains are never excluded wholesale under host exclusion.
+            assert_eq!(st.exclusion_fractions.len(), 0);
+        }
+    }
+
+    #[test]
+    fn unavailability_between_zero_and_one() {
+        let des = ItuaDes::new(small_params()).unwrap();
+        for seed in 0..50 {
+            let out = des.run(seed, 5.0, &[]);
+            let u = out.unavailability(5.0);
+            assert!((0.0..=1.0).contains(&u), "seed {seed}: {u}");
+            let r = out.unreliability();
+            assert!((0.0..=1.0).contains(&r));
+        }
+    }
+
+    #[test]
+    fn no_attacks_means_no_unavailability() {
+        // With a (nearly) zero attack rate and no false alarms, service
+        // stays proper and nothing is excluded.
+        let mut p = small_params();
+        p.base_attack_rate = 1e-12;
+        p.false_alarm_rate = 0.0;
+        let des = ItuaDes::new(p).unwrap();
+        let out = des.run(5, 10.0, &[10.0]);
+        assert_eq!(out.unavailability(10.0), 0.0);
+        assert_eq!(out.unreliability(), 0.0);
+        assert_eq!(out.snapshots[0].frac_domains_excluded, 0.0);
+        assert!(out.exclusion_corrupt_fractions.is_empty());
+    }
+
+    #[test]
+    fn single_domain_single_replica_fails_eventually() {
+        // 1 domain: first exclusion (or corruption) takes everything down,
+        // and nothing can be recovered (no eligible domains remain).
+        let p = Params::default()
+            .with_domains(1, 4)
+            .with_applications(1, 7);
+        let des = ItuaDes::new(p).unwrap();
+        let mut saw_failure = false;
+        for seed in 0..20 {
+            let out = des.run(seed, 50.0, &[50.0]);
+            if out.snapshots[0].frac_domains_excluded == 1.0 {
+                saw_failure = true;
+                assert!(out.unavailability(50.0) > 0.0);
+            }
+        }
+        assert!(saw_failure, "no run excluded the single domain in 50h");
+    }
+
+    #[test]
+    fn more_hosts_per_domain_waste_more_resources() {
+        // Fig 3(c) direction: with many hosts per domain, the fraction of
+        // corrupt hosts in an excluded domain is much smaller than with one
+        // host per domain.
+        let mut ms1 = MeasureSet::new(0.95);
+        let mut ms6 = MeasureSet::new(0.95);
+        let p1 = Params::default().with_domains(12, 1).with_applications(4, 7);
+        let p6 = Params::default().with_domains(2, 6).with_applications(4, 7);
+        let d1 = ItuaDes::new(p1).unwrap();
+        let d6 = ItuaDes::new(p6).unwrap();
+        for seed in 0..300 {
+            ms1.record(&d1.run(seed, 5.0, &[]));
+            ms6.record(&d6.run(seed, 5.0, &[]));
+        }
+        let f1 = ms1
+            .mean(crate::measures::names::FRAC_CORRUPT_AT_EXCLUSION)
+            .unwrap();
+        let f6 = ms6
+            .mean(crate::measures::names::FRAC_CORRUPT_AT_EXCLUSION)
+            .unwrap();
+        assert!(
+            f1 > f6 + 0.2,
+            "expected fewer corrupt hosts per exclusion with bigger domains: {f1} vs {f6}"
+        );
+    }
+
+    #[test]
+    fn host_exclusion_saves_resources_short_term() {
+        // Fig 5(a) direction at spread 0: host exclusion keeps more
+        // replicas running in the short run.
+        let base = Params::default()
+            .with_domains(10, 3)
+            .with_applications(4, 7)
+            .with_host_corruption_multiplier(5.0)
+            .with_spread_rate(0.0);
+        let dom = ItuaDes::new(base.clone()).unwrap();
+        let host = ItuaDes::new(base.with_scheme(ManagementScheme::HostExclusion)).unwrap();
+        let mut dom_ms = MeasureSet::new(0.95);
+        let mut host_ms = MeasureSet::new(0.95);
+        for seed in 0..200 {
+            dom_ms.record(&dom.run(seed, 5.0, &[5.0]));
+            host_ms.record(&host.run(seed, 5.0, &[5.0]));
+        }
+        let dom_u = dom_ms.mean(crate::measures::names::UNAVAILABILITY).unwrap();
+        let host_u = host_ms.mean(crate::measures::names::UNAVAILABILITY).unwrap();
+        assert!(
+            host_u <= dom_u + 1e-9,
+            "host exclusion should not be worse at zero spread: {host_u} vs {dom_u}"
+        );
+    }
+
+    #[test]
+    fn snapshots_are_monotone_in_exclusions() {
+        let des = ItuaDes::new(small_params()).unwrap();
+        for seed in 0..20 {
+            let out = des.run(seed, 10.0, &[2.0, 5.0, 10.0]);
+            let fracs: Vec<f64> = out.snapshots.iter().map(|s| s.frac_domains_excluded).collect();
+            assert!(fracs.windows(2).all(|w| w[0] <= w[1]), "seed {seed}: {fracs:?}");
+        }
+    }
+
+    #[test]
+    fn exclusion_fraction_values_are_valid() {
+        let des = ItuaDes::new(small_params()).unwrap();
+        for seed in 0..50 {
+            let out = des.run(seed, 10.0, &[]);
+            for &f in &out.exclusion_corrupt_fractions {
+                assert!((0.0..=1.0).contains(&f));
+            }
+        }
+    }
+}

@@ -1,0 +1,271 @@
+//! The intrusion-tolerance measures of the paper's Section 4.
+//!
+//! Both model encodings (SAN and direct DES) produce a [`RunOutput`] per
+//! replication; [`MeasureSet`] aggregates outputs over replications into
+//! named estimates (the values the figures plot).
+//!
+//! Measure definitions:
+//!
+//! * **improper service** — an application suffers a Byzantine fault (a
+//!   third or more of its currently active replicas are corrupt and
+//!   undetected), *or* it has no running replica at all (service cannot be
+//!   delivered; this is what degrades when the system runs out of
+//!   domains).
+//! * **unavailability\[0,T\]** — expected fraction of `[0, T]` with
+//!   improper service.
+//! * **unreliability\[0,T\]** — probability that a *Byzantine fault*
+//!   occurred at least once in `[0, T]` (the paper's `rep_grp_failure`
+//!   sticky flag).
+//! * **fraction of corrupt hosts in an excluded domain** — measured at
+//!   each domain-exclusion event.
+//! * **fraction of domains excluded at t**, **replicas running at t**,
+//!   **load (replicas per active host) at t** — instant-of-time measures.
+
+use itua_stats::replication::{Estimate, ReplicationEstimator};
+
+/// Canonical measure names used by both encodings and the studies.
+pub mod names {
+    /// Time-averaged improper-service indicator over `[0, horizon]`.
+    pub const UNAVAILABILITY: &str = "unavailability";
+    /// Sticky Byzantine-fault indicator over `[0, horizon]`.
+    pub const UNRELIABILITY: &str = "unreliability";
+    /// Fraction of hosts corrupt in a domain when it is excluded.
+    pub const FRAC_CORRUPT_AT_EXCLUSION: &str = "frac_corrupt_hosts_at_exclusion";
+    /// Fraction of domains excluded at a sample time (suffix `@t`).
+    pub const FRAC_DOMAINS_EXCLUDED: &str = "frac_domains_excluded";
+    /// Mean replicas of an application still running at a sample time.
+    pub const REPLICAS_RUNNING: &str = "replicas_running";
+    /// Replicas per active host at a sample time.
+    pub const LOAD_PER_HOST: &str = "load_per_host";
+    /// Time of the first Byzantine fault (conditional on one occurring).
+    pub const TIME_TO_FIRST_BYZANTINE: &str = "time_to_first_byzantine";
+    /// Time service first became improper (conditional on it happening).
+    pub const TIME_TO_FIRST_IMPROPER: &str = "time_to_first_improper";
+}
+
+/// Instant-of-time snapshot taken during a run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Snapshot {
+    /// Sample time.
+    pub time: f64,
+    /// Fraction of domains excluded.
+    pub frac_domains_excluded: f64,
+    /// Mean number of running replicas per application.
+    pub mean_replicas_running: f64,
+    /// Replicas per active host (0 if no host is active).
+    pub load_per_host: f64,
+}
+
+/// Everything one replication produces.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunOutput {
+    /// Horizon the run covered.
+    pub horizon: f64,
+    /// Per-application time integral of the improper-service indicator.
+    pub improper_time_per_app: Vec<f64>,
+    /// Per-application sticky Byzantine-fault flag.
+    pub byzantine_per_app: Vec<bool>,
+    /// Fraction of corrupt hosts recorded at each domain exclusion.
+    pub exclusion_corrupt_fractions: Vec<f64>,
+    /// Instant-of-time snapshots at the requested sample times.
+    pub snapshots: Vec<Snapshot>,
+    /// Time of the first Byzantine fault of any application (`None` if no
+    /// application ever suffered one in this run) — the classic
+    /// time-to-failure dependability measure.
+    pub first_byzantine_time: Option<f64>,
+    /// Time at which any application's service first became improper.
+    pub first_improper_time: Option<f64>,
+}
+
+impl RunOutput {
+    /// Mean unavailability over applications for the interval `[0, t]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is not positive or exceeds the run horizon.
+    pub fn unavailability(&self, t: f64) -> f64 {
+        assert!(t > 0.0 && t <= self.horizon + 1e-9, "bad interval end {t}");
+        let sum: f64 = self.improper_time_per_app.iter().sum();
+        (sum / self.improper_time_per_app.len() as f64) / t
+    }
+
+    /// Fraction of applications that suffered a Byzantine fault (an
+    /// unbiased per-replication estimate of unreliability).
+    pub fn unreliability(&self) -> f64 {
+        let hits = self.byzantine_per_app.iter().filter(|&&b| b).count();
+        hits as f64 / self.byzantine_per_app.len() as f64
+    }
+
+    /// Mean fraction of corrupt hosts over this run's domain exclusions
+    /// (`None` if no domain was excluded).
+    pub fn mean_exclusion_corrupt_fraction(&self) -> Option<f64> {
+        if self.exclusion_corrupt_fractions.is_empty() {
+            None
+        } else {
+            Some(
+                self.exclusion_corrupt_fractions.iter().sum::<f64>()
+                    / self.exclusion_corrupt_fractions.len() as f64,
+            )
+        }
+    }
+}
+
+/// Aggregates [`RunOutput`]s over replications into named estimates.
+///
+/// # Example
+///
+/// ```
+/// use itua_core::measures::{MeasureSet, RunOutput, Snapshot};
+///
+/// let mut ms = MeasureSet::new(0.95);
+/// for rep in 0..10 {
+///     ms.record(&RunOutput {
+///         horizon: 5.0,
+///         improper_time_per_app: vec![0.5 + 0.01 * rep as f64],
+///         byzantine_per_app: vec![rep % 2 == 0],
+///         exclusion_corrupt_fractions: vec![],
+///         snapshots: vec![Snapshot {
+///             time: 5.0,
+///             frac_domains_excluded: 0.2,
+///             mean_replicas_running: 6.0,
+///             load_per_host: 1.0,
+///         }],
+///         first_byzantine_time: None,
+///         first_improper_time: None,
+///     });
+/// }
+/// let estimates = ms.estimates();
+/// assert!(estimates.iter().any(|e| e.name == "unavailability"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct MeasureSet {
+    est: ReplicationEstimator,
+}
+
+impl MeasureSet {
+    /// Creates an empty aggregate reporting at confidence `level`.
+    pub fn new(level: f64) -> Self {
+        MeasureSet {
+            est: ReplicationEstimator::new(level),
+        }
+    }
+
+    /// Records one replication's output.
+    pub fn record(&mut self, out: &RunOutput) {
+        self.est
+            .record(names::UNAVAILABILITY, out.unavailability(out.horizon));
+        self.est.record(names::UNRELIABILITY, out.unreliability());
+        if let Some(f) = out.mean_exclusion_corrupt_fraction() {
+            self.est.record(names::FRAC_CORRUPT_AT_EXCLUSION, f);
+        }
+        if let Some(t) = out.first_byzantine_time {
+            self.est.record(names::TIME_TO_FIRST_BYZANTINE, t);
+        }
+        if let Some(t) = out.first_improper_time {
+            self.est.record(names::TIME_TO_FIRST_IMPROPER, t);
+        }
+        for s in &out.snapshots {
+            self.est.record(
+                &format!("{}@{}", names::FRAC_DOMAINS_EXCLUDED, s.time),
+                s.frac_domains_excluded,
+            );
+            self.est.record(
+                &format!("{}@{}", names::REPLICAS_RUNNING, s.time),
+                s.mean_replicas_running,
+            );
+            self.est
+                .record(&format!("{}@{}", names::LOAD_PER_HOST, s.time), s.load_per_host);
+        }
+    }
+
+    /// Point estimate for a measure (mean over replications), if at least
+    /// two observations exist.
+    pub fn mean(&self, name: &str) -> Option<f64> {
+        self.est.estimate(name).ok().map(|e| e.ci.mean)
+    }
+
+    /// All estimates with confidence intervals.
+    pub fn estimates(&self) -> Vec<Estimate> {
+        self.est.estimates()
+    }
+
+    /// Underlying estimator (for precision-based stopping).
+    pub fn estimator(&self) -> &ReplicationEstimator {
+        &self.est
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_output() -> RunOutput {
+        RunOutput {
+            horizon: 5.0,
+            improper_time_per_app: vec![1.0, 0.0, 0.5, 0.5],
+            byzantine_per_app: vec![true, false, false, false],
+            exclusion_corrupt_fractions: vec![0.5, 1.0],
+            snapshots: vec![Snapshot {
+                time: 5.0,
+                frac_domains_excluded: 0.3,
+                mean_replicas_running: 5.5,
+                load_per_host: 1.2,
+            }],
+            first_byzantine_time: Some(1.25),
+            first_improper_time: Some(1.25),
+        }
+    }
+
+    #[test]
+    fn unavailability_averages_apps() {
+        let out = sample_output();
+        // Mean improper time = 0.5 over 5 hours → 0.1.
+        assert!((out.unavailability(5.0) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unreliability_is_app_fraction() {
+        assert!((sample_output().unreliability() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exclusion_fraction_mean() {
+        assert_eq!(sample_output().mean_exclusion_corrupt_fraction(), Some(0.75));
+        let mut out = sample_output();
+        out.exclusion_corrupt_fractions.clear();
+        assert_eq!(out.mean_exclusion_corrupt_fraction(), None);
+    }
+
+    #[test]
+    #[should_panic]
+    fn unavailability_beyond_horizon_panics() {
+        let _ = sample_output().unavailability(10.0);
+    }
+
+    #[test]
+    fn measure_set_aggregates() {
+        let mut ms = MeasureSet::new(0.95);
+        for _ in 0..5 {
+            ms.record(&sample_output());
+        }
+        assert!((ms.mean(names::UNAVAILABILITY).unwrap() - 0.1).abs() < 1e-12);
+        assert!((ms.mean(names::UNRELIABILITY).unwrap() - 0.25).abs() < 1e-12);
+        assert!((ms.mean(names::FRAC_CORRUPT_AT_EXCLUSION).unwrap() - 0.75).abs() < 1e-12);
+        assert!(
+            (ms.mean(&format!("{}@5", names::FRAC_DOMAINS_EXCLUDED)).unwrap() - 0.3).abs()
+                < 1e-12
+        );
+        let all = ms.estimates();
+        assert_eq!(all.len(), 8);
+    }
+
+    #[test]
+    fn conditional_measure_absent_when_never_observed() {
+        let mut ms = MeasureSet::new(0.95);
+        let mut out = sample_output();
+        out.exclusion_corrupt_fractions.clear();
+        ms.record(&out);
+        ms.record(&out);
+        assert_eq!(ms.mean(names::FRAC_CORRUPT_AT_EXCLUSION), None);
+    }
+}

@@ -1,0 +1,87 @@
+//! Property-based tests of the ITUA model over random configurations.
+
+use itua_core::des::ItuaDes;
+use itua_core::params::{ManagementScheme, Params};
+use proptest::prelude::*;
+
+fn arb_params() -> impl Strategy<Value = Params> {
+    (
+        1usize..6,          // domains
+        1usize..4,          // hosts per domain
+        1usize..4,          // apps
+        1usize..6,          // replicas
+        prop::bool::ANY,    // scheme
+        0.0f64..10.0,       // spread
+        1.0f64..6.0,        // corruption multiplier
+    )
+        .prop_map(|(d, h, a, r, host_scheme, spread, mult)| {
+            let scheme = if host_scheme {
+                ManagementScheme::HostExclusion
+            } else {
+                ManagementScheme::DomainExclusion
+            };
+            Params::default()
+                .with_domains(d, h)
+                .with_applications(a, r)
+                .with_scheme(scheme)
+                .with_spread_rate(spread)
+                .with_host_corruption_multiplier(mult)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every run over any valid configuration produces well-formed output.
+    #[test]
+    fn run_output_is_well_formed(params in arb_params(), seed in any::<u64>()) {
+        let des = ItuaDes::new(params.clone()).unwrap();
+        let horizon = 8.0;
+        let out = des.run(seed, horizon, &[2.0, 5.0, 8.0]);
+
+        let u = out.unavailability(horizon);
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&u), "unavailability {u}");
+        let r = out.unreliability();
+        prop_assert!((0.0..=1.0).contains(&r));
+        prop_assert_eq!(out.improper_time_per_app.len(), params.num_apps);
+        for &it in &out.improper_time_per_app {
+            prop_assert!((0.0..=horizon + 1e-9).contains(&it));
+        }
+        for &f in &out.exclusion_corrupt_fractions {
+            prop_assert!((0.0..=1.0).contains(&f));
+        }
+        // Snapshots: excluded fraction monotone, replicas within bounds.
+        let fracs: Vec<f64> = out.snapshots.iter().map(|s| s.frac_domains_excluded).collect();
+        prop_assert!(fracs.windows(2).all(|w| w[0] <= w[1] + 1e-12));
+        for s in &out.snapshots {
+            prop_assert!(s.mean_replicas_running >= 0.0);
+            prop_assert!(s.mean_replicas_running <= params.reps_per_app as f64 + 1e-9);
+            prop_assert!(s.load_per_host >= 0.0);
+        }
+        // Host scheme never excludes whole domains.
+        if params.scheme == ManagementScheme::HostExclusion {
+            prop_assert!(out.exclusion_corrupt_fractions.is_empty());
+        }
+    }
+
+    /// Runs are deterministic in the seed.
+    #[test]
+    fn runs_deterministic(params in arb_params(), seed in any::<u64>()) {
+        let des = ItuaDes::new(params).unwrap();
+        let a = des.run(seed, 5.0, &[5.0]);
+        let b = des.run(seed, 5.0, &[5.0]);
+        prop_assert_eq!(a, b);
+    }
+
+    /// The Byzantine flag implies nonzero improper time.
+    #[test]
+    fn byzantine_implies_improper_time(params in arb_params(), seed in 0u64..500) {
+        let des = ItuaDes::new(params).unwrap();
+        let out = des.run(seed, 8.0, &[]);
+        for (it, &byz) in out.improper_time_per_app.iter().zip(&out.byzantine_per_app) {
+            if byz {
+                prop_assert!(*it > 0.0, "byzantine app with zero improper time");
+            }
+        }
+    }
+}

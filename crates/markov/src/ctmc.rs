@@ -1,0 +1,562 @@
+//! Continuous-time Markov chains.
+//!
+//! A CTMC is stored as its infinitesimal generator `Q` (CSR). Provided
+//! solvers:
+//!
+//! * [`Ctmc::transient`] — state distribution at time `t` by
+//!   uniformization.
+//! * [`Ctmc::expected_accumulated_reward`] — `E[∫₀ᵗ r(X(s)) ds]`, the
+//!   quantity behind interval-of-time reward variables such as
+//!   unavailability.
+//! * [`Ctmc::steady_state`] — stationary distribution by Gauss–Seidel /
+//!   power iteration on the uniformized chain.
+
+use crate::poisson::PoissonWeights;
+use crate::sparse::{CsrMatrix, SparseError};
+use std::fmt;
+
+/// Error from CTMC construction or solving.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CtmcError {
+    /// Underlying matrix problem.
+    Sparse(SparseError),
+    /// A transition rate was negative or non-finite.
+    BadRate {
+        /// Source state.
+        from: usize,
+        /// Destination state.
+        to: usize,
+        /// Offending rate.
+        rate: f64,
+    },
+    /// A self-loop was supplied (diagonal entries are derived, not given).
+    SelfLoop(usize),
+    /// An iterative solver failed to converge.
+    NoConvergence {
+        /// Iterations performed.
+        iterations: usize,
+        /// Residual when giving up.
+        residual: f64,
+    },
+    /// The initial distribution was invalid (wrong length or not a
+    /// probability vector).
+    BadInitialDistribution,
+}
+
+impl fmt::Display for CtmcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CtmcError::Sparse(e) => write!(f, "sparse matrix error: {e}"),
+            CtmcError::BadRate { from, to, rate } => {
+                write!(f, "invalid rate {rate} for transition {from} → {to}")
+            }
+            CtmcError::SelfLoop(s) => write!(f, "self-loop on state {s} not allowed"),
+            CtmcError::NoConvergence { iterations, residual } => {
+                write!(f, "no convergence after {iterations} iterations (residual {residual:e})")
+            }
+            CtmcError::BadInitialDistribution => write!(f, "invalid initial distribution"),
+        }
+    }
+}
+
+impl std::error::Error for CtmcError {}
+
+impl From<SparseError> for CtmcError {
+    fn from(e: SparseError) -> Self {
+        CtmcError::Sparse(e)
+    }
+}
+
+/// A continuous-time Markov chain over states `0..n`.
+///
+/// # Example
+///
+/// ```
+/// use itua_markov::ctmc::Ctmc;
+///
+/// // Pure birth chain 0 → 1 → 2 (absorbing), rate 1.
+/// let ctmc = Ctmc::from_rates(3, &[(0, 1, 1.0), (1, 2, 1.0)]).unwrap();
+/// let p = ctmc.transient(&[1.0, 0.0, 0.0], 1.0, 1e-12).unwrap();
+/// // P[still in 0 at t=1] = e^{-1}
+/// assert!((p[0] - (-1.0f64).exp()).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Ctmc {
+    n: usize,
+    /// Off-diagonal rate matrix (diagonal implicit).
+    rates: CsrMatrix,
+    /// Exit rate of each state (sum of outgoing rates).
+    exit_rates: Vec<f64>,
+}
+
+impl Ctmc {
+    /// Builds a CTMC from off-diagonal transition rates
+    /// `(from, to, rate)`. Duplicate transitions are summed.
+    ///
+    /// # Errors
+    ///
+    /// Rejects self-loops, negative or non-finite rates, and out-of-bounds
+    /// states.
+    pub fn from_rates(n: usize, transitions: &[(usize, usize, f64)]) -> Result<Self, CtmcError> {
+        for &(from, to, rate) in transitions {
+            if from == to {
+                return Err(CtmcError::SelfLoop(from));
+            }
+            if !rate.is_finite() || rate < 0.0 {
+                return Err(CtmcError::BadRate { from, to, rate });
+            }
+        }
+        let rates = CsrMatrix::from_triplets(n, n, transitions)?;
+        let exit_rates = (0..n).map(|s| rates.row_sum(s)).collect();
+        Ok(Ctmc { n, rates, exit_rates })
+    }
+
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.n
+    }
+
+    /// The off-diagonal rate matrix.
+    pub fn rates(&self) -> &CsrMatrix {
+        &self.rates
+    }
+
+    /// Exit rate of state `s`.
+    pub fn exit_rate(&self, s: usize) -> f64 {
+        self.exit_rates[s]
+    }
+
+    /// The uniformization rate `Λ` (strictly larger than every exit rate so
+    /// the uniformized DTMC is aperiodic).
+    pub fn uniformization_rate(&self) -> f64 {
+        let max_exit = self.exit_rates.iter().cloned().fold(0.0, f64::max);
+        if max_exit == 0.0 {
+            1.0 // all-absorbing chain; any Λ works
+        } else {
+            max_exit * 1.02
+        }
+    }
+
+    /// One step of the uniformized DTMC: `y = xᵀ P` where
+    /// `P = I + Q/Λ`.
+    fn uniformized_step(&self, x: &[f64], lambda: f64) -> Vec<f64> {
+        let mut y = vec![0.0; self.n];
+        for (s, &xs) in x.iter().enumerate() {
+            if xs == 0.0 {
+                continue;
+            }
+            // Self-transition probability.
+            y[s] += xs * (1.0 - self.exit_rates[s] / lambda);
+            for (t, r) in self.rates.row(s) {
+                y[t] += xs * r / lambda;
+            }
+        }
+        y
+    }
+
+    /// Transient state distribution at time `t` from `initial`, to
+    /// truncation accuracy `epsilon`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CtmcError::BadInitialDistribution`] if `initial` does not
+    /// sum to ~1 or has the wrong length.
+    pub fn transient(
+        &self,
+        initial: &[f64],
+        t: f64,
+        epsilon: f64,
+    ) -> Result<Vec<f64>, CtmcError> {
+        self.check_initial(initial)?;
+        assert!(t >= 0.0 && t.is_finite(), "time must be finite nonnegative");
+        if t == 0.0 {
+            return Ok(initial.to_vec());
+        }
+        let lambda = self.uniformization_rate();
+        let weights = PoissonWeights::new(lambda * t, epsilon);
+
+        let mut acc = vec![0.0; self.n];
+        let mut x = initial.to_vec();
+        // Advance to the left truncation point.
+        for _ in 0..weights.left {
+            x = self.uniformized_step(&x, lambda);
+        }
+        for (i, &w) in weights.weights.iter().enumerate() {
+            for s in 0..self.n {
+                acc[s] += w * x[s];
+            }
+            if weights.left + i < weights.right {
+                x = self.uniformized_step(&x, lambda);
+            }
+        }
+        Ok(acc)
+    }
+
+    /// Expected accumulated reward `E[∫₀ᵗ r(X(s)) ds]` for per-state reward
+    /// rates `reward`, via the standard uniformization summation.
+    ///
+    /// Dividing by `t` yields the interval-of-time (time-averaged) reward —
+    /// e.g. unavailability when `reward` is the indicator of improper
+    /// states.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Ctmc::transient`].
+    pub fn expected_accumulated_reward(
+        &self,
+        initial: &[f64],
+        reward: &[f64],
+        t: f64,
+        epsilon: f64,
+    ) -> Result<f64, CtmcError> {
+        self.check_initial(initial)?;
+        assert_eq!(reward.len(), self.n, "reward vector length");
+        assert!(t >= 0.0 && t.is_finite());
+        if t == 0.0 {
+            return Ok(0.0);
+        }
+        let lambda = self.uniformization_rate();
+        // E[∫₀ᵗ r ds] = (1/Λ) Σ_{k≥0} P[N ≥ k+1] · xᵏ·r  where xᵏ = π₀ Pᵏ.
+        // Compute tail probabilities from the truncated weights.
+        let weights = PoissonWeights::new(lambda * t, epsilon);
+        // tail[k] = P[N >= k+1] for k = 0.. right
+        // Build cumulative from the truncated window (mass outside is ~ε).
+        let mut acc = 0.0;
+        let mut x = initial.to_vec();
+        // Precompute suffix sums of weights: P[N ≥ k+1] for window indices.
+        let mut suffix = vec![0.0; weights.weights.len() + 1];
+        for i in (0..weights.weights.len()).rev() {
+            suffix[i] = suffix[i + 1] + weights.weights[i];
+        }
+        // For k < left: P[N ≥ k+1] ≈ 1.
+        for _ in 0..weights.left {
+            let r: f64 = x.iter().zip(reward).map(|(p, r)| p * r).sum();
+            acc += r;
+            x = self.uniformized_step(&x, lambda);
+        }
+        for i in 0..weights.weights.len() {
+            let tail = suffix[i + 1];
+            if tail <= 0.0 {
+                break;
+            }
+            let r: f64 = x.iter().zip(reward).map(|(p, r)| p * r).sum();
+            acc += tail * r;
+            if i + 1 < weights.weights.len() {
+                x = self.uniformized_step(&x, lambda);
+            }
+        }
+        Ok(acc / lambda)
+    }
+
+    /// Stationary distribution `π` with `πQ = 0`, `Σπ = 1`, by power
+    /// iteration on the uniformized DTMC.
+    ///
+    /// For a chain with absorbing states this converges to an absorbing
+    /// distribution (which is a valid stationary distribution).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CtmcError::NoConvergence`] if the L1 change between
+    /// iterations has not dropped below `tol` within `max_iter` steps.
+    pub fn steady_state(&self, tol: f64, max_iter: usize) -> Result<Vec<f64>, CtmcError> {
+        let lambda = self.uniformization_rate();
+        let mut x = vec![1.0 / self.n as f64; self.n];
+        let mut residual = f64::INFINITY;
+        for _ in 0..max_iter {
+            let y = self.uniformized_step(&x, lambda);
+            residual = x
+                .iter()
+                .zip(&y)
+                .map(|(a, b)| (a - b).abs())
+                .sum::<f64>();
+            x = y;
+            if residual < tol {
+                // Renormalize against drift.
+                let s: f64 = x.iter().sum();
+                for v in &mut x {
+                    *v /= s;
+                }
+                return Ok(x);
+            }
+        }
+        Err(CtmcError::NoConvergence {
+            iterations: max_iter,
+            residual,
+        })
+    }
+
+    /// Expected time to absorption (mean time to failure when the
+    /// absorbing states are failure states), starting from `initial`.
+    ///
+    /// Solves `(I − P) m = 1/Λ` on the transient states of the uniformized
+    /// chain by Gauss–Seidel, where `m[s]` is the expected remaining time.
+    ///
+    /// # Errors
+    ///
+    /// * [`CtmcError::BadInitialDistribution`] for an invalid `initial`;
+    /// * [`CtmcError::NoConvergence`] if some transient state cannot reach
+    ///   an absorbing state (expected time infinite) or the solver stalls.
+    pub fn mean_time_to_absorption(
+        &self,
+        initial: &[f64],
+        tol: f64,
+        max_iter: usize,
+    ) -> Result<f64, CtmcError> {
+        self.check_initial(initial)?;
+        let absorbing: Vec<bool> = (0..self.n).map(|s| self.exit_rates[s] == 0.0).collect();
+        if absorbing.iter().all(|&a| a) {
+            return Ok(0.0);
+        }
+        let lambda = self.uniformization_rate();
+        // m[s] = 1/Λ + Σ_t P[s→t] m[t] for transient s; m = 0 on absorbing.
+        let mut m = vec![0.0; self.n];
+        for iter in 0..max_iter {
+            let mut delta = 0.0f64;
+            for s in 0..self.n {
+                if absorbing[s] {
+                    continue;
+                }
+                let mut acc = 1.0 / lambda;
+                // Self-loop probability of the uniformized chain.
+                let p_self = 1.0 - self.exit_rates[s] / lambda;
+                for (t, r) in self.rates.row(s) {
+                    acc += (r / lambda) * m[t];
+                }
+                // Solve for m[s] with the self-loop folded in:
+                // m[s] = acc + p_self·m[s]  ⇒  m[s] = acc / (1 − p_self).
+                let new = acc / (1.0 - p_self);
+                delta = delta.max((new - m[s]).abs());
+                m[s] = new;
+            }
+            if delta < tol {
+                let mtta: f64 = initial.iter().zip(&m).map(|(p, mi)| p * mi).sum();
+                if !mtta.is_finite() {
+                    return Err(CtmcError::NoConvergence {
+                        iterations: iter,
+                        residual: f64::INFINITY,
+                    });
+                }
+                return Ok(mtta);
+            }
+        }
+        Err(CtmcError::NoConvergence {
+            iterations: max_iter,
+            residual: f64::INFINITY,
+        })
+    }
+
+    /// Probability of having been absorbed by time `t`, starting from
+    /// `initial` (the transient mass on absorbing states).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Ctmc::transient`].
+    pub fn absorption_by(&self, initial: &[f64], t: f64, epsilon: f64) -> Result<f64, CtmcError> {
+        let p = self.transient(initial, t, epsilon)?;
+        Ok(p.iter()
+            .enumerate()
+            .filter(|&(s, _)| self.exit_rates[s] == 0.0)
+            .map(|(_, &pi)| pi)
+            .sum())
+    }
+
+    fn check_initial(&self, initial: &[f64]) -> Result<(), CtmcError> {
+        if initial.len() != self.n {
+            return Err(CtmcError::BadInitialDistribution);
+        }
+        let sum: f64 = initial.iter().sum();
+        if (sum - 1.0).abs() > 1e-9 || initial.iter().any(|&p| !(0.0..=1.0 + 1e-12).contains(&p)) {
+            return Err(CtmcError::BadInitialDistribution);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two-state repairable system: failure rate λ, repair rate μ.
+    fn two_state(lambda: f64, mu: f64) -> Ctmc {
+        Ctmc::from_rates(2, &[(0, 1, lambda), (1, 0, mu)]).unwrap()
+    }
+
+    #[test]
+    fn construction_validation() {
+        assert!(matches!(
+            Ctmc::from_rates(2, &[(0, 0, 1.0)]),
+            Err(CtmcError::SelfLoop(0))
+        ));
+        assert!(matches!(
+            Ctmc::from_rates(2, &[(0, 1, -1.0)]),
+            Err(CtmcError::BadRate { .. })
+        ));
+        assert!(Ctmc::from_rates(2, &[(0, 3, 1.0)]).is_err());
+    }
+
+    #[test]
+    fn transient_two_state_closed_form() {
+        // P00(t) = μ/(λ+μ) + λ/(λ+μ) e^{-(λ+μ)t}
+        let (l, m) = (1.0, 3.0);
+        let ctmc = two_state(l, m);
+        for &t in &[0.0, 0.1, 0.5, 1.0, 5.0] {
+            let p = ctmc.transient(&[1.0, 0.0], t, 1e-13).unwrap();
+            let expected = m / (l + m) + l / (l + m) * (-(l + m) * t).exp();
+            assert!((p[0] - expected).abs() < 1e-9, "t = {t}: {p:?}");
+            assert!((p[0] + p[1] - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn transient_pure_birth() {
+        let ctmc = Ctmc::from_rates(3, &[(0, 1, 2.0), (1, 2, 2.0)]).unwrap();
+        let t = 0.7;
+        let p = ctmc.transient(&[1.0, 0.0, 0.0], t, 1e-13).unwrap();
+        // Erlang stages: p0 = e^{-2t}, p1 = 2t e^{-2t}, p2 = rest.
+        let e = (-2.0 * t).exp();
+        assert!((p[0] - e).abs() < 1e-9);
+        assert!((p[1] - 2.0 * t * e).abs() < 1e-9);
+        assert!((p[2] - (1.0 - e - 2.0 * t * e)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn steady_state_two_state() {
+        let ctmc = two_state(1.0, 9.0);
+        let pi = ctmc.steady_state(1e-13, 100_000).unwrap();
+        assert!((pi[0] - 0.9).abs() < 1e-9);
+        assert!((pi[1] - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn steady_state_birth_death() {
+        // M/M/1-like truncated queue with arrival 1, service 2, 4 states.
+        // π_k ∝ (1/2)^k.
+        let ctmc = Ctmc::from_rates(
+            4,
+            &[
+                (0, 1, 1.0),
+                (1, 2, 1.0),
+                (2, 3, 1.0),
+                (1, 0, 2.0),
+                (2, 1, 2.0),
+                (3, 2, 2.0),
+            ],
+        )
+        .unwrap();
+        let pi = ctmc.steady_state(1e-13, 200_000).unwrap();
+        let z: f64 = (0..4).map(|k| 0.5f64.powi(k)).sum();
+        for k in 0..4 {
+            assert!((pi[k] - 0.5f64.powi(k as i32) / z).abs() < 1e-8, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn accumulated_reward_matches_integral() {
+        // Two-state system, reward = 1 in down state → expected downtime.
+        let (l, m) = (1.0, 3.0);
+        let ctmc = two_state(l, m);
+        let t = 2.0;
+        let down = ctmc
+            .expected_accumulated_reward(&[1.0, 0.0], &[0.0, 1.0], t, 1e-13)
+            .unwrap();
+        // ∫ P01(s) ds with P01(s) = λ/(λ+μ)(1 − e^{-(λ+μ)s})
+        let rate = l + m;
+        let expected = l / rate * (t - (1.0 - (-rate * t).exp()) / rate);
+        assert!((down - expected).abs() < 1e-7, "{down} vs {expected}");
+    }
+
+    #[test]
+    fn accumulated_reward_zero_time() {
+        let ctmc = two_state(1.0, 1.0);
+        let r = ctmc
+            .expected_accumulated_reward(&[1.0, 0.0], &[1.0, 1.0], 0.0, 1e-10)
+            .unwrap();
+        assert_eq!(r, 0.0);
+    }
+
+    #[test]
+    fn reward_of_constant_one_equals_t() {
+        let ctmc = two_state(0.7, 1.3);
+        let t = 3.21;
+        let r = ctmc
+            .expected_accumulated_reward(&[0.5, 0.5], &[1.0, 1.0], t, 1e-13)
+            .unwrap();
+        assert!((r - t).abs() < 1e-8, "{r}");
+    }
+
+    #[test]
+    fn bad_initial_rejected() {
+        let ctmc = two_state(1.0, 1.0);
+        assert!(matches!(
+            ctmc.transient(&[0.5, 0.4], 1.0, 1e-10),
+            Err(CtmcError::BadInitialDistribution)
+        ));
+        assert!(matches!(
+            ctmc.transient(&[1.0], 1.0, 1e-10),
+            Err(CtmcError::BadInitialDistribution)
+        ));
+    }
+
+    #[test]
+    fn absorbing_chain_steady_state() {
+        let ctmc = Ctmc::from_rates(2, &[(0, 1, 1.0)]).unwrap();
+        let pi = ctmc.steady_state(1e-12, 100_000).unwrap();
+        assert!((pi[1] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mtta_of_pure_death_chain() {
+        // 2 → 1 → 0 with rates 2 and 1: MTTA = 1/2 + 1 = 1.5.
+        let ctmc = Ctmc::from_rates(3, &[(2, 1, 2.0), (1, 0, 1.0)]).unwrap();
+        let mut init = vec![0.0, 0.0, 1.0];
+        let mtta = ctmc.mean_time_to_absorption(&init, 1e-12, 100_000).unwrap();
+        assert!((mtta - 1.5).abs() < 1e-9, "{mtta}");
+        // Starting from state 1, only the second stage remains.
+        init = vec![0.0, 1.0, 0.0];
+        let mtta = ctmc.mean_time_to_absorption(&init, 1e-12, 100_000).unwrap();
+        assert!((mtta - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mtta_with_repair_loop() {
+        // 0 ⇄ 1 → 2(absorbing): classic MTTF formula.
+        // From 0: m0 = 1/λ0 + m1; m1 = 1/(μ+f) + μ/(μ+f)·m0.
+        let (l0, mu, f) = (1.0, 3.0, 0.5);
+        let ctmc = Ctmc::from_rates(3, &[(0, 1, l0), (1, 0, mu), (1, 2, f)]).unwrap();
+        let m1 = |m0: f64| (1.0 + mu * m0) / (mu + f);
+        // Solve the 2×2 system exactly.
+        // m0 = 1/l0 + m1(m0) ⇒ m0 (1 − mu/(mu+f)) = 1/l0 + 1/(mu+f)
+        let m0 = (1.0 / l0 + 1.0 / (mu + f)) / (1.0 - mu / (mu + f));
+        let mtta = ctmc
+            .mean_time_to_absorption(&[1.0, 0.0, 0.0], 1e-13, 1_000_000)
+            .unwrap();
+        assert!((mtta - m0).abs() < 1e-7, "{mtta} vs {m0}");
+        let _ = m1; // documented derivation
+    }
+
+    #[test]
+    fn mtta_zero_when_starting_absorbed() {
+        let ctmc = Ctmc::from_rates(2, &[(0, 1, 1.0)]).unwrap();
+        let mtta = ctmc.mean_time_to_absorption(&[0.0, 1.0], 1e-12, 1000).unwrap();
+        assert!(mtta.abs() < 1e-9);
+    }
+
+    #[test]
+    fn absorption_probability_by_time() {
+        // 0 → 1 (absorbing) at rate 2: P[absorbed by t] = 1 − e^{−2t}.
+        let ctmc = Ctmc::from_rates(2, &[(0, 1, 2.0)]).unwrap();
+        for &t in &[0.1, 0.5, 2.0] {
+            let p = ctmc.absorption_by(&[1.0, 0.0], t, 1e-12).unwrap();
+            let expected = 1.0 - (-2.0f64 * t).exp();
+            assert!((p - expected).abs() < 1e-9, "t = {t}");
+        }
+    }
+
+    #[test]
+    fn transient_long_horizon_approaches_steady_state() {
+        let ctmc = two_state(2.0, 5.0);
+        let p = ctmc.transient(&[1.0, 0.0], 100.0, 1e-12).unwrap();
+        let pi = ctmc.steady_state(1e-13, 100_000).unwrap();
+        assert!((p[0] - pi[0]).abs() < 1e-9);
+    }
+}

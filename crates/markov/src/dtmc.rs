@@ -1,0 +1,249 @@
+//! Discrete-time Markov chains.
+//!
+//! Used for the embedded chains of CTMCs and for vanishing-marking
+//! elimination in the SAN state-space generator.
+
+use crate::sparse::{CsrMatrix, SparseError};
+use std::fmt;
+
+/// Error from DTMC construction or solving.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DtmcError {
+    /// Underlying matrix problem.
+    Sparse(SparseError),
+    /// A probability was outside `[0, 1]` or a row did not sum to 1.
+    BadRow {
+        /// Offending row.
+        row: usize,
+        /// Its sum.
+        sum: f64,
+    },
+    /// Iterative solver failed to converge.
+    NoConvergence {
+        /// Iterations performed.
+        iterations: usize,
+        /// Residual when giving up.
+        residual: f64,
+    },
+}
+
+impl fmt::Display for DtmcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DtmcError::Sparse(e) => write!(f, "sparse matrix error: {e}"),
+            DtmcError::BadRow { row, sum } => {
+                write!(f, "row {row} of a stochastic matrix sums to {sum}, expected 1")
+            }
+            DtmcError::NoConvergence { iterations, residual } => {
+                write!(f, "no convergence after {iterations} iterations (residual {residual:e})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DtmcError {}
+
+impl From<SparseError> for DtmcError {
+    fn from(e: SparseError) -> Self {
+        DtmcError::Sparse(e)
+    }
+}
+
+/// A discrete-time Markov chain with a row-stochastic transition matrix.
+///
+/// # Example
+///
+/// ```
+/// use itua_markov::dtmc::Dtmc;
+///
+/// // Weather chain: sunny stays sunny w.p. 0.9.
+/// let dtmc = Dtmc::from_triplets(2, &[
+///     (0, 0, 0.9), (0, 1, 0.1),
+///     (1, 0, 0.5), (1, 1, 0.5),
+/// ]).unwrap();
+/// let pi = dtmc.stationary(1e-12, 100_000).unwrap();
+/// assert!((pi[0] - 5.0 / 6.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Dtmc {
+    p: CsrMatrix,
+}
+
+impl Dtmc {
+    /// Builds a DTMC from `(from, to, probability)` triplets.
+    ///
+    /// # Errors
+    ///
+    /// Each row must sum to 1 (±1e-9); probabilities must be in `[0, 1]`.
+    pub fn from_triplets(n: usize, triplets: &[(usize, usize, f64)]) -> Result<Self, DtmcError> {
+        let p = CsrMatrix::from_triplets(n, n, triplets)?;
+        for r in 0..n {
+            let sum = p.row_sum(r);
+            if (sum - 1.0).abs() > 1e-9 {
+                return Err(DtmcError::BadRow { row: r, sum });
+            }
+            for (_, v) in p.row(r) {
+                if !(0.0..=1.0 + 1e-12).contains(&v) {
+                    return Err(DtmcError::BadRow { row: r, sum: v });
+                }
+            }
+        }
+        Ok(Dtmc { p })
+    }
+
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.p.rows()
+    }
+
+    /// The transition matrix.
+    pub fn matrix(&self) -> &CsrMatrix {
+        &self.p
+    }
+
+    /// One step: `x ↦ xᵀP`.
+    pub fn step(&self, x: &[f64]) -> Vec<f64> {
+        self.p.vec_mul(x)
+    }
+
+    /// Distribution after `k` steps from `initial`.
+    pub fn distribution_after(&self, initial: &[f64], k: usize) -> Vec<f64> {
+        let mut x = initial.to_vec();
+        for _ in 0..k {
+            x = self.step(&x);
+        }
+        x
+    }
+
+    /// Stationary distribution by power iteration (with heavy damping off:
+    /// the chains we build are aperiodic because they come from
+    /// uniformization with Λ strictly above the max exit rate).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DtmcError::NoConvergence`] if the L1 step change stays
+    /// above `tol` for `max_iter` iterations.
+    pub fn stationary(&self, tol: f64, max_iter: usize) -> Result<Vec<f64>, DtmcError> {
+        let n = self.num_states();
+        let mut x = vec![1.0 / n as f64; n];
+        let mut residual = f64::INFINITY;
+        for _ in 0..max_iter {
+            let y = self.step(&x);
+            residual = x.iter().zip(&y).map(|(a, b)| (a - b).abs()).sum();
+            x = y;
+            if residual < tol {
+                let s: f64 = x.iter().sum();
+                for v in &mut x {
+                    *v /= s;
+                }
+                return Ok(x);
+            }
+        }
+        Err(DtmcError::NoConvergence {
+            iterations: max_iter,
+            residual,
+        })
+    }
+
+    /// Probability of being absorbed in each absorbing state, starting from
+    /// `start`, computed by iterating the chain until the transient mass
+    /// drops below `tol`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DtmcError::NoConvergence`] if transient mass remains after
+    /// `max_iter` steps (e.g. the chain has a recurrent class that is not
+    /// absorbing).
+    pub fn absorption_probabilities(
+        &self,
+        start: usize,
+        tol: f64,
+        max_iter: usize,
+    ) -> Result<Vec<f64>, DtmcError> {
+        let n = self.num_states();
+        assert!(start < n, "start state out of range");
+        let absorbing: Vec<bool> = (0..n)
+            .map(|s| self.p.row(s).all(|(t, v)| t == s || v == 0.0))
+            .collect();
+        let mut x = vec![0.0; n];
+        x[start] = 1.0;
+        for _ in 0..max_iter {
+            let transient_mass: f64 = x
+                .iter()
+                .enumerate()
+                .filter(|(s, _)| !absorbing[*s])
+                .map(|(_, &v)| v)
+                .sum();
+            if transient_mass < tol {
+                return Ok(x
+                    .iter()
+                    .enumerate()
+                    .map(|(s, &v)| if absorbing[s] { v } else { 0.0 })
+                    .collect());
+            }
+            x = self.step(&x);
+        }
+        Err(DtmcError::NoConvergence {
+            iterations: max_iter,
+            residual: 1.0,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_non_stochastic_rows() {
+        assert!(matches!(
+            Dtmc::from_triplets(2, &[(0, 0, 0.5), (1, 0, 1.0)]),
+            Err(DtmcError::BadRow { row: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn step_and_distribution() {
+        let d = Dtmc::from_triplets(2, &[(0, 1, 1.0), (1, 0, 1.0)]).unwrap();
+        // Period-2 chain: flips each step.
+        assert_eq!(d.distribution_after(&[1.0, 0.0], 1), vec![0.0, 1.0]);
+        assert_eq!(d.distribution_after(&[1.0, 0.0], 2), vec![1.0, 0.0]);
+    }
+
+    #[test]
+    fn stationary_weather() {
+        let d = Dtmc::from_triplets(2, &[(0, 0, 0.9), (0, 1, 0.1), (1, 0, 0.5), (1, 1, 0.5)])
+            .unwrap();
+        let pi = d.stationary(1e-13, 100_000).unwrap();
+        assert!((pi[0] - 5.0 / 6.0).abs() < 1e-9);
+        assert!((pi[1] - 1.0 / 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn absorption_gambler() {
+        // Gambler's ruin on {0,1,2,3}, p = 0.5; states 0 and 3 absorbing.
+        let d = Dtmc::from_triplets(
+            4,
+            &[
+                (0, 0, 1.0),
+                (1, 0, 0.5),
+                (1, 2, 0.5),
+                (2, 1, 0.5),
+                (2, 3, 0.5),
+                (3, 3, 1.0),
+            ],
+        )
+        .unwrap();
+        let probs = d.absorption_probabilities(1, 1e-12, 100_000).unwrap();
+        // From state 1: ruin 2/3, win 1/3.
+        assert!((probs[0] - 2.0 / 3.0).abs() < 1e-9);
+        assert!((probs[3] - 1.0 / 3.0).abs() < 1e-9);
+        assert_eq!(probs[1], 0.0);
+    }
+
+    #[test]
+    fn absorption_fails_without_absorbing_reachability() {
+        let d = Dtmc::from_triplets(2, &[(0, 1, 1.0), (1, 0, 1.0)]).unwrap();
+        assert!(d.absorption_probabilities(0, 1e-12, 1000).is_err());
+    }
+}

@@ -1,0 +1,309 @@
+//! Compressed sparse row matrices.
+//!
+//! Just enough linear algebra for the Markov solvers: construction from
+//! (row, col, value) triplets with duplicate summing, row iteration,
+//! `y = xᵀA` and `y = Ax` products, and transposition.
+
+use std::fmt;
+
+/// Error constructing a sparse matrix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SparseError {
+    /// A triplet referenced a row or column outside the matrix shape.
+    IndexOutOfBounds {
+        /// Offending row.
+        row: usize,
+        /// Offending column.
+        col: usize,
+    },
+    /// A value was NaN or infinite.
+    NonFiniteValue,
+}
+
+impl fmt::Display for SparseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SparseError::IndexOutOfBounds { row, col } => {
+                write!(f, "triplet ({row}, {col}) out of bounds")
+            }
+            SparseError::NonFiniteValue => write!(f, "matrix entries must be finite"),
+        }
+    }
+}
+
+impl std::error::Error for SparseError {}
+
+/// A compressed sparse row (CSR) matrix of `f64`.
+///
+/// # Example
+///
+/// ```
+/// use itua_markov::sparse::CsrMatrix;
+///
+/// let m = CsrMatrix::from_triplets(2, 3, &[(0, 0, 1.0), (0, 2, 2.0), (1, 1, 3.0)]).unwrap();
+/// assert_eq!(m.get(0, 2), 2.0);
+/// assert_eq!(m.get(1, 0), 0.0);
+/// let y = m.mul_vec(&[1.0, 1.0, 1.0]);
+/// assert_eq!(y, vec![3.0, 3.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Builds a matrix from (row, col, value) triplets.
+    ///
+    /// Duplicate coordinates are summed; explicit zeros are dropped.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError`] for out-of-bounds indices or non-finite
+    /// values.
+    pub fn from_triplets(
+        rows: usize,
+        cols: usize,
+        triplets: &[(usize, usize, f64)],
+    ) -> Result<Self, SparseError> {
+        for &(r, c, v) in triplets {
+            if r >= rows || c >= cols {
+                return Err(SparseError::IndexOutOfBounds { row: r, col: c });
+            }
+            if !v.is_finite() {
+                return Err(SparseError::NonFiniteValue);
+            }
+        }
+        let mut sorted: Vec<(usize, usize, f64)> = triplets.to_vec();
+        sorted.sort_by_key(|&(r, c, _)| (r, c));
+
+        // Merge duplicate coordinates.
+        let mut merged: Vec<(usize, usize, f64)> = Vec::with_capacity(sorted.len());
+        for (r, c, v) in sorted {
+            match merged.last_mut() {
+                Some(&mut (lr, lc, ref mut lv)) if lr == r && lc == c => *lv += v,
+                _ => merged.push((r, c, v)),
+            }
+        }
+
+        let mut row_ptr = vec![0usize; rows + 1];
+        let mut col_idx = Vec::with_capacity(merged.len());
+        let mut values: Vec<f64> = Vec::with_capacity(merged.len());
+        let mut current_row = 0usize;
+        for (r, c, v) in merged {
+            if v == 0.0 {
+                continue; // drop explicit/cancelled zeros
+            }
+            while current_row < r {
+                current_row += 1;
+                row_ptr[current_row] = col_idx.len();
+            }
+            col_idx.push(c);
+            values.push(v);
+        }
+        while current_row < rows {
+            current_row += 1;
+            row_ptr[current_row] = col_idx.len();
+        }
+        Ok(CsrMatrix {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            values,
+        })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored (structurally nonzero) entries.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Value at `(row, col)` (0.0 if not stored).
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        assert!(row < self.rows && col < self.cols, "index out of bounds");
+        for k in self.row_ptr[row]..self.row_ptr[row + 1] {
+            if self.col_idx[k] == col {
+                return self.values[k];
+            }
+        }
+        0.0
+    }
+
+    /// Iterates over `(col, value)` pairs of one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of bounds.
+    pub fn row(&self, row: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        assert!(row < self.rows);
+        (self.row_ptr[row]..self.row_ptr[row + 1]).map(move |k| (self.col_idx[k], self.values[k]))
+    }
+
+    /// Dense `y = A·x` (column vector product).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != cols`.
+    pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols, "dimension mismatch");
+        let mut y = vec![0.0; self.rows];
+        for r in 0..self.rows {
+            let mut acc = 0.0;
+            for k in self.row_ptr[r]..self.row_ptr[r + 1] {
+                acc += self.values[k] * x[self.col_idx[k]];
+            }
+            y[r] = acc;
+        }
+        y
+    }
+
+    /// Dense `y = xᵀ·A` (row vector product), the natural operation for
+    /// probability-vector propagation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != rows`.
+    pub fn vec_mul(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.rows, "dimension mismatch");
+        let mut y = vec![0.0; self.cols];
+        for r in 0..self.rows {
+            let xr = x[r];
+            if xr == 0.0 {
+                continue;
+            }
+            for k in self.row_ptr[r]..self.row_ptr[r + 1] {
+                y[self.col_idx[k]] += xr * self.values[k];
+            }
+        }
+        y
+    }
+
+    /// Returns the transpose.
+    pub fn transpose(&self) -> CsrMatrix {
+        let mut triplets = Vec::with_capacity(self.nnz());
+        for r in 0..self.rows {
+            for k in self.row_ptr[r]..self.row_ptr[r + 1] {
+                triplets.push((self.col_idx[k], r, self.values[k]));
+            }
+        }
+        CsrMatrix::from_triplets(self.cols, self.rows, &triplets)
+            .expect("transpose of a valid matrix is valid")
+    }
+
+    /// Sum of the entries in `row`.
+    pub fn row_sum(&self, row: usize) -> f64 {
+        self.row(row).map(|(_, v)| v).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_get() {
+        let m = CsrMatrix::from_triplets(3, 3, &[(0, 1, 2.0), (2, 0, -1.0), (1, 1, 4.0)]).unwrap();
+        assert_eq!(m.get(0, 1), 2.0);
+        assert_eq!(m.get(1, 1), 4.0);
+        assert_eq!(m.get(2, 0), -1.0);
+        assert_eq!(m.get(0, 0), 0.0);
+        assert_eq!(m.nnz(), 3);
+    }
+
+    #[test]
+    fn duplicates_are_summed() {
+        let m = CsrMatrix::from_triplets(2, 2, &[(0, 0, 1.0), (0, 0, 2.5)]).unwrap();
+        assert_eq!(m.get(0, 0), 3.5);
+        assert_eq!(m.nnz(), 1);
+    }
+
+    #[test]
+    fn cancelling_duplicates_are_pruned() {
+        let m = CsrMatrix::from_triplets(2, 2, &[(0, 0, 1.0), (0, 0, -1.0)]).unwrap();
+        assert_eq!(m.get(0, 0), 0.0);
+        assert_eq!(m.nnz(), 0);
+    }
+
+    #[test]
+    fn errors_on_bad_input() {
+        assert!(matches!(
+            CsrMatrix::from_triplets(2, 2, &[(2, 0, 1.0)]),
+            Err(SparseError::IndexOutOfBounds { .. })
+        ));
+        assert!(matches!(
+            CsrMatrix::from_triplets(2, 2, &[(0, 0, f64::NAN)]),
+            Err(SparseError::NonFiniteValue)
+        ));
+    }
+
+    #[test]
+    fn empty_rows_are_fine() {
+        let m = CsrMatrix::from_triplets(4, 4, &[(3, 3, 1.0)]).unwrap();
+        assert_eq!(m.row(0).count(), 0);
+        assert_eq!(m.row(3).count(), 1);
+        assert_eq!(m.get(3, 3), 1.0);
+    }
+
+    #[test]
+    fn mul_vec_and_vec_mul() {
+        // [1 2]   [1]   [5]
+        // [3 4] · [2] = [11]
+        let m = CsrMatrix::from_triplets(2, 2, &[(0, 0, 1.0), (0, 1, 2.0), (1, 0, 3.0), (1, 1, 4.0)])
+            .unwrap();
+        assert_eq!(m.mul_vec(&[1.0, 2.0]), vec![5.0, 11.0]);
+        // [1 2]ᵀ-product: xᵀA with x = [1, 2] → [1+6, 2+8] = [7, 10]
+        assert_eq!(m.vec_mul(&[1.0, 2.0]), vec![7.0, 10.0]);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let m = CsrMatrix::from_triplets(2, 3, &[(0, 2, 5.0), (1, 0, 1.0)]).unwrap();
+        let t = m.transpose();
+        assert_eq!(t.rows(), 3);
+        assert_eq!(t.cols(), 2);
+        assert_eq!(t.get(2, 0), 5.0);
+        assert_eq!(t.get(0, 1), 1.0);
+        assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    fn row_sum() {
+        let m = CsrMatrix::from_triplets(2, 3, &[(0, 0, 1.0), (0, 2, 2.0)]).unwrap();
+        assert_eq!(m.row_sum(0), 3.0);
+        assert_eq!(m.row_sum(1), 0.0);
+    }
+
+    #[test]
+    fn many_rows_interleaved_duplicates() {
+        let mut triplets = vec![];
+        for r in 0..10 {
+            for c in 0..10 {
+                triplets.push((r, c, 1.0));
+                triplets.push((r, c, 1.0));
+            }
+        }
+        let m = CsrMatrix::from_triplets(10, 10, &triplets).unwrap();
+        assert_eq!(m.nnz(), 100);
+        for r in 0..10 {
+            assert_eq!(m.row_sum(r), 20.0);
+        }
+    }
+}

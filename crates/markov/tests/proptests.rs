@@ -1,0 +1,90 @@
+//! Property-based tests for the Markov solvers.
+
+use itua_markov::ctmc::Ctmc;
+use itua_markov::poisson::PoissonWeights;
+use itua_markov::sparse::CsrMatrix;
+use proptest::prelude::*;
+
+fn arb_triplets(n: usize) -> impl Strategy<Value = Vec<(usize, usize, f64)>> {
+    prop::collection::vec((0..n, 0..n, -100.0f64..100.0), 0..(n * n))
+}
+
+proptest! {
+    /// Transposing twice is the identity.
+    #[test]
+    fn transpose_involution(triplets in arb_triplets(8)) {
+        let m = CsrMatrix::from_triplets(8, 8, &triplets).unwrap();
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    /// `get` agrees with a dense reconstruction from the triplets.
+    #[test]
+    fn csr_matches_dense(triplets in arb_triplets(6)) {
+        let m = CsrMatrix::from_triplets(6, 6, &triplets).unwrap();
+        let mut dense = [[0.0f64; 6]; 6];
+        for &(r, c, v) in &triplets {
+            dense[r][c] += v;
+        }
+        for (r, row) in dense.iter().enumerate() {
+            for (c, &v) in row.iter().enumerate() {
+                prop_assert!((m.get(r, c) - v).abs() < 1e-9);
+            }
+        }
+    }
+
+    /// `xᵀA` and `Aᵀx` agree.
+    #[test]
+    fn vec_mul_matches_transpose(triplets in arb_triplets(6), x in prop::collection::vec(-10.0f64..10.0, 6)) {
+        let m = CsrMatrix::from_triplets(6, 6, &triplets).unwrap();
+        let a = m.vec_mul(&x);
+        let b = m.transpose().mul_vec(&x);
+        for (u, v) in a.iter().zip(&b) {
+            prop_assert!((u - v).abs() < 1e-9);
+        }
+    }
+
+    /// Poisson weights are a probability vector whose mean tracks λt.
+    #[test]
+    fn poisson_weights_normalized(lambda_t in 0.01f64..2000.0) {
+        let w = PoissonWeights::new(lambda_t, 1e-12);
+        let sum: f64 = w.weights.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9);
+        let mean: f64 = w.weights.iter().enumerate()
+            .map(|(i, &p)| (w.left + i) as f64 * p)
+            .sum();
+        prop_assert!((mean - lambda_t).abs() < 1e-3 * (1.0 + lambda_t));
+    }
+
+    /// A CTMC transient solution is a probability distribution, and mass
+    /// is conserved at every horizon.
+    #[test]
+    fn transient_is_distribution(
+        rates in prop::collection::vec((0usize..5, 0usize..5, 0.01f64..10.0), 1..15),
+        t in 0.0f64..20.0,
+    ) {
+        let rates: Vec<_> = rates.into_iter().filter(|&(f, g, _)| f != g).collect();
+        prop_assume!(!rates.is_empty());
+        let ctmc = Ctmc::from_rates(5, &rates).unwrap();
+        let p = ctmc.transient(&[1.0, 0.0, 0.0, 0.0, 0.0], t, 1e-10).unwrap();
+        let sum: f64 = p.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-6, "mass {sum}");
+        for &pi in &p {
+            prop_assert!(pi >= -1e-9 && pi <= 1.0 + 1e-9);
+        }
+    }
+
+    /// Accumulated reward of a constant unit reward equals the horizon.
+    #[test]
+    fn unit_reward_accumulates_time(
+        rates in prop::collection::vec((0usize..4, 0usize..4, 0.01f64..5.0), 1..10),
+        t in 0.0f64..10.0,
+    ) {
+        let rates: Vec<_> = rates.into_iter().filter(|&(f, g, _)| f != g).collect();
+        prop_assume!(!rates.is_empty());
+        let ctmc = Ctmc::from_rates(4, &rates).unwrap();
+        let r = ctmc
+            .expected_accumulated_reward(&[1.0, 0.0, 0.0, 0.0], &[1.0; 4], t, 1e-10)
+            .unwrap();
+        prop_assert!((r - t).abs() < 1e-5 * (1.0 + t), "{r} vs {t}");
+    }
+}

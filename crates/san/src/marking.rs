@@ -1,0 +1,255 @@
+//! Places and markings.
+//!
+//! A SAN's state is its *marking*: the number of tokens in each place.
+//! Markings here are vectors of `i32` (the paper's "short integers"),
+//! constrained to be nonnegative. Mutations are logged so the simulator can
+//! incrementally re-evaluate only the activities that depend on changed
+//! places.
+
+use std::fmt;
+
+/// Identifier of a place in a (flattened) SAN.
+///
+/// Obtained from [`crate::model::SanBuilder::place`] or by name lookup on a
+/// built model; valid only for the model it came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PlaceId(pub(crate) u32);
+
+impl PlaceId {
+    /// The raw index of this place.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for PlaceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// The token counts of every place.
+///
+/// Mutating methods record which places changed in an internal dirty log,
+/// drained by the simulator after each firing.
+///
+/// # Example
+///
+/// ```
+/// use itua_san::marking::{Marking, PlaceId};
+///
+/// let mut m = Marking::new(&[1, 0, 3]);
+/// let p1 = m.place_ids().nth(1).unwrap();
+/// m.set(p1, 5);
+/// assert_eq!(m.get(p1), 5);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Marking {
+    values: Vec<i32>,
+    #[doc(hidden)]
+    dirty: Vec<u32>,
+}
+
+impl Marking {
+    /// Creates a marking from initial token counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any initial count is negative.
+    pub fn new(initial: &[i32]) -> Self {
+        assert!(
+            initial.iter().all(|&v| v >= 0),
+            "markings must be nonnegative"
+        );
+        Marking {
+            values: initial.to_vec(),
+            dirty: Vec::new(),
+        }
+    }
+
+    /// Number of places.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the marking has no places.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Iterates over all place ids of this marking.
+    pub fn place_ids(&self) -> impl Iterator<Item = PlaceId> {
+        (0..self.values.len() as u32).map(PlaceId)
+    }
+
+    /// Tokens in `place`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `place` is not a place of this marking.
+    #[inline]
+    pub fn get(&self, place: PlaceId) -> i32 {
+        self.values[place.0 as usize]
+    }
+
+    /// Sets the token count of `place`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value < 0` or the place is out of range.
+    #[inline]
+    pub fn set(&mut self, place: PlaceId, value: i32) {
+        assert!(value >= 0, "negative marking for {place}");
+        let slot = &mut self.values[place.0 as usize];
+        if *slot != value {
+            *slot = value;
+            self.dirty.push(place.0);
+        }
+    }
+
+    /// Adds `delta` tokens (may be negative).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the result would be negative.
+    #[inline]
+    pub fn add(&mut self, place: PlaceId, delta: i32) {
+        let v = self.get(place) + delta;
+        self.set(place, v);
+    }
+
+    /// Whether bit `bit` of the place value is set (the ITUA model uses
+    /// places as bit vectors of application identifiers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit >= 31`.
+    #[inline]
+    pub fn bit(&self, place: PlaceId, bit: u32) -> bool {
+        assert!(bit < 31);
+        self.get(place) & (1 << bit) != 0
+    }
+
+    /// Sets or clears bit `bit` of the place value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit >= 31`.
+    #[inline]
+    pub fn set_bit(&mut self, place: PlaceId, bit: u32, on: bool) {
+        assert!(bit < 31);
+        let v = self.get(place);
+        let nv = if on { v | (1 << bit) } else { v & !(1 << bit) };
+        self.set(place, nv);
+    }
+
+    /// Raw values, for hashing and state-space storage.
+    pub fn values(&self) -> &[i32] {
+        &self.values
+    }
+
+    /// Drains the log of places whose value changed since the last drain.
+    pub(crate) fn drain_dirty(&mut self) -> Vec<u32> {
+        std::mem::take(&mut self.dirty)
+    }
+
+    /// Clears the dirty log without returning it.
+    pub(crate) fn clear_dirty(&mut self) {
+        self.dirty.clear();
+    }
+
+    /// A copy of this marking with an empty dirty log (canonical form for
+    /// state-space hashing).
+    pub(crate) fn canonical(&self) -> Marking {
+        Marking {
+            values: self.values.clone(),
+            dirty: Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pid(i: u32) -> PlaceId {
+        PlaceId(i)
+    }
+
+    #[test]
+    fn get_set_add() {
+        let mut m = Marking::new(&[1, 2]);
+        assert_eq!(m.get(pid(0)), 1);
+        m.set(pid(0), 7);
+        assert_eq!(m.get(pid(0)), 7);
+        m.add(pid(1), 3);
+        assert_eq!(m.get(pid(1)), 5);
+        m.add(pid(1), -5);
+        assert_eq!(m.get(pid(1)), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn negative_set_panics() {
+        let mut m = Marking::new(&[0]);
+        m.set(pid(0), -1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn negative_add_panics() {
+        let mut m = Marking::new(&[1]);
+        m.add(pid(0), -2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn negative_initial_panics() {
+        let _ = Marking::new(&[-1]);
+    }
+
+    #[test]
+    fn dirty_log_tracks_changes() {
+        let mut m = Marking::new(&[0, 0, 0]);
+        m.set(pid(1), 4);
+        m.set(pid(1), 4); // no-op: value unchanged
+        m.add(pid(2), 1);
+        let dirty = m.drain_dirty();
+        assert_eq!(dirty, vec![1, 2]);
+        assert!(m.drain_dirty().is_empty());
+    }
+
+    #[test]
+    fn bit_operations() {
+        let mut m = Marking::new(&[0]);
+        m.set_bit(pid(0), 3, true);
+        assert!(m.bit(pid(0), 3));
+        assert_eq!(m.get(pid(0)), 8);
+        m.set_bit(pid(0), 0, true);
+        assert_eq!(m.get(pid(0)), 9);
+        m.set_bit(pid(0), 3, false);
+        assert_eq!(m.get(pid(0)), 1);
+        assert!(!m.bit(pid(0), 3));
+    }
+
+    #[test]
+    fn canonical_strips_dirty() {
+        let mut m = Marking::new(&[0]);
+        m.set(pid(0), 1);
+        let c = m.canonical();
+        assert_eq!(c.values(), &[1]);
+        let mut c2 = c.clone();
+        assert!(c2.drain_dirty().is_empty());
+    }
+
+    #[test]
+    fn equality_ignores_nothing_but_values() {
+        // Two markings with same values but different dirty logs are equal
+        // only in canonical form; the simulator always compares canonical
+        // markings.
+        let a = Marking::new(&[1, 2]);
+        let mut b = Marking::new(&[1, 0]);
+        b.set(PlaceId(1), 2);
+        assert_eq!(a, b.canonical());
+    }
+}

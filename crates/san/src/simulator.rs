@@ -1,0 +1,615 @@
+//! Discrete-event execution of a SAN.
+//!
+//! Implements the standard SAN execution semantics:
+//!
+//! * **Timed activities** race: each enabled activity holds a sampled
+//!   completion time; the earliest fires. Exponential activities are
+//!   resampled whenever a place they read changes (valid by memorylessness
+//!   and required for marking-dependent rates); generally distributed
+//!   activities keep their sample while continuously enabled and lose it
+//!   when disabled (enabling memory policy).
+//! * **Instantaneous activities** fire in zero time whenever enabled. When
+//!   several are enabled at once, one is chosen uniformly at random — the
+//!   "identical copies equally likely to fire first" rule the ITUA model
+//!   uses for random replica placement. The marking must stabilize (no
+//!   enabled instantaneous activity) within a bounded number of firings.
+//! * **Cases** are selected with probability proportional to their
+//!   (marking-dependent) weights, evaluated just before firing.
+
+use crate::marking::Marking;
+use crate::model::{ActivityId, San, SanError, Timing};
+use itua_sim::queue::{EventKey, EventQueue};
+use itua_sim::rng::Rng;
+use std::sync::Arc;
+
+/// Maximum instantaneous firings processed per stabilization before the
+/// simulator declares a livelock.
+const MAX_STABILIZATION_FIRINGS: usize = 100_000;
+
+/// Receives simulation callbacks; reward variables implement this.
+pub trait Observer {
+    /// Called once after the initial marking has stabilized.
+    fn on_init(&mut self, _time: f64, _marking: &Marking) {}
+
+    /// Called after each activity firing (timed or instantaneous) once the
+    /// marking has stabilized again.
+    fn on_event(&mut self, _time: f64, _activity: ActivityId, _marking: &Marking) {}
+
+    /// Extra time points at which [`Observer::on_sample`] should be called
+    /// (for instant-of-time variables). Must be sorted ascending.
+    fn sample_times(&self) -> Vec<f64> {
+        Vec::new()
+    }
+
+    /// Called at each requested sample time with the marking then in force.
+    fn on_sample(&mut self, _time: f64, _marking: &Marking) {}
+
+    /// Called when the run ends (horizon reached or queue drained).
+    fn on_end(&mut self, _time: f64, _marking: &Marking) {}
+}
+
+/// Statistics from one simulation run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunStats {
+    /// Timed activity firings.
+    pub timed_firings: u64,
+    /// Instantaneous activity firings.
+    pub instantaneous_firings: u64,
+    /// Simulation time at which the run ended.
+    pub end_time: f64,
+}
+
+/// A discrete-event simulator for one [`San`].
+///
+/// The simulator is stateless between runs; each [`SanSimulator::run`] is an
+/// independent replication determined entirely by its seed.
+#[derive(Debug, Clone)]
+pub struct SanSimulator {
+    san: Arc<San>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct ScheduledEvent {
+    activity: u32,
+    generation: u64,
+}
+
+struct ActivityState {
+    key: Option<EventKey>,
+    generation: u64,
+}
+
+impl SanSimulator {
+    /// Creates a simulator for the given model.
+    pub fn new(san: Arc<San>) -> Self {
+        SanSimulator { san }
+    }
+
+    /// The underlying model.
+    pub fn san(&self) -> &Arc<San> {
+        &self.san
+    }
+
+    /// Runs one replication with the given seed until `horizon`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SanError::Unstabilized`] if instantaneous activities
+    /// livelock.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `horizon` is negative or NaN.
+    pub fn run(
+        &self,
+        seed: u64,
+        horizon: f64,
+        observers: &mut [&mut dyn Observer],
+    ) -> Result<RunStats, SanError> {
+        assert!(horizon >= 0.0 && !horizon.is_nan(), "bad horizon");
+        let san = &*self.san;
+        let mut rng = Rng::seed_from_u64(seed);
+        let mut marking = san.initial_marking();
+        let mut queue: EventQueue<ScheduledEvent> = EventQueue::new();
+        let mut states: Vec<ActivityState> = (0..san.num_activities())
+            .map(|_| ActivityState {
+                key: None,
+                generation: 0,
+            })
+            .collect();
+        let mut stats = RunStats {
+            timed_firings: 0,
+            instantaneous_firings: 0,
+            end_time: 0.0,
+        };
+
+        // Collect and merge requested sample times.
+        let mut sample_times: Vec<f64> = observers
+            .iter()
+            .flat_map(|o| o.sample_times())
+            .filter(|&t| t <= horizon)
+            .collect();
+        sample_times.sort_by(|a, b| a.partial_cmp(b).expect("sample times are not NaN"));
+        sample_times.dedup();
+        let mut next_sample = 0usize;
+
+        // Initial stabilization.
+        marking.clear_dirty();
+        self.stabilize(&mut marking, &mut rng, 0.0, observers, &mut stats, true)?;
+        marking.clear_dirty();
+        for o in observers.iter_mut() {
+            o.on_init(0.0, &marking);
+        }
+        // Schedule every enabled timed activity.
+        for (id, act) in san.activities() {
+            if matches!(act.timing(), Timing::Instantaneous) {
+                continue;
+            }
+            if act.enabled(&marking) {
+                Self::schedule(act, id, 0.0, &marking, &mut rng, &mut queue, &mut states);
+            }
+        }
+
+        let mut now;
+        loop {
+            let next_time = queue.peek_time();
+            // Deliver sample points that precede the next event (or all
+            // remaining ones if the queue is drained / past horizon).
+            let cutoff = match next_time {
+                Some(t) if t <= horizon => t,
+                _ => horizon,
+            };
+            while next_sample < sample_times.len() && sample_times[next_sample] <= cutoff {
+                let st = sample_times[next_sample];
+                for o in observers.iter_mut() {
+                    o.on_sample(st, &marking);
+                }
+                next_sample += 1;
+            }
+
+            match next_time {
+                None => {
+                    // No more events: the marking is frozen, but the
+                    // observation interval still runs to the horizon.
+                    stats.end_time = horizon;
+                    for o in observers.iter_mut() {
+                        o.on_end(horizon, &marking);
+                    }
+                    return Ok(stats);
+                }
+                Some(t) if t > horizon => {
+                    stats.end_time = horizon;
+                    for o in observers.iter_mut() {
+                        o.on_end(horizon, &marking);
+                    }
+                    return Ok(stats);
+                }
+                Some(_) => {}
+            }
+
+            let (t, ev) = queue.pop().expect("peeked event exists");
+            now = t;
+            let state = &mut states[ev.activity as usize];
+            if state.generation != ev.generation {
+                continue; // stale (defensive; cancel() normally prevents this)
+            }
+            state.key = None;
+            state.generation += 1;
+
+            let act_id = ActivityId(ev.activity);
+            let act = san.activity(act_id);
+            debug_assert!(act.enabled(&marking), "scheduled activity must be enabled");
+
+            // Fire.
+            let case = Self::choose_case(act.case_weights(&marking), &mut rng);
+            act.fire(case, &mut marking);
+            stats.timed_firings += 1;
+
+            // Zero-time stabilization of instantaneous activities.
+            self.stabilize(&mut marking, &mut rng, now, observers, &mut stats, false)?;
+
+            // Incrementally update timed activities affected by the change.
+            let dirty = marking.drain_dirty();
+            let mut affected: Vec<ActivityId> = vec![act_id];
+            for p in dirty {
+                affected.extend_from_slice(san.dependents_of(p));
+            }
+            affected.sort_unstable();
+            affected.dedup();
+            for id in affected {
+                let act = san.activity(id);
+                if matches!(act.timing(), Timing::Instantaneous) {
+                    continue;
+                }
+                let enabled = act.enabled(&marking);
+                let scheduled = states[id.index()].key.is_some();
+                match (enabled, scheduled) {
+                    (true, false) => {
+                        Self::schedule(act, id, now, &marking, &mut rng, &mut queue, &mut states);
+                    }
+                    (true, true) => {
+                        // Resample exponentials (marking-dependent rates);
+                        // keep general samples (enabling memory).
+                        if matches!(act.timing(), Timing::Exponential(_)) {
+                            Self::cancel(id, &mut queue, &mut states);
+                            Self::schedule(
+                                act, id, now, &marking, &mut rng, &mut queue, &mut states,
+                            );
+                        }
+                    }
+                    (false, true) => {
+                        Self::cancel(id, &mut queue, &mut states);
+                    }
+                    (false, false) => {}
+                }
+            }
+
+            for o in observers.iter_mut() {
+                o.on_event(now, act_id, &marking);
+            }
+        }
+    }
+
+    fn schedule(
+        act: &crate::model::Activity,
+        id: ActivityId,
+        now: f64,
+        marking: &Marking,
+        rng: &mut Rng,
+        queue: &mut EventQueue<ScheduledEvent>,
+        states: &mut [ActivityState],
+    ) {
+        let delay = match act.timing() {
+            Timing::Exponential(rate) => {
+                let r = rate(marking);
+                assert!(
+                    r.is_finite() && r >= 0.0,
+                    "activity '{}' produced invalid rate {r}",
+                    act.name()
+                );
+                if r == 0.0 {
+                    return; // rate 0 = effectively disabled
+                }
+                -rng.next_f64_open().ln() / r
+            }
+            Timing::General(dist) => dist.sample(rng),
+            Timing::Instantaneous => unreachable!("instantaneous activities are not scheduled"),
+        };
+        let st = &mut states[id.index()];
+        st.generation += 1;
+        let key = queue.schedule(
+            now + delay,
+            ScheduledEvent {
+                activity: id.0,
+                generation: st.generation,
+            },
+        );
+        st.key = Some(key);
+    }
+
+    fn cancel(id: ActivityId, queue: &mut EventQueue<ScheduledEvent>, states: &mut [ActivityState]) {
+        let st = &mut states[id.index()];
+        if let Some(key) = st.key.take() {
+            queue.cancel(key);
+            st.generation += 1;
+        }
+    }
+
+    fn choose_case(weights: Vec<f64>, rng: &mut Rng) -> usize {
+        if weights.len() == 1 {
+            0
+        } else {
+            rng.weighted_choice(&weights)
+        }
+    }
+
+    /// Fires enabled instantaneous activities (uniform random order) until
+    /// none is enabled.
+    fn stabilize(
+        &self,
+        marking: &mut Marking,
+        rng: &mut Rng,
+        now: f64,
+        observers: &mut [&mut dyn Observer],
+        stats: &mut RunStats,
+        initial: bool,
+    ) -> Result<(), SanError> {
+        let san = &*self.san;
+        let mut firings = 0usize;
+        loop {
+            let enabled: Vec<ActivityId> = san
+                .activities()
+                .filter(|(_, a)| matches!(a.timing(), Timing::Instantaneous) && a.enabled(marking))
+                .map(|(id, _)| id)
+                .collect();
+            if enabled.is_empty() {
+                return Ok(());
+            }
+            firings += 1;
+            if firings > MAX_STABILIZATION_FIRINGS {
+                return Err(SanError::Unstabilized {
+                    marking: marking.values().to_vec(),
+                });
+            }
+            let id = enabled[rng.usize_below(enabled.len())];
+            let act = san.activity(id);
+            let case = Self::choose_case(act.case_weights(marking), rng);
+            act.fire(case, marking);
+            stats.instantaneous_firings += 1;
+            if !initial {
+                for o in observers.iter_mut() {
+                    o.on_event(now, id, marking);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::SanBuilder;
+    use std::sync::Arc as StdArc;
+
+    /// Counts firings per activity.
+    #[derive(Default)]
+    struct FiringCounter {
+        counts: std::collections::HashMap<u32, u64>,
+        end_time: f64,
+    }
+
+    impl Observer for FiringCounter {
+        fn on_event(&mut self, _time: f64, activity: ActivityId, _m: &Marking) {
+            *self.counts.entry(activity.0).or_insert(0) += 1;
+        }
+        fn on_end(&mut self, time: f64, _m: &Marking) {
+            self.end_time = time;
+        }
+    }
+
+    fn poisson_model(rate: f64) -> StdArc<San> {
+        let mut b = SanBuilder::new("poisson");
+        let count = b.place("count", 0);
+        b.timed_activity("arrive", rate)
+            .output_arc(count, 1)
+            .build()
+            .unwrap();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn poisson_firing_count() {
+        let san = poisson_model(5.0);
+        let sim = SanSimulator::new(san);
+        let mut obs = FiringCounter::default();
+        let stats = sim.run(42, 100.0, &mut [&mut obs]).unwrap();
+        // ~500 firings expected; 5-sigma ≈ 112.
+        assert!(
+            (stats.timed_firings as f64 - 500.0).abs() < 120.0,
+            "{stats:?}"
+        );
+        assert_eq!(stats.end_time, 100.0);
+        assert_eq!(obs.end_time, 100.0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let san = poisson_model(2.0);
+        let sim = SanSimulator::new(san);
+        let a = sim.run(7, 50.0, &mut []).unwrap();
+        let b = sim.run(7, 50.0, &mut []).unwrap();
+        assert_eq!(a, b);
+        let c = sim.run(8, 50.0, &mut []).unwrap();
+        assert_ne!(a.timed_firings, c.timed_firings);
+    }
+
+    #[test]
+    fn queue_drains_when_nothing_enabled() {
+        let mut b = SanBuilder::new("finite");
+        let p = b.place("p", 3);
+        let done = b.place("done", 0);
+        b.timed_activity("consume", 10.0)
+            .input_arc(p, 1)
+            .output_arc(done, 1)
+            .build()
+            .unwrap();
+        let san = b.finish().unwrap();
+        let sim = SanSimulator::new(san.clone());
+        let stats = sim.run(1, 1000.0, &mut []).unwrap();
+        assert_eq!(stats.timed_firings, 3);
+        // The queue drained early, but the observation window is [0, 1000].
+        assert_eq!(stats.end_time, 1000.0);
+    }
+
+    #[test]
+    fn instantaneous_stabilization_and_uniform_choice() {
+        // Two instantaneous activities race for one token; over many seeds
+        // each should win about half the time.
+        let mut wins_a = 0;
+        for seed in 0..400 {
+            let mut b = SanBuilder::new("race");
+            let token = b.place("token", 1);
+            let a = b.place("a", 0);
+            let c = b.place("c", 0);
+            b.instantaneous_activity("take_a")
+                .input_arc(token, 1)
+                .output_arc(a, 1)
+                .build()
+                .unwrap();
+            b.instantaneous_activity("take_c")
+                .input_arc(token, 1)
+                .output_arc(c, 1)
+                .build()
+                .unwrap();
+            // A timed activity so the model is not empty of timed events.
+            let sink = b.place("sink", 0);
+            b.timed_activity("tick", 1.0)
+                .output_arc(sink, 1)
+                .build()
+                .unwrap();
+            let san = b.finish().unwrap();
+            let sim = SanSimulator::new(san.clone());
+
+            struct Final(i32);
+            impl Observer for Final {
+                fn on_end(&mut self, _t: f64, m: &Marking) {
+                    self.0 = m.get(crate::marking::PlaceId(1));
+                }
+            }
+            let mut f = Final(-1);
+            sim.run(seed, 0.5, &mut [&mut f]).unwrap();
+            if f.0 == 1 {
+                wins_a += 1;
+            }
+        }
+        assert!(
+            (wins_a as f64 / 400.0 - 0.5).abs() < 0.1,
+            "a won {wins_a}/400"
+        );
+    }
+
+    #[test]
+    fn livelock_detected() {
+        let mut b = SanBuilder::new("livelock");
+        let p = b.place("p", 1);
+        // Instantaneous activity that never consumes its enabling token.
+        b.instantaneous_activity("spin")
+            .predicate(&[p], move |m| m.get(p) > 0)
+            .input_gate(&[], |_| true, |_m| {})
+            .build()
+            .unwrap();
+        let san = b.finish().unwrap();
+        let sim = SanSimulator::new(san);
+        let err = sim.run(1, 1.0, &mut []).unwrap_err();
+        assert!(matches!(err, SanError::Unstabilized { .. }));
+    }
+
+    #[test]
+    fn case_probabilities_respected() {
+        let mut b = SanBuilder::new("cases");
+        let hit = b.place("hit", 0);
+        let miss = b.place("miss", 0);
+        b.timed_activity("flip", 10.0)
+            .case(0.8, move |m| m.add(hit, 1))
+            .case(0.2, move |m| m.add(miss, 1))
+            .build()
+            .unwrap();
+        let san = b.finish().unwrap();
+        let sim = SanSimulator::new(san.clone());
+        struct Ratio {
+            hit: i32,
+            miss: i32,
+        }
+        impl Observer for Ratio {
+            fn on_end(&mut self, _t: f64, m: &Marking) {
+                self.hit = m.get(crate::marking::PlaceId(0));
+                self.miss = m.get(crate::marking::PlaceId(1));
+            }
+        }
+        let mut r = Ratio { hit: 0, miss: 0 };
+        sim.run(3, 1000.0, &mut [&mut r]).unwrap();
+        let frac = r.hit as f64 / (r.hit + r.miss) as f64;
+        assert!((frac - 0.8).abs() < 0.02, "hit fraction {frac}");
+    }
+
+    #[test]
+    fn disabled_activity_is_cancelled() {
+        // Two activities compete for a token; the loser must not fire.
+        let mut b = SanBuilder::new("race2");
+        let p = b.place("p", 1);
+        let a_out = b.place("a_out", 0);
+        let b_out = b.place("b_out", 0);
+        b.timed_activity("fast", 1000.0)
+            .input_arc(p, 1)
+            .output_arc(a_out, 1)
+            .build()
+            .unwrap();
+        b.timed_activity("slow", 0.001)
+            .input_arc(p, 1)
+            .output_arc(b_out, 1)
+            .build()
+            .unwrap();
+        let san = b.finish().unwrap();
+        let sim = SanSimulator::new(san.clone());
+        struct Final(i32, i32);
+        impl Observer for Final {
+            fn on_end(&mut self, _t: f64, m: &Marking) {
+                self.0 = m.get(crate::marking::PlaceId(1));
+                self.1 = m.get(crate::marking::PlaceId(2));
+            }
+        }
+        let mut f = Final(0, 0);
+        let stats = sim.run(5, 10_000.0, &mut [&mut f]).unwrap();
+        assert_eq!(stats.timed_firings, 1);
+        assert_eq!(f.0 + f.1, 1);
+    }
+
+    #[test]
+    fn marking_dependent_rate_updates() {
+        // Rate doubles when "boost" place has a token; verify the mean
+        // firing count responds.
+        let mut b = SanBuilder::new("mdr");
+        let boost = b.place("boost", 0);
+        let count = b.place("count", 0);
+        let boost_c = boost;
+        b.timed_activity_fn(
+            "tick",
+            StdArc::new(move |m| if m.get(boost_c) > 0 { 20.0 } else { 1.0 }),
+            &[boost],
+        )
+        .output_arc(count, 1)
+        .build()
+        .unwrap();
+        b.timed_activity("boost_on", 1000.0)
+            .predicate(&[boost], move |m| m.get(boost) == 0)
+            .output_arc(boost, 1)
+            .build()
+            .unwrap();
+        let san = b.finish().unwrap();
+        let sim = SanSimulator::new(san.clone());
+        let stats = sim.run(11, 10.0, &mut []).unwrap();
+        // boost turns on almost immediately → ≈ 200 ticks + 1 boost firing.
+        assert!(
+            stats.timed_firings > 120,
+            "rate did not increase: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn sample_times_delivered_in_order() {
+        struct Sampler {
+            times: Vec<f64>,
+        }
+        impl Observer for Sampler {
+            fn sample_times(&self) -> Vec<f64> {
+                vec![1.0, 2.0, 5.0, 50.0]
+            }
+            fn on_sample(&mut self, time: f64, _m: &Marking) {
+                self.times.push(time);
+            }
+        }
+        let san = poisson_model(3.0);
+        let sim = SanSimulator::new(san);
+        let mut s = Sampler { times: vec![] };
+        sim.run(1, 10.0, &mut [&mut s]).unwrap();
+        // 50.0 lies beyond the horizon and must not be delivered.
+        assert_eq!(s.times, vec![1.0, 2.0, 5.0]);
+    }
+
+    #[test]
+    fn zero_rate_activity_never_fires() {
+        let mut b = SanBuilder::new("zr");
+        let p = b.place("p", 1);
+        let out = b.place("out", 0);
+        let pc = p;
+        b.timed_activity_fn("never", StdArc::new(move |_| 0.0), &[pc])
+            .input_arc(p, 1)
+            .output_arc(out, 1)
+            .build()
+            .unwrap();
+        let san = b.finish().unwrap();
+        let sim = SanSimulator::new(san);
+        let stats = sim.run(1, 100.0, &mut []).unwrap();
+        assert_eq!(stats.timed_firings, 0);
+    }
+}

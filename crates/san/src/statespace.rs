@@ -1,0 +1,449 @@
+//! Exhaustive state-space generation: SAN → CTMC.
+//!
+//! Möbius "can solve SANs analytically by converting them into equivalent
+//! continuous time Markov chains". This module performs that conversion for
+//! SANs whose timed activities are all exponential (rates may be
+//! marking-dependent). Instantaneous activities are handled by on-the-fly
+//! elimination of *vanishing markings*: a firing that lands on a marking
+//! with enabled instantaneous activities is followed through the
+//! instantaneous firings (uniform choice among enabled activities, case
+//! weights within an activity) until only *tangible* markings remain,
+//! accumulating path probabilities.
+
+use crate::marking::Marking;
+use crate::model::{San, SanError, Timing};
+use itua_markov::ctmc::{Ctmc, CtmcError};
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+/// Maximum depth of instantaneous-firing chains during vanishing-marking
+/// elimination; beyond this the model is declared unstabilized.
+const MAX_VANISHING_DEPTH: usize = 10_000;
+
+/// The reachable tangible state space of a SAN, with transition rates.
+#[derive(Debug, Clone)]
+pub struct StateSpace {
+    markings: Vec<Marking>,
+    /// `(from, to, rate)` between tangible states; no self-loops.
+    transitions: Vec<(usize, usize, f64)>,
+    /// Distribution over tangible states equivalent to the (possibly
+    /// vanishing) initial marking.
+    initial: Vec<(usize, f64)>,
+}
+
+impl StateSpace {
+    /// Explores the reachable state space of `san`.
+    ///
+    /// # Errors
+    ///
+    /// * [`SanError::NonMarkovian`] if any timed activity has a general
+    ///   (non-exponential) distribution.
+    /// * [`SanError::StateSpaceTooLarge`] if more than `max_states`
+    ///   tangible markings are reachable.
+    /// * [`SanError::Unstabilized`] if instantaneous activities livelock.
+    pub fn generate(san: &Arc<San>, max_states: usize) -> Result<Self, SanError> {
+        for (_, act) in san.activities() {
+            if let Timing::General(_) = act.timing() {
+                return Err(SanError::NonMarkovian(act.name().to_owned()));
+            }
+        }
+
+        let mut index: HashMap<Marking, usize> = HashMap::new();
+        let mut markings: Vec<Marking> = Vec::new();
+        let mut transitions: Vec<(usize, usize, f64)> = Vec::new();
+        let mut frontier: VecDeque<usize> = VecDeque::new();
+
+        let intern = |m: Marking,
+                          markings: &mut Vec<Marking>,
+                          index: &mut HashMap<Marking, usize>,
+                          frontier: &mut VecDeque<usize>|
+         -> Result<usize, SanError> {
+            if let Some(&i) = index.get(&m) {
+                return Ok(i);
+            }
+            if markings.len() >= max_states {
+                return Err(SanError::StateSpaceTooLarge(max_states));
+            }
+            let i = markings.len();
+            index.insert(m.clone(), i);
+            markings.push(m);
+            frontier.push_back(i);
+            Ok(i)
+        };
+
+        // Resolve the initial marking.
+        let init_marking = san.initial_marking().canonical();
+        let resolved = resolve_vanishing(san, &init_marking)?;
+        let mut initial = Vec::new();
+        for (m, p) in resolved {
+            let i = intern(m, &mut markings, &mut index, &mut frontier)?;
+            initial.push((i, p));
+        }
+        // Merge duplicate initial entries.
+        initial.sort_by_key(|&(i, _)| i);
+        initial.dedup_by(|a, b| {
+            if a.0 == b.0 {
+                b.1 += a.1;
+                true
+            } else {
+                false
+            }
+        });
+
+        while let Some(s) = frontier.pop_front() {
+            let marking = markings[s].clone();
+            for (_, act) in san.activities() {
+                let rate_fn = match act.timing() {
+                    Timing::Exponential(r) => r,
+                    Timing::Instantaneous => continue,
+                    Timing::General(_) => unreachable!("checked above"),
+                };
+                if !act.enabled(&marking) {
+                    continue;
+                }
+                let rate = rate_fn(&marking);
+                if !(rate.is_finite() && rate >= 0.0) {
+                    return Err(SanError::BadValue(act.name().to_owned()));
+                }
+                if rate == 0.0 {
+                    continue;
+                }
+                let weights = act.case_weights(&marking);
+                let total: f64 = weights.iter().sum();
+                if !(total.is_finite() && total > 0.0) {
+                    return Err(SanError::BadValue(act.name().to_owned()));
+                }
+                for (case, &w) in weights.iter().enumerate() {
+                    if w <= 0.0 {
+                        continue;
+                    }
+                    let mut next = marking.clone();
+                    act.fire(case, &mut next);
+                    let next = next.canonical();
+                    for (tangible, p) in resolve_vanishing(san, &next)? {
+                        let t = intern(tangible, &mut markings, &mut index, &mut frontier)?;
+                        if t != s {
+                            transitions.push((s, t, rate * (w / total) * p));
+                        }
+                    }
+                }
+            }
+        }
+
+        Ok(StateSpace {
+            markings,
+            transitions,
+            initial,
+        })
+    }
+
+    /// Number of tangible states.
+    pub fn num_states(&self) -> usize {
+        self.markings.len()
+    }
+
+    /// The marking of state `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn marking(&self, i: usize) -> &Marking {
+        &self.markings[i]
+    }
+
+    /// The `(from, to, rate)` transitions.
+    pub fn transitions(&self) -> &[(usize, usize, f64)] {
+        &self.transitions
+    }
+
+    /// Initial distribution as a dense probability vector.
+    pub fn initial_distribution(&self) -> Vec<f64> {
+        let mut v = vec![0.0; self.markings.len()];
+        for &(i, p) in &self.initial {
+            v[i] += p;
+        }
+        v
+    }
+
+    /// Builds the equivalent CTMC.
+    ///
+    /// # Errors
+    ///
+    /// Propagates matrix construction failures.
+    pub fn to_ctmc(&self) -> Result<Ctmc, CtmcError> {
+        Ctmc::from_rates(self.markings.len(), &self.transitions)
+    }
+
+    /// Evaluates `f` on every state, producing a reward vector aligned with
+    /// the CTMC's state indices.
+    pub fn reward_vector(&self, mut f: impl FnMut(&Marking) -> f64) -> Vec<f64> {
+        self.markings.iter().map(|m| f(m)).collect()
+    }
+}
+
+/// Distributes a marking over its tangible successors: follows enabled
+/// instantaneous activities (uniform among activities, weight-proportional
+/// among cases) until no instantaneous activity is enabled.
+fn resolve_vanishing(san: &San, marking: &Marking) -> Result<Vec<(Marking, f64)>, SanError> {
+    let mut result: Vec<(Marking, f64)> = Vec::new();
+    // Work queue of (marking, probability, depth).
+    let mut work: Vec<(Marking, f64, usize)> = vec![(marking.clone(), 1.0, 0)];
+    while let Some((m, p, depth)) = work.pop() {
+        if depth > MAX_VANISHING_DEPTH {
+            return Err(SanError::Unstabilized {
+                marking: m.values().to_vec(),
+            });
+        }
+        let enabled: Vec<_> = san
+            .activities()
+            .filter(|(_, a)| matches!(a.timing(), Timing::Instantaneous) && a.enabled(&m))
+            .collect();
+        if enabled.is_empty() {
+            result.push((m, p));
+            continue;
+        }
+        let share = p / enabled.len() as f64;
+        for (_, act) in enabled {
+            let weights = act.case_weights(&m);
+            let total: f64 = weights.iter().sum();
+            if !(total.is_finite() && total > 0.0) {
+                return Err(SanError::BadValue(act.name().to_owned()));
+            }
+            for (case, &w) in weights.iter().enumerate() {
+                if w <= 0.0 {
+                    continue;
+                }
+                let mut next = m.clone();
+                act.fire(case, &mut next);
+                work.push((next.canonical(), share * (w / total), depth + 1));
+            }
+        }
+    }
+    // Merge identical tangible markings.
+    let mut merged: HashMap<Marking, f64> = HashMap::new();
+    for (m, p) in result {
+        *merged.entry(m).or_insert(0.0) += p;
+    }
+    Ok(merged.into_iter().collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::SanBuilder;
+    use std::sync::Arc as StdArc;
+
+    fn repairable(fail: f64, fix: f64) -> StdArc<San> {
+        let mut b = SanBuilder::new("m");
+        let up = b.place("up", 1);
+        let down = b.place("down", 0);
+        b.timed_activity("fail", fail)
+            .input_arc(up, 1)
+            .output_arc(down, 1)
+            .build()
+            .unwrap();
+        b.timed_activity("fix", fix)
+            .input_arc(down, 1)
+            .output_arc(up, 1)
+            .build()
+            .unwrap();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn two_state_space() {
+        let san = repairable(1.0, 9.0);
+        let ss = StateSpace::generate(&san, 100).unwrap();
+        assert_eq!(ss.num_states(), 2);
+        assert_eq!(ss.transitions().len(), 2);
+        let ctmc = ss.to_ctmc().unwrap();
+        let pi = ctmc.steady_state(1e-12, 100_000).unwrap();
+        let down = san.place_id("down").unwrap();
+        let unavail: f64 = (0..ss.num_states())
+            .map(|s| pi[s] * ss.marking(s).get(down) as f64)
+            .sum();
+        assert!((unavail - 0.1).abs() < 1e-8);
+    }
+
+    #[test]
+    fn initial_distribution_is_point_mass_for_tangible_start() {
+        let san = repairable(1.0, 1.0);
+        let ss = StateSpace::generate(&san, 100).unwrap();
+        let d = ss.initial_distribution();
+        assert_eq!(d.iter().filter(|&&p| p > 0.0).count(), 1);
+        assert!((d.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn vanishing_initial_marking_is_resolved() {
+        // Instantaneous branch from the start: token goes to a or b with
+        // probability 0.3 / 0.7, then a timed sink keeps the model alive.
+        let mut bld = SanBuilder::new("v");
+        let start = bld.place("start", 1);
+        let a = bld.place("a", 0);
+        let b = bld.place("b", 0);
+        let sink = bld.place("sink", 0);
+        bld.instantaneous_activity("branch")
+            .input_arc(start, 1)
+            .case(0.3, move |m| m.add(a, 1))
+            .case(0.7, move |m| m.add(b, 1))
+            .build()
+            .unwrap();
+        bld.timed_activity("tick", 1.0)
+            .input_arc(a, 1)
+            .output_arc(sink, 1)
+            .build()
+            .unwrap();
+        let san = bld.finish().unwrap();
+        let ss = StateSpace::generate(&san, 100).unwrap();
+        let d = ss.initial_distribution();
+        assert!((d.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        // Two tangible initial states with probabilities 0.3 / 0.7.
+        let mut probs: Vec<f64> = d.iter().copied().filter(|&p| p > 0.0).collect();
+        probs.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        assert_eq!(probs.len(), 2);
+        assert!((probs[0] - 0.3).abs() < 1e-12);
+        assert!((probs[1] - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn case_weights_split_rates() {
+        // One timed activity with two cases 80/20 leading to different
+        // states: the CTMC must have rates 0.8λ and 0.2λ.
+        let mut b = SanBuilder::new("m");
+        let p = b.place("p", 1);
+        let hit = b.place("hit", 0);
+        let miss = b.place("miss", 0);
+        b.timed_activity("detect", 2.0)
+            .input_arc(p, 1)
+            .case(0.8, move |m| m.add(hit, 1))
+            .case(0.2, move |m| m.add(miss, 1))
+            .build()
+            .unwrap();
+        let san = b.finish().unwrap();
+        let ss = StateSpace::generate(&san, 100).unwrap();
+        assert_eq!(ss.num_states(), 3);
+        let mut rates: Vec<f64> = ss.transitions().iter().map(|&(_, _, r)| r).collect();
+        rates.sort_by(|a, c| a.partial_cmp(c).unwrap());
+        assert!((rates[0] - 0.4).abs() < 1e-12);
+        assert!((rates[1] - 1.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn marking_dependent_rates_expand_correctly() {
+        // Birth-death with rate depending on population.
+        let mut b = SanBuilder::new("m");
+        let n = b.place("n", 0);
+        let nn = n;
+        b.timed_activity_fn("birth", StdArc::new(move |m| 1.0 + m.get(nn) as f64), &[n])
+            .predicate(&[n], move |m| m.get(n) < 3)
+            .output_arc(n, 1)
+            .build()
+            .unwrap();
+        b.timed_activity("death", 1.0)
+            .input_arc(n, 1)
+            .build()
+            .unwrap();
+        let san = b.finish().unwrap();
+        let ss = StateSpace::generate(&san, 100).unwrap();
+        assert_eq!(ss.num_states(), 4);
+        // Find the 2→3 birth transition; its rate must be 1 + 2 = 3.
+        let np = san.place_id("n").unwrap();
+        let idx_of = |v: i32| {
+            (0..ss.num_states())
+                .find(|&s| ss.marking(s).get(np) == v)
+                .unwrap()
+        };
+        let (s2, s3) = (idx_of(2), idx_of(3));
+        let rate = ss
+            .transitions()
+            .iter()
+            .find(|&&(f, t, _)| f == s2 && t == s3)
+            .map(|&(_, _, r)| r)
+            .unwrap();
+        assert!((rate - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn state_space_limit_enforced() {
+        // Unbounded birth process.
+        let mut b = SanBuilder::new("m");
+        let n = b.place("n", 0);
+        b.timed_activity("birth", 1.0).output_arc(n, 1).build().unwrap();
+        let san = b.finish().unwrap();
+        assert!(matches!(
+            StateSpace::generate(&san, 50),
+            Err(SanError::StateSpaceTooLarge(50))
+        ));
+    }
+
+    #[test]
+    fn general_distribution_rejected() {
+        let mut b = SanBuilder::new("m");
+        let p = b.place("p", 1);
+        b.general_activity(
+            "det",
+            StdArc::new(itua_sim::dist::Deterministic::new(1.0).unwrap()),
+        )
+        .input_arc(p, 1)
+        .build()
+        .unwrap();
+        let san = b.finish().unwrap();
+        assert!(matches!(
+            StateSpace::generate(&san, 100),
+            Err(SanError::NonMarkovian(_))
+        ));
+    }
+
+    #[test]
+    fn vanishing_livelock_detected() {
+        let mut b = SanBuilder::new("m");
+        let p = b.place("p", 1);
+        let q = b.place("q", 0);
+        // Two instantaneous activities that toggle forever.
+        b.instantaneous_activity("ab")
+            .input_arc(p, 1)
+            .output_arc(q, 1)
+            .build()
+            .unwrap();
+        b.instantaneous_activity("ba")
+            .input_arc(q, 1)
+            .output_arc(p, 1)
+            .build()
+            .unwrap();
+        let san = b.finish().unwrap();
+        assert!(matches!(
+            StateSpace::generate(&san, 100),
+            Err(SanError::Unstabilized { .. })
+        ));
+    }
+
+    #[test]
+    fn transient_matches_simulation() {
+        // Sanity: CTMC transient P(down at t) ≈ simulation estimate.
+        let san = repairable(1.0, 3.0);
+        let ss = StateSpace::generate(&san, 10).unwrap();
+        let ctmc = ss.to_ctmc().unwrap();
+        let down = san.place_id("down").unwrap();
+        let t = 0.8;
+        let p = ctmc.transient(&ss.initial_distribution(), t, 1e-12).unwrap();
+        let analytic: f64 = (0..ss.num_states())
+            .map(|s| p[s] * ss.marking(s).get(down) as f64)
+            .sum();
+
+        use crate::reward::{InstantOfTime, RewardVariable};
+        use crate::simulator::SanSimulator;
+        let sim = SanSimulator::new(san);
+        let mut hits = 0u32;
+        let n = 3000;
+        for seed in 0..n {
+            let mut rv = InstantOfTime::new("down", vec![t], move |m| m.get(down) as f64);
+            sim.run(seed as u64, 1.0, &mut [&mut rv]).unwrap();
+            if rv.observations()[0].value > 0.5 {
+                hits += 1;
+            }
+        }
+        let est = hits as f64 / n as f64;
+        assert!((est - analytic).abs() < 0.025, "{est} vs {analytic}");
+    }
+}

@@ -1,0 +1,124 @@
+//! Property-based tests for the SAN framework.
+
+use itua_san::compose::{ComposedModel, Node, SanTemplate, SharedPlace, SubnetBuilder};
+use itua_san::marking::Marking;
+use itua_san::model::{SanBuilder, SanError};
+use itua_san::simulator::SanSimulator;
+use itua_san::statespace::StateSpace;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+proptest! {
+    /// Bit operations on markings behave like u32 bit operations.
+    #[test]
+    fn marking_bits_match_integer_bits(bits in prop::collection::vec((0u32..15, any::<bool>()), 0..40)) {
+        let mut m = Marking::new(&[0]);
+        let p = m.place_ids().next().unwrap();
+        let mut reference: i32 = 0;
+        for (bit, on) in bits {
+            m.set_bit(p, bit, on);
+            if on {
+                reference |= 1 << bit;
+            } else {
+                reference &= !(1 << bit);
+            }
+            prop_assert_eq!(m.get(p), reference);
+            prop_assert_eq!(m.bit(p, bit), on);
+        }
+    }
+
+    /// A tandem chain of places conserves tokens under simulation.
+    #[test]
+    fn token_conservation(stages in 2usize..8, tokens in 1i32..20, seed in any::<u64>()) {
+        let mut b = SanBuilder::new("tandem");
+        let places: Vec<_> = (0..stages)
+            .map(|i| b.place(format!("p{i}"), if i == 0 { tokens } else { 0 }))
+            .collect();
+        for i in 0..stages - 1 {
+            b.timed_activity(format!("move{i}"), 1.0 + i as f64)
+                .input_arc(places[i], 1)
+                .output_arc(places[i + 1], 1)
+                .build()
+                .unwrap();
+        }
+        let san = b.finish().unwrap();
+        let sim = SanSimulator::new(san.clone());
+
+        struct Conserve {
+            places: Vec<itua_san::marking::PlaceId>,
+            total: i32,
+        }
+        impl itua_san::simulator::Observer for Conserve {
+            fn on_event(&mut self, _t: f64, _a: itua_san::model::ActivityId, m: &Marking) {
+                let sum: i32 = self.places.iter().map(|&p| m.get(p)).sum();
+                assert_eq!(sum, self.total, "tokens not conserved");
+            }
+        }
+        let mut obs = Conserve { places: places.clone(), total: tokens };
+        sim.run(seed, 100.0, &mut [&mut obs]).unwrap();
+    }
+
+    /// Replicate counts produce exactly count × places/activities for a
+    /// template with no shared state.
+    #[test]
+    fn rep_multiplies_structure(count in 1usize..20) {
+        let tpl: Arc<dyn SanTemplate> = Arc::new(|b: &mut SubnetBuilder<'_>| {
+            let p = b.place("p", 1);
+            b.timed_activity("t", 1.0).input_arc(p, 1).build()?;
+            Ok::<(), SanError>(())
+        });
+        let model = ComposedModel::new("m", Node::rep("r", count, vec![], Node::atomic("x", tpl)));
+        let san = model.flatten().unwrap();
+        prop_assert_eq!(san.num_places(), count);
+        prop_assert_eq!(san.num_activities(), count);
+    }
+
+    /// Shared places are allocated exactly once regardless of replication.
+    #[test]
+    fn shared_place_unique(count in 1usize..20, init in 0i32..100) {
+        let tpl: Arc<dyn SanTemplate> = Arc::new(|b: &mut SubnetBuilder<'_>| {
+            let shared = b.place("pool", 0);
+            let local = b.place("local", 0);
+            b.timed_activity("take", 1.0)
+                .input_arc(shared, 1)
+                .output_arc(local, 1)
+                .build()?;
+            Ok::<(), SanError>(())
+        });
+        let model = ComposedModel::new(
+            "m",
+            Node::rep("r", count, vec![SharedPlace::new("pool", init)], Node::atomic("x", tpl)),
+        );
+        let san = model.flatten().unwrap();
+        prop_assert_eq!(san.num_places(), count + 1);
+        let pool = san.place_id("r/pool").unwrap();
+        prop_assert_eq!(san.initial_marking().get(pool), init);
+    }
+
+    /// State-space exploration of a bounded token ring finds exactly the
+    /// compositions of tokens into places.
+    #[test]
+    fn state_space_size_of_token_ring(places in 2usize..5, tokens in 1i32..4) {
+        let mut b = SanBuilder::new("ring");
+        let ps: Vec<_> = (0..places)
+            .map(|i| b.place(format!("p{i}"), if i == 0 { tokens } else { 0 }))
+            .collect();
+        for i in 0..places {
+            b.timed_activity(format!("mv{i}"), 1.0)
+                .input_arc(ps[i], 1)
+                .output_arc(ps[(i + 1) % places], 1)
+                .build()
+                .unwrap();
+        }
+        let san = b.finish().unwrap();
+        let ss = StateSpace::generate(&san, 100_000).unwrap();
+        // Number of weak compositions of `tokens` into `places` parts:
+        // C(tokens + places - 1, places - 1).
+        let expected = {
+            let n = (tokens as usize) + places - 1;
+            let k = places - 1;
+            (0..k).fold(1usize, |acc, i| acc * (n - i) / (i + 1))
+        };
+        prop_assert_eq!(ss.num_states(), expected);
+    }
+}

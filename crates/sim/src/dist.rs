@@ -1,0 +1,498 @@
+//! Random-variate distributions for activity firing times.
+//!
+//! Every distribution validates its parameters at construction and exposes
+//! moments where they exist in closed form, so tests can compare empirical
+//! and analytic values.
+
+use crate::rng::Rng;
+use std::f64::consts::PI;
+use std::fmt;
+
+/// Error returned when a distribution is constructed with invalid
+/// parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParamError {
+    what: String,
+}
+
+impl ParamError {
+    pub(crate) fn new(what: impl Into<String>) -> Self {
+        ParamError { what: what.into() }
+    }
+}
+
+impl fmt::Display for ParamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid distribution parameter: {}", self.what)
+    }
+}
+
+impl std::error::Error for ParamError {}
+
+/// A source of nonnegative random variates.
+///
+/// Implementors must return values that are finite and `>= 0`; firing times
+/// in a stochastic activity network are durations.
+pub trait Distribution: fmt::Debug + Send + Sync {
+    /// Draws one sample.
+    fn sample(&self, rng: &mut Rng) -> f64;
+
+    /// The distribution mean, if finite and known in closed form.
+    fn mean(&self) -> Option<f64> {
+        None
+    }
+}
+
+/// Exponential distribution with the given rate (`mean = 1/rate`).
+///
+/// The workhorse of Markovian activity timing.
+///
+/// # Example
+///
+/// ```
+/// use itua_sim::dist::{Distribution, Exponential};
+/// # fn main() -> Result<(), itua_sim::dist::ParamError> {
+/// let d = Exponential::new(4.0)?;
+/// assert_eq!(d.mean(), Some(0.25));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exponential {
+    rate: f64,
+}
+
+impl Exponential {
+    /// Creates an exponential distribution with rate `rate`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] if `rate` is not finite and positive.
+    pub fn new(rate: f64) -> Result<Self, ParamError> {
+        if !rate.is_finite() || rate <= 0.0 {
+            return Err(ParamError::new(format!("exponential rate {rate}")));
+        }
+        Ok(Exponential { rate })
+    }
+
+    /// The rate parameter.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+}
+
+impl Distribution for Exponential {
+    fn sample(&self, rng: &mut Rng) -> f64 {
+        -rng.next_f64_open().ln() / self.rate
+    }
+
+    fn mean(&self) -> Option<f64> {
+        Some(1.0 / self.rate)
+    }
+}
+
+/// Continuous uniform distribution on `[low, high)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Uniform {
+    low: f64,
+    high: f64,
+}
+
+impl Uniform {
+    /// Creates a uniform distribution on `[low, high)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] if the bounds are not finite, `low < 0`, or
+    /// `low >= high`.
+    pub fn new(low: f64, high: f64) -> Result<Self, ParamError> {
+        if !low.is_finite() || !high.is_finite() || low < 0.0 || low >= high {
+            return Err(ParamError::new(format!("uniform bounds [{low}, {high})")));
+        }
+        Ok(Uniform { low, high })
+    }
+}
+
+impl Distribution for Uniform {
+    fn sample(&self, rng: &mut Rng) -> f64 {
+        rng.f64_range(self.low, self.high)
+    }
+
+    fn mean(&self) -> Option<f64> {
+        Some(0.5 * (self.low + self.high))
+    }
+}
+
+/// Deterministic (constant) delay.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Deterministic {
+    value: f64,
+}
+
+impl Deterministic {
+    /// Creates a constant delay of `value`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] if `value` is negative or not finite.
+    pub fn new(value: f64) -> Result<Self, ParamError> {
+        if !value.is_finite() || value < 0.0 {
+            return Err(ParamError::new(format!("deterministic delay {value}")));
+        }
+        Ok(Deterministic { value })
+    }
+}
+
+impl Distribution for Deterministic {
+    fn sample(&self, _rng: &mut Rng) -> f64 {
+        self.value
+    }
+
+    fn mean(&self) -> Option<f64> {
+        Some(self.value)
+    }
+}
+
+/// Erlang distribution: sum of `k` independent exponentials of rate `rate`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Erlang {
+    k: u32,
+    rate: f64,
+}
+
+impl Erlang {
+    /// Creates an Erlang distribution with shape `k` and rate `rate`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] if `k == 0` or `rate` is not finite positive.
+    pub fn new(k: u32, rate: f64) -> Result<Self, ParamError> {
+        if k == 0 {
+            return Err(ParamError::new("erlang shape k = 0"));
+        }
+        if !rate.is_finite() || rate <= 0.0 {
+            return Err(ParamError::new(format!("erlang rate {rate}")));
+        }
+        Ok(Erlang { k, rate })
+    }
+}
+
+impl Distribution for Erlang {
+    fn sample(&self, rng: &mut Rng) -> f64 {
+        // Product-of-uniforms form avoids k calls to ln().
+        let mut prod = 1.0;
+        for _ in 0..self.k {
+            prod *= rng.next_f64_open();
+        }
+        -prod.ln() / self.rate
+    }
+
+    fn mean(&self) -> Option<f64> {
+        Some(self.k as f64 / self.rate)
+    }
+}
+
+/// Weibull distribution with shape `k` and scale `lambda`.
+///
+/// Used to model non-memoryless attacker inter-arrival processes
+/// (increasing-hazard attacks for `k > 1`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Weibull {
+    shape: f64,
+    scale: f64,
+}
+
+impl Weibull {
+    /// Creates a Weibull distribution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] unless both parameters are finite and
+    /// positive.
+    pub fn new(shape: f64, scale: f64) -> Result<Self, ParamError> {
+        if !shape.is_finite() || shape <= 0.0 || !scale.is_finite() || scale <= 0.0 {
+            return Err(ParamError::new(format!("weibull shape {shape} scale {scale}")));
+        }
+        Ok(Weibull { shape, scale })
+    }
+}
+
+impl Distribution for Weibull {
+    fn sample(&self, rng: &mut Rng) -> f64 {
+        self.scale * (-rng.next_f64_open().ln()).powf(1.0 / self.shape)
+    }
+
+    fn mean(&self) -> Option<f64> {
+        Some(self.scale * gamma(1.0 + 1.0 / self.shape))
+    }
+}
+
+/// Lognormal distribution: `exp(N(mu, sigma^2))`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Lognormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl Lognormal {
+    /// Creates a lognormal distribution with log-mean `mu` and log-standard
+    /// deviation `sigma`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] if `mu` is not finite or `sigma` is not finite
+    /// and positive.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, ParamError> {
+        if !mu.is_finite() || !sigma.is_finite() || sigma <= 0.0 {
+            return Err(ParamError::new(format!("lognormal mu {mu} sigma {sigma}")));
+        }
+        Ok(Lognormal { mu, sigma })
+    }
+}
+
+impl Distribution for Lognormal {
+    fn sample(&self, rng: &mut Rng) -> f64 {
+        (self.mu + self.sigma * standard_normal(rng)).exp()
+    }
+
+    fn mean(&self) -> Option<f64> {
+        Some((self.mu + 0.5 * self.sigma * self.sigma).exp())
+    }
+}
+
+/// Samples a standard normal variate by the Marsaglia polar method.
+pub fn standard_normal(rng: &mut Rng) -> f64 {
+    loop {
+        let u = 2.0 * rng.next_f64() - 1.0;
+        let v = 2.0 * rng.next_f64() - 1.0;
+        let s = u * u + v * v;
+        if s > 0.0 && s < 1.0 {
+            return u * (-2.0 * s.ln() / s).sqrt();
+        }
+    }
+}
+
+/// Lanczos approximation of the gamma function (for Weibull moments).
+fn gamma(x: f64) -> f64 {
+    // g = 7, n = 9 Lanczos coefficients.
+    const G: f64 = 7.0;
+    const C: [f64; 9] = [
+        0.99999999999980993,
+        676.5203681218851,
+        -1259.1392167224028,
+        771.32342877765313,
+        -176.61502916214059,
+        12.507343278686905,
+        -0.13857109526572012,
+        9.9843695780195716e-6,
+        1.5056327351493116e-7,
+    ];
+    if x < 0.5 {
+        PI / ((PI * x).sin() * gamma(1.0 - x))
+    } else {
+        let x = x - 1.0;
+        let mut a = C[0];
+        let t = x + G + 0.5;
+        for (i, &c) in C.iter().enumerate().skip(1) {
+            a += c / (x + i as f64);
+        }
+        (2.0 * PI).sqrt() * t.powf(x + 0.5) * (-t).exp() * a
+    }
+}
+
+/// A discrete distribution over `0..weights.len()` (for case selection and
+/// categorical workloads).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Discrete {
+    cumulative: Vec<f64>,
+}
+
+impl Discrete {
+    /// Creates a discrete distribution proportional to `weights`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamError`] if `weights` is empty, any weight is negative
+    /// or non-finite, or all weights are zero.
+    pub fn new(weights: &[f64]) -> Result<Self, ParamError> {
+        if weights.is_empty() {
+            return Err(ParamError::new("discrete: empty weights"));
+        }
+        let mut cumulative = Vec::with_capacity(weights.len());
+        let mut total = 0.0;
+        for &w in weights {
+            if !w.is_finite() || w < 0.0 {
+                return Err(ParamError::new(format!("discrete weight {w}")));
+            }
+            total += w;
+            cumulative.push(total);
+        }
+        if total <= 0.0 {
+            return Err(ParamError::new("discrete: all weights zero"));
+        }
+        for c in &mut cumulative {
+            *c /= total;
+        }
+        Ok(Discrete { cumulative })
+    }
+
+    /// Draws an index according to the weights.
+    pub fn sample_index(&self, rng: &mut Rng) -> usize {
+        let u = rng.next_f64();
+        match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&u).expect("cumulative weights are finite"))
+        {
+            Ok(i) => (i + 1).min(self.cumulative.len() - 1),
+            Err(i) => i.min(self.cumulative.len() - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn empirical_mean(d: &dyn Distribution, n: usize, seed: u64) -> f64 {
+        let mut rng = Rng::seed_from_u64(seed);
+        (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64
+    }
+
+    fn empirical_var(d: &dyn Distribution, n: usize, seed: u64) -> f64 {
+        let mut rng = Rng::seed_from_u64(seed);
+        let xs: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        let m = xs.iter().sum::<f64>() / n as f64;
+        xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (n - 1) as f64
+    }
+
+    #[test]
+    fn exponential_moments() {
+        let d = Exponential::new(2.0).unwrap();
+        assert!((empirical_mean(&d, 200_000, 1) - 0.5).abs() < 0.01);
+        assert!((empirical_var(&d, 200_000, 2) - 0.25).abs() < 0.02);
+    }
+
+    #[test]
+    fn exponential_rejects_bad_rate() {
+        assert!(Exponential::new(0.0).is_err());
+        assert!(Exponential::new(-1.0).is_err());
+        assert!(Exponential::new(f64::NAN).is_err());
+        assert!(Exponential::new(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn uniform_moments_and_bounds() {
+        let d = Uniform::new(1.0, 3.0).unwrap();
+        assert!((empirical_mean(&d, 100_000, 3) - 2.0).abs() < 0.01);
+        let mut rng = Rng::seed_from_u64(4);
+        for _ in 0..1000 {
+            let x = d.sample(&mut rng);
+            assert!((1.0..3.0).contains(&x));
+        }
+        assert!(Uniform::new(3.0, 1.0).is_err());
+        assert!(Uniform::new(-1.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn deterministic_is_constant() {
+        let d = Deterministic::new(1.5).unwrap();
+        let mut rng = Rng::seed_from_u64(5);
+        for _ in 0..10 {
+            assert_eq!(d.sample(&mut rng), 1.5);
+        }
+        assert!(Deterministic::new(-0.1).is_err());
+    }
+
+    #[test]
+    fn erlang_moments() {
+        let d = Erlang::new(3, 2.0).unwrap();
+        assert_eq!(d.mean(), Some(1.5));
+        assert!((empirical_mean(&d, 200_000, 6) - 1.5).abs() < 0.02);
+        // Var = k / rate^2 = 0.75
+        assert!((empirical_var(&d, 200_000, 7) - 0.75).abs() < 0.03);
+        assert!(Erlang::new(0, 1.0).is_err());
+    }
+
+    #[test]
+    fn weibull_mean_matches_gamma_formula() {
+        let d = Weibull::new(2.0, 1.0).unwrap();
+        // mean = Γ(1.5) = sqrt(pi)/2 ≈ 0.8862
+        let analytic = d.mean().unwrap();
+        assert!((analytic - 0.886_226_9).abs() < 1e-6);
+        assert!((empirical_mean(&d, 200_000, 8) - analytic).abs() < 0.01);
+    }
+
+    #[test]
+    fn weibull_shape_one_is_exponential() {
+        let d = Weibull::new(1.0, 0.5).unwrap();
+        assert!((d.mean().unwrap() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lognormal_mean() {
+        let d = Lognormal::new(0.0, 0.5).unwrap();
+        let analytic = (0.125f64).exp();
+        assert_eq!(d.mean(), Some(analytic));
+        assert!((empirical_mean(&d, 300_000, 9) - analytic).abs() < 0.01);
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = Rng::seed_from_u64(10);
+        let n = 200_000;
+        let xs: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| x * x).sum::<f64>() / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.01);
+        assert!((var - 1.0).abs() < 0.02);
+    }
+
+    #[test]
+    fn discrete_frequencies() {
+        let d = Discrete::new(&[0.5, 0.3, 0.2]).unwrap();
+        let mut rng = Rng::seed_from_u64(11);
+        let mut counts = [0u32; 3];
+        let n = 100_000;
+        for _ in 0..n {
+            counts[d.sample_index(&mut rng)] += 1;
+        }
+        assert!((counts[0] as f64 / n as f64 - 0.5).abs() < 0.01);
+        assert!((counts[1] as f64 / n as f64 - 0.3).abs() < 0.01);
+        assert!((counts[2] as f64 / n as f64 - 0.2).abs() < 0.01);
+    }
+
+    #[test]
+    fn discrete_rejects_bad_weights() {
+        assert!(Discrete::new(&[]).is_err());
+        assert!(Discrete::new(&[0.0, 0.0]).is_err());
+        assert!(Discrete::new(&[1.0, -1.0]).is_err());
+        assert!(Discrete::new(&[f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn samples_are_nonnegative() {
+        let mut rng = Rng::seed_from_u64(12);
+        let dists: Vec<Box<dyn Distribution>> = vec![
+            Box::new(Exponential::new(0.1).unwrap()),
+            Box::new(Uniform::new(0.0, 5.0).unwrap()),
+            Box::new(Deterministic::new(0.0).unwrap()),
+            Box::new(Erlang::new(5, 0.3).unwrap()),
+            Box::new(Weibull::new(0.7, 2.0).unwrap()),
+            Box::new(Lognormal::new(-1.0, 1.0).unwrap()),
+        ];
+        for d in &dists {
+            for _ in 0..1000 {
+                let x = d.sample(&mut rng);
+                assert!(x.is_finite() && x >= 0.0, "{d:?} produced {x}");
+            }
+        }
+    }
+
+    #[test]
+    fn gamma_function_known_values() {
+        assert!((gamma(1.0) - 1.0).abs() < 1e-10);
+        assert!((gamma(2.0) - 1.0).abs() < 1e-10);
+        assert!((gamma(5.0) - 24.0).abs() < 1e-8);
+        assert!((gamma(0.5) - PI.sqrt()).abs() < 1e-10);
+    }
+}

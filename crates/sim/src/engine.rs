@@ -1,0 +1,268 @@
+//! A minimal discrete-event executive.
+//!
+//! [`Engine`] couples a clock, an [`EventQueue`], and a user-supplied
+//! [`EventHandler`]. The SAN simulator in `itua-san` and the direct ITUA
+//! discrete-event model in `itua-core` both run on this loop.
+
+use crate::queue::{EventKey, EventQueue};
+use crate::rng::Rng;
+
+/// A model driven by the [`Engine`].
+///
+/// The handler receives each event together with a [`Context`] that lets it
+/// read the clock, schedule and cancel events, and draw random numbers.
+pub trait EventHandler {
+    /// The event payload type.
+    type Event;
+
+    /// Handles one event occurring at the current simulation time.
+    fn handle(&mut self, event: Self::Event, ctx: &mut Context<'_, Self::Event>);
+}
+
+/// The simulation context handed to [`EventHandler::handle`].
+#[derive(Debug)]
+pub struct Context<'a, E> {
+    now: f64,
+    queue: &'a mut EventQueue<E>,
+    rng: &'a mut Rng,
+}
+
+impl<'a, E> Context<'a, E> {
+    /// Current simulation time.
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Schedules `event` to occur `delay` time units from now.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delay` is negative or NaN.
+    pub fn schedule_in(&mut self, delay: f64, event: E) -> EventKey {
+        assert!(delay >= 0.0, "negative delay {delay}");
+        self.queue.schedule(self.now + delay, event)
+    }
+
+    /// Cancels a previously scheduled event.
+    pub fn cancel(&mut self, key: EventKey) -> bool {
+        self.queue.cancel(key)
+    }
+
+    /// The simulation's random number generator.
+    pub fn rng(&mut self) -> &mut Rng {
+        self.rng
+    }
+}
+
+/// Outcome of [`Engine::run_until`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The horizon was reached with events still pending.
+    HorizonReached,
+    /// The event queue drained before the horizon.
+    QueueEmpty,
+    /// The event budget was exhausted (possible livelock).
+    EventBudgetExhausted,
+}
+
+/// Discrete-event simulation executive.
+///
+/// # Example
+///
+/// A Poisson process counter:
+///
+/// ```
+/// use itua_sim::engine::{Context, Engine, EventHandler, RunOutcome};
+/// use itua_sim::dist::{Distribution, Exponential};
+/// use itua_sim::rng::Rng;
+///
+/// struct Counter {
+///     arrivals: u64,
+///     exp: Exponential,
+/// }
+///
+/// impl EventHandler for Counter {
+///     type Event = ();
+///     fn handle(&mut self, _e: (), ctx: &mut Context<'_, ()>) {
+///         self.arrivals += 1;
+///         let d = self.exp.sample(ctx.rng());
+///         ctx.schedule_in(d, ());
+///     }
+/// }
+///
+/// # fn main() -> Result<(), itua_sim::dist::ParamError> {
+/// let mut model = Counter { arrivals: 0, exp: Exponential::new(10.0)? };
+/// let mut engine = Engine::new(Rng::seed_from_u64(1));
+/// engine.schedule_at(0.0, ());
+/// let outcome = engine.run_until(100.0, &mut model);
+/// assert_eq!(outcome, RunOutcome::HorizonReached);
+/// // ≈ 10 events per unit time over 100 units
+/// assert!((model.arrivals as f64 - 1000.0).abs() < 200.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Engine<E> {
+    queue: EventQueue<E>,
+    rng: Rng,
+    now: f64,
+    events_processed: u64,
+    event_budget: u64,
+}
+
+impl<E> Engine<E> {
+    /// Creates an engine at time 0 with the given random source.
+    pub fn new(rng: Rng) -> Self {
+        Engine {
+            queue: EventQueue::new(),
+            rng,
+            now: 0.0,
+            events_processed: 0,
+            event_budget: u64::MAX,
+        }
+    }
+
+    /// Limits the total number of events processed (livelock guard).
+    pub fn with_event_budget(mut self, budget: u64) -> Self {
+        self.event_budget = budget;
+        self
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Total number of events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Schedules an event at absolute time `time` (before or between runs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is earlier than the current clock.
+    pub fn schedule_at(&mut self, time: f64, event: E) -> EventKey {
+        assert!(time >= self.now, "cannot schedule in the past");
+        self.queue.schedule(time, event)
+    }
+
+    /// Runs the loop until `horizon`, the queue drains, or the event budget
+    /// is exhausted. The clock is left at `horizon` if the horizon was
+    /// reached, otherwise at the time of the last processed event.
+    pub fn run_until<H>(&mut self, horizon: f64, handler: &mut H) -> RunOutcome
+    where
+        H: EventHandler<Event = E>,
+    {
+        loop {
+            if self.events_processed >= self.event_budget {
+                return RunOutcome::EventBudgetExhausted;
+            }
+            match self.queue.peek_time() {
+                None => return RunOutcome::QueueEmpty,
+                Some(t) if t > horizon => {
+                    self.now = horizon;
+                    return RunOutcome::HorizonReached;
+                }
+                Some(_) => {
+                    let (t, event) = self.queue.pop().expect("peeked event exists");
+                    debug_assert!(t >= self.now, "time went backwards");
+                    self.now = t;
+                    self.events_processed += 1;
+                    let mut ctx = Context {
+                        now: self.now,
+                        queue: &mut self.queue,
+                        rng: &mut self.rng,
+                    };
+                    handler.handle(event, &mut ctx);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Recorder {
+        seen: Vec<(f64, u32)>,
+    }
+
+    impl EventHandler for Recorder {
+        type Event = u32;
+        fn handle(&mut self, event: u32, ctx: &mut Context<'_, u32>) {
+            self.seen.push((ctx.now(), event));
+            if event == 1 {
+                ctx.schedule_in(0.5, 10);
+            }
+        }
+    }
+
+    #[test]
+    fn processes_in_order_and_respects_horizon() {
+        let mut engine = Engine::new(Rng::seed_from_u64(0));
+        engine.schedule_at(1.0, 1);
+        engine.schedule_at(3.0, 3);
+        engine.schedule_at(10.0, 99);
+        let mut model = Recorder { seen: vec![] };
+        let outcome = engine.run_until(5.0, &mut model);
+        assert_eq!(outcome, RunOutcome::HorizonReached);
+        assert_eq!(model.seen, vec![(1.0, 1), (1.5, 10), (3.0, 3)]);
+        assert_eq!(engine.now(), 5.0);
+    }
+
+    #[test]
+    fn queue_empty_outcome() {
+        let mut engine = Engine::new(Rng::seed_from_u64(0));
+        engine.schedule_at(1.0, 2);
+        let mut model = Recorder { seen: vec![] };
+        assert_eq!(engine.run_until(5.0, &mut model), RunOutcome::QueueEmpty);
+        assert_eq!(engine.now(), 1.0);
+    }
+
+    struct Livelock;
+    impl EventHandler for Livelock {
+        type Event = ();
+        fn handle(&mut self, _e: (), ctx: &mut Context<'_, ()>) {
+            ctx.schedule_in(0.0, ());
+        }
+    }
+
+    #[test]
+    fn event_budget_stops_livelock() {
+        let mut engine = Engine::new(Rng::seed_from_u64(0)).with_event_budget(1000);
+        engine.schedule_at(0.0, ());
+        let outcome = engine.run_until(1.0, &mut Livelock);
+        assert_eq!(outcome, RunOutcome::EventBudgetExhausted);
+        assert_eq!(engine.events_processed(), 1000);
+    }
+
+    #[test]
+    #[should_panic]
+    fn scheduling_in_the_past_panics() {
+        let mut engine: Engine<()> = Engine::new(Rng::seed_from_u64(0));
+        engine.schedule_at(1.0, ());
+        let mut h = NoopHandler;
+        engine.run_until(2.0, &mut h);
+        engine.schedule_at(0.5, ());
+    }
+
+    struct NoopHandler;
+    impl EventHandler for NoopHandler {
+        type Event = ();
+        fn handle(&mut self, _e: (), _ctx: &mut Context<'_, ()>) {}
+    }
+
+    #[test]
+    fn resume_after_horizon() {
+        let mut engine = Engine::new(Rng::seed_from_u64(0));
+        engine.schedule_at(1.0, 1);
+        engine.schedule_at(7.0, 3);
+        let mut model = Recorder { seen: vec![] };
+        assert_eq!(engine.run_until(5.0, &mut model), RunOutcome::HorizonReached);
+        assert_eq!(engine.run_until(8.0, &mut model), RunOutcome::QueueEmpty);
+        assert_eq!(model.seen.last(), Some(&(7.0, 3)));
+    }
+}

@@ -1,0 +1,267 @@
+//! The pending-event set: a time-ordered priority queue.
+//!
+//! Determinism requirements drive the design:
+//!
+//! * ties in event time are broken by **insertion order** (FIFO), so a
+//!   simulation is a pure function of its seed;
+//! * cancellation is O(log n) amortized via lazy deletion, because a
+//!   stochastic activity network constantly cancels activities that became
+//!   disabled.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::collections::HashSet;
+
+/// Opaque handle identifying a scheduled event, used for cancellation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventKey(u64);
+
+#[derive(Debug)]
+struct Entry<T> {
+    time: f64,
+    seq: u64,
+    payload: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<T> Eq for Entry<T> {}
+
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert to get earliest-time-first, with
+        // FIFO (lowest sequence number) breaking ties.
+        other
+            .time
+            .partial_cmp(&self.time)
+            .expect("event times are never NaN")
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A pending-event set with deterministic ordering and O(log n) cancel.
+///
+/// # Example
+///
+/// ```
+/// use itua_sim::queue::EventQueue;
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(2.0, "b");
+/// let key = q.schedule(1.0, "a");
+/// q.schedule(1.0, "a2"); // same time: FIFO order
+/// q.cancel(key);
+/// assert_eq!(q.pop(), Some((1.0, "a2")));
+/// assert_eq!(q.pop(), Some((2.0, "b")));
+/// assert_eq!(q.pop(), None);
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Entry<T>>,
+    /// Sequence numbers of events that are scheduled and not yet popped or
+    /// cancelled. Membership here is the source of truth for liveness.
+    pending: HashSet<u64>,
+    /// Sequence numbers cancelled while still in the heap (lazy deletion).
+    cancelled: HashSet<u64>,
+    next_seq: u64,
+}
+
+impl<T> EventQueue<T> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            pending: HashSet::new(),
+            cancelled: HashSet::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `payload` at absolute time `time` and returns a key that
+    /// can later be passed to [`EventQueue::cancel`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is NaN.
+    pub fn schedule(&mut self, time: f64, payload: T) -> EventKey {
+        assert!(!time.is_nan(), "cannot schedule an event at NaN");
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { time, seq, payload });
+        self.pending.insert(seq);
+        EventKey(seq)
+    }
+
+    /// Cancels a previously scheduled event.
+    ///
+    /// Returns `true` if the event was still pending. Cancelling twice, or
+    /// cancelling an already-popped event, returns `false` and is harmless.
+    pub fn cancel(&mut self, key: EventKey) -> bool {
+        if self.pending.remove(&key.0) {
+            self.cancelled.insert(key.0);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Removes and returns the earliest live event as `(time, payload)`.
+    pub fn pop(&mut self) -> Option<(f64, T)> {
+        while let Some(entry) = self.heap.pop() {
+            if self.cancelled.remove(&entry.seq) {
+                continue;
+            }
+            self.pending.remove(&entry.seq);
+            return Some((entry.time, entry.payload));
+        }
+        None
+    }
+
+    /// Returns the time of the earliest live event without removing it.
+    pub fn peek_time(&mut self) -> Option<f64> {
+        loop {
+            let seq = match self.heap.peek() {
+                Some(e) => e.seq,
+                None => return None,
+            };
+            if self.cancelled.contains(&seq) {
+                let e = self.heap.pop().expect("peeked entry exists");
+                self.cancelled.remove(&e.seq);
+                continue;
+            }
+            return self.heap.peek().map(|e| e.time);
+        }
+    }
+
+    /// Number of live (not-yet-cancelled) events.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Whether there are no live events.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Drops every pending event.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+        self.pending.clear();
+        self.cancelled.clear();
+    }
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(3.0, 3);
+        q.schedule(1.0, 1);
+        q.schedule(2.0, 2);
+        assert_eq!(q.pop(), Some((1.0, 1)));
+        assert_eq!(q.pop(), Some((2.0, 2)));
+        assert_eq!(q.pop(), Some((3.0, 3)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn ties_broken_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(1.0, i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((1.0, i)));
+        }
+    }
+
+    #[test]
+    fn cancel_removes_event() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(1.0, "a");
+        q.schedule(2.0, "b");
+        assert_eq!(q.len(), 2);
+        assert!(q.cancel(a));
+        assert!(!q.cancel(a), "double cancel is a no-op");
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop(), Some((2.0, "b")));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn cancel_unknown_key_is_false() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(!q.cancel(EventKey(12345)));
+    }
+
+    #[test]
+    fn peek_skips_cancelled() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(1.0, "a");
+        q.schedule(2.0, "b");
+        q.cancel(a);
+        assert_eq!(q.peek_time(), Some(2.0));
+        assert_eq!(q.pop(), Some((2.0, "b")));
+    }
+
+    #[test]
+    fn clear_empties_queue() {
+        let mut q = EventQueue::new();
+        q.schedule(1.0, 1);
+        q.schedule(2.0, 2);
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    #[should_panic]
+    fn nan_time_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(f64::NAN, ());
+    }
+
+    #[test]
+    fn cancel_after_pop_is_noop() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(1.0, "a");
+        q.schedule(2.0, "b");
+        assert_eq!(q.pop(), Some((1.0, "a")));
+        assert!(!q.cancel(a), "event already delivered");
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop(), Some((2.0, "b")));
+    }
+
+    #[test]
+    fn interleaved_schedule_pop_cancel() {
+        let mut q = EventQueue::new();
+        let k1 = q.schedule(5.0, 1);
+        q.schedule(1.0, 2);
+        assert_eq!(q.pop(), Some((1.0, 2)));
+        q.schedule(3.0, 3);
+        q.cancel(k1);
+        q.schedule(4.0, 4);
+        assert_eq!(q.pop(), Some((3.0, 3)));
+        assert_eq!(q.pop(), Some((4.0, 4)));
+        assert_eq!(q.pop(), None);
+    }
+}

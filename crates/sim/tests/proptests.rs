@@ -1,0 +1,125 @@
+//! Property-based tests for the simulation kernel.
+
+use itua_sim::dist::{Discrete, Distribution, Erlang, Exponential, Lognormal, Uniform, Weibull};
+use itua_sim::queue::EventQueue;
+use itua_sim::rng::Rng;
+use proptest::prelude::*;
+
+proptest! {
+    /// The queue delivers events in nondecreasing time order, FIFO on ties.
+    #[test]
+    fn queue_is_time_ordered(times in prop::collection::vec(0.0f64..1e6, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(t, i);
+        }
+        let mut last_time = f64::NEG_INFINITY;
+        let mut seen_at_time: Vec<usize> = vec![];
+        let mut count = 0;
+        while let Some((t, id)) = q.pop() {
+            prop_assert!(t >= last_time, "time went backwards");
+            if t == last_time {
+                // FIFO: insertion indices at equal times must increase.
+                prop_assert!(seen_at_time.last().map_or(true, |&p| p < id));
+                seen_at_time.push(id);
+            } else {
+                seen_at_time = vec![id];
+            }
+            last_time = t;
+            count += 1;
+        }
+        prop_assert_eq!(count, times.len());
+    }
+
+    /// Cancelling an arbitrary subset removes exactly those events.
+    #[test]
+    fn queue_cancellation_exact(
+        times in prop::collection::vec(0.0f64..1e3, 1..100),
+        cancel_mask in prop::collection::vec(any::<bool>(), 1..100),
+    ) {
+        let mut q = EventQueue::new();
+        let keys: Vec<_> = times.iter().map(|&t| q.schedule(t, t)).collect();
+        let mut expected = times.len();
+        for (key, &cancel) in keys.iter().zip(cancel_mask.iter().chain(std::iter::repeat(&false))) {
+            if cancel {
+                prop_assert!(q.cancel(*key));
+                expected -= 1;
+            }
+        }
+        prop_assert_eq!(q.len(), expected);
+        let mut delivered = 0;
+        while q.pop().is_some() {
+            delivered += 1;
+        }
+        prop_assert_eq!(delivered, expected);
+    }
+
+    /// Streams with the same seed are identical; different seeds differ.
+    #[test]
+    fn rng_reproducible(seed in any::<u64>()) {
+        let mut a = Rng::seed_from_u64(seed);
+        let mut b = Rng::seed_from_u64(seed);
+        for _ in 0..64 {
+            prop_assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = Rng::seed_from_u64(seed.wrapping_add(1));
+        let collisions = (0..64).filter(|_| a.next_u64() == c.next_u64()).count();
+        prop_assert!(collisions < 4);
+    }
+
+    /// `u64_below` respects its bound for arbitrary bounds.
+    #[test]
+    fn u64_below_in_range(seed in any::<u64>(), bound in 1u64..u64::MAX) {
+        let mut rng = Rng::seed_from_u64(seed);
+        for _ in 0..32 {
+            prop_assert!(rng.u64_below(bound) < bound);
+        }
+    }
+
+    /// Every distribution produces finite, nonnegative samples for random
+    /// (valid) parameters.
+    #[test]
+    fn distributions_nonnegative(
+        seed in any::<u64>(),
+        rate in 1e-3f64..1e3,
+        shape in 0.2f64..5.0,
+        k in 1u32..20,
+    ) {
+        let mut rng = Rng::seed_from_u64(seed);
+        let dists: Vec<Box<dyn Distribution>> = vec![
+            Box::new(Exponential::new(rate).unwrap()),
+            Box::new(Uniform::new(0.0, rate).unwrap()),
+            Box::new(Erlang::new(k, rate).unwrap()),
+            Box::new(Weibull::new(shape, rate).unwrap()),
+            Box::new(Lognormal::new(0.0, shape).unwrap()),
+        ];
+        for d in &dists {
+            for _ in 0..16 {
+                let x = d.sample(&mut rng);
+                prop_assert!(x.is_finite() && x >= 0.0, "{:?} produced {}", d, x);
+            }
+        }
+    }
+
+    /// Discrete sampling always returns a valid index.
+    #[test]
+    fn discrete_index_valid(weights in prop::collection::vec(0.0f64..10.0, 1..20), seed in any::<u64>()) {
+        prop_assume!(weights.iter().sum::<f64>() > 0.0);
+        let d = Discrete::new(&weights).unwrap();
+        let mut rng = Rng::seed_from_u64(seed);
+        for _ in 0..64 {
+            prop_assert!(d.sample_index(&mut rng) < weights.len());
+        }
+    }
+
+    /// Shuffling preserves the multiset of elements.
+    #[test]
+    fn shuffle_is_permutation(mut v in prop::collection::vec(any::<i32>(), 0..100), seed in any::<u64>()) {
+        let mut rng = Rng::seed_from_u64(seed);
+        let mut sorted_before = v.clone();
+        sorted_before.sort_unstable();
+        rng.shuffle(&mut v);
+        v.sort_unstable();
+        prop_assert_eq!(v, sorted_before);
+    }
+}

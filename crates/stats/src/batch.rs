@@ -1,0 +1,152 @@
+//! Batch-means estimation for steady-state measures.
+//!
+//! A single long run is split into equal-length batches whose means are
+//! treated as (approximately) independent observations; a Student-t
+//! interval over the batch means then estimates the steady-state mean.
+//! Used for the paper's "steady state" series in Figure 4(c).
+
+use crate::ci::{CiError, ConfidenceInterval};
+use crate::online::OnlineStats;
+
+/// Batch-means accumulator over a stream of observations.
+///
+/// # Example
+///
+/// ```
+/// use itua_stats::batch::BatchMeans;
+///
+/// let mut bm = BatchMeans::new(10);
+/// for i in 0..100 {
+///     bm.push((i % 4) as f64);
+/// }
+/// assert_eq!(bm.completed_batches(), 10);
+/// let ci = bm.confidence_interval(0.95).unwrap();
+/// assert!((ci.mean - 1.5).abs() < 0.2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BatchMeans {
+    batch_size: u64,
+    current: OnlineStats,
+    batch_means: OnlineStats,
+    warmup_remaining: u64,
+}
+
+impl BatchMeans {
+    /// Creates an accumulator with the given batch size (observations per
+    /// batch) and no warm-up.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size == 0`.
+    pub fn new(batch_size: u64) -> Self {
+        Self::with_warmup(batch_size, 0)
+    }
+
+    /// Creates an accumulator that discards the first `warmup` observations
+    /// (initial-transient deletion).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size == 0`.
+    pub fn with_warmup(batch_size: u64, warmup: u64) -> Self {
+        assert!(batch_size > 0, "batch size must be positive");
+        BatchMeans {
+            batch_size,
+            current: OnlineStats::new(),
+            batch_means: OnlineStats::new(),
+            warmup_remaining: warmup,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        if self.warmup_remaining > 0 {
+            self.warmup_remaining -= 1;
+            return;
+        }
+        self.current.push(x);
+        if self.current.count() == self.batch_size {
+            self.batch_means.push(self.current.mean());
+            self.current = OnlineStats::new();
+        }
+    }
+
+    /// Number of completed batches.
+    pub fn completed_batches(&self) -> u64 {
+        self.batch_means.count()
+    }
+
+    /// Grand mean over completed batches (0 if none completed yet).
+    pub fn mean(&self) -> f64 {
+        self.batch_means.mean()
+    }
+
+    /// Confidence interval over the batch means.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CiError::TooFewObservations`] with fewer than two completed
+    /// batches.
+    pub fn confidence_interval(&self, level: f64) -> Result<ConfidenceInterval, CiError> {
+        ConfidenceInterval::from_stats(&self.batch_means, level)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batches_fill_and_complete() {
+        let mut bm = BatchMeans::new(5);
+        for i in 0..12 {
+            bm.push(i as f64);
+        }
+        assert_eq!(bm.completed_batches(), 2);
+        // Batch means: mean(0..5) = 2, mean(5..10) = 7.
+        assert_eq!(bm.mean(), 4.5);
+    }
+
+    #[test]
+    fn warmup_discards() {
+        let mut bm = BatchMeans::with_warmup(2, 3);
+        for x in [100.0, 100.0, 100.0, 1.0, 3.0] {
+            bm.push(x);
+        }
+        assert_eq!(bm.completed_batches(), 1);
+        assert_eq!(bm.mean(), 2.0);
+    }
+
+    #[test]
+    fn ci_requires_two_batches() {
+        let mut bm = BatchMeans::new(10);
+        for i in 0..10 {
+            bm.push(i as f64);
+        }
+        assert!(bm.confidence_interval(0.95).is_err());
+        for i in 0..10 {
+            bm.push(i as f64);
+        }
+        assert!(bm.confidence_interval(0.95).is_ok());
+    }
+
+    #[test]
+    fn iid_stream_recovers_mean() {
+        use itua_sim::dist::{Distribution, Exponential};
+        use itua_sim::rng::Rng;
+        let d = Exponential::new(0.5).unwrap(); // mean 2
+        let mut rng = Rng::seed_from_u64(77);
+        let mut bm = BatchMeans::with_warmup(500, 100);
+        for _ in 0..20_600 {
+            bm.push(d.sample(&mut rng));
+        }
+        let ci = bm.confidence_interval(0.95).unwrap();
+        assert!(ci.contains(2.0), "{ci}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_batch_size_panics() {
+        let _ = BatchMeans::new(0);
+    }
+}

@@ -1,0 +1,200 @@
+//! Fixed-bin histograms and exact percentiles.
+
+use std::fmt;
+
+/// A histogram with equal-width bins over `[low, high)` plus under/overflow
+/// counters.
+///
+/// # Example
+///
+/// ```
+/// use itua_stats::histogram::Histogram;
+///
+/// let mut h = Histogram::new(0.0, 10.0, 5).unwrap();
+/// for x in [0.5, 1.5, 2.5, 2.6, 11.0] {
+///     h.record(x);
+/// }
+/// assert_eq!(h.bin_count(0), 2); // [0,2): 0.5 and 1.5
+/// assert_eq!(h.bin_count(1), 2); // [2,4): 2.5 and 2.6
+/// assert_eq!(h.overflow(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    low: f64,
+    high: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    total: u64,
+}
+
+/// Error constructing a [`Histogram`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramError;
+
+impl fmt::Display for HistogramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "histogram needs finite low < high and at least one bin")
+    }
+}
+
+impl std::error::Error for HistogramError {}
+
+impl Histogram {
+    /// Creates a histogram over `[low, high)` with `bins` equal bins.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HistogramError`] if the bounds are not finite and ordered
+    /// or `bins == 0`.
+    pub fn new(low: f64, high: f64, bins: usize) -> Result<Self, HistogramError> {
+        if !low.is_finite() || !high.is_finite() || low >= high || bins == 0 {
+            return Err(HistogramError);
+        }
+        Ok(Histogram {
+            low,
+            high,
+            bins: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+            total: 0,
+        })
+    }
+
+    /// Records an observation.
+    ///
+    /// NaN observations are counted as overflow (they are out of range of
+    /// every bin) so that `total` stays consistent.
+    pub fn record(&mut self, x: f64) {
+        self.total += 1;
+        if x.is_nan() || x >= self.high {
+            self.overflow += 1;
+        } else if x < self.low {
+            self.underflow += 1;
+        } else {
+            let width = (self.high - self.low) / self.bins.len() as f64;
+            let idx = ((x - self.low) / width) as usize;
+            let idx = idx.min(self.bins.len() - 1);
+            self.bins[idx] += 1;
+        }
+    }
+
+    /// Count in bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn bin_count(&self, i: usize) -> u64 {
+        self.bins[i]
+    }
+
+    /// Number of bins.
+    pub fn num_bins(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// `[low, high)` edges of bin `i`.
+    pub fn bin_edges(&self, i: usize) -> (f64, f64) {
+        let width = (self.high - self.low) / self.bins.len() as f64;
+        (self.low + i as f64 * width, self.low + (i + 1) as f64 * width)
+    }
+
+    /// Observations below the range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations at or above the range (including NaN).
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total observations recorded.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+}
+
+/// Exact percentile of a sample (linear interpolation between order
+/// statistics, the "type 7" definition used by most statistics packages).
+///
+/// Returns `None` for an empty sample or a `q` outside `[0, 1]`.
+pub fn percentile(sorted: &[f64], q: f64) -> Option<f64> {
+    if sorted.is_empty() || !(0.0..=1.0).contains(&q) {
+        return None;
+    }
+    debug_assert!(
+        sorted.windows(2).all(|w| w[0] <= w[1]),
+        "input must be sorted"
+    );
+    let n = sorted.len();
+    if n == 1 {
+        return Some(sorted[0]);
+    }
+    let pos = q * (n - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    Some(sorted[lo] + frac * (sorted[hi] - sorted[lo]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_errors() {
+        assert!(Histogram::new(1.0, 1.0, 4).is_err());
+        assert!(Histogram::new(2.0, 1.0, 4).is_err());
+        assert!(Histogram::new(0.0, 1.0, 0).is_err());
+        assert!(Histogram::new(f64::NAN, 1.0, 2).is_err());
+    }
+
+    #[test]
+    fn binning_at_edges() {
+        let mut h = Histogram::new(0.0, 10.0, 10).unwrap();
+        h.record(0.0); // first bin, inclusive low edge
+        h.record(9.999); // last bin
+        h.record(10.0); // overflow (exclusive high edge)
+        h.record(-0.001); // underflow
+        assert_eq!(h.bin_count(0), 1);
+        assert_eq!(h.bin_count(9), 1);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.total(), 4);
+    }
+
+    #[test]
+    fn nan_counts_as_overflow() {
+        let mut h = Histogram::new(0.0, 1.0, 2).unwrap();
+        h.record(f64::NAN);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.total(), 1);
+    }
+
+    #[test]
+    fn bin_edges_cover_range() {
+        let h = Histogram::new(2.0, 4.0, 4).unwrap();
+        assert_eq!(h.bin_edges(0), (2.0, 2.5));
+        assert_eq!(h.bin_edges(3), (3.5, 4.0));
+    }
+
+    #[test]
+    fn percentile_basics() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(percentile(&xs, 0.0), Some(1.0));
+        assert_eq!(percentile(&xs, 1.0), Some(5.0));
+        assert_eq!(percentile(&xs, 0.5), Some(3.0));
+        assert_eq!(percentile(&xs, 0.25), Some(2.0));
+        // Interpolated.
+        assert_eq!(percentile(&xs, 0.1), Some(1.4));
+    }
+
+    #[test]
+    fn percentile_edge_cases() {
+        assert_eq!(percentile(&[], 0.5), None);
+        assert_eq!(percentile(&[7.0], 0.99), Some(7.0));
+        assert_eq!(percentile(&[1.0, 2.0], 1.5), None);
+        assert_eq!(percentile(&[1.0, 2.0], -0.1), None);
+    }
+}

@@ -1,0 +1,45 @@
+//! Statistical estimation for simulation output analysis.
+//!
+//! Möbius reports each reward variable as a point estimate with a
+//! confidence interval computed over independent replications. This crate
+//! provides the same machinery:
+//!
+//! * [`online`] — numerically stable streaming moments (Welford).
+//! * [`timeweighted`] — integrals of piecewise-constant sample paths, for
+//!   interval-of-time (time-averaged) reward variables.
+//! * [`special`] — special functions (log-gamma, incomplete beta, normal
+//!   quantile) implemented from scratch.
+//! * [`tdist`] — Student-t CDF and quantiles built on [`special`].
+//! * [`ci`] — confidence intervals over replicate observations.
+//! * [`replication`] — a multi-measure replication harness with
+//!   relative-precision stopping.
+//! * [`batch`] — batch-means estimation for steady-state measures.
+//! * [`histogram`] — fixed-bin histograms and exact percentiles.
+//!
+//! # Example
+//!
+//! ```
+//! use itua_stats::ci::ConfidenceInterval;
+//!
+//! let obs = [0.9, 1.1, 1.0, 0.95, 1.05];
+//! let ci = ConfidenceInterval::from_observations(&obs, 0.95).unwrap();
+//! assert!((ci.mean - 1.0).abs() < 1e-12);
+//! assert!(ci.half_width > 0.0 && ci.half_width < 0.2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod batch;
+pub mod ci;
+pub mod histogram;
+pub mod online;
+pub mod replication;
+pub mod special;
+pub mod tdist;
+pub mod timeweighted;
+
+pub use ci::ConfidenceInterval;
+pub use online::OnlineStats;
+pub use replication::{Estimate, ReplicationEstimator};
+pub use timeweighted::TimeWeighted;

@@ -1,0 +1,201 @@
+//! Replication-based estimation of many measures at once.
+//!
+//! Möbius estimates every reward variable of a study from `n` independent
+//! simulation replications and reports mean ± t-interval. The
+//! [`ReplicationEstimator`] does the same: each replication produces one
+//! observation per named measure (or none, for event-conditioned measures
+//! such as "fraction of corrupt hosts in an excluded domain", which produce
+//! an observation only if the triggering event happened).
+
+use crate::ci::{CiError, ConfidenceInterval};
+use crate::online::OnlineStats;
+use std::collections::BTreeMap;
+
+/// A finished estimate for one measure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Estimate {
+    /// Measure name.
+    pub name: String,
+    /// Point estimate and interval.
+    pub ci: ConfidenceInterval,
+    /// Smallest observation seen.
+    pub min: f64,
+    /// Largest observation seen.
+    pub max: f64,
+}
+
+/// Collects per-replication observations for a set of named measures.
+///
+/// # Example
+///
+/// ```
+/// use itua_stats::replication::ReplicationEstimator;
+///
+/// let mut est = ReplicationEstimator::new(0.95);
+/// for rep in 0..100 {
+///     est.record("throughput", 10.0 + (rep % 5) as f64);
+/// }
+/// let estimate = est.estimate("throughput").unwrap();
+/// assert!((estimate.ci.mean - 12.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ReplicationEstimator {
+    level: f64,
+    measures: BTreeMap<String, OnlineStats>,
+}
+
+impl ReplicationEstimator {
+    /// Creates an estimator that reports intervals at `level` confidence
+    /// (e.g. `0.95`).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < level < 1`.
+    pub fn new(level: f64) -> Self {
+        assert!(level > 0.0 && level < 1.0, "confidence level in (0,1)");
+        ReplicationEstimator {
+            level,
+            measures: BTreeMap::new(),
+        }
+    }
+
+    /// Records one observation of `measure`.
+    pub fn record(&mut self, measure: &str, value: f64) {
+        self.measures
+            .entry(measure.to_owned())
+            .or_default()
+            .push(value);
+    }
+
+    /// Number of observations recorded for `measure`.
+    pub fn count(&self, measure: &str) -> u64 {
+        self.measures.get(measure).map_or(0, OnlineStats::count)
+    }
+
+    /// Computes the estimate for one measure.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CiError::TooFewObservations`] if the measure has fewer than
+    /// two observations (or none at all).
+    pub fn estimate(&self, measure: &str) -> Result<Estimate, CiError> {
+        let stats = self
+            .measures
+            .get(measure)
+            .ok_or(CiError::TooFewObservations)?;
+        let ci = ConfidenceInterval::from_stats(stats, self.level)?;
+        Ok(Estimate {
+            name: measure.to_owned(),
+            ci,
+            min: stats.min().expect("n >= 2"),
+            max: stats.max().expect("n >= 2"),
+        })
+    }
+
+    /// Computes estimates for every measure with at least two observations,
+    /// sorted by name.
+    pub fn estimates(&self) -> Vec<Estimate> {
+        self.measures
+            .keys()
+            .filter_map(|name| self.estimate(name).ok())
+            .collect()
+    }
+
+    /// Whether every listed measure has reached the requested relative
+    /// half-width (e.g. `0.1` = ±10 % of the mean). Measures whose mean is
+    /// ~0 are judged by absolute half-width against `abs_floor`.
+    pub fn reached_precision(&self, measures: &[&str], rel: f64, abs_floor: f64) -> bool {
+        measures.iter().all(|m| match self.estimate(m) {
+            Ok(e) => match e.ci.relative_half_width() {
+                Some(r) => r <= rel || e.ci.half_width <= abs_floor,
+                None => e.ci.half_width <= abs_floor,
+            },
+            Err(_) => false,
+        })
+    }
+
+    /// The confidence level used for all intervals.
+    pub fn level(&self) -> f64 {
+        self.level
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_estimates() {
+        let mut est = ReplicationEstimator::new(0.95);
+        for x in [1.0, 2.0, 3.0] {
+            est.record("m", x);
+        }
+        let e = est.estimate("m").unwrap();
+        assert_eq!(e.ci.mean, 2.0);
+        assert_eq!(e.min, 1.0);
+        assert_eq!(e.max, 3.0);
+        assert_eq!(e.ci.n, 3);
+    }
+
+    #[test]
+    fn missing_measure_errors() {
+        let est = ReplicationEstimator::new(0.95);
+        assert!(est.estimate("nope").is_err());
+        assert_eq!(est.count("nope"), 0);
+    }
+
+    #[test]
+    fn conditional_measures_can_have_fewer_observations() {
+        let mut est = ReplicationEstimator::new(0.95);
+        for i in 0..10 {
+            est.record("always", i as f64);
+            if i % 3 == 0 {
+                est.record("sometimes", 1.0);
+            }
+        }
+        assert_eq!(est.count("always"), 10);
+        assert_eq!(est.count("sometimes"), 4);
+    }
+
+    #[test]
+    fn estimates_sorted_by_name() {
+        let mut est = ReplicationEstimator::new(0.9);
+        for x in [1.0, 2.0] {
+            est.record("zeta", x);
+            est.record("alpha", x);
+        }
+        let all = est.estimates();
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[0].name, "alpha");
+        assert_eq!(all[1].name, "zeta");
+    }
+
+    #[test]
+    fn precision_stopping() {
+        let mut est = ReplicationEstimator::new(0.95);
+        // Tight data: mean 10, tiny spread.
+        for i in 0..50 {
+            est.record("tight", 10.0 + 0.001 * (i % 2) as f64);
+            est.record("loose", (i % 20) as f64);
+        }
+        assert!(est.reached_precision(&["tight"], 0.01, 1e-9));
+        assert!(!est.reached_precision(&["loose"], 0.01, 1e-9));
+        assert!(!est.reached_precision(&["tight", "loose"], 0.01, 1e-9));
+        assert!(!est.reached_precision(&["absent"], 0.5, 1.0));
+    }
+
+    #[test]
+    fn zero_mean_uses_absolute_floor() {
+        let mut est = ReplicationEstimator::new(0.95);
+        for _ in 0..10 {
+            est.record("zero", 0.0);
+        }
+        assert!(est.reached_precision(&["zero"], 0.1, 1e-9));
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_level_panics() {
+        let _ = ReplicationEstimator::new(1.0);
+    }
+}

@@ -1,0 +1,185 @@
+//! Student's t distribution: CDF and quantiles.
+//!
+//! The quantile is what turns a replication sample into a Möbius-style
+//! confidence interval. It is computed by inverting the CDF with a
+//! bracketed Newton/bisection hybrid, so it is accurate for any degrees of
+//! freedom rather than relying on a small-df table.
+
+use crate::special::{inc_beta, normal_quantile};
+
+/// CDF of Student's t distribution with `df` degrees of freedom.
+///
+/// # Panics
+///
+/// Panics if `df` is not positive.
+pub fn t_cdf(t: f64, df: f64) -> f64 {
+    assert!(df > 0.0, "degrees of freedom must be positive");
+    if t == 0.0 {
+        return 0.5;
+    }
+    let x = df / (df + t * t);
+    let p = 0.5 * inc_beta(0.5 * df, 0.5, x);
+    if t > 0.0 {
+        1.0 - p
+    } else {
+        p
+    }
+}
+
+/// Quantile (inverse CDF) of Student's t distribution.
+///
+/// # Panics
+///
+/// Panics unless `0 < p < 1` and `df > 0`.
+pub fn t_quantile(p: f64, df: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "t_quantile domain: 0 < p < 1, got {p}");
+    assert!(df > 0.0, "degrees of freedom must be positive");
+    if (p - 0.5).abs() < 1e-16 {
+        return 0.0;
+    }
+    // By symmetry work in the upper tail.
+    if p < 0.5 {
+        return -t_quantile(1.0 - p, df);
+    }
+
+    // Initial guess: the normal quantile, inflated by the classic
+    // Cornish-Fisher-style correction; for tiny df fall back to a wide
+    // bracket.
+    let z = normal_quantile(p);
+    let g1 = (z.powi(3) + z) / 4.0;
+    let g2 = (5.0 * z.powi(5) + 16.0 * z.powi(3) + 3.0 * z) / 96.0;
+    let mut x = z + g1 / df + g2 / (df * df);
+    if !x.is_finite() || x <= 0.0 {
+        x = z.max(0.5);
+    }
+
+    // Bracket the root.
+    let mut lo = 0.0f64;
+    let mut hi = x.max(1.0);
+    while t_cdf(hi, df) < p {
+        lo = hi;
+        hi *= 2.0;
+        assert!(hi < 1e300, "t_quantile failed to bracket");
+    }
+
+    // Bisection with Newton acceleration on the CDF.
+    let mut x = x.clamp(lo, hi);
+    for _ in 0..200 {
+        let f = t_cdf(x, df) - p;
+        if f.abs() < 1e-14 {
+            break;
+        }
+        if f > 0.0 {
+            hi = x;
+        } else {
+            lo = x;
+        }
+        // Newton step using the t pdf.
+        let pdf = t_pdf(x, df);
+        let newton = if pdf > 1e-300 { x - f / pdf } else { f64::NAN };
+        x = if newton.is_finite() && newton > lo && newton < hi {
+            newton
+        } else {
+            0.5 * (lo + hi)
+        };
+        if hi - lo < 1e-13 * (1.0 + x.abs()) {
+            break;
+        }
+    }
+    x
+}
+
+/// Density of Student's t distribution.
+pub fn t_pdf(t: f64, df: f64) -> f64 {
+    use crate::special::ln_gamma;
+    assert!(df > 0.0);
+    let ln_c = ln_gamma(0.5 * (df + 1.0)) - ln_gamma(0.5 * df)
+        - 0.5 * (df * std::f64::consts::PI).ln();
+    (ln_c - 0.5 * (df + 1.0) * (1.0 + t * t / df).ln()).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cdf_symmetry_and_midpoint() {
+        for &df in &[1.0, 2.0, 5.0, 30.0] {
+            assert!((t_cdf(0.0, df) - 0.5).abs() < 1e-14);
+            for &t in &[0.3, 1.0, 2.5] {
+                assert!((t_cdf(t, df) + t_cdf(-t, df) - 1.0).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn cdf_df1_is_cauchy() {
+        // For df = 1, CDF(t) = 1/2 + atan(t)/π.
+        for &t in &[-3.0f64, -1.0, 0.5, 2.0, 10.0] {
+            let expected = 0.5 + t.atan() / std::f64::consts::PI;
+            assert!((t_cdf(t, 1.0) - expected).abs() < 1e-12, "t = {t}");
+        }
+    }
+
+    #[test]
+    fn quantile_reference_values() {
+        // Classic two-sided 95% critical values (p = 0.975).
+        let cases = [
+            (1.0, 12.706_204_736_432_1),
+            (2.0, 4.302_652_729_911_27),
+            (5.0, 2.570_581_835_636_20),
+            (10.0, 2.228_138_851_986_27),
+            (30.0, 2.042_272_456_301_24),
+            (100.0, 1.983_971_518_523_55),
+        ];
+        for &(df, expected) in &cases {
+            let got = t_quantile(0.975, df);
+            assert!(
+                (got - expected).abs() < 1e-6,
+                "df {df}: got {got}, want {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn quantile_90_and_99() {
+        assert!((t_quantile(0.95, 9.0) - 1.833_112_932_712_77).abs() < 1e-6);
+        assert!((t_quantile(0.995, 9.0) - 3.249_835_541_592_0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn quantile_inverts_cdf() {
+        for &df in &[1.0, 3.0, 7.5, 42.0, 500.0] {
+            for &p in &[0.6, 0.9, 0.975, 0.999] {
+                let t = t_quantile(p, df);
+                assert!((t_cdf(t, df) - p).abs() < 1e-10, "df {df} p {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn quantile_symmetry() {
+        for &df in &[2.0, 10.0] {
+            assert!((t_quantile(0.2, df) + t_quantile(0.8, df)).abs() < 1e-9);
+        }
+        assert_eq!(t_quantile(0.5, 5.0), 0.0);
+    }
+
+    #[test]
+    fn quantile_approaches_normal_for_large_df() {
+        let z = crate::special::normal_quantile(0.975);
+        let t = t_quantile(0.975, 1e6);
+        assert!((t - z).abs() < 1e-4);
+    }
+
+    #[test]
+    fn pdf_integrates_to_cdf_diff() {
+        // Trapezoidal check of d/dt CDF = pdf on a coarse grid.
+        let df = 4.0;
+        let h = 1e-5;
+        for &t in &[-2.0, 0.0, 1.5] {
+            let num = (t_cdf(t + h, df) - t_cdf(t - h, df)) / (2.0 * h);
+            assert!((num - t_pdf(t, df)).abs() < 1e-6);
+        }
+    }
+}

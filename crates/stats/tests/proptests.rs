@@ -1,0 +1,89 @@
+//! Property-based tests for the statistics crate.
+
+use itua_stats::batch::BatchMeans;
+use itua_stats::histogram::percentile;
+use itua_stats::online::OnlineStats;
+use itua_stats::tdist::{t_cdf, t_quantile};
+use itua_stats::timeweighted::TimeWeighted;
+use proptest::prelude::*;
+
+proptest! {
+    /// Welford matches the naive two-pass computation.
+    #[test]
+    fn welford_matches_two_pass(xs in prop::collection::vec(-1e6f64..1e6, 2..200)) {
+        let s: OnlineStats = xs.iter().copied().collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (xs.len() - 1) as f64;
+        let scale = 1.0 + mean.abs() + var.abs();
+        prop_assert!((s.mean() - mean).abs() / scale < 1e-9);
+        prop_assert!((s.sample_variance().unwrap() - var).abs() / scale.powi(2) < 1e-6);
+        prop_assert_eq!(s.min().unwrap(), xs.iter().cloned().fold(f64::INFINITY, f64::min));
+        prop_assert_eq!(s.max().unwrap(), xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max));
+    }
+
+    /// Merging partitions equals processing the whole stream.
+    #[test]
+    fn merge_equals_sequential(
+        xs in prop::collection::vec(-1e3f64..1e3, 2..200),
+        split in 0usize..200,
+    ) {
+        let split = split.min(xs.len());
+        let (left, right) = xs.split_at(split);
+        let mut merged: OnlineStats = left.iter().copied().collect();
+        merged.merge(&right.iter().copied().collect());
+        let whole: OnlineStats = xs.iter().copied().collect();
+        prop_assert_eq!(merged.count(), whole.count());
+        prop_assert!((merged.mean() - whole.mean()).abs() < 1e-8 * (1.0 + whole.mean().abs()));
+    }
+
+    /// The t quantile is monotone in p and inverts the CDF.
+    #[test]
+    fn t_quantile_monotone_and_inverse(df in 1.0f64..200.0, p in 0.01f64..0.99) {
+        let q = t_quantile(p, df);
+        prop_assert!((t_cdf(q, df) - p).abs() < 1e-8);
+        let q2 = t_quantile((p + 0.005).min(0.995), df);
+        prop_assert!(q2 >= q);
+    }
+
+    /// Percentiles lie within the sample range and are monotone in q.
+    #[test]
+    fn percentile_bounds(mut xs in prop::collection::vec(-1e6f64..1e6, 1..100), q in 0.0f64..1.0) {
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let p = percentile(&xs, q).unwrap();
+        prop_assert!(p >= xs[0] && p <= xs[xs.len() - 1]);
+        let p2 = percentile(&xs, (q + 0.05).min(1.0)).unwrap();
+        prop_assert!(p2 >= p);
+    }
+
+    /// The time-weighted mean lies between the extreme levels.
+    #[test]
+    fn timeweighted_mean_bounded(
+        levels in prop::collection::vec(0.0f64..100.0, 1..50),
+        gaps in prop::collection::vec(1e-3f64..10.0, 1..50),
+    ) {
+        let mut tw = TimeWeighted::new(0.0, levels[0]);
+        let mut t = 0.0;
+        for (lvl, gap) in levels.iter().skip(1).zip(&gaps) {
+            t += gap;
+            tw.set(t, *lvl);
+        }
+        let end = t + 1.0;
+        let mean = tw.mean_until(end);
+        let lo = levels.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = levels.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(mean >= lo - 1e-9 && mean <= hi + 1e-9);
+    }
+
+    /// Batch means: grand mean equals the mean of the consumed prefix.
+    #[test]
+    fn batch_means_grand_mean(xs in prop::collection::vec(-100.0f64..100.0, 10..300), bs in 1u64..20) {
+        let mut bm = BatchMeans::new(bs);
+        for &x in &xs {
+            bm.push(x);
+        }
+        let consumed = (xs.len() as u64 / bs * bs) as usize;
+        prop_assume!(consumed > 0);
+        let expected = xs[..consumed].iter().sum::<f64>() / consumed as f64;
+        prop_assert!((bm.mean() - expected).abs() < 1e-9 * (1.0 + expected.abs()));
+    }
+}

@@ -1,0 +1,129 @@
+//! Figure 3 (§4.1): different distributions of 12 hosts into domains.
+//!
+//! 12 hosts are split into 12, 6, 4, 3, 2, or 1 domains (x-axis: hosts per
+//! domain = 1, 2, 3, 4, 6, 12) for 2, 4, 6, and 8 applications of 7
+//! replicas each. Four panels over the first 5 hours:
+//!
+//! * (a) unavailability,
+//! * (b) unreliability,
+//! * (c) fraction of corrupt hosts in an excluded domain,
+//! * (d) fraction of domains excluded at t = 5.
+
+use crate::sweep::{run_sweep, FigureResult, Panel, Series, SweepConfig, SweepPoint};
+use itua_core::measures::names;
+use itua_core::params::Params;
+
+/// Total hosts in the study.
+pub const TOTAL_HOSTS: usize = 12;
+/// Hosts-per-domain values on the x-axis.
+pub const HOSTS_PER_DOMAIN: [usize; 6] = [1, 2, 3, 4, 6, 12];
+/// Application counts (one series each).
+pub const APP_COUNTS: [usize; 4] = [2, 4, 6, 8];
+/// Replicas per application.
+pub const REPS_PER_APP: usize = 7;
+/// Study horizon (hours).
+pub const HORIZON: f64 = 5.0;
+
+/// The sweep points of the study.
+pub fn points() -> Vec<SweepPoint> {
+    let mut pts = Vec::new();
+    for &apps in &APP_COUNTS {
+        for &hpd in &HOSTS_PER_DOMAIN {
+            let domains = TOTAL_HOSTS / hpd;
+            pts.push(SweepPoint {
+                x: hpd as f64,
+                series: format!("{apps} applications"),
+                params: Params::default()
+                    .with_domains(domains, hpd)
+                    .with_applications(apps, REPS_PER_APP),
+                horizon: HORIZON,
+                sample_times: vec![HORIZON],
+            });
+        }
+    }
+    pts
+}
+
+/// Runs the full study.
+pub fn run(cfg: &SweepConfig) -> FigureResult {
+    let excluded_at_5 = format!("{}@{}", names::FRAC_DOMAINS_EXCLUDED, HORIZON);
+    let measures = [
+        names::UNAVAILABILITY,
+        names::UNRELIABILITY,
+        names::FRAC_CORRUPT_AT_EXCLUSION,
+        excluded_at_5.as_str(),
+    ];
+    let all = run_sweep(&points(), cfg, &measures);
+    let take = |measure: &str| -> Vec<Series> {
+        all.iter().filter(|s| s.measure == measure).cloned().collect()
+    };
+    FigureResult {
+        id: "Figure 3".into(),
+        title: "Variations in measures for different distributions of 12 hosts (first 5 hours)"
+            .into(),
+        x_label: "Hosts per domain".into(),
+        panels: vec![
+            Panel {
+                id: "3a".into(),
+                title: "Unavailability for first 5 time units".into(),
+                series: take(names::UNAVAILABILITY),
+            },
+            Panel {
+                id: "3b".into(),
+                title: "Unreliability for first 5 time units".into(),
+                series: take(names::UNRELIABILITY),
+            },
+            Panel {
+                id: "3c".into(),
+                title: "Fraction of corrupt hosts in an excluded domain".into(),
+                series: take(names::FRAC_CORRUPT_AT_EXCLUSION),
+            },
+            Panel {
+                id: "3d".into(),
+                title: "Fraction of domains excluded at 5 time units".into(),
+                series: take(&excluded_at_5),
+            },
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn study_has_24_points() {
+        let pts = points();
+        assert_eq!(pts.len(), 24);
+        for p in &pts {
+            // Constant total hosts.
+            assert_eq!(p.params.total_hosts(), TOTAL_HOSTS);
+            p.params.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn x_axis_is_hosts_per_domain() {
+        let xs: Vec<f64> = points()
+            .iter()
+            .filter(|p| p.series == "2 applications")
+            .map(|p| p.x)
+            .collect();
+        assert_eq!(xs, vec![1.0, 2.0, 3.0, 4.0, 6.0, 12.0]);
+    }
+
+    #[test]
+    fn small_run_produces_all_panels() {
+        let cfg = SweepConfig {
+            replications: 5,
+            ..Default::default()
+        };
+        let fig = run(&cfg);
+        assert_eq!(fig.panels.len(), 4);
+        // Panels (a), (b), (d) have one series per app count; (c) may drop
+        // series that never observed an exclusion with so few reps.
+        assert_eq!(fig.panels[0].series.len(), APP_COUNTS.len());
+        assert_eq!(fig.panels[1].series.len(), APP_COUNTS.len());
+        assert_eq!(fig.panels[3].series.len(), APP_COUNTS.len());
+    }
+}

@@ -1,0 +1,149 @@
+//! Figure 5 (§4.3): domain-exclusion vs host-exclusion management under
+//! varying within-domain attack-spread rates.
+//!
+//! 10 domains × 3 hosts, 4 applications × 7 replicas, host corruption
+//! multiplies replica/manager attack rates fivefold. The within-domain
+//! spread rate sweeps 0–10. Panels:
+//!
+//! * (a) unavailability for the first 5 hours,
+//! * (b) unavailability for the first 10 hours,
+//! * (c) unreliability for the first 5 hours,
+//! * (d) unreliability for the first 10 hours,
+//!
+//! each comparing the two exclusion schemes.
+
+use crate::sweep::{run_sweep, FigureResult, Panel, Series, SweepConfig, SweepPoint};
+use itua_core::measures::names;
+use itua_core::params::{ManagementScheme, Params};
+
+/// Number of security domains.
+pub const NUM_DOMAINS: usize = 10;
+/// Hosts per domain.
+pub const HOSTS_PER_DOMAIN: usize = 3;
+/// Applications × replicas.
+pub const NUM_APPS: usize = 4;
+/// Replicas per application.
+pub const REPS_PER_APP: usize = 7;
+/// Host-corruption multiplier for this study (paper: fivefold).
+pub const CORRUPTION_MULTIPLIER: f64 = 5.0;
+/// Attack-spread rates on the x-axis.
+pub const SPREAD_RATES: [f64; 6] = [0.0, 2.0, 4.0, 6.0, 8.0, 10.0];
+/// The two horizons (hours).
+pub const HORIZONS: [f64; 2] = [5.0, 10.0];
+
+/// Sweep points: scheme × spread × horizon.
+pub fn points() -> Vec<SweepPoint> {
+    let mut pts = Vec::new();
+    for &scheme in &[
+        ManagementScheme::HostExclusion,
+        ManagementScheme::DomainExclusion,
+    ] {
+        for &spread in &SPREAD_RATES {
+            let params = Params::default()
+                .with_domains(NUM_DOMAINS, HOSTS_PER_DOMAIN)
+                .with_applications(NUM_APPS, REPS_PER_APP)
+                .with_scheme(scheme)
+                .with_host_corruption_multiplier(CORRUPTION_MULTIPLIER)
+                .with_spread_rate(spread);
+            for &h in &HORIZONS {
+                pts.push(SweepPoint {
+                    x: spread,
+                    series: format!(
+                        "{} [0,{h:.0}]",
+                        match scheme {
+                            ManagementScheme::HostExclusion => "Host exclusion",
+                            ManagementScheme::DomainExclusion => "Domain exclusion",
+                        }
+                    ),
+                    params: params.clone(),
+                    horizon: h,
+                    sample_times: vec![],
+                });
+            }
+        }
+    }
+    pts
+}
+
+/// Runs the full study.
+pub fn run(cfg: &SweepConfig) -> FigureResult {
+    let measures = [names::UNAVAILABILITY, names::UNRELIABILITY];
+    let all = run_sweep(&points(), cfg, &measures);
+    let take = |measure: &str, horizon_tag: &str| -> Vec<Series> {
+        all.iter()
+            .filter(|s| s.measure == measure && s.name.ends_with(horizon_tag))
+            .cloned()
+            .map(|mut s| {
+                s.name = s.name.trim_end_matches(horizon_tag).trim().to_owned();
+                s
+            })
+            .collect()
+    };
+    FigureResult {
+        id: "Figure 5".into(),
+        title: "Unavailability and unreliability for different exclusion algorithms".into(),
+        x_label: "Rate of attack spread".into(),
+        panels: vec![
+            Panel {
+                id: "5a".into(),
+                title: "Unavailability for the first 5 hours".into(),
+                series: take(names::UNAVAILABILITY, "[0,5]"),
+            },
+            Panel {
+                id: "5b".into(),
+                title: "Unavailability for the first 10 hours".into(),
+                series: take(names::UNAVAILABILITY, "[0,10]"),
+            },
+            Panel {
+                id: "5c".into(),
+                title: "Unreliability for the first 5 hours".into(),
+                series: take(names::UNRELIABILITY, "[0,5]"),
+            },
+            Panel {
+                id: "5d".into(),
+                title: "Unreliability for the first 10 hours".into(),
+                series: take(names::UNRELIABILITY, "[0,10]"),
+            },
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn study_covers_grid() {
+        let pts = points();
+        // 2 schemes × 6 spreads × 2 horizons.
+        assert_eq!(pts.len(), 24);
+        for p in &pts {
+            assert_eq!(p.params.host_corruption_multiplier, CORRUPTION_MULTIPLIER);
+            p.params.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn both_schemes_present() {
+        let pts = points();
+        assert!(pts.iter().any(|p| p.series.starts_with("Host exclusion")));
+        assert!(pts.iter().any(|p| p.series.starts_with("Domain exclusion")));
+    }
+
+    #[test]
+    fn small_run_produces_two_series_per_panel() {
+        let cfg = SweepConfig {
+            replications: 5,
+            ..Default::default()
+        };
+        let fig = run(&cfg);
+        assert_eq!(fig.panels.len(), 4);
+        for panel in &fig.panels {
+            assert_eq!(panel.series.len(), 2, "panel {}", panel.id);
+            for s in &panel.series {
+                assert_eq!(s.points.len(), SPREAD_RATES.len());
+                assert!(s.name == "Host exclusion" || s.name == "Domain exclusion");
+            }
+        }
+    }
+}

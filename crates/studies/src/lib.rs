@@ -1,0 +1,39 @@
+//! The paper's validation studies (Figures 3, 4, and 5).
+//!
+//! Each figure is a parameter sweep over the ITUA model with the measures
+//! of Section 4. The modules here define the exact sweeps, run them with
+//! replication-based estimation, and render the resulting series as text
+//! tables (the same rows the paper plots).
+//!
+//! * [`figure3`] — 12 hosts distributed into 1–12 domains, for 2/4/6/8
+//!   applications (§4.1).
+//! * [`figure4`] — 10 domains with 1–4 hosts each (§4.2).
+//! * [`figure5`] — domain- vs host-exclusion under attack-spread rates
+//!   0–10 (§4.3).
+//! * [`sensitivity`] — one-at-a-time sensitivity of the baseline to the
+//!   defense parameters (the exploration §4 mentions).
+//! * [`sweep`] — the generic sweep/estimation machinery.
+//! * [`table`] — plain-text rendering of figure series.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use itua_studies::figure3;
+//! use itua_studies::sweep::SweepConfig;
+//!
+//! let cfg = SweepConfig { replications: 2000, ..SweepConfig::default() };
+//! let result = figure3::run(&cfg);
+//! println!("{}", itua_studies::table::render(&result));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod figure3;
+pub mod figure4;
+pub mod figure5;
+pub mod sensitivity;
+pub mod sweep;
+pub mod table;
+
+pub use sweep::{FigureResult, Series, SweepConfig};

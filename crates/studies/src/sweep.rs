@@ -1,0 +1,224 @@
+//! Generic sweep machinery: run the ITUA model over a list of parameter
+//! points and aggregate measures with confidence intervals.
+
+use itua_core::des::ItuaDes;
+use itua_core::measures::MeasureSet;
+use itua_core::params::Params;
+use serde::{Deserialize, Serialize};
+
+/// How much simulation to spend per sweep point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SweepConfig {
+    /// Independent replications per point.
+    pub replications: u32,
+    /// Base seed; replication `i` of point `j` uses
+    /// `base_seed + j * 1_000_003 + i`.
+    pub base_seed: u64,
+    /// Confidence level for the reported intervals.
+    pub confidence: f64,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        SweepConfig {
+            replications: 2000,
+            base_seed: 20030622, // DSN 2003 😉 — any constant works
+            confidence: 0.95,
+        }
+    }
+}
+
+/// One point of a sweep: an x-coordinate and the parameters to run there.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// X-axis value (e.g. hosts per domain, spread rate).
+    pub x: f64,
+    /// Which series this point belongs to (e.g. "4 applications").
+    pub series: String,
+    /// Model parameters for this point.
+    pub params: Params,
+    /// Simulation horizon.
+    pub horizon: f64,
+    /// Instant-of-time sample points.
+    pub sample_times: Vec<f64>,
+}
+
+/// A single estimated value with its confidence half-width.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ValueCi {
+    /// Point estimate.
+    pub mean: f64,
+    /// Confidence half-width (0 when degenerate).
+    pub half_width: f64,
+}
+
+/// A named series of `(x, value)` points, one per sweep point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Series {
+    /// Series label, e.g. `"4 applications"` or `"Host exclusion"`.
+    pub name: String,
+    /// Measure this series reports (a key from
+    /// [`itua_core::measures::names`], possibly with an `@t` suffix).
+    pub measure: String,
+    /// `(x, estimate)` pairs in x order.
+    pub points: Vec<(f64, ValueCi)>,
+}
+
+/// All the series of one figure panel (or one whole figure).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FigureResult {
+    /// Figure identifier, e.g. `"Figure 3"`.
+    pub id: String,
+    /// Human-readable caption.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Panels: `(panel id, panel title, series)`.
+    pub panels: Vec<Panel>,
+}
+
+/// One panel (subfigure) of a figure.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Panel {
+    /// Panel id, e.g. `"3a"`.
+    pub id: String,
+    /// Panel title, e.g. `"Unavailability for first 5 hours"`.
+    pub title: String,
+    /// The series plotted in this panel.
+    pub series: Vec<Series>,
+}
+
+/// Runs the model at one sweep point and returns the aggregated measures.
+pub fn run_point(point: &SweepPoint, cfg: &SweepConfig, point_index: usize) -> MeasureSet {
+    let des = ItuaDes::new(point.params.clone()).expect("sweep point parameters are valid");
+    let mut ms = MeasureSet::new(cfg.confidence);
+    for rep in 0..cfg.replications {
+        let seed = cfg
+            .base_seed
+            .wrapping_add(point_index as u64 * 1_000_003)
+            .wrapping_add(rep as u64);
+        let out = des.run(seed, point.horizon, &point.sample_times);
+        ms.record(&out);
+    }
+    ms
+}
+
+/// Runs every sweep point and extracts, per `(series, measure)` pair, the
+/// x-ordered estimates. `measures` lists the measure keys to extract.
+pub fn run_sweep(
+    points: &[SweepPoint],
+    cfg: &SweepConfig,
+    measures: &[&str],
+) -> Vec<Series> {
+    let mut series: Vec<Series> = Vec::new();
+    for (j, point) in points.iter().enumerate() {
+        let ms = run_point(point, cfg, j);
+        for &measure in measures {
+            let value = ms.mean(measure).map(|mean| {
+                let hw = ms
+                    .estimates()
+                    .into_iter()
+                    .find(|e| e.name == measure)
+                    .map(|e| e.ci.half_width)
+                    .unwrap_or(0.0);
+                ValueCi {
+                    mean,
+                    half_width: hw,
+                }
+            });
+            let Some(value) = value else { continue };
+            match series
+                .iter_mut()
+                .find(|s| s.name == point.series && s.measure == measure)
+            {
+                Some(s) => s.points.push((point.x, value)),
+                None => series.push(Series {
+                    name: point.series.clone(),
+                    measure: measure.to_owned(),
+                    points: vec![(point.x, value)],
+                }),
+            }
+        }
+    }
+    for s in &mut series {
+        s.points
+            .sort_by(|a, b| a.0.partial_cmp(&b.0).expect("x values are not NaN"));
+    }
+    series
+}
+
+/// Selects the series of one measure out of a mixed collection.
+pub fn series_for<'a>(all: &'a [Series], measure: &str) -> Vec<&'a Series> {
+    all.iter().filter(|s| s.measure == measure).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use itua_core::measures::names;
+
+    fn tiny_point(x: f64, series: &str) -> SweepPoint {
+        SweepPoint {
+            x,
+            series: series.to_owned(),
+            params: Params::default().with_domains(3, 1).with_applications(1, 3),
+            horizon: 2.0,
+            sample_times: vec![2.0],
+        }
+    }
+
+    #[test]
+    fn run_point_produces_measures() {
+        let cfg = SweepConfig {
+            replications: 20,
+            ..Default::default()
+        };
+        let ms = run_point(&tiny_point(1.0, "s"), &cfg, 0);
+        assert!(ms.mean(names::UNAVAILABILITY).is_some());
+        assert!(ms.mean(names::UNRELIABILITY).is_some());
+    }
+
+    #[test]
+    fn run_sweep_collects_ordered_series() {
+        let cfg = SweepConfig {
+            replications: 10,
+            ..Default::default()
+        };
+        let points = vec![tiny_point(2.0, "a"), tiny_point(1.0, "a"), tiny_point(1.0, "b")];
+        let series = run_sweep(&points, &cfg, &[names::UNAVAILABILITY]);
+        assert_eq!(series.len(), 2);
+        let a = series.iter().find(|s| s.name == "a").unwrap();
+        assert_eq!(a.points.len(), 2);
+        assert!(a.points[0].0 < a.points[1].0, "points must be x-sorted");
+    }
+
+    #[test]
+    fn sweep_is_reproducible() {
+        let cfg = SweepConfig {
+            replications: 15,
+            ..Default::default()
+        };
+        let points = vec![tiny_point(1.0, "a")];
+        let s1 = run_sweep(&points, &cfg, &[names::UNAVAILABILITY]);
+        let s2 = run_sweep(&points, &cfg, &[names::UNAVAILABILITY]);
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn series_for_filters_by_measure() {
+        let all = vec![
+            Series {
+                name: "a".into(),
+                measure: "m1".into(),
+                points: vec![],
+            },
+            Series {
+                name: "a".into(),
+                measure: "m2".into(),
+                points: vec![],
+            },
+        ];
+        assert_eq!(series_for(&all, "m1").len(), 1);
+        assert_eq!(series_for(&all, "nope").len(), 0);
+    }
+}

@@ -1,0 +1,54 @@
+//! The paper's §4.3 management-policy question: when an intrusion is
+//! detected, should the whole security domain be excluded (preemptive
+//! strike) or only the corrupt host?
+//!
+//! Compares the two schemes across within-domain attack-spread rates, like
+//! Figure 5, and prints which policy wins each cell.
+//!
+//! Run with: `cargo run --release --example exclusion_policy`
+
+use itua_repro::itua::des::ItuaDes;
+use itua_repro::itua::measures::{names, MeasureSet};
+use itua_repro::itua::params::{ManagementScheme, Params};
+
+fn estimate(scheme: ManagementScheme, spread: f64, horizon: f64) -> (f64, f64) {
+    let params = Params::default()
+        .with_domains(10, 3)
+        .with_applications(4, 7)
+        .with_scheme(scheme)
+        .with_host_corruption_multiplier(5.0)
+        .with_spread_rate(spread);
+    let des = ItuaDes::new(params).expect("valid parameters");
+    let mut ms = MeasureSet::new(0.95);
+    for seed in 0..800 {
+        ms.record(&des.run(seed, horizon, &[]));
+    }
+    (
+        ms.mean(names::UNAVAILABILITY).unwrap_or(0.0),
+        ms.mean(names::UNRELIABILITY).unwrap_or(0.0),
+    )
+}
+
+fn main() {
+    println!("Domain-exclusion vs host-exclusion (host corruption ×5, as in §4.3)\n");
+    println!(
+        "{:>7} {:>8} | {:>10} {:>10} {:>8} | {:>10} {:>10} {:>8}",
+        "spread", "horizon", "dom unavl", "host unavl", "winner", "dom unrel", "host unrel", "winner"
+    );
+    for &horizon in &[5.0, 10.0] {
+        for &spread in &[0.0, 4.0, 10.0] {
+            let (du, dr) = estimate(ManagementScheme::DomainExclusion, spread, horizon);
+            let (hu, hr) = estimate(ManagementScheme::HostExclusion, spread, horizon);
+            let w = |d: f64, h: f64| if d < h { "domain" } else { "host" };
+            println!(
+                "{:>7} {:>8} | {:>10.5} {:>10.5} {:>8} | {:>10.5} {:>10.5} {:>8}",
+                spread, horizon, du, hu, w(du, hu), dr, hr, w(dr, hr)
+            );
+        }
+    }
+    println!(
+        "\nThe paper's qualitative finding — host exclusion is cheaper in the short run, \
+         \nwhile fast within-domain spread argues for the preemptive domain exclusion — \
+         \ncan be probed here by varying the spread rate and horizon."
+    );
+}

@@ -1,0 +1,35 @@
+//! The paper's §4.1 study: how should a fixed pool of hosts be divided
+//! into security domains?
+//!
+//! Reproduces Figure 3 at reduced replication count (use the
+//! `figure3` binary in `crates/bench` for publication-grade runs) and
+//! prints the design-question answer the paper derives from it.
+//!
+//! Run with: `cargo run --release --example figure3_study`
+
+use itua_repro::studies::sweep::SweepConfig;
+use itua_repro::studies::{figure3, table};
+
+fn main() {
+    let cfg = SweepConfig {
+        replications: 500,
+        ..SweepConfig::default()
+    };
+    let fig = figure3::run(&cfg);
+    println!("{}", table::render(&fig));
+
+    // The design question of §4.1: is it better to use many small domains?
+    let unavail = &fig.panels[0].series[1]; // 4 applications
+    let (first, last) = (
+        unavail.points.first().expect("has points"),
+        unavail.points.last().expect("has points"),
+    );
+    println!(
+        "Unavailability with 1 host/domain: {:.4}; with 12 hosts/domain: {:.4}",
+        first.1.mean, last.1.mean
+    );
+    println!(
+        "=> distribute hosts into as many domains as physical constraints allow\n   \
+         (the paper's §4.1 conclusion)."
+    );
+}

@@ -1,0 +1,22 @@
+//! Umbrella crate for the ITUA reproduction workspace.
+//!
+//! Re-exports the full stack so examples and integration tests can depend on
+//! a single crate:
+//!
+//! * [`sim`] — discrete-event kernel (RNG, distributions, event queue).
+//! * [`stats`] — estimators, confidence intervals, replications.
+//! * [`markov`] — sparse CTMC/DTMC numerical solvers.
+//! * [`san`] — the stochastic activity network formalism and simulator.
+//! * [`itua`] — the ITUA intrusion-tolerant replication model (the paper's
+//!   object of study) in both SAN and direct discrete-event form.
+//! * [`studies`] — the paper's Figure 3/4/5 studies and sweep harness.
+//!
+//! See `README.md` for a guided tour and `DESIGN.md` for the system
+//! inventory.
+
+pub use itua_core as itua;
+pub use itua_markov as markov;
+pub use itua_san as san;
+pub use itua_sim as sim;
+pub use itua_stats as stats;
+pub use itua_studies as studies;

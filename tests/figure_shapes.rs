@@ -1,0 +1,190 @@
+//! Integration tests asserting the paper's qualitative findings (§4) on
+//! the reproduction. These are the claims the studies were run to
+//! establish; each test runs a reduced-size sweep and checks the ordering
+//! or shape the paper reports.
+
+use itua_repro::itua::des::ItuaDes;
+use itua_repro::itua::measures::{names, MeasureSet};
+use itua_repro::itua::params::{ManagementScheme, Params};
+
+fn measure(params: Params, horizon: f64, reps: u64) -> MeasureSet {
+    let des = ItuaDes::new(params).expect("valid params");
+    let mut ms = MeasureSet::new(0.95);
+    for seed in 0..reps {
+        ms.record(&des.run(seed, horizon, &[horizon]));
+    }
+    ms
+}
+
+fn fig3_params(hosts_per_domain: usize) -> Params {
+    Params::default()
+        .with_domains(12 / hosts_per_domain, hosts_per_domain)
+        .with_applications(4, 7)
+}
+
+/// §4.1 / Figure 3(a): "the system is more available when we have fewer
+/// hosts per domain".
+#[test]
+fn unavailability_increases_with_hosts_per_domain() {
+    let mut last = -1.0;
+    for &hpd in &[1, 3, 6, 12] {
+        let u = measure(fig3_params(hpd), 5.0, 400)
+            .mean(names::UNAVAILABILITY)
+            .unwrap();
+        assert!(
+            u >= last,
+            "unavailability not increasing at {hpd} hosts/domain: {u} < {last}"
+        );
+        last = u;
+    }
+    assert!(last > 0.2, "12 hosts in one domain should be badly unavailable");
+}
+
+/// §4.1 / Figure 3(b): unreliability rises rapidly up to 4 hosts per
+/// domain, peaks there, and decreases for more hosts per domain.
+#[test]
+fn unreliability_peaks_at_four_hosts_per_domain() {
+    let values: Vec<f64> = [1, 2, 3, 4, 6, 12]
+        .iter()
+        .map(|&hpd| {
+            measure(fig3_params(hpd), 5.0, 1200)
+                .mean(names::UNRELIABILITY)
+                .unwrap()
+        })
+        .collect();
+    let peak_idx = values
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+        .unwrap()
+        .0;
+    let peak_x = [1, 2, 3, 4, 6, 12][peak_idx];
+    assert!(
+        (3..=4).contains(&peak_x),
+        "unreliability peak at {peak_x} hosts/domain (paper: 4): {values:?}"
+    );
+    assert!(values[0] < values[3], "must rise from 1 to 4 hosts/domain");
+    assert!(values[5] < values[3], "must fall from 4 to 12 hosts/domain");
+}
+
+/// §4.1 / Figure 3(c): the fraction of corrupt hosts in an excluded
+/// domain falls as domains grow (wasted resources), and is below 1 even
+/// with one host per domain because of false alarms.
+#[test]
+fn corrupt_fraction_falls_with_domain_size() {
+    let f1 = measure(fig3_params(1), 5.0, 500)
+        .mean(names::FRAC_CORRUPT_AT_EXCLUSION)
+        .unwrap();
+    let f6 = measure(fig3_params(6), 5.0, 500)
+        .mean(names::FRAC_CORRUPT_AT_EXCLUSION)
+        .unwrap();
+    assert!(f1 > f6, "fraction must fall with domain size: {f1} vs {f6}");
+    assert!(f1 < 1.0, "false alarms keep the fraction below 1");
+    assert!(f1 > 0.4, "with one host per domain most exclusions hit corruption");
+}
+
+/// §4.1 / Figure 3(d): more hosts per domain → more domains excluded.
+#[test]
+fn excluded_fraction_rises_with_hosts_per_domain() {
+    let key = format!("{}@5", names::FRAC_DOMAINS_EXCLUDED);
+    let e1 = measure(fig3_params(1), 5.0, 400).mean(&key).unwrap();
+    let e12 = measure(fig3_params(12), 5.0, 400).mean(&key).unwrap();
+    assert!(
+        e12 > e1 + 0.2,
+        "12-host domains should be excluded far more: {e12} vs {e1}"
+    );
+}
+
+/// §4.2 / Figure 4(a,b): with 10 fixed domains, adding hosts increases
+/// unavailability and unreliability only mildly over [0,5], and both are
+/// larger over [0,10].
+#[test]
+fn fig4_mild_increase_and_horizon_ordering() {
+    let p1 = Params::default().with_domains(10, 1).with_applications(4, 7);
+    let p4 = Params::default().with_domains(10, 4).with_applications(4, 7);
+    let short1 = measure(p1.clone(), 5.0, 800);
+    let short4 = measure(p4.clone(), 5.0, 800);
+    let long4 = measure(p4, 10.0, 800);
+
+    let u_short1 = short1.mean(names::UNAVAILABILITY).unwrap();
+    let u_short4 = short4.mean(names::UNAVAILABILITY).unwrap();
+    let u_long4 = long4.mean(names::UNAVAILABILITY).unwrap();
+    assert!(u_short4 >= u_short1, "more hosts per domain cannot help");
+    assert!(u_short4 < 0.05, "5-hour unavailability stays small (paper §4.2)");
+    assert!(u_long4 > u_short4, "longer interval accumulates more improper time");
+
+    let r_short4 = short4.mean(names::UNRELIABILITY).unwrap();
+    let r_long4 = long4.mean(names::UNRELIABILITY).unwrap();
+    assert!(r_long4 > r_short4);
+}
+
+/// §4.2: increasing hosts per domain (and hence cost) brings no
+/// significant improvement — the paper's cost/benefit conclusion.
+#[test]
+fn fig4_extra_hosts_do_not_significantly_improve() {
+    let p1 = Params::default().with_domains(10, 1).with_applications(4, 7);
+    let p4 = Params::default().with_domains(10, 4).with_applications(4, 7);
+    let u1 = measure(p1, 5.0, 800).mean(names::UNAVAILABILITY).unwrap();
+    let u4 = measure(p4, 5.0, 800).mean(names::UNAVAILABILITY).unwrap();
+    // Four times the hosts must not reduce unavailability measurably.
+    assert!(u4 + 1e-9 >= u1, "u(4 hosts) = {u4} vs u(1 host) = {u1}");
+}
+
+/// §4.3 / Figure 5(a): in the short run at low spread, host exclusion
+/// provides availability at least as good as domain exclusion.
+#[test]
+fn host_exclusion_no_worse_short_run_low_spread() {
+    let base = Params::default()
+        .with_domains(10, 3)
+        .with_applications(4, 7)
+        .with_host_corruption_multiplier(5.0)
+        .with_spread_rate(0.0);
+    let dom = measure(base.clone(), 5.0, 800)
+        .mean(names::UNAVAILABILITY)
+        .unwrap();
+    let host = measure(base.with_scheme(ManagementScheme::HostExclusion), 5.0, 800)
+        .mean(names::UNAVAILABILITY)
+        .unwrap();
+    assert!(host <= dom + 1e-6, "host exclusion worse at zero spread: {host} vs {dom}");
+}
+
+/// §4.3 / Figure 5(c,d): host-exclusion unreliability is sensitive to the
+/// within-domain spread rate (it degrades as spread grows), while
+/// domain-exclusion changes comparatively little.
+#[test]
+fn host_exclusion_sensitive_to_spread() {
+    let mk = |scheme, spread| {
+        Params::default()
+            .with_domains(10, 3)
+            .with_applications(4, 7)
+            .with_scheme(scheme)
+            .with_host_corruption_multiplier(5.0)
+            .with_spread_rate(spread)
+    };
+    let reps = 1500;
+    let host0 = measure(mk(ManagementScheme::HostExclusion, 0.0), 10.0, reps)
+        .mean(names::UNRELIABILITY)
+        .unwrap();
+    let host10 = measure(mk(ManagementScheme::HostExclusion, 10.0), 10.0, reps)
+        .mean(names::UNRELIABILITY)
+        .unwrap();
+    assert!(
+        host10 > host0,
+        "host exclusion must degrade with spread: {host0} → {host10}"
+    );
+
+    let dom0 = measure(mk(ManagementScheme::DomainExclusion, 0.0), 10.0, reps)
+        .mean(names::UNRELIABILITY)
+        .unwrap();
+    let dom10 = measure(mk(ManagementScheme::DomainExclusion, 10.0), 10.0, reps)
+        .mean(names::UNRELIABILITY)
+        .unwrap();
+    // Relative sensitivity: the host scheme's degradation factor exceeds
+    // the domain scheme's.
+    let host_factor = host10 / host0.max(1e-4);
+    let dom_factor = dom10 / dom0.max(1e-4);
+    assert!(
+        host_factor > dom_factor,
+        "spread sensitivity: host ×{host_factor:.2} vs domain ×{dom_factor:.2}"
+    );
+}

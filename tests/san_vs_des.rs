@@ -1,0 +1,145 @@
+//! Cross-validation: the SAN encoding (Figure 2) and the direct
+//! discrete-event encoding of the ITUA model describe the same stochastic
+//! process, so their measures must agree within confidence intervals.
+//!
+//! This is the repository's strongest internal-consistency check: the two
+//! implementations share no model code (only the parameter set), so any
+//! semantic divergence shows up as a statistically significant gap.
+
+use itua_repro::itua::des::ItuaDes;
+use itua_repro::itua::params::{ManagementScheme, Params};
+use itua_repro::itua::san_model::{self, ItuaSanPlaces};
+use itua_repro::san::marking::Marking;
+use itua_repro::san::reward::{RewardVariable, TimeAveraged};
+use itua_repro::san::simulator::{Observer, SanSimulator};
+use itua_repro::stats::ci::ConfidenceInterval;
+use itua_repro::stats::online::OnlineStats;
+
+/// Sticky Byzantine flags per application, harvested after a run.
+struct ByzFlags {
+    places: ItuaSanPlaces,
+    hit: Vec<bool>,
+}
+
+impl Observer for ByzFlags {
+    fn on_init(&mut self, _t: f64, m: &Marking) {
+        for a in 0..self.hit.len() {
+            if self.places.byzantine(m, a) {
+                self.hit[a] = true;
+            }
+        }
+    }
+    fn on_event(&mut self, _t: f64, _a: itua_repro::san::model::ActivityId, m: &Marking) {
+        for a in 0..self.hit.len() {
+            if !self.hit[a] && self.places.byzantine(m, a) {
+                self.hit[a] = true;
+            }
+        }
+    }
+}
+
+/// Runs both encodings and returns
+/// `(san_unavail, des_unavail, san_unrel, des_unrel)` as per-replication
+/// observation sets.
+fn compare(params: Params, horizon: f64, reps: u64) -> [OnlineStats; 4] {
+    // SAN side.
+    let model = san_model::build(&params).expect("valid params");
+    let sim = SanSimulator::new(model.san.clone());
+    let mut san_unavail = OnlineStats::new();
+    let mut san_unrel = OnlineStats::new();
+    for seed in 0..reps {
+        let places = model.places.clone();
+        let mut unavail = TimeAveraged::new("unavail", move |m| places.improper_fraction(m));
+        let mut byz = ByzFlags {
+            places: model.places.clone(),
+            hit: vec![false; params.num_apps],
+        };
+        sim.run(seed, horizon, &mut [&mut unavail, &mut byz])
+            .expect("SAN run succeeds");
+        san_unavail.push(unavail.observations()[0].value);
+        let frac = byz.hit.iter().filter(|&&b| b).count() as f64 / params.num_apps as f64;
+        san_unrel.push(frac);
+    }
+
+    // DES side (offset seeds: the estimators must be independent).
+    let des = ItuaDes::new(params).expect("valid params");
+    let mut des_unavail = OnlineStats::new();
+    let mut des_unrel = OnlineStats::new();
+    for seed in 0..reps {
+        let out = des.run(1_000_000 + seed, horizon, &[]);
+        des_unavail.push(out.unavailability(horizon));
+        des_unrel.push(out.unreliability());
+    }
+    [san_unavail, des_unavail, san_unrel, des_unrel]
+}
+
+fn assert_agree(a: &OnlineStats, b: &OnlineStats, what: &str) {
+    // 99% intervals; they must overlap (a conservative two-sample check
+    // that keeps the false-failure rate of the suite low).
+    let ca = ConfidenceInterval::from_stats(a, 0.99).unwrap();
+    let cb = ConfidenceInterval::from_stats(b, 0.99).unwrap();
+    assert!(
+        ca.overlaps(&cb),
+        "{what}: SAN {ca} vs DES {cb} do not overlap"
+    );
+}
+
+#[test]
+fn domain_exclusion_measures_agree() {
+    let params = Params::default().with_domains(4, 2).with_applications(2, 3);
+    let [su, du, sr, dr] = compare(params, 5.0, 600);
+    assert_agree(&su, &du, "unavailability (domain scheme)");
+    assert_agree(&sr, &dr, "unreliability (domain scheme)");
+}
+
+#[test]
+fn host_exclusion_measures_agree() {
+    let params = Params::default()
+        .with_domains(4, 2)
+        .with_applications(2, 3)
+        .with_scheme(ManagementScheme::HostExclusion);
+    let [su, du, sr, dr] = compare(params, 5.0, 600);
+    assert_agree(&su, &du, "unavailability (host scheme)");
+    assert_agree(&sr, &dr, "unreliability (host scheme)");
+}
+
+#[test]
+fn high_spread_measures_agree() {
+    let params = Params::default()
+        .with_domains(3, 3)
+        .with_applications(2, 3)
+        .with_host_corruption_multiplier(5.0)
+        .with_spread_rate(10.0);
+    let [su, du, sr, dr] = compare(params, 5.0, 600);
+    assert_agree(&su, &du, "unavailability (spread 10)");
+    assert_agree(&sr, &dr, "unreliability (spread 10)");
+}
+
+#[test]
+fn excluded_domains_fraction_agrees() {
+    let params = Params::default().with_domains(5, 2).with_applications(2, 3);
+    let horizon = 5.0;
+
+    let model = san_model::build(&params).unwrap();
+    let sim = SanSimulator::new(model.san.clone());
+    struct Excl(itua_repro::san::marking::PlaceId, f64);
+    impl Observer for Excl {
+        fn on_end(&mut self, _t: f64, m: &Marking) {
+            self.1 = m.get(self.0) as f64;
+        }
+    }
+    let mut san_frac = OnlineStats::new();
+    for seed in 0..500 {
+        let mut obs = Excl(model.places.excluded_domains, 0.0);
+        sim.run(seed, horizon, &mut [&mut obs]).unwrap();
+        san_frac.push(obs.1 / params.num_domains as f64);
+    }
+
+    let des = ItuaDes::new(params.clone()).unwrap();
+    let mut des_frac = OnlineStats::new();
+    for seed in 0..500 {
+        let out = des.run(2_000_000 + seed, horizon, &[horizon]);
+        des_frac.push(out.snapshots[0].frac_domains_excluded);
+    }
+    assert_agree(&san_frac, &des_frac, "fraction of domains excluded");
+}
