@@ -57,7 +57,9 @@ fn bench_spread(c: &mut Criterion) {
 fn bench_ids_latency(c: &mut Criterion) {
     let mut g = c.benchmark_group("ids_rate");
     for ids in [0.05, 0.15, 1.0] {
-        let mut p = Params::default().with_domains(10, 3).with_applications(4, 7);
+        let mut p = Params::default()
+            .with_domains(10, 3)
+            .with_applications(4, 7);
         p.ids_rate = ids;
         let des = ItuaDes::new(p).unwrap();
         g.bench_function(BenchmarkId::from_parameter(ids), |b| {

@@ -41,7 +41,9 @@ fn bench_san_build(c: &mut Criterion) {
     c.bench_function("itua_san_flatten", |b| {
         b.iter(|| black_box(san_model::build(&p).unwrap()))
     });
-    let big = Params::default().with_domains(10, 3).with_applications(8, 7);
+    let big = Params::default()
+        .with_domains(10, 3)
+        .with_applications(8, 7);
     c.bench_function("itua_san_flatten_baseline_8apps", |b| {
         b.iter(|| black_box(san_model::build(&big).unwrap()))
     });

@@ -5,10 +5,12 @@ use itua_studies::{figure3, figure4, figure5, table};
 
 fn main() {
     let cli = FigureCli::parse(std::env::args().skip(1));
+    let progress = cli.progress();
+    let opts = cli.opts(progress.as_ref());
     for fig in [
-        figure3::run(&cli.cfg),
-        figure4::run(&cli.cfg),
-        figure5::run(&cli.cfg),
+        figure3::run_with(&cli.cfg, &opts),
+        figure4::run_with(&cli.cfg, &opts),
+        figure5::run_with(&cli.cfg, &opts),
     ] {
         println!("{}", table::render(&fig));
         if cli.csv {

@@ -37,11 +37,36 @@ fn measure(p: Params, reps: u64, horizon: f64) -> MeasureSet {
 fn main() {
     let reps = 600;
     let grid = [
-        Candidate { f: 0.5, rw: 0.5, mw: 2.5, ids: 0.15 },
-        Candidate { f: 0.5, rw: 0.5, mw: 3.0, ids: 0.1 },
-        Candidate { f: 0.6, rw: 0.5, mw: 3.0, ids: 0.15 },
-        Candidate { f: 0.5, rw: 1.0, mw: 2.5, ids: 0.15 },
-        Candidate { f: 0.7, rw: 0.7, mw: 4.0, ids: 0.1 },
+        Candidate {
+            f: 0.5,
+            rw: 0.5,
+            mw: 2.5,
+            ids: 0.15,
+        },
+        Candidate {
+            f: 0.5,
+            rw: 0.5,
+            mw: 3.0,
+            ids: 0.1,
+        },
+        Candidate {
+            f: 0.6,
+            rw: 0.5,
+            mw: 3.0,
+            ids: 0.15,
+        },
+        Candidate {
+            f: 0.5,
+            rw: 1.0,
+            mw: 2.5,
+            ids: 0.15,
+        },
+        Candidate {
+            f: 0.7,
+            rw: 0.7,
+            mw: 4.0,
+            ids: 0.1,
+        },
     ];
     for c in grid {
         println!("\n===== {c:?} =====");
@@ -50,13 +75,16 @@ fn main() {
         let mut excl = Vec::new();
         for &hpd in &[1usize, 2, 3, 4, 6, 12] {
             let p = apply(
-                Params::default().with_domains(12 / hpd, hpd).with_applications(4, 7),
+                Params::default()
+                    .with_domains(12 / hpd, hpd)
+                    .with_applications(4, 7),
                 c,
             );
             let ms = measure(p, reps, 5.0);
             unrel.push(ms.mean(names::UNRELIABILITY).unwrap_or(0.0));
             excl.push(
-                ms.mean(&format!("{}@5", names::FRAC_DOMAINS_EXCLUDED)).unwrap_or(0.0),
+                ms.mean(&format!("{}@5", names::FRAC_DOMAINS_EXCLUDED))
+                    .unwrap_or(0.0),
             );
         }
         let peak = unrel

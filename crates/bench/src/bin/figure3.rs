@@ -5,7 +5,8 @@ use itua_studies::{figure3, table};
 
 fn main() {
     let cli = FigureCli::parse(std::env::args().skip(1));
-    let fig = figure3::run(&cli.cfg);
+    let progress = cli.progress();
+    let fig = figure3::run_with(&cli.cfg, &cli.opts(progress.as_ref()));
     println!("{}", table::render(&fig));
     if cli.csv {
         println!("{}", table::to_csv(&fig));

@@ -5,7 +5,8 @@ use itua_studies::{figure5, table};
 
 fn main() {
     let cli = FigureCli::parse(std::env::args().skip(1));
-    let fig = figure5::run(&cli.cfg);
+    let progress = cli.progress();
+    let fig = figure5::run_with(&cli.cfg, &cli.opts(progress.as_ref()));
     println!("{}", table::render(&fig));
     if cli.csv {
         println!("{}", table::to_csv(&fig));

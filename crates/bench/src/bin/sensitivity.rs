@@ -6,7 +6,8 @@ use itua_studies::{sensitivity, table};
 
 fn main() {
     let cli = FigureCli::parse(std::env::args().skip(1));
-    let fig = sensitivity::run(&cli.cfg);
+    let progress = cli.progress();
+    let fig = sensitivity::run_with(&cli.cfg, &cli.opts(progress.as_ref()));
     println!("{}", table::render(&fig));
     if cli.csv {
         println!("{}", table::to_csv(&fig));

@@ -3,7 +3,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use itua_studies::sweep::SweepConfig;
+use itua_runner::engine::RunnerConfig;
+use itua_runner::progress::{ConsoleProgress, NullProgress, Progress};
+use itua_studies::sweep::{RunOpts, SweepConfig};
+use std::path::PathBuf;
 
 /// Parses the common CLI options of the figure binaries.
 ///
@@ -11,13 +14,25 @@ use itua_studies::sweep::SweepConfig;
 ///
 /// * `--reps N` — replications per sweep point (default 2000),
 /// * `--seed S` — base seed,
-/// * `--csv` — also print the figure as CSV.
-#[derive(Debug, Clone, Copy, PartialEq)]
+/// * `--csv` — also print the figure as CSV,
+/// * `--threads N` — worker threads (default: one per core; results are
+///   identical for every choice),
+/// * `--results DIR` — result-store directory (default `results/`),
+/// * `--no-resume` — disable the result store: re-simulate every point
+///   and write no results file,
+/// * `--quiet` — suppress progress output on stderr.
+#[derive(Debug, Clone, PartialEq)]
 pub struct FigureCli {
     /// Sweep configuration assembled from the flags.
     pub cfg: SweepConfig,
     /// Whether to print CSV after the tables.
     pub csv: bool,
+    /// Worker threads (`0` = one per core).
+    pub threads: usize,
+    /// Result-store directory; `None` disables checkpoint/resume.
+    pub results_dir: Option<PathBuf>,
+    /// Whether progress output is suppressed.
+    pub quiet: bool,
 }
 
 impl FigureCli {
@@ -28,28 +43,69 @@ impl FigureCli {
     /// Panics with a usage message on malformed arguments (these are
     /// developer-facing binaries).
     pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Self {
-        let mut cfg = SweepConfig::default();
-        let mut csv = false;
+        let mut cli = FigureCli {
+            cfg: SweepConfig::default(),
+            csv: false,
+            threads: 0,
+            results_dir: Some(PathBuf::from("results")),
+            quiet: false,
+        };
         let mut it = args.into_iter();
         while let Some(arg) = it.next() {
             match arg.as_str() {
                 "--reps" => {
-                    cfg.replications = it
+                    cli.cfg.replications = it
                         .next()
                         .and_then(|v| v.parse().ok())
                         .unwrap_or_else(|| panic!("--reps needs a positive integer"));
                 }
                 "--seed" => {
-                    cfg.base_seed = it
+                    cli.cfg.base_seed = it
                         .next()
                         .and_then(|v| v.parse().ok())
                         .unwrap_or_else(|| panic!("--seed needs an integer"));
                 }
-                "--csv" => csv = true,
-                other => panic!("unknown argument '{other}' (try --reps N, --seed S, --csv)"),
+                "--csv" => cli.csv = true,
+                "--threads" => {
+                    cli.threads = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| panic!("--threads needs a non-negative integer"));
+                }
+                "--results" => {
+                    cli.results_dir =
+                        Some(PathBuf::from(it.next().unwrap_or_else(|| {
+                            panic!("--results needs a directory path")
+                        })));
+                }
+                "--no-resume" => cli.results_dir = None,
+                "--quiet" => cli.quiet = true,
+                other => panic!(
+                    "unknown argument '{other}' (try --reps N, --seed S, --csv, \
+                     --threads N, --results DIR, --no-resume, --quiet)"
+                ),
             }
         }
-        FigureCli { cfg, csv }
+        cli
+    }
+
+    /// The progress reporter these flags select.
+    pub fn progress(&self) -> Box<dyn Progress> {
+        if self.quiet {
+            Box::new(NullProgress)
+        } else {
+            Box::new(ConsoleProgress::new())
+        }
+    }
+
+    /// Execution options for `run_with`, borrowing `progress` (obtain it
+    /// from [`FigureCli::progress`]).
+    pub fn opts<'a>(&self, progress: &'a dyn Progress) -> RunOpts<'a> {
+        RunOpts {
+            runner: RunnerConfig::default().with_threads(self.threads),
+            progress,
+            results_dir: self.results_dir.clone(),
+        }
     }
 }
 
@@ -62,18 +118,50 @@ mod tests {
         let cli = FigureCli::parse(Vec::<String>::new());
         assert_eq!(cli.cfg.replications, 2000);
         assert!(!cli.csv);
+        assert_eq!(cli.threads, 0);
+        assert_eq!(cli.results_dir, Some(PathBuf::from("results")));
+        assert!(!cli.quiet);
     }
 
     #[test]
     fn parses_flags() {
         let cli = FigureCli::parse(
-            ["--reps", "50", "--seed", "9", "--csv"]
-                .into_iter()
-                .map(String::from),
+            [
+                "--reps",
+                "50",
+                "--seed",
+                "9",
+                "--csv",
+                "--threads",
+                "4",
+                "--results",
+                "out",
+                "--quiet",
+            ]
+            .into_iter()
+            .map(String::from),
         );
         assert_eq!(cli.cfg.replications, 50);
         assert_eq!(cli.cfg.base_seed, 9);
         assert!(cli.csv);
+        assert_eq!(cli.threads, 4);
+        assert_eq!(cli.results_dir, Some(PathBuf::from("out")));
+        assert!(cli.quiet);
+    }
+
+    #[test]
+    fn no_resume_disables_the_store() {
+        let cli = FigureCli::parse(["--no-resume".to_owned()]);
+        assert_eq!(cli.results_dir, None);
+    }
+
+    #[test]
+    fn opts_reflect_flags() {
+        let cli = FigureCli::parse(["--threads".to_owned(), "3".to_owned()]);
+        let progress = cli.progress();
+        let opts = cli.opts(progress.as_ref());
+        assert_eq!(opts.runner.effective_threads(), 3);
+        assert_eq!(opts.results_dir, Some(PathBuf::from("results")));
     }
 
     #[test]

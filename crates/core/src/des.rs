@@ -316,12 +316,14 @@ impl State {
             return;
         }
         let rate = self.p.host_attack_rate()
-            * self
-                .p
-                .spread_multiplier(self.domains[host.domain].spread_level, self.system_spread_level);
+            * self.p.spread_multiplier(
+                self.domains[host.domain].spread_level,
+                self.system_spread_level,
+            );
         let epoch = self.hosts[h].attack_epoch;
         if let Some(d) = self.exp_delay(rate) {
-            self.queue.schedule(self.now + d, Event::HostAttack { host: h, epoch });
+            self.queue
+                .schedule(self.now + d, Event::HostAttack { host: h, epoch });
         }
     }
 
@@ -330,7 +332,8 @@ impl State {
             return;
         }
         if let Some(d) = self.exp_delay(self.p.host_false_alarm_rate()) {
-            self.queue.schedule(self.now + d, Event::HostFalseAlarm { host: h });
+            self.queue
+                .schedule(self.now + d, Event::HostFalseAlarm { host: h });
         }
     }
 
@@ -346,7 +349,8 @@ impl State {
         };
         let epoch = host.mgr_attack_epoch;
         if let Some(d) = self.exp_delay(rate) {
-            self.queue.schedule(self.now + d, Event::MgrAttack { host: h, epoch });
+            self.queue
+                .schedule(self.now + d, Event::MgrAttack { host: h, epoch });
         }
     }
 
@@ -362,7 +366,8 @@ impl State {
         };
         let epoch = rep.attack_epoch;
         if let Some(d) = self.exp_delay(rate) {
-            self.queue.schedule(self.now + d, Event::RepAttack { replica: r, epoch });
+            self.queue
+                .schedule(self.now + d, Event::RepAttack { replica: r, epoch });
         }
     }
 
@@ -396,14 +401,15 @@ impl State {
 
         // Category and (pre-sampled) IDS detection.
         let mix = self.p.attack_mix;
-        let cat = match self
-            .rng
-            .weighted_choice(&[mix.p_script, mix.p_exploratory, mix.p_innovative])
-        {
-            0 => AttackCategory::Script,
-            1 => AttackCategory::Exploratory,
-            _ => AttackCategory::Innovative,
-        };
+        let cat =
+            match self
+                .rng
+                .weighted_choice(&[mix.p_script, mix.p_exploratory, mix.p_innovative])
+            {
+                0 => AttackCategory::Script,
+                1 => AttackCategory::Exploratory,
+                _ => AttackCategory::Innovative,
+            };
         let p_detect = match cat {
             AttackCategory::Script => mix.detect_script,
             AttackCategory::Exploratory => mix.detect_exploratory,
@@ -411,16 +417,19 @@ impl State {
         };
         if self.rng.bernoulli(p_detect) {
             if let Some(d) = self.exp_delay(self.p.ids_rate) {
-                self.queue.schedule(self.now + d, Event::HostDetect { host: h });
+                self.queue
+                    .schedule(self.now + d, Event::HostDetect { host: h });
             }
         }
 
         // One-shot spread processes.
         if let Some(d) = self.exp_delay(self.p.spread_rate_domain) {
-            self.queue.schedule(self.now + d, Event::SpreadDomain { host: h });
+            self.queue
+                .schedule(self.now + d, Event::SpreadDomain { host: h });
         }
         if let Some(d) = self.exp_delay(self.p.spread_rate_system) {
-            self.queue.schedule(self.now + d, Event::SpreadSystem { host: h });
+            self.queue
+                .schedule(self.now + d, Event::SpreadSystem { host: h });
         }
 
         // Replicas and manager on this host become more vulnerable:
@@ -478,7 +487,8 @@ impl State {
         self.corrupt_mgrs_total += 1;
         if self.rng.bernoulli(self.p.detect_manager) {
             if let Some(d) = self.exp_delay(self.p.ids_rate) {
-                self.queue.schedule(self.now + d, Event::MgrDetect { host: h });
+                self.queue
+                    .schedule(self.now + d, Event::MgrDetect { host: h });
             }
         }
     }
@@ -510,7 +520,8 @@ impl State {
         // false-alarm channel, and group-communication misbehavior.
         if self.rng.bernoulli(self.p.detect_replica) {
             if let Some(d) = self.exp_delay(self.p.ids_rate) {
-                self.queue.schedule(self.now + d, Event::RepDetect { replica: r });
+                self.queue
+                    .schedule(self.now + d, Event::RepDetect { replica: r });
             }
         }
         if let Some(d) = self.exp_delay(self.p.replica_false_alarm_rate()) {
@@ -518,7 +529,8 @@ impl State {
                 .schedule(self.now + d, Event::RepFalseDetect { replica: r });
         }
         if let Some(d) = self.exp_delay(self.p.misbehave_rate) {
-            self.queue.schedule(self.now + d, Event::RepMisbehave { replica: r });
+            self.queue
+                .schedule(self.now + d, Event::RepMisbehave { replica: r });
         }
     }
 
@@ -544,7 +556,8 @@ impl State {
             // The activity is disabled right now but may re-enable; by
             // memorylessness, re-arming is equivalent.
             if let Some(d) = self.exp_delay(self.p.misbehave_rate) {
-                self.queue.schedule(self.now + d, Event::RepMisbehave { replica: r });
+                self.queue
+                    .schedule(self.now + d, Event::RepMisbehave { replica: r });
             }
         }
     }
@@ -747,12 +760,9 @@ impl State {
             PlacementConstraint::OnePerDomain => {
                 // No live replica of this app anywhere in the domain, and
                 // at least one live host.
-                self.domains[d].active_hosts > 0
-                    && !(lo..hi).any(|h| self.host_has_app(h, app))
+                self.domains[d].active_hosts > 0 && !(lo..hi).any(|h| self.host_has_app(h, app))
             }
-            PlacementConstraint::OnePerHost => {
-                (lo..hi).any(|h| self.host_eligible(h, app))
-            }
+            PlacementConstraint::OnePerHost => (lo..hi).any(|h| self.host_eligible(h, app)),
         }
     }
 
@@ -802,8 +812,8 @@ impl State {
 
     fn update_improper(&mut self, app: usize) {
         let a = &self.apps[app];
-        let improper = a.running == 0
-            || (a.corrupt_undetected > 0 && 3 * a.corrupt_undetected >= a.running);
+        let improper =
+            a.running == 0 || (a.corrupt_undetected > 0 && 3 * a.corrupt_undetected >= a.running);
         let byz = a.corrupt_undetected > 0 && 3 * a.corrupt_undetected >= a.running;
         let now = self.now;
         if improper && self.first_improper_time.is_none() && now > 0.0 {
@@ -877,7 +887,10 @@ impl State {
                         .flat_map(|h| self.hosts[h].replicas.iter())
                         .filter(|&&r| self.replicas[r].alive && self.replicas[r].app == app)
                         .count();
-                    assert!(in_domain <= 1, "app {app} has {in_domain} replicas in domain {d}");
+                    assert!(
+                        in_domain <= 1,
+                        "app {app} has {in_domain} replicas in domain {d}"
+                    );
                 }
             }
         }
@@ -914,7 +927,9 @@ mod tests {
 
     #[test]
     fn placement_fills_all_domains_when_possible() {
-        let p = Params::default().with_domains(10, 1).with_applications(1, 7);
+        let p = Params::default()
+            .with_domains(10, 1)
+            .with_applications(1, 7);
         let des = ItuaDes::new(p).unwrap();
         let out = des.run(3, 0.001, &[0.001]);
         assert!((out.snapshots[0].mean_replicas_running - 7.0).abs() < 1e-9);
@@ -992,9 +1007,7 @@ mod tests {
     fn single_domain_single_replica_fails_eventually() {
         // 1 domain: first exclusion (or corruption) takes everything down,
         // and nothing can be recovered (no eligible domains remain).
-        let p = Params::default()
-            .with_domains(1, 4)
-            .with_applications(1, 7);
+        let p = Params::default().with_domains(1, 4).with_applications(1, 7);
         let des = ItuaDes::new(p).unwrap();
         let mut saw_failure = false;
         for seed in 0..20 {
@@ -1014,7 +1027,9 @@ mod tests {
         // host per domain.
         let mut ms1 = MeasureSet::new(0.95);
         let mut ms6 = MeasureSet::new(0.95);
-        let p1 = Params::default().with_domains(12, 1).with_applications(4, 7);
+        let p1 = Params::default()
+            .with_domains(12, 1)
+            .with_applications(4, 7);
         let p6 = Params::default().with_domains(2, 6).with_applications(4, 7);
         let d1 = ItuaDes::new(p1).unwrap();
         let d6 = ItuaDes::new(p6).unwrap();
@@ -1052,7 +1067,9 @@ mod tests {
             host_ms.record(&host.run(seed, 5.0, &[5.0]));
         }
         let dom_u = dom_ms.mean(crate::measures::names::UNAVAILABILITY).unwrap();
-        let host_u = host_ms.mean(crate::measures::names::UNAVAILABILITY).unwrap();
+        let host_u = host_ms
+            .mean(crate::measures::names::UNAVAILABILITY)
+            .unwrap();
         assert!(
             host_u <= dom_u + 1e-9,
             "host exclusion should not be worse at zero spread: {host_u} vs {dom_u}"
@@ -1064,8 +1081,15 @@ mod tests {
         let des = ItuaDes::new(small_params()).unwrap();
         for seed in 0..20 {
             let out = des.run(seed, 10.0, &[2.0, 5.0, 10.0]);
-            let fracs: Vec<f64> = out.snapshots.iter().map(|s| s.frac_domains_excluded).collect();
-            assert!(fracs.windows(2).all(|w| w[0] <= w[1]), "seed {seed}: {fracs:?}");
+            let fracs: Vec<f64> = out
+                .snapshots
+                .iter()
+                .map(|s| s.frac_domains_excluded)
+                .collect();
+            assert!(
+                fracs.windows(2).all(|w| w[0] <= w[1]),
+                "seed {seed}: {fracs:?}"
+            );
         }
     }
 

@@ -173,8 +173,10 @@ impl MeasureSet {
                 &format!("{}@{}", names::REPLICAS_RUNNING, s.time),
                 s.mean_replicas_running,
             );
-            self.est
-                .record(&format!("{}@{}", names::LOAD_PER_HOST, s.time), s.load_per_host);
+            self.est.record(
+                &format!("{}@{}", names::LOAD_PER_HOST, s.time),
+                s.load_per_host,
+            );
         }
     }
 
@@ -230,7 +232,10 @@ mod tests {
 
     #[test]
     fn exclusion_fraction_mean() {
-        assert_eq!(sample_output().mean_exclusion_corrupt_fraction(), Some(0.75));
+        assert_eq!(
+            sample_output().mean_exclusion_corrupt_fraction(),
+            Some(0.75)
+        );
         let mut out = sample_output();
         out.exclusion_corrupt_fractions.clear();
         assert_eq!(out.mean_exclusion_corrupt_fraction(), None);
@@ -252,7 +257,10 @@ mod tests {
         assert!((ms.mean(names::UNRELIABILITY).unwrap() - 0.25).abs() < 1e-12);
         assert!((ms.mean(names::FRAC_CORRUPT_AT_EXCLUSION).unwrap() - 0.75).abs() < 1e-12);
         assert!(
-            (ms.mean(&format!("{}@5", names::FRAC_DOMAINS_EXCLUDED)).unwrap() - 0.3).abs()
+            (ms.mean(&format!("{}@5", names::FRAC_DOMAINS_EXCLUDED))
+                .unwrap()
+                - 0.3)
+                .abs()
                 < 1e-12
         );
         let all = ms.estimates();

@@ -323,8 +323,7 @@ impl Params {
 
     /// Host attack-rate multiplier given accumulated spread levels.
     pub fn spread_multiplier(&self, domain_spread: f64, system_spread: f64) -> f64 {
-        1.0 + self.spread_effect_domain * domain_spread
-            + self.spread_effect_system * system_spread
+        1.0 + self.spread_effect_domain * domain_spread + self.spread_effect_system * system_spread
     }
 
     /// Validates the parameter set.
@@ -358,8 +357,8 @@ impl Params {
         if probs.iter().any(|p| !(0.0..=1.0).contains(p)) {
             return err("probabilities must be in [0, 1]");
         }
-        let mix = self.attack_mix.p_script + self.attack_mix.p_exploratory
-            + self.attack_mix.p_innovative;
+        let mix =
+            self.attack_mix.p_script + self.attack_mix.p_exploratory + self.attack_mix.p_innovative;
         if (mix - 1.0).abs() > 1e-9 {
             return err("attack category probabilities must sum to 1");
         }
@@ -379,9 +378,7 @@ impl Params {
         if self.base_attack_rate <= 0.0 || self.ids_rate <= 0.0 {
             return err("base attack rate and IDS rate must be positive");
         }
-        if !(self.host_corruption_multiplier.is_finite())
-            || self.host_corruption_multiplier < 1.0
-        {
+        if !(self.host_corruption_multiplier.is_finite()) || self.host_corruption_multiplier < 1.0 {
             return err("host corruption multiplier must be >= 1");
         }
         if !self.effective_rate_factor.is_finite() || self.effective_rate_factor <= 0.0 {
@@ -392,8 +389,7 @@ impl Params {
             self.attack_weight_replica,
             self.attack_weight_manager,
         ];
-        if weights.iter().any(|w| !w.is_finite() || *w < 0.0)
-            || weights.iter().sum::<f64>() <= 0.0
+        if weights.iter().any(|w| !w.is_finite() || *w < 0.0) || weights.iter().sum::<f64>() <= 0.0
         {
             return err("attack weights must be nonnegative with positive sum");
         }
@@ -438,7 +434,9 @@ mod tests {
         // At the baseline configuration with equal weights and no
         // calibration factor, per-entity rates sum back to the paper's
         // cumulative rates.
-        let mut p = Params::default().with_domains(10, 3).with_applications(4, 7);
+        let mut p = Params::default()
+            .with_domains(10, 3)
+            .with_applications(4, 7);
         p.attack_weight_host = 1.0;
         p.attack_weight_replica = 1.0;
         p.attack_weight_manager = 1.0;
@@ -455,8 +453,12 @@ mod tests {
     fn per_entity_rates_are_study_independent() {
         // §4.2: "the probability of a successful intrusion into a host is
         // assumed to be the same in all experiments".
-        let small = Params::default().with_domains(12, 1).with_applications(2, 7);
-        let large = Params::default().with_domains(10, 4).with_applications(8, 7);
+        let small = Params::default()
+            .with_domains(12, 1)
+            .with_applications(2, 7);
+        let large = Params::default()
+            .with_domains(10, 4)
+            .with_applications(8, 7);
         assert_eq!(small.host_attack_rate(), large.host_attack_rate());
         assert_eq!(small.replica_attack_rate(), large.replica_attack_rate());
         assert_eq!(small.manager_attack_rate(), large.manager_attack_rate());
@@ -482,21 +484,32 @@ mod tests {
     #[test]
     fn validation_rejects_bad_configs() {
         assert!(Params::default().with_domains(0, 3).validate().is_err());
-        assert!(Params::default().with_applications(16, 7).validate().is_err());
+        assert!(Params::default()
+            .with_applications(16, 7)
+            .validate()
+            .is_err());
         let mut p = Params::default();
         p.attack_mix.p_script = 0.5; // mix no longer sums to 1
         assert!(p.validate().is_err());
-        let mut p = Params::default();
-        p.detect_replica = 1.5;
+        let p = Params {
+            detect_replica: 1.5,
+            ..Default::default()
+        };
         assert!(p.validate().is_err());
-        let mut p = Params::default();
-        p.base_attack_rate = 0.0;
+        let p = Params {
+            base_attack_rate: 0.0,
+            ..Default::default()
+        };
         assert!(p.validate().is_err());
-        let mut p = Params::default();
-        p.host_corruption_multiplier = 0.5;
+        let p = Params {
+            host_corruption_multiplier: 0.5,
+            ..Default::default()
+        };
         assert!(p.validate().is_err());
-        let mut p = Params::default();
-        p.spread_rate_domain = -1.0;
+        let p = Params {
+            spread_rate_domain: -1.0,
+            ..Default::default()
+        };
         assert!(p.validate().is_err());
     }
 

@@ -108,7 +108,10 @@ pub fn build(params: &Params) -> Result<ItuaSan, BuildError> {
     for a in 0..num_apps {
         // Initial placement: every application starts with `reps_per_app`
         // replicas waiting for hosts.
-        global_shared.push(SharedPlace::new(format!("to_start_{a}"), p.reps_per_app as i32));
+        global_shared.push(SharedPlace::new(
+            format!("to_start_{a}"),
+            p.reps_per_app as i32,
+        ));
         for name in [
             "started_clean",
             "started_corrupt",
@@ -186,7 +189,9 @@ pub fn build(params: &Params) -> Result<ItuaSan, BuildError> {
         ],
     );
 
-    let san = ComposedModel::new("itua", tree).flatten().map_err(BuildError::San)?;
+    let san = ComposedModel::new("itua", tree)
+        .flatten()
+        .map_err(BuildError::San)?;
 
     // Resolve measure places on the flattened model.
     let mut running = Vec::with_capacity(num_apps);
@@ -280,11 +285,15 @@ impl SanTemplate for ReplicaTemplate {
             b.instantaneous_activity(name)
                 .input_arc(pool, 1)
                 .predicate(&[has_started], move |m| m.get(has_started) == 0)
-                .input_gate(&[], |_| true, move |m| {
-                    m.set(has_started, 1);
-                    m.set(host_corrupt, corrupt_host);
-                    m.add(running, 1);
-                })
+                .input_gate(
+                    &[],
+                    |_| true,
+                    move |m| {
+                        m.set(has_started, 1);
+                        m.set(host_corrupt, corrupt_host);
+                        m.add(running, 1);
+                    },
+                )
                 .build()?;
         }
 
@@ -386,9 +395,7 @@ impl SanTemplate for ReplicaTemplate {
         // while fewer than a third of the running replicas are corrupt.
         b.timed_activity("rep_misbehave", p.misbehave_rate)
             .predicate(&[corrupted, has_started, running, corr], move |m| {
-                m.get(corrupted) == 1
-                    && m.get(has_started) == 1
-                    && 3 * m.get(corr) < m.get(running)
+                m.get(corrupted) == 1 && m.get(has_started) == 1 && 3 * m.get(corr) < m.get(running)
             })
             .input_gate(&[], |_| true, convict)
             .build()?;
@@ -403,17 +410,21 @@ impl SanTemplate for ReplicaTemplate {
                 .predicate(&[has_started, host_corrupt], move |m| {
                     m.get(has_started) == 1 && m.get(host_corrupt) == flag
                 })
-                .input_gate(&[], |_| true, move |m| {
-                    if m.get(corrupted) == 1 {
-                        m.add(corr, -1);
-                    }
-                    m.add(running, -1);
-                    m.add(need_recovery, 1);
-                    m.set(has_started, 0);
-                    m.set(host_corrupt, 0);
-                    m.set(corrupted, 0);
-                    m.set(ids_flag, 0);
-                })
+                .input_gate(
+                    &[],
+                    |_| true,
+                    move |m| {
+                        if m.get(corrupted) == 1 {
+                            m.add(corr, -1);
+                        }
+                        m.add(running, -1);
+                        m.add(need_recovery, 1);
+                        m.set(has_started, 0);
+                        m.set(host_corrupt, 0);
+                        m.set(corrupted, 0);
+                        m.set(ids_flag, 0);
+                    },
+                )
                 .build()?;
         }
 
@@ -521,10 +532,8 @@ impl SanTemplate for HostTemplate {
             .collect();
 
         // Quorum predicates shared by several gates.
-        let dom_group_ok =
-            move |m: &Marking| 3 * m.get(dom_mgrs_corr) < m.get(dom_mgrs);
-        let sys_quorum_ok =
-            move |m: &Marking| 3 * m.get(mgrs_corrupt_sys) < m.get(mgrs_active_sys);
+        let dom_group_ok = move |m: &Marking| 3 * m.get(dom_mgrs_corr) < m.get(dom_mgrs);
+        let sys_quorum_ok = move |m: &Marking| 3 * m.get(mgrs_corrupt_sys) < m.get(mgrs_active_sys);
 
         // Triggering an exclusion: domain scheme places a token in the
         // domain's `exclude_domain`; host scheme shuts only this host.
@@ -632,7 +641,13 @@ impl SanTemplate for HostTemplate {
         let mgr_hot = p.corrupt_host_manager_rate();
         b.timed_activity_fn(
             "attack_mgmt",
-            Arc::new(move |m| if m.get(corrupt) == 1 { mgr_hot } else { mgr_base }),
+            Arc::new(move |m| {
+                if m.get(corrupt) == 1 {
+                    mgr_hot
+                } else {
+                    mgr_base
+                }
+            }),
             &[corrupt],
         )
         .predicate(&[active, mgr_active, mgr_corrupt], move |m| {
@@ -684,25 +699,26 @@ impl SanTemplate for HostTemplate {
             let one_per_domain = p.placement == PlacementConstraint::OnePerDomain;
             b.instantaneous_activity(&format!("start_replica_{a}"))
                 .input_arc(ts, 1)
-                .predicate(
-                    &[active, ha, dha, dom_excluded, dom_excluding],
+                .predicate(&[active, ha, dha, dom_excluded, dom_excluding], move |m| {
+                    m.get(active) == 1
+                        && m.get(ha) == 0
+                        && m.get(dom_excluded) == 0
+                        && m.get(dom_excluding) == 0
+                        && (!one_per_domain || m.get(dha) == 0)
+                })
+                .input_gate(
+                    &[corrupt],
+                    |_| true,
                     move |m| {
-                        m.get(active) == 1
-                            && m.get(ha) == 0
-                            && m.get(dom_excluded) == 0
-                            && m.get(dom_excluding) == 0
-                            && (!one_per_domain || m.get(dha) == 0)
+                        m.set(ha, 1);
+                        m.add(dha, 1);
+                        if m.get(corrupt) == 1 {
+                            m.add(scor, 1);
+                        } else {
+                            m.add(sc, 1);
+                        }
                     },
                 )
-                .input_gate(&[corrupt], |_| true, move |m| {
-                    m.set(ha, 1);
-                    m.add(dha, 1);
-                    if m.get(corrupt) == 1 {
-                        m.add(scor, 1);
-                    } else {
-                        m.add(sc, 1);
-                    }
-                })
                 .build()?;
         }
 
@@ -750,39 +766,42 @@ impl SanTemplate for HostTemplate {
             reads.push(corrupt);
             b.instantaneous_activity("shut_host")
                 .predicate(&reads, move |m| {
-                    m.get(active) == 1
-                        && (m.get(dom_excluding) == 1 || m.get(self_excluding) == 1)
+                    m.get(active) == 1 && (m.get(dom_excluding) == 1 || m.get(self_excluding) == 1)
                 })
-                .input_gate(&[], |_| true, move |m| {
-                    m.set(active, 0);
-                    m.set(self_excluding, 0);
-                    m.add(dom_hosts, -1);
-                    let host_was_corrupt = m.get(corrupt) == 1;
-                    if host_was_corrupt {
-                        m.add(dom_corrupt_hosts, -1);
-                    }
-                    for a in 0..num_apps {
-                        if m.get(has_app_v[a]) == 1 {
-                            m.set(has_app_v[a], 0);
-                            m.add(dom_has_app_v[a], -1);
-                            if host_was_corrupt {
-                                m.add(kill_corrupt_v[a], 1);
-                            } else {
-                                m.add(kill_clean_v[a], 1);
+                .input_gate(
+                    &[],
+                    |_| true,
+                    move |m| {
+                        m.set(active, 0);
+                        m.set(self_excluding, 0);
+                        m.add(dom_hosts, -1);
+                        let host_was_corrupt = m.get(corrupt) == 1;
+                        if host_was_corrupt {
+                            m.add(dom_corrupt_hosts, -1);
+                        }
+                        for a in 0..num_apps {
+                            if m.get(has_app_v[a]) == 1 {
+                                m.set(has_app_v[a], 0);
+                                m.add(dom_has_app_v[a], -1);
+                                if host_was_corrupt {
+                                    m.add(kill_corrupt_v[a], 1);
+                                } else {
+                                    m.add(kill_clean_v[a], 1);
+                                }
                             }
                         }
-                    }
-                    if m.get(mgr_active) == 1 {
-                        m.set(mgr_active, 0);
-                        m.add(dom_mgrs, -1);
-                        m.add(mgrs_active_sys, -1);
-                        if m.get(mgr_corrupt) == 1 {
-                            m.set(mgr_corrupt, 0);
-                            m.add(dom_mgrs_corr, -1);
-                            m.add(mgrs_corrupt_sys, -1);
+                        if m.get(mgr_active) == 1 {
+                            m.set(mgr_active, 0);
+                            m.add(dom_mgrs, -1);
+                            m.add(mgrs_active_sys, -1);
+                            if m.get(mgr_corrupt) == 1 {
+                                m.set(mgr_corrupt, 0);
+                                m.add(dom_mgrs_corr, -1);
+                                m.add(mgrs_corrupt_sys, -1);
+                            }
                         }
-                    }
-                })
+                    },
+                )
                 .build()?;
         }
 
@@ -793,10 +812,14 @@ impl SanTemplate for HostTemplate {
             b.instantaneous_activity("finish_exclusion")
                 .input_arc(dom_excluding, 1)
                 .predicate(&[dom_hosts], move |m| m.get(dom_hosts) == 0)
-                .input_gate(&[], |_| true, move |m| {
-                    m.set(dom_excluded, 1);
-                    m.add(excluded_domains, 1);
-                })
+                .input_gate(
+                    &[],
+                    |_| true,
+                    move |m| {
+                        m.set(dom_excluded, 1);
+                        m.add(excluded_domains, 1);
+                    },
+                )
                 .build()?;
         }
 
@@ -810,10 +833,14 @@ impl SanTemplate for HostTemplate {
                 .predicate(&[corrupt, active, spread_dom_done], move |m| {
                     m.get(corrupt) == 1 && m.get(active) == 1 && m.get(spread_dom_done) == 0
                 })
-                .input_gate(&[], |_| true, move |m| {
-                    m.set(spread_dom_done, 1);
-                    m.add(dom_spread, inc);
-                })
+                .input_gate(
+                    &[],
+                    |_| true,
+                    move |m| {
+                        m.set(spread_dom_done, 1);
+                        m.add(dom_spread, inc);
+                    },
+                )
                 .build()?;
         }
         if p.spread_rate_system > 0.0 {
@@ -822,10 +849,14 @@ impl SanTemplate for HostTemplate {
                 .predicate(&[corrupt, active, spread_sys_done], move |m| {
                     m.get(corrupt) == 1 && m.get(active) == 1 && m.get(spread_sys_done) == 0
                 })
-                .input_gate(&[], |_| true, move |m| {
-                    m.set(spread_sys_done, 1);
-                    m.add(sys_spread, inc);
-                })
+                .input_gate(
+                    &[],
+                    |_| true,
+                    move |m| {
+                        m.set(spread_sys_done, 1);
+                        m.add(sys_spread, inc);
+                    },
+                )
                 .build()?;
         }
 

@@ -6,13 +6,13 @@ use proptest::prelude::*;
 
 fn arb_params() -> impl Strategy<Value = Params> {
     (
-        1usize..6,          // domains
-        1usize..4,          // hosts per domain
-        1usize..4,          // apps
-        1usize..6,          // replicas
-        prop::bool::ANY,    // scheme
-        0.0f64..10.0,       // spread
-        1.0f64..6.0,        // corruption multiplier
+        1usize..6,       // domains
+        1usize..4,       // hosts per domain
+        1usize..4,       // apps
+        1usize..6,       // replicas
+        prop::bool::ANY, // scheme
+        0.0f64..10.0,    // spread
+        1.0f64..6.0,     // corruption multiplier
     )
         .prop_map(|(d, h, a, r, host_scheme, spread, mult)| {
             let scheme = if host_scheme {

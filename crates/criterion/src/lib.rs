@@ -1,0 +1,242 @@
+//! Vendored benchmark-harness shim.
+//!
+//! The build environment has no network access to crates.io, so the real
+//! `criterion` crate cannot be resolved. This crate provides the subset of
+//! criterion's API the workspace's benches use — `criterion_group!`,
+//! `criterion_main!`, `Criterion::default().sample_size(..)`,
+//! `bench_function`, `benchmark_group`, `BenchmarkId::from_parameter`,
+//! `black_box`, `Bencher::iter` — with a simple wall-clock measurement:
+//! per benchmark it runs one warm-up iteration, sizes batches so a sample
+//! takes ≳1 ms, collects `sample_size` samples, and prints
+//! median/min/max per-iteration times.
+//!
+//! Pass `--quick` (or set `CRITERION_SHIM_QUICK=1`) to run every benchmark
+//! body exactly once — useful as a smoke test.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark driver: holds measurement settings and prints results.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    quick: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let quick = std::env::args().any(|a| a == "--quick" || a == "--test")
+            || std::env::var_os("CRITERION_SHIM_QUICK").is_some();
+        Criterion {
+            sample_size: 100,
+            quick,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(id, self.sample_size, self.quick, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A named benchmark parameter, as in criterion.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a parameter's `Display` form.
+    pub fn from_parameter(p: impl Display) -> Self {
+        BenchmarkId { id: p.to_string() }
+    }
+
+    /// Builds an id from a function name and a parameter.
+    pub fn new(function: impl Into<String>, p: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function.into(), p),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_owned() }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into().id);
+        run_one(&full, self.criterion.sample_size, self.criterion.quick, f);
+        self
+    }
+
+    /// Finishes the group (printing is incremental; this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`].
+pub struct Bencher {
+    iters_per_sample: u64,
+    samples: usize,
+    quick: bool,
+    /// Median/min/max per-iteration time, filled by `iter`.
+    result: Option<(Duration, Duration, Duration)>,
+}
+
+impl Bencher {
+    /// Measures `f`, running it in timed batches.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.quick {
+            black_box(f());
+            self.result = Some((Duration::ZERO, Duration::ZERO, Duration::ZERO));
+            return;
+        }
+        // Warm-up + batch sizing: aim for ≥1 ms per sample so timer
+        // resolution does not dominate fast bodies.
+        let t0 = Instant::now();
+        black_box(f());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        self.iters_per_sample =
+            (Duration::from_millis(1).as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+        let mut per_iter: Vec<Duration> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(f());
+            }
+            per_iter.push(start.elapsed() / self.iters_per_sample as u32);
+        }
+        per_iter.sort_unstable();
+        let median = per_iter[per_iter.len() / 2];
+        self.result = Some((median, per_iter[0], per_iter[per_iter.len() - 1]));
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(id: &str, samples: usize, quick: bool, mut f: F) {
+    let mut b = Bencher {
+        iters_per_sample: 1,
+        samples,
+        quick,
+        result: None,
+    };
+    f(&mut b);
+    match b.result {
+        Some((median, min, max)) if !quick => println!(
+            "{id:<50} time: [{} {} {}]",
+            fmt_dur(min),
+            fmt_dur(median),
+            fmt_dur(max)
+        ),
+        Some(_) => println!("{id:<50} ok (quick mode, 1 iteration)"),
+        None => println!("{id:<50} (no measurement: closure never called iter)"),
+    }
+}
+
+fn fmt_dur(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.4} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.4} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.4} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// Declares a benchmark group function, as in criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary's `main`, as in criterion.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures_and_prints() {
+        let mut c = Criterion::default().sample_size(3);
+        c.quick = false;
+        let mut calls = 0u64;
+        c.bench_function("smoke", |b| b.iter(|| calls += 1));
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn quick_mode_runs_once() {
+        let mut c = Criterion::default().sample_size(50);
+        c.quick = true;
+        let mut calls = 0u64;
+        c.bench_function("quick", |b| b.iter(|| calls += 1));
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn groups_and_ids() {
+        let mut c = Criterion::default().sample_size(2);
+        c.quick = true;
+        let mut g = c.benchmark_group("grp");
+        g.bench_function(BenchmarkId::from_parameter(42), |b| b.iter(|| 1 + 1));
+        g.bench_function(BenchmarkId::new("f", "x"), |b| b.iter(|| 2 + 2));
+        g.finish();
+    }
+}

@@ -51,8 +51,14 @@ impl fmt::Display for CtmcError {
                 write!(f, "invalid rate {rate} for transition {from} → {to}")
             }
             CtmcError::SelfLoop(s) => write!(f, "self-loop on state {s} not allowed"),
-            CtmcError::NoConvergence { iterations, residual } => {
-                write!(f, "no convergence after {iterations} iterations (residual {residual:e})")
+            CtmcError::NoConvergence {
+                iterations,
+                residual,
+            } => {
+                write!(
+                    f,
+                    "no convergence after {iterations} iterations (residual {residual:e})"
+                )
             }
             CtmcError::BadInitialDistribution => write!(f, "invalid initial distribution"),
         }
@@ -108,7 +114,11 @@ impl Ctmc {
         }
         let rates = CsrMatrix::from_triplets(n, n, transitions)?;
         let exit_rates = (0..n).map(|s| rates.row_sum(s)).collect();
-        Ok(Ctmc { n, rates, exit_rates })
+        Ok(Ctmc {
+            n,
+            rates,
+            exit_rates,
+        })
     }
 
     /// Number of states.
@@ -161,12 +171,7 @@ impl Ctmc {
     ///
     /// Returns [`CtmcError::BadInitialDistribution`] if `initial` does not
     /// sum to ~1 or has the wrong length.
-    pub fn transient(
-        &self,
-        initial: &[f64],
-        t: f64,
-        epsilon: f64,
-    ) -> Result<Vec<f64>, CtmcError> {
+    pub fn transient(&self, initial: &[f64], t: f64, epsilon: f64) -> Result<Vec<f64>, CtmcError> {
         self.check_initial(initial)?;
         assert!(t >= 0.0 && t.is_finite(), "time must be finite nonnegative");
         if t == 0.0 {
@@ -264,11 +269,7 @@ impl Ctmc {
         let mut residual = f64::INFINITY;
         for _ in 0..max_iter {
             let y = self.uniformized_step(&x, lambda);
-            residual = x
-                .iter()
-                .zip(&y)
-                .map(|(a, b)| (a - b).abs())
-                .sum::<f64>();
+            residual = x.iter().zip(&y).map(|(a, b)| (a - b).abs()).sum::<f64>();
             x = y;
             if residual < tol {
                 // Renormalize against drift.
@@ -445,8 +446,8 @@ mod tests {
         .unwrap();
         let pi = ctmc.steady_state(1e-13, 200_000).unwrap();
         let z: f64 = (0..4).map(|k| 0.5f64.powi(k)).sum();
-        for k in 0..4 {
-            assert!((pi[k] - 0.5f64.powi(k as i32) / z).abs() < 1e-8, "k = {k}");
+        for (k, pik) in pi.iter().enumerate() {
+            assert!((pik - 0.5f64.powi(k as i32) / z).abs() < 1e-8, "k = {k}");
         }
     }
 
@@ -537,7 +538,9 @@ mod tests {
     #[test]
     fn mtta_zero_when_starting_absorbed() {
         let ctmc = Ctmc::from_rates(2, &[(0, 1, 1.0)]).unwrap();
-        let mtta = ctmc.mean_time_to_absorption(&[0.0, 1.0], 1e-12, 1000).unwrap();
+        let mtta = ctmc
+            .mean_time_to_absorption(&[0.0, 1.0], 1e-12, 1000)
+            .unwrap();
         assert!(mtta.abs() < 1e-9);
     }
 

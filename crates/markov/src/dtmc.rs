@@ -32,10 +32,19 @@ impl fmt::Display for DtmcError {
         match self {
             DtmcError::Sparse(e) => write!(f, "sparse matrix error: {e}"),
             DtmcError::BadRow { row, sum } => {
-                write!(f, "row {row} of a stochastic matrix sums to {sum}, expected 1")
+                write!(
+                    f,
+                    "row {row} of a stochastic matrix sums to {sum}, expected 1"
+                )
             }
-            DtmcError::NoConvergence { iterations, residual } => {
-                write!(f, "no convergence after {iterations} iterations (residual {residual:e})")
+            DtmcError::NoConvergence {
+                iterations,
+                residual,
+            } => {
+                write!(
+                    f,
+                    "no convergence after {iterations} iterations (residual {residual:e})"
+                )
             }
         }
     }
@@ -212,8 +221,8 @@ mod tests {
 
     #[test]
     fn stationary_weather() {
-        let d = Dtmc::from_triplets(2, &[(0, 0, 0.9), (0, 1, 0.1), (1, 0, 0.5), (1, 1, 0.5)])
-            .unwrap();
+        let d =
+            Dtmc::from_triplets(2, &[(0, 0, 0.9), (0, 1, 0.1), (1, 0, 0.5), (1, 1, 0.5)]).unwrap();
         let pi = d.stationary(1e-13, 100_000).unwrap();
         assert!((pi[0] - 5.0 / 6.0).abs() < 1e-9);
         assert!((pi[1] - 1.0 / 6.0).abs() < 1e-9);

@@ -165,12 +165,12 @@ impl CsrMatrix {
     pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.cols, "dimension mismatch");
         let mut y = vec![0.0; self.rows];
-        for r in 0..self.rows {
+        for (r, yr) in y.iter_mut().enumerate() {
             let mut acc = 0.0;
             for k in self.row_ptr[r]..self.row_ptr[r + 1] {
                 acc += self.values[k] * x[self.col_idx[k]];
             }
-            y[r] = acc;
+            *yr = acc;
         }
         y
     }
@@ -184,8 +184,7 @@ impl CsrMatrix {
     pub fn vec_mul(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.rows, "dimension mismatch");
         let mut y = vec![0.0; self.cols];
-        for r in 0..self.rows {
-            let xr = x[r];
+        for (r, &xr) in x.iter().enumerate() {
             if xr == 0.0 {
                 continue;
             }
@@ -266,8 +265,9 @@ mod tests {
     fn mul_vec_and_vec_mul() {
         // [1 2]   [1]   [5]
         // [3 4] · [2] = [11]
-        let m = CsrMatrix::from_triplets(2, 2, &[(0, 0, 1.0), (0, 1, 2.0), (1, 0, 3.0), (1, 1, 4.0)])
-            .unwrap();
+        let m =
+            CsrMatrix::from_triplets(2, 2, &[(0, 0, 1.0), (0, 1, 2.0), (1, 0, 3.0), (1, 1, 4.0)])
+                .unwrap();
         assert_eq!(m.mul_vec(&[1.0, 2.0]), vec![5.0, 11.0]);
         // [1 2]ᵀ-product: xᵀA with x = [1, 2] → [1+6, 2+8] = [7, 10]
         assert_eq!(m.vec_mul(&[1.0, 2.0]), vec![7.0, 10.0]);

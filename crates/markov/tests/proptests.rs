@@ -69,7 +69,7 @@ proptest! {
         let sum: f64 = p.iter().sum();
         prop_assert!((sum - 1.0).abs() < 1e-6, "mass {sum}");
         for &pi in &p {
-            prop_assert!(pi >= -1e-9 && pi <= 1.0 + 1e-9);
+            prop_assert!((-1e-9..=1.0 + 1e-9).contains(&pi));
         }
     }
 

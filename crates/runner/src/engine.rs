@@ -1,0 +1,234 @@
+//! The replication engine: deterministic chunked fan-out over threads.
+//!
+//! Replications are partitioned into fixed-size chunks (independent of the
+//! thread count), workers claim chunks from an atomic counter, and the
+//! per-chunk results are reassembled in chunk order. Because each
+//! replication's work depends only on its index — seeding uses
+//! [`itua_sim::rng::stream_seed`], never shared mutable state — the
+//! assembled result vector is identical for 1, 2, or N threads, which
+//! makes every reduction downstream (estimators, measure sets) bit-stable
+//! across thread counts.
+
+use crate::progress::Progress;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// How to spend the machine's cores on a replication workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunnerConfig {
+    /// Worker threads; `0` means "one per available core".
+    pub threads: usize,
+    /// Replications per work unit. Chunking is part of the deterministic
+    /// contract (results are reassembled in chunk order), so this does not
+    /// affect results, only scheduling granularity.
+    pub chunk_size: u32,
+}
+
+impl Default for RunnerConfig {
+    fn default() -> Self {
+        RunnerConfig {
+            threads: 0,
+            chunk_size: 32,
+        }
+    }
+}
+
+impl RunnerConfig {
+    /// A configuration that runs everything on the calling thread.
+    pub fn serial() -> Self {
+        RunnerConfig {
+            threads: 1,
+            ..Default::default()
+        }
+    }
+
+    /// Sets an explicit thread count (`0` = auto).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// The number of worker threads this configuration resolves to.
+    pub fn effective_threads(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        }
+    }
+}
+
+/// Runs `f(0), f(1), …, f(replications - 1)` across worker threads and
+/// returns the results **in replication order**.
+///
+/// The work function sees only the replication index; derive all
+/// randomness from it (e.g. `stream_seed(base, index)`) and the output is
+/// independent of the thread count and of scheduling. Progress is reported
+/// after every completed chunk via [`Progress::on_replications`].
+///
+/// Panics in `f` propagate to the caller once all workers have stopped.
+///
+/// # Example
+///
+/// ```
+/// use itua_runner::engine::{replicate, RunnerConfig};
+/// use itua_runner::progress::NullProgress;
+///
+/// let squares = replicate(5, &RunnerConfig::default(), &NullProgress, |i| i * i);
+/// assert_eq!(squares, vec![0, 1, 4, 9, 16]);
+/// ```
+pub fn replicate<R, F>(
+    replications: u32,
+    config: &RunnerConfig,
+    progress: &dyn Progress,
+    f: F,
+) -> Vec<R>
+where
+    R: Send,
+    F: Fn(u32) -> R + Sync,
+{
+    if replications == 0 {
+        return Vec::new();
+    }
+    let chunk = config.chunk_size.max(1);
+    let num_chunks = replications.div_ceil(chunk);
+    let threads = config.effective_threads().min(num_chunks as usize).max(1);
+
+    if threads == 1 {
+        let mut out = Vec::with_capacity(replications as usize);
+        for c in 0..num_chunks {
+            let lo = c * chunk;
+            let hi = (lo + chunk).min(replications);
+            out.extend((lo..hi).map(&f));
+            progress.on_replications(hi, replications);
+        }
+        return out;
+    }
+
+    let next_chunk = AtomicU32::new(0);
+    let done = AtomicU32::new(0);
+    let mut per_worker: Vec<Vec<(u32, Vec<R>)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut mine: Vec<(u32, Vec<R>)> = Vec::new();
+                    loop {
+                        let c = next_chunk.fetch_add(1, Ordering::Relaxed);
+                        if c >= num_chunks {
+                            break;
+                        }
+                        let lo = c * chunk;
+                        let hi = (lo + chunk).min(replications);
+                        let results: Vec<R> = (lo..hi).map(&f).collect();
+                        let total_done = done.fetch_add(hi - lo, Ordering::Relaxed) + (hi - lo);
+                        progress.on_replications(total_done, replications);
+                        mine.push((c, results));
+                    }
+                    mine
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("replication worker panicked"))
+            .collect()
+    });
+
+    // Deterministic reduction: reassemble chunks in index order, which
+    // recovers exactly the sequential 0..replications ordering.
+    let mut chunks: Vec<(u32, Vec<R>)> = per_worker.drain(..).flatten().collect();
+    chunks.sort_unstable_by_key(|(c, _)| *c);
+    debug_assert_eq!(chunks.len(), num_chunks as usize);
+    let mut out = Vec::with_capacity(replications as usize);
+    for (_, mut part) in chunks {
+        out.append(&mut part);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::progress::NullProgress;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn preserves_replication_order() {
+        for threads in [1, 2, 4, 8] {
+            let cfg = RunnerConfig {
+                threads,
+                chunk_size: 3,
+            };
+            let got = replicate(100, &cfg, &NullProgress, |i| i);
+            assert_eq!(got, (0..100).collect::<Vec<_>>(), "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn identical_results_across_thread_and_chunk_choices() {
+        let work = |i: u32| itua_sim::rng::stream_seed(42, i as u64);
+        let reference = replicate(257, &RunnerConfig::serial(), &NullProgress, work);
+        for threads in [2, 3, 8] {
+            for chunk_size in [1, 7, 64, 1000] {
+                let cfg = RunnerConfig {
+                    threads,
+                    chunk_size,
+                };
+                assert_eq!(
+                    replicate(257, &cfg, &NullProgress, work),
+                    reference,
+                    "threads={threads} chunk={chunk_size}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_replications_is_empty() {
+        let out: Vec<u32> = replicate(0, &RunnerConfig::default(), &NullProgress, |i| i);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn runs_every_replication_exactly_once() {
+        let calls = AtomicUsize::new(0);
+        let cfg = RunnerConfig {
+            threads: 4,
+            chunk_size: 5,
+        };
+        let out = replicate(83, &cfg, &NullProgress, |i| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(out.len(), 83);
+        assert_eq!(calls.load(Ordering::Relaxed), 83);
+    }
+
+    #[test]
+    fn progress_reaches_total() {
+        struct Last(AtomicU32);
+        impl Progress for Last {
+            fn on_replications(&self, done: u32, _total: u32) {
+                self.0.fetch_max(done, Ordering::Relaxed);
+            }
+        }
+        let last = Last(AtomicU32::new(0));
+        let cfg = RunnerConfig {
+            threads: 2,
+            chunk_size: 10,
+        };
+        replicate(45, &cfg, &last, |i| i);
+        assert_eq!(last.0.load(Ordering::Relaxed), 45);
+    }
+
+    #[test]
+    fn auto_threads_resolves_positive() {
+        assert!(RunnerConfig::default().effective_threads() >= 1);
+        assert_eq!(RunnerConfig::serial().effective_threads(), 1);
+        assert_eq!(
+            RunnerConfig::default().with_threads(3).effective_threads(),
+            3
+        );
+    }
+}

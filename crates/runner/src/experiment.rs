@@ -1,0 +1,171 @@
+//! Parallel SAN experiments: the multi-threaded equivalent of
+//! [`itua_san::experiment::run_experiment`].
+//!
+//! Reward variables hold per-run mutable state, so each replication gets a
+//! fresh set from a caller-supplied factory. The per-replication
+//! observations (a few named `f64`s) are shipped back to the reducing
+//! thread and recorded into one [`ReplicationEstimator`] in replication
+//! order — the same order the sequential loop uses — so the estimates are
+//! bit-identical to the sequential path for every thread count.
+
+use crate::engine::{replicate, RunnerConfig};
+use crate::progress::Progress;
+use itua_san::experiment::ExperimentConfig;
+use itua_san::model::SanError;
+use itua_san::reward::{Observation, RewardVariable};
+use itua_san::simulator::{Observer, SanSimulator};
+use itua_sim::rng::stream_seed;
+use itua_stats::replication::{Estimate, ReplicationEstimator};
+
+/// Runs a replication experiment across worker threads.
+///
+/// `make_variables` builds a fresh set of reward variables for one
+/// replication; it is called once per replication, possibly concurrently
+/// from several threads. Replication `i` is seeded with
+/// `stream_seed(config.base_seed, i)` — exactly like the sequential
+/// [`itua_san::experiment::run_experiment`] — and estimates are reduced in
+/// replication order, so for any [`RunnerConfig`] (1, 2, 4, … threads)
+/// this returns **bit-identical** estimates to the sequential path.
+///
+/// # Errors
+///
+/// Propagates the simulator error of the lowest-indexed failing
+/// replication (deterministic regardless of which worker hit it first).
+///
+/// # Example
+///
+/// ```
+/// use itua_runner::engine::RunnerConfig;
+/// use itua_runner::progress::NullProgress;
+/// use itua_runner::experiment::run_experiment_parallel;
+/// use itua_san::experiment::{run_experiment, ExperimentConfig};
+/// use itua_san::model::SanBuilder;
+/// use itua_san::reward::{RewardVariable, TimeAveraged};
+/// use itua_san::simulator::SanSimulator;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = SanBuilder::new("m");
+/// let up = b.place("up", 1);
+/// let down = b.place("down", 0);
+/// b.timed_activity("fail", 1.0).input_arc(up, 1).output_arc(down, 1).build()?;
+/// b.timed_activity("fix", 4.0).input_arc(down, 1).output_arc(up, 1).build()?;
+/// let sim = SanSimulator::new(b.finish()?);
+/// let cfg = ExperimentConfig { horizon: 20.0, replications: 100, ..Default::default() };
+///
+/// let parallel = run_experiment_parallel(&sim, cfg, &RunnerConfig::default(), &NullProgress,
+///     || vec![Box::new(TimeAveraged::new("unavail", move |m| m.get(down) as f64)) as Box<dyn RewardVariable>])?;
+///
+/// let mut seq_var = TimeAveraged::new("unavail", move |m| m.get(down) as f64);
+/// let sequential = run_experiment(&sim, cfg, &mut [&mut seq_var])?;
+/// assert_eq!(parallel, sequential); // bit-identical
+/// # Ok(())
+/// # }
+/// ```
+pub fn run_experiment_parallel<F>(
+    sim: &SanSimulator,
+    config: ExperimentConfig,
+    runner: &RunnerConfig,
+    progress: &dyn Progress,
+    make_variables: F,
+) -> Result<Vec<Estimate>, SanError>
+where
+    F: Fn() -> Vec<Box<dyn RewardVariable>> + Sync,
+{
+    let per_rep: Vec<Result<Vec<Observation>, SanError>> =
+        replicate(config.replications, runner, progress, |rep| {
+            let mut variables = make_variables();
+            {
+                let mut observers: Vec<&mut dyn Observer> = variables
+                    .iter_mut()
+                    .map(|v| v.as_mut() as &mut dyn Observer)
+                    .collect();
+                sim.run(
+                    stream_seed(config.base_seed, rep as u64),
+                    config.horizon,
+                    &mut observers,
+                )?;
+            }
+            Ok(variables.iter().flat_map(|v| v.observations()).collect())
+        });
+
+    let mut est = ReplicationEstimator::new(config.confidence);
+    for observations in per_rep {
+        for o in observations? {
+            est.record(&o.name, o.value);
+        }
+    }
+    Ok(est.estimates())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::progress::NullProgress;
+    use itua_san::experiment::run_experiment;
+    use itua_san::model::SanBuilder;
+    use itua_san::reward::{EverTrue, TimeAveraged};
+
+    fn repairable() -> SanSimulator {
+        let mut b = SanBuilder::new("m");
+        let up = b.place("up", 1);
+        let down = b.place("down", 0);
+        b.timed_activity("fail", 1.0)
+            .input_arc(up, 1)
+            .output_arc(down, 1)
+            .build()
+            .unwrap();
+        b.timed_activity("fix", 9.0)
+            .input_arc(down, 1)
+            .output_arc(up, 1)
+            .build()
+            .unwrap();
+        SanSimulator::new(b.finish().unwrap())
+    }
+
+    #[test]
+    fn matches_sequential_bit_for_bit() {
+        let sim = repairable();
+        let down = sim.san().place_id("down").unwrap();
+        let cfg = ExperimentConfig {
+            horizon: 25.0,
+            replications: 120,
+            base_seed: 77,
+            confidence: 0.95,
+        };
+        let mut v1 = TimeAveraged::new("unavail", move |m| m.get(down) as f64);
+        let mut v2 = EverTrue::new("ever_down", move |m| m.get(down) as f64);
+        let sequential = run_experiment(&sim, cfg, &mut [&mut v1, &mut v2]).unwrap();
+
+        for threads in [1, 2, 4, 8] {
+            for chunk_size in [1, 7, 32] {
+                let rc = RunnerConfig {
+                    threads,
+                    chunk_size,
+                };
+                let parallel = run_experiment_parallel(&sim, cfg, &rc, &NullProgress, || {
+                    vec![
+                        Box::new(TimeAveraged::new("unavail", move |m| m.get(down) as f64))
+                            as Box<dyn RewardVariable>,
+                        Box::new(EverTrue::new("ever_down", move |m| m.get(down) as f64)),
+                    ]
+                })
+                .unwrap();
+                assert_eq!(parallel, sequential, "threads={threads} chunk={chunk_size}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_variable_set_yields_no_estimates() {
+        let sim = repairable();
+        let cfg = ExperimentConfig {
+            horizon: 2.0,
+            replications: 10,
+            ..Default::default()
+        };
+        let out =
+            run_experiment_parallel(&sim, cfg, &RunnerConfig::default(), &NullProgress, Vec::new)
+                .unwrap();
+        assert!(out.is_empty());
+    }
+}

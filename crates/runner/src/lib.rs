@@ -1,0 +1,44 @@
+//! Parallel experiment-execution engine for the ITUA reproduction.
+//!
+//! The paper's Möbius studies run thousands of independent replications per
+//! sweep point — an embarrassingly parallel workload that the original
+//! single-threaded `run_experiment` / `run_sweep` loops left on one core.
+//! This crate is the execution layer that fixes that, as a subsystem the
+//! rest of the stack (`itua-san` experiments, `itua-studies` sweeps, the
+//! figure binaries) plugs into:
+//!
+//! * [`engine`] — shards replications across scoped worker threads in
+//!   fixed-size chunks claimed from a shared counter. Replication `i` is
+//!   seeded by `stream_seed(base, i)` regardless of which worker runs it,
+//!   and results are reassembled in replication order before reduction, so
+//!   **estimates are bit-identical for every thread count** (including the
+//!   sequential path).
+//! * [`experiment`] — a parallel drop-in for
+//!   `itua_san::experiment::run_experiment`.
+//! * [`progress`] — observer interface plus a console implementation
+//!   reporting replications/second, ETA, and per-point estimates as they
+//!   land.
+//! * [`store`] + [`json`] — a dependency-free JSON result store under
+//!   `results/`; an interrupted sweep resumes at the first incomplete
+//!   point.
+//! * [`sweep`] — the orchestration layer ([`sweep::SweepRunner`]) tying
+//!   engine, progress, and store together for whole figure sweeps.
+//!
+//! See `DESIGN.md` § "Runner subsystem" for the threading and determinism
+//! rationale.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod experiment;
+pub mod json;
+pub mod progress;
+pub mod store;
+pub mod sweep;
+
+pub use engine::{replicate, RunnerConfig};
+pub use experiment::run_experiment_parallel;
+pub use progress::{ConsoleProgress, NullProgress, Progress};
+pub use store::{fingerprint, ResultStore, StoredEstimate, StoredPoint};
+pub use sweep::{PointSpec, SweepRunner};

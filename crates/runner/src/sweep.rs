@@ -1,0 +1,224 @@
+//! Sweep orchestration: run figure sweeps point by point with progress
+//! reporting and optional checkpoint/resume through a [`ResultStore`].
+//!
+//! A sweep is a flat list of [`PointSpec`]s (one per series × x-value).
+//! [`SweepRunner::run`] walks them in order; for each point it either
+//! loads a completed result from the store (resume) or invokes the
+//! caller's simulation closure, records the result, and reports it. The
+//! store is rewritten after every point, so an interrupted run restarts
+//! at the first incomplete point.
+
+use crate::progress::Progress;
+use crate::store::{ResultStore, StoredEstimate, StoredPoint};
+use std::io;
+
+/// One point of a sweep, before it has been run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PointSpec {
+    /// Stable identifier within the sweep; resume matches on this, so it
+    /// must encode everything that distinguishes the point (index, series,
+    /// x-value).
+    pub key: String,
+    /// Human-readable label for progress lines.
+    pub label: String,
+    /// X-axis value.
+    pub x: f64,
+    /// Series the point belongs to.
+    pub series: String,
+}
+
+impl PointSpec {
+    /// Builds a spec with the conventional key `"{index}|{series}|x={x}"`
+    /// and the label `"{series}, x = {x}"`.
+    pub fn new(index: usize, series: &str, x: f64) -> Self {
+        PointSpec {
+            key: format!("{index}|{series}|x={x}"),
+            label: format!("{series}, x = {x}"),
+            x,
+            series: series.to_owned(),
+        }
+    }
+}
+
+/// Executes sweep points in order, with resume and progress reporting.
+pub struct SweepRunner<'a> {
+    progress: &'a dyn Progress,
+    store: Option<ResultStore>,
+}
+
+impl<'a> SweepRunner<'a> {
+    /// A runner without persistence: every point is simulated.
+    pub fn new(progress: &'a dyn Progress) -> Self {
+        SweepRunner {
+            progress,
+            store: None,
+        }
+    }
+
+    /// A runner that records into (and resumes from) `store`.
+    pub fn with_store(progress: &'a dyn Progress, store: ResultStore) -> Self {
+        SweepRunner {
+            progress,
+            store: Some(store),
+        }
+    }
+
+    /// Runs the sweep. `simulate` is called for each point not already in
+    /// the store and returns the point's estimates; completed points are
+    /// returned in the order of `points`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates result-store write failures.
+    pub fn run<F>(&mut self, points: &[PointSpec], mut simulate: F) -> io::Result<Vec<StoredPoint>>
+    where
+        F: FnMut(&PointSpec, usize) -> Vec<StoredEstimate>,
+    {
+        let total = points.len();
+        let mut out = Vec::with_capacity(total);
+        for (i, spec) in points.iter().enumerate() {
+            if let Some(store) = &self.store {
+                if let Some(done) = store.completed(&spec.key) {
+                    let done = done.clone();
+                    self.progress
+                        .on_point_done(i, total, &spec.label, &done.estimates, true);
+                    out.push(done);
+                    continue;
+                }
+            }
+            self.progress.on_point_start(i, total, &spec.label);
+            let estimates = simulate(spec, i);
+            let point = StoredPoint {
+                key: spec.key.clone(),
+                x: spec.x,
+                series: spec.series.clone(),
+                estimates,
+            };
+            if let Some(store) = &mut self.store {
+                store.record(point.clone())?;
+            }
+            self.progress
+                .on_point_done(i, total, &spec.label, &point.estimates, false);
+            out.push(point);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::progress::NullProgress;
+    use crate::store::fingerprint;
+    use std::path::PathBuf;
+
+    fn est(mean: f64) -> StoredEstimate {
+        StoredEstimate {
+            name: "m".to_owned(),
+            mean,
+            half_width: 0.0,
+            n: 1,
+            min: mean,
+            max: mean,
+        }
+    }
+
+    fn specs() -> Vec<PointSpec> {
+        vec![
+            PointSpec::new(0, "s", 1.0),
+            PointSpec::new(1, "s", 2.0),
+            PointSpec::new(2, "t", 1.0),
+        ]
+    }
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("itua-runner-sweep-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn point_spec_key_distinguishes_points() {
+        let keys: Vec<String> = specs().into_iter().map(|p| p.key).collect();
+        assert_eq!(keys.len(), 3);
+        assert!(keys
+            .iter()
+            .all(|k| keys.iter().filter(|o| *o == k).count() == 1));
+    }
+
+    #[test]
+    fn runs_all_points_without_store() {
+        let mut runner = SweepRunner::new(&NullProgress);
+        let points = runner
+            .run(&specs(), |spec, i| {
+                assert_eq!(spec, &specs()[i]);
+                vec![est(spec.x * 10.0)]
+            })
+            .unwrap();
+        assert_eq!(points.len(), 3);
+        assert_eq!(points[1].estimates[0].mean, 20.0);
+        assert_eq!(points[2].series, "t");
+    }
+
+    #[test]
+    fn resumes_completed_points_from_store() {
+        let dir = tmp_dir("resume");
+        let fp = fingerprint(&["test"]);
+
+        let store = ResultStore::open(&dir, "sweep", &fp).unwrap();
+        let mut runner = SweepRunner::with_store(&NullProgress, store);
+        let mut calls = 0;
+        let first = runner
+            .run(&specs(), |spec, _| {
+                calls += 1;
+                vec![est(spec.x)]
+            })
+            .unwrap();
+        assert_eq!(calls, 3);
+
+        // Second run: everything comes from the store, nothing simulates.
+        let store = ResultStore::open(&dir, "sweep", &fp).unwrap();
+        assert_eq!(store.len(), 3);
+        let mut runner = SweepRunner::with_store(&NullProgress, store);
+        let mut calls = 0;
+        let second = runner
+            .run(&specs(), |spec, _| {
+                calls += 1;
+                vec![est(spec.x)]
+            })
+            .unwrap();
+        assert_eq!(calls, 0, "completed points must not re-simulate");
+        assert_eq!(second, first);
+
+        // Changed fingerprint: the store is discarded and all points rerun.
+        let store = ResultStore::open(&dir, "sweep", &fingerprint(&["other"])).unwrap();
+        assert!(store.is_empty());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn partial_store_restarts_at_first_incomplete_point() {
+        let dir = tmp_dir("partial");
+        let fp = fingerprint(&["test"]);
+
+        // Simulate an interrupted run: only the first point completed.
+        let store = ResultStore::open(&dir, "sweep", &fp).unwrap();
+        let mut runner = SweepRunner::with_store(&NullProgress, store);
+        let all = specs();
+        runner.run(&all[..1], |spec, _| vec![est(spec.x)]).unwrap();
+
+        let store = ResultStore::open(&dir, "sweep", &fp).unwrap();
+        let mut runner = SweepRunner::with_store(&NullProgress, store);
+        let mut simulated = Vec::new();
+        let points = runner
+            .run(&all, |spec, _| {
+                simulated.push(spec.key.clone());
+                vec![est(spec.x)]
+            })
+            .unwrap();
+        assert_eq!(points.len(), 3);
+        assert_eq!(simulated, vec![all[1].key.clone(), all[2].key.clone()]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -430,14 +430,11 @@ mod tests {
             b.timed_activity("t", 1.0).input_arc(marker, 1).build()?;
             Ok(())
         });
-        let model = ComposedModel::new(
-            "m",
-            Node::rep("r", 3, vec![], Node::atomic("x", template)),
-        );
+        let model = ComposedModel::new("m", Node::rep("r", 3, vec![], Node::atomic("x", template)));
         let san = model.flatten().unwrap();
         for i in 0..3 {
             let p = san.place_id(&format!("r[{i}]/x/marker")).unwrap();
-            assert_eq!(san.initial_marking().get(p), i as i32);
+            assert_eq!(san.initial_marking().get(p), i);
         }
     }
 

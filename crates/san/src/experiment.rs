@@ -4,6 +4,7 @@
 use crate::model::SanError;
 use crate::reward::RewardVariable;
 use crate::simulator::{Observer, SanSimulator};
+use itua_sim::rng::stream_seed;
 use itua_stats::replication::{Estimate, ReplicationEstimator};
 
 /// Configuration for a replication experiment.
@@ -13,7 +14,11 @@ pub struct ExperimentConfig {
     pub horizon: f64,
     /// Number of replications.
     pub replications: u32,
-    /// Base seed; replication `i` uses `base_seed + i`.
+    /// Base seed; replication `i` runs with the stream-derived seed
+    /// [`stream_seed`]`(base_seed, i)`, so experiments with nearby base
+    /// seeds never share replication seeds (the historical `base_seed + i`
+    /// scheme overlapped whenever two bases differed by less than the
+    /// replication count).
     pub base_seed: u64,
     /// Confidence level for reported intervals.
     pub confidence: f64,
@@ -77,7 +82,11 @@ pub fn run_experiment(
             for v in variables.iter_mut() {
                 obs.push(upcast(*v));
             }
-            sim.run(config.base_seed + rep as u64, config.horizon, &mut obs)?;
+            sim.run(
+                stream_seed(config.base_seed, rep as u64),
+                config.horizon,
+                &mut obs,
+            )?;
         }
         for v in variables.iter() {
             for o in v.observations() {
@@ -88,7 +97,7 @@ pub fn run_experiment(
     Ok(est.estimates())
 }
 
-fn upcast<'a>(v: &'a mut dyn RewardVariable) -> &'a mut dyn Observer {
+fn upcast(v: &mut dyn RewardVariable) -> &mut dyn Observer {
     v
 }
 

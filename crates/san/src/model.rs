@@ -187,7 +187,10 @@ impl fmt::Display for SanError {
             }
             SanError::StateSpaceTooLarge(n) => write!(f, "state space exceeds {n} states"),
             SanError::NonMarkovian(n) => {
-                write!(f, "activity '{n}' has a general distribution; CTMC export impossible")
+                write!(
+                    f,
+                    "activity '{n}' has a general distribution; CTMC export impossible"
+                )
             }
         }
     }
@@ -353,7 +356,10 @@ impl SanBuilder {
 
     /// Starts a timed activity with a constant exponential rate.
     pub fn timed_activity(&mut self, name: impl Into<String>, rate: f64) -> ActivityBuilder<'_> {
-        assert!(rate.is_finite() && rate > 0.0, "activity rate must be positive");
+        assert!(
+            rate.is_finite() && rate > 0.0,
+            "activity rate must be positive"
+        );
         self.activity(name, Timing::Exponential(Arc::new(move |_| rate)))
     }
 
@@ -494,7 +500,10 @@ impl<'a> ActivityBuilder<'a> {
         weight: f64,
         effect: impl Fn(&mut Marking) + Send + Sync + 'static,
     ) -> Self {
-        assert!(weight.is_finite() && weight >= 0.0, "case weight must be nonnegative");
+        assert!(
+            weight.is_finite() && weight >= 0.0,
+            "case weight must be nonnegative"
+        );
         self.cases.push(Case {
             weight: Arc::new(move |_| weight),
             effects: vec![Arc::new(effect)],
@@ -685,11 +694,7 @@ mod tests {
         let p = b.place("p", 1);
         let lvl = b.place("level", 0);
         let a = b
-            .timed_activity_fn(
-                "attack",
-                Arc::new(move |m| 1.0 + m.get(lvl) as f64),
-                &[lvl],
-            )
+            .timed_activity_fn("attack", Arc::new(move |m| 1.0 + m.get(lvl) as f64), &[lvl])
             .input_arc(p, 1)
             .build()
             .unwrap();

@@ -45,7 +45,10 @@ pub struct TimeAveraged {
 
 impl TimeAveraged {
     /// Creates a time-averaged variable named `name`.
-    pub fn new(name: impl Into<String>, f: impl Fn(&Marking) -> f64 + Send + Sync + 'static) -> Self {
+    pub fn new(
+        name: impl Into<String>,
+        f: impl Fn(&Marking) -> f64 + Send + Sync + 'static,
+    ) -> Self {
         TimeAveraged {
             name: name.into(),
             f: Arc::new(f),
@@ -102,7 +105,10 @@ pub struct EverTrue {
 
 impl EverTrue {
     /// Creates a sticky-indicator variable named `name`.
-    pub fn new(name: impl Into<String>, f: impl Fn(&Marking) -> f64 + Send + Sync + 'static) -> Self {
+    pub fn new(
+        name: impl Into<String>,
+        f: impl Fn(&Marking) -> f64 + Send + Sync + 'static,
+    ) -> Self {
         EverTrue {
             name: name.into(),
             f: Arc::new(f),
@@ -189,7 +195,7 @@ impl Observer for InstantOfTime {
     }
 
     fn on_sample(&mut self, time: f64, marking: &Marking) {
-        if self.times.iter().any(|&t| t == time) {
+        if self.times.contains(&time) {
             self.samples.push((time, (self.f)(marking)));
         }
     }
@@ -289,7 +295,10 @@ pub struct Accumulated {
 
 impl Accumulated {
     /// Creates an accumulated-reward variable named `name`.
-    pub fn new(name: impl Into<String>, f: impl Fn(&Marking) -> f64 + Send + Sync + 'static) -> Self {
+    pub fn new(
+        name: impl Into<String>,
+        f: impl Fn(&Marking) -> f64 + Send + Sync + 'static,
+    ) -> Self {
         Accumulated {
             name: name.into(),
             f: Arc::new(f),
@@ -347,7 +356,10 @@ pub struct TimeToFirst {
 
 impl TimeToFirst {
     /// Creates a time-to-first variable named `name`.
-    pub fn new(name: impl Into<String>, f: impl Fn(&Marking) -> f64 + Send + Sync + 'static) -> Self {
+    pub fn new(
+        name: impl Into<String>,
+        f: impl Fn(&Marking) -> f64 + Send + Sync + 'static,
+    ) -> Self {
         TimeToFirst {
             name: name.into(),
             f: Arc::new(f),
@@ -426,7 +438,7 @@ mod tests {
             assert_eq!(obs.len(), 1);
             est.push(obs[0].value);
         }
-        let expected = 1.0 - (1.0 - (-horizon as f64).exp()) / horizon;
+        let expected = 1.0 - (1.0 - (-horizon).exp()) / horizon;
         assert!(
             (est.mean() - expected).abs() < 0.01,
             "{} vs {expected}",

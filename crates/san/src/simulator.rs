@@ -233,7 +233,13 @@ impl SanSimulator {
                         if matches!(act.timing(), Timing::Exponential(_)) {
                             Self::cancel(id, &mut queue, &mut states);
                             Self::schedule(
-                                act, id, now, &marking, &mut rng, &mut queue, &mut states,
+                                act,
+                                id,
+                                now,
+                                &marking,
+                                &mut rng,
+                                &mut queue,
+                                &mut states,
                             );
                         }
                     }
@@ -287,7 +293,11 @@ impl SanSimulator {
         st.key = Some(key);
     }
 
-    fn cancel(id: ActivityId, queue: &mut EventQueue<ScheduledEvent>, states: &mut [ActivityState]) {
+    fn cancel(
+        id: ActivityId,
+        queue: &mut EventQueue<ScheduledEvent>,
+        states: &mut [ActivityState],
+    ) {
         let st = &mut states[id.index()];
         if let Some(key) = st.key.take() {
             queue.cancel(key);

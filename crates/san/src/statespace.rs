@@ -54,9 +54,9 @@ impl StateSpace {
         let mut frontier: VecDeque<usize> = VecDeque::new();
 
         let intern = |m: Marking,
-                          markings: &mut Vec<Marking>,
-                          index: &mut HashMap<Marking, usize>,
-                          frontier: &mut VecDeque<usize>|
+                      markings: &mut Vec<Marking>,
+                      index: &mut HashMap<Marking, usize>,
+                      frontier: &mut VecDeque<usize>|
          -> Result<usize, SanError> {
             if let Some(&i) = index.get(&m) {
                 return Ok(i);
@@ -176,8 +176,8 @@ impl StateSpace {
 
     /// Evaluates `f` on every state, producing a reward vector aligned with
     /// the CTMC's state indices.
-    pub fn reward_vector(&self, mut f: impl FnMut(&Marking) -> f64) -> Vec<f64> {
-        self.markings.iter().map(|m| f(m)).collect()
+    pub fn reward_vector(&self, f: impl FnMut(&Marking) -> f64) -> Vec<f64> {
+        self.markings.iter().map(f).collect()
     }
 }
 
@@ -369,7 +369,10 @@ mod tests {
         // Unbounded birth process.
         let mut b = SanBuilder::new("m");
         let n = b.place("n", 0);
-        b.timed_activity("birth", 1.0).output_arc(n, 1).build().unwrap();
+        b.timed_activity("birth", 1.0)
+            .output_arc(n, 1)
+            .build()
+            .unwrap();
         let san = b.finish().unwrap();
         assert!(matches!(
             StateSpace::generate(&san, 50),
@@ -426,7 +429,9 @@ mod tests {
         let ctmc = ss.to_ctmc().unwrap();
         let down = san.place_id("down").unwrap();
         let t = 0.8;
-        let p = ctmc.transient(&ss.initial_distribution(), t, 1e-12).unwrap();
+        let p = ctmc
+            .transient(&ss.initial_distribution(), t, 1e-12)
+            .unwrap();
         let analytic: f64 = (0..ss.num_states())
             .map(|s| p[s] * ss.marking(s).get(down) as f64)
             .sum();

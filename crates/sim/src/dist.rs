@@ -211,7 +211,9 @@ impl Weibull {
     /// positive.
     pub fn new(shape: f64, scale: f64) -> Result<Self, ParamError> {
         if !shape.is_finite() || shape <= 0.0 || !scale.is_finite() || scale <= 0.0 {
-            return Err(ParamError::new(format!("weibull shape {shape} scale {scale}")));
+            return Err(ParamError::new(format!(
+                "weibull shape {shape} scale {scale}"
+            )));
         }
         Ok(Weibull { shape, scale })
     }
@@ -277,14 +279,14 @@ fn gamma(x: f64) -> f64 {
     // g = 7, n = 9 Lanczos coefficients.
     const G: f64 = 7.0;
     const C: [f64; 9] = [
-        0.99999999999980993,
+        0.999_999_999_999_809_9,
         676.5203681218851,
         -1259.1392167224028,
-        771.32342877765313,
-        -176.61502916214059,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
         12.507343278686905,
         -0.13857109526572012,
-        9.9843695780195716e-6,
+        9.984_369_578_019_572e-6,
         1.5056327351493116e-7,
     ];
     if x < 0.5 {

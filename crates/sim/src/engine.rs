@@ -261,7 +261,10 @@ mod tests {
         engine.schedule_at(1.0, 1);
         engine.schedule_at(7.0, 3);
         let mut model = Recorder { seen: vec![] };
-        assert_eq!(engine.run_until(5.0, &mut model), RunOutcome::HorizonReached);
+        assert_eq!(
+            engine.run_until(5.0, &mut model),
+            RunOutcome::HorizonReached
+        );
         assert_eq!(engine.run_until(8.0, &mut model), RunOutcome::QueueEmpty);
         assert_eq!(model.seen.last(), Some(&(7.0, 3)));
     }

@@ -44,6 +44,38 @@ impl SplitMix64 {
     }
 }
 
+/// Derives the seed of an independent replication stream in O(1).
+///
+/// `stream_seed(base, index)` is random access into a splitmix64-style
+/// sequence: the base seed is first diffused through the splitmix64
+/// finalizer (so *nearby* base seeds yield unrelated stream families), and
+/// the result is then advanced by `index` golden-ratio increments and
+/// finalized again. Unlike the historical `base_seed + index` scheme, two
+/// experiments whose base seeds differ by less than the replication count
+/// do **not** share any replication seeds.
+///
+/// # Example
+///
+/// ```
+/// use itua_sim::rng::stream_seed;
+/// // Adjacent bases used to collide under `base + i`; streams don't.
+/// assert_ne!(stream_seed(1, 1), stream_seed(2, 0));
+/// // Deterministic and order-free: any replication's seed in O(1).
+/// assert_eq!(stream_seed(7, 1000), stream_seed(7, 1000));
+/// ```
+pub fn stream_seed(base: u64, index: u64) -> u64 {
+    let origin = mix64(base);
+    mix64(origin.wrapping_add(index.wrapping_mul(0x9e3779b97f4a7c15)))
+}
+
+/// The splitmix64 output function (a strong 64-bit mixer).
+#[inline]
+fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
 /// A deterministic xoshiro256\*\* pseudo-random number generator.
 ///
 /// All simulation randomness in the workspace flows through this type.
@@ -97,10 +129,7 @@ impl Rng {
     /// Returns the next 64 uniformly distributed bits.
     #[inline]
     pub fn next_u64(&mut self) -> u64 {
-        let result = self.s[1]
-            .wrapping_mul(5)
-            .rotate_left(7)
-            .wrapping_mul(9);
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
         let t = self.s[1] << 17;
         self.s[2] ^= self.s[0];
         self.s[3] ^= self.s[1];
@@ -302,7 +331,10 @@ mod tests {
         for &c in &counts {
             // 5-sigma band for a binomial count.
             let sigma = (expect * (1.0 - 1.0 / bound as f64)).sqrt();
-            assert!((c as f64 - expect).abs() < 5.0 * sigma, "count {c} vs {expect}");
+            assert!(
+                (c as f64 - expect).abs() < 5.0 * sigma,
+                "count {c} vs {expect}"
+            );
         }
     }
 
@@ -367,6 +399,30 @@ mod tests {
         let empty: [u8; 0] = [];
         assert_eq!(rng.choose(&empty), None);
         assert_eq!(rng.choose(&[42]), Some(&42));
+    }
+
+    #[test]
+    fn stream_seeds_do_not_overlap_for_nearby_bases() {
+        // The old `base + i` scheme made replication i of base b collide
+        // with replication i-1 of base b+1. Streams must not.
+        use std::collections::HashSet;
+        let mut seen = HashSet::new();
+        for base in 0..8u64 {
+            for rep in 0..1000u64 {
+                assert!(
+                    seen.insert(stream_seed(base, rep)),
+                    "collision at {base}/{rep}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stream_seed_is_random_access() {
+        // Computing seeds out of order gives the same values.
+        let forward: Vec<u64> = (0..16).map(|i| stream_seed(99, i)).collect();
+        let backward: Vec<u64> = (0..16).rev().map(|i| stream_seed(99, i)).collect();
+        assert_eq!(forward, backward.into_iter().rev().collect::<Vec<_>>());
     }
 
     #[test]

@@ -20,7 +20,7 @@ proptest! {
             prop_assert!(t >= last_time, "time went backwards");
             if t == last_time {
                 // FIFO: insertion indices at equal times must increase.
-                prop_assert!(seen_at_time.last().map_or(true, |&p| p < id));
+                prop_assert!(seen_at_time.last().is_none_or(|&p| p < id));
                 seen_at_time.push(id);
             } else {
                 seen_at_time = vec![id];

@@ -167,9 +167,24 @@ mod tests {
 
     #[test]
     fn overlap_logic() {
-        let a = ConfidenceInterval { mean: 1.0, half_width: 0.5, n: 10, level: 0.95 };
-        let b = ConfidenceInterval { mean: 1.4, half_width: 0.2, n: 10, level: 0.95 };
-        let c = ConfidenceInterval { mean: 3.0, half_width: 0.5, n: 10, level: 0.95 };
+        let a = ConfidenceInterval {
+            mean: 1.0,
+            half_width: 0.5,
+            n: 10,
+            level: 0.95,
+        };
+        let b = ConfidenceInterval {
+            mean: 1.4,
+            half_width: 0.2,
+            n: 10,
+            level: 0.95,
+        };
+        let c = ConfidenceInterval {
+            mean: 3.0,
+            half_width: 0.5,
+            n: 10,
+            level: 0.95,
+        };
         assert!(a.overlaps(&b));
         assert!(b.overlaps(&a));
         assert!(!a.overlaps(&c));

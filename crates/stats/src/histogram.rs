@@ -96,7 +96,10 @@ impl Histogram {
     /// `[low, high)` edges of bin `i`.
     pub fn bin_edges(&self, i: usize) -> (f64, f64) {
         let width = (self.high - self.low) / self.bins.len() as f64;
-        (self.low + i as f64 * width, self.low + (i + 1) as f64 * width)
+        (
+            self.low + i as f64 * width,
+            self.low + (i + 1) as f64 * width,
+        )
     }
 
     /// Observations below the range.
@@ -112,6 +115,29 @@ impl Histogram {
     /// Total observations recorded.
     pub fn total(&self) -> u64 {
         self.total
+    }
+
+    /// Merges another histogram's counts into this one.
+    ///
+    /// Both histograms must have identical ranges and bin counts (counts
+    /// from differently-binned histograms cannot be combined losslessly).
+    /// Intended for parallel reduction: each worker fills a local
+    /// histogram and the shards are merged afterwards.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HistogramError`] if the ranges or bin counts differ.
+    pub fn merge(&mut self, other: &Histogram) -> Result<(), HistogramError> {
+        if self.low != other.low || self.high != other.high || self.bins.len() != other.bins.len() {
+            return Err(HistogramError);
+        }
+        for (b, o) in self.bins.iter_mut().zip(&other.bins) {
+            *b += o;
+        }
+        self.underflow += other.underflow;
+        self.overflow += other.overflow;
+        self.total += other.total;
+        Ok(())
     }
 }
 
@@ -177,6 +203,32 @@ mod tests {
         let h = Histogram::new(2.0, 4.0, 4).unwrap();
         assert_eq!(h.bin_edges(0), (2.0, 2.5));
         assert_eq!(h.bin_edges(3), (3.5, 4.0));
+    }
+
+    #[test]
+    fn merge_sums_counts() {
+        let mut a = Histogram::new(0.0, 10.0, 5).unwrap();
+        let mut b = Histogram::new(0.0, 10.0, 5).unwrap();
+        for x in [0.5, 3.0, 11.0] {
+            a.record(x);
+        }
+        for x in [-1.0, 0.7, 9.9] {
+            b.record(x);
+        }
+        a.merge(&b).unwrap();
+        let mut whole = Histogram::new(0.0, 10.0, 5).unwrap();
+        for x in [0.5, 3.0, 11.0, -1.0, 0.7, 9.9] {
+            whole.record(x);
+        }
+        assert_eq!(a, whole);
+    }
+
+    #[test]
+    fn merge_rejects_mismatched_bins() {
+        let mut a = Histogram::new(0.0, 10.0, 5).unwrap();
+        assert!(a.merge(&Histogram::new(0.0, 10.0, 4).unwrap()).is_err());
+        assert!(a.merge(&Histogram::new(0.0, 9.0, 5).unwrap()).is_err());
+        assert!(a.merge(&Histogram::new(1.0, 10.0, 5).unwrap()).is_err());
     }
 
     #[test]

@@ -118,6 +118,31 @@ impl ReplicationEstimator {
     pub fn level(&self) -> f64 {
         self.level
     }
+
+    /// Merges another estimator's observations into this one.
+    ///
+    /// The result is equivalent (up to floating-point rounding of the
+    /// underlying parallel-Welford merge) to having recorded every
+    /// observation of `other` into `self`; measures present in only one of
+    /// the two appear unchanged. Intended for parallel reduction: each
+    /// worker accumulates locally and the shards are merged in a fixed
+    /// order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two estimators use different confidence levels
+    /// (merging those would silently misreport intervals).
+    pub fn merge(&mut self, other: &ReplicationEstimator) {
+        assert!(
+            self.level == other.level,
+            "cannot merge estimators at different confidence levels ({} vs {})",
+            self.level,
+            other.level
+        );
+        for (name, stats) in &other.measures {
+            self.measures.entry(name.clone()).or_default().merge(stats);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -197,5 +222,52 @@ mod tests {
     #[should_panic]
     fn bad_level_panics() {
         let _ = ReplicationEstimator::new(1.0);
+    }
+
+    #[test]
+    fn merge_matches_sequential_recording() {
+        let mut whole = ReplicationEstimator::new(0.95);
+        let mut left = ReplicationEstimator::new(0.95);
+        let mut right = ReplicationEstimator::new(0.95);
+        for i in 0..40 {
+            let x = (i as f64 * 0.7).sin();
+            whole.record("m", x);
+            if i < 17 {
+                left.record("m", x);
+            } else {
+                right.record("m", x);
+            }
+            if i % 3 == 0 {
+                whole.record("cond", i as f64);
+                right.record("cond", i as f64);
+            }
+        }
+        left.merge(&right);
+        assert_eq!(left.count("m"), whole.count("m"));
+        assert_eq!(left.count("cond"), whole.count("cond"));
+        let (a, b) = (left.estimate("m").unwrap(), whole.estimate("m").unwrap());
+        assert!((a.ci.mean - b.ci.mean).abs() < 1e-12);
+        assert!((a.ci.half_width - b.ci.half_width).abs() < 1e-12);
+        assert_eq!(a.min, b.min);
+        assert_eq!(a.max, b.max);
+    }
+
+    #[test]
+    fn merge_with_disjoint_measures_keeps_both() {
+        let mut a = ReplicationEstimator::new(0.9);
+        let mut b = ReplicationEstimator::new(0.9);
+        a.record("only_a", 1.0);
+        b.record("only_b", 2.0);
+        a.merge(&b);
+        assert_eq!(a.count("only_a"), 1);
+        assert_eq!(a.count("only_b"), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn merge_level_mismatch_panics() {
+        let mut a = ReplicationEstimator::new(0.9);
+        let b = ReplicationEstimator::new(0.95);
+        a.merge(&b);
     }
 }

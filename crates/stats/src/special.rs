@@ -16,14 +16,14 @@ pub fn ln_gamma(x: f64) -> f64 {
     assert!(x > 0.0, "ln_gamma domain: x > 0, got {x}");
     // Lanczos g=7, n=9.
     const C: [f64; 9] = [
-        0.99999999999980993,
+        0.999_999_999_999_809_9,
         676.5203681218851,
         -1259.1392167224028,
-        771.32342877765313,
-        -176.61502916214059,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
         12.507343278686905,
         -0.13857109526572012,
-        9.9843695780195716e-6,
+        9.984_369_578_019_572e-6,
         1.5056327351493116e-7,
     ];
     let x = x - 1.0;
@@ -44,8 +44,14 @@ pub fn ln_gamma(x: f64) -> f64 {
 ///
 /// Panics if `a <= 0`, `b <= 0`, or `x` outside `[0, 1]`.
 pub fn inc_beta(a: f64, b: f64, x: f64) -> f64 {
-    assert!(a > 0.0 && b > 0.0, "inc_beta shape parameters must be positive");
-    assert!((0.0..=1.0).contains(&x), "inc_beta x must be in [0,1], got {x}");
+    assert!(
+        a > 0.0 && b > 0.0,
+        "inc_beta shape parameters must be positive"
+    );
+    assert!(
+        (0.0..=1.0).contains(&x),
+        "inc_beta x must be in [0,1], got {x}"
+    );
     if x == 0.0 {
         return 0.0;
     }
@@ -118,14 +124,17 @@ fn beta_cf(a: f64, b: f64, x: f64) -> f64 {
 ///
 /// Panics unless `0 < p < 1`.
 pub fn normal_quantile(p: f64) -> f64 {
-    assert!(p > 0.0 && p < 1.0, "normal_quantile domain: 0 < p < 1, got {p}");
+    assert!(
+        p > 0.0 && p < 1.0,
+        "normal_quantile domain: 0 < p < 1, got {p}"
+    );
 
     // Acklam's coefficients.
     const A: [f64; 6] = [
         -3.969683028665376e+01,
         2.209460984245205e+02,
         -2.759285104469687e+02,
-        1.383577518672690e+02,
+        1.383_577_518_672_69e2,
         -3.066479806614716e+01,
         2.506628277459239e+00,
     ];
@@ -258,7 +267,10 @@ mod tests {
         for &(a, b, x) in &[(2.0, 3.0, 0.3), (0.5, 0.5, 0.7), (5.0, 1.5, 0.42)] {
             let lhs = inc_beta(a, b, x);
             let rhs = 1.0 - inc_beta(b, a, 1.0 - x);
-            assert!((lhs - rhs).abs() < 1e-12, "symmetry failed at ({a},{b},{x})");
+            assert!(
+                (lhs - rhs).abs() < 1e-12,
+                "symmetry failed at ({a},{b},{x})"
+            );
         }
     }
 

@@ -93,8 +93,8 @@ pub fn t_quantile(p: f64, df: f64) -> f64 {
 pub fn t_pdf(t: f64, df: f64) -> f64 {
     use crate::special::ln_gamma;
     assert!(df > 0.0);
-    let ln_c = ln_gamma(0.5 * (df + 1.0)) - ln_gamma(0.5 * df)
-        - 0.5 * (df * std::f64::consts::PI).ln();
+    let ln_c =
+        ln_gamma(0.5 * (df + 1.0)) - ln_gamma(0.5 * df) - 0.5 * (df * std::f64::consts::PI).ln();
     (ln_c - 0.5 * (df + 1.0) * (1.0 + t * t / df).ln()).exp()
 }
 

@@ -9,7 +9,9 @@
 //! * (c) fraction of corrupt hosts in an excluded domain,
 //! * (d) fraction of domains excluded at t = 5.
 
-use crate::sweep::{run_sweep, FigureResult, Panel, Series, SweepConfig, SweepPoint};
+use crate::sweep::{
+    run_sweep_stored, FigureResult, Panel, RunOpts, Series, SweepConfig, SweepPoint,
+};
 use itua_core::measures::names;
 use itua_core::params::Params;
 
@@ -46,6 +48,12 @@ pub fn points() -> Vec<SweepPoint> {
 
 /// Runs the full study.
 pub fn run(cfg: &SweepConfig) -> FigureResult {
+    run_with(cfg, &RunOpts::default())
+}
+
+/// Runs the full study with explicit execution options (threads,
+/// progress, resumable result store under sweep id `"figure3"`).
+pub fn run_with(cfg: &SweepConfig, opts: &RunOpts<'_>) -> FigureResult {
     let excluded_at_5 = format!("{}@{}", names::FRAC_DOMAINS_EXCLUDED, HORIZON);
     let measures = [
         names::UNAVAILABILITY,
@@ -53,9 +61,12 @@ pub fn run(cfg: &SweepConfig) -> FigureResult {
         names::FRAC_CORRUPT_AT_EXCLUSION,
         excluded_at_5.as_str(),
     ];
-    let all = run_sweep(&points(), cfg, &measures);
+    let all = run_sweep_stored("figure3", &points(), cfg, &measures, opts);
     let take = |measure: &str| -> Vec<Series> {
-        all.iter().filter(|s| s.measure == measure).cloned().collect()
+        all.iter()
+            .filter(|s| s.measure == measure)
+            .cloned()
+            .collect()
     };
     FigureResult {
         id: "Figure 3".into(),

@@ -7,7 +7,9 @@
 //! * (c) fraction of corrupt hosts in an excluded domain (long-run),
 //! * (d) fraction of domains excluded at t = 5 and t = 10.
 
-use crate::sweep::{run_sweep, FigureResult, Panel, Series, SweepConfig, SweepPoint};
+use crate::sweep::{
+    run_sweep_stored, FigureResult, Panel, RunOpts, Series, SweepConfig, SweepPoint,
+};
 use itua_core::measures::names;
 use itua_core::params::Params;
 
@@ -55,6 +57,12 @@ pub fn points() -> Vec<SweepPoint> {
 
 /// Runs the full study.
 pub fn run(cfg: &SweepConfig) -> FigureResult {
+    run_with(cfg, &RunOpts::default())
+}
+
+/// Runs the full study with explicit execution options (threads,
+/// progress, resumable result store under sweep id `"figure4"`).
+pub fn run_with(cfg: &SweepConfig, opts: &RunOpts<'_>) -> FigureResult {
     let excl5 = format!("{}@{}", names::FRAC_DOMAINS_EXCLUDED, HORIZONS[0]);
     let excl10 = format!("{}@{}", names::FRAC_DOMAINS_EXCLUDED, HORIZONS[1]);
     let measures = [
@@ -64,7 +72,7 @@ pub fn run(cfg: &SweepConfig) -> FigureResult {
         excl5.as_str(),
         excl10.as_str(),
     ];
-    let all = run_sweep(&points(), cfg, &measures);
+    let all = run_sweep_stored("figure4", &points(), cfg, &measures, opts);
 
     let take = |measure: &str, series_filter: &dyn Fn(&str) -> bool| -> Vec<Series> {
         all.iter()

@@ -12,7 +12,9 @@
 //!
 //! each comparing the two exclusion schemes.
 
-use crate::sweep::{run_sweep, FigureResult, Panel, Series, SweepConfig, SweepPoint};
+use crate::sweep::{
+    run_sweep_stored, FigureResult, Panel, RunOpts, Series, SweepConfig, SweepPoint,
+};
 use itua_core::measures::names;
 use itua_core::params::{ManagementScheme, Params};
 
@@ -67,8 +69,14 @@ pub fn points() -> Vec<SweepPoint> {
 
 /// Runs the full study.
 pub fn run(cfg: &SweepConfig) -> FigureResult {
+    run_with(cfg, &RunOpts::default())
+}
+
+/// Runs the full study with explicit execution options (threads,
+/// progress, resumable result store under sweep id `"figure5"`).
+pub fn run_with(cfg: &SweepConfig, opts: &RunOpts<'_>) -> FigureResult {
     let measures = [names::UNAVAILABILITY, names::UNRELIABILITY];
-    let all = run_sweep(&points(), cfg, &measures);
+    let all = run_sweep_stored("figure5", &points(), cfg, &measures, opts);
     let take = |measure: &str, horizon_tag: &str| -> Vec<Series> {
         all.iter()
             .filter(|s| s.measure == measure && s.name.ends_with(horizon_tag))

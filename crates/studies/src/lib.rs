@@ -36,4 +36,4 @@ pub mod sensitivity;
 pub mod sweep;
 pub mod table;
 
-pub use sweep::{FigureResult, Series, SweepConfig};
+pub use sweep::{FigureResult, RunOpts, Series, SweepConfig};

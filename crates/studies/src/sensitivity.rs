@@ -16,13 +16,17 @@
 //! * misbehavior (group-conviction) rate (baseline 2/h),
 //! * false-alarm rate (baseline 2/h cumulative).
 
-use crate::sweep::{run_sweep, FigureResult, Panel, Series, SweepConfig, SweepPoint};
+use crate::sweep::{
+    run_sweep_stored, FigureResult, Panel, RunOpts, Series, SweepConfig, SweepPoint,
+};
 use itua_core::measures::names;
 use itua_core::params::Params;
 
 /// Baseline configuration of the study (the paper's §4 defaults).
 pub fn baseline() -> Params {
-    Params::default().with_domains(10, 3).with_applications(4, 7)
+    Params::default()
+        .with_domains(10, 3)
+        .with_applications(4, 7)
 }
 
 /// Horizon of the study (hours).
@@ -82,9 +86,24 @@ fn point(scale: f64, series: &str, params: Params) -> SweepPoint {
 
 /// Runs the sensitivity study.
 pub fn run(cfg: &SweepConfig) -> FigureResult {
-    let all = run_sweep(&points(), cfg, &[names::UNAVAILABILITY, names::UNRELIABILITY]);
+    run_with(cfg, &RunOpts::default())
+}
+
+/// Runs the sensitivity study with explicit execution options (threads,
+/// progress, resumable result store under sweep id `"sensitivity"`).
+pub fn run_with(cfg: &SweepConfig, opts: &RunOpts<'_>) -> FigureResult {
+    let all = run_sweep_stored(
+        "sensitivity",
+        &points(),
+        cfg,
+        &[names::UNAVAILABILITY, names::UNRELIABILITY],
+        opts,
+    );
     let take = |measure: &str| -> Vec<Series> {
-        all.iter().filter(|s| s.measure == measure).cloned().collect()
+        all.iter()
+            .filter(|s| s.measure == measure)
+            .cloned()
+            .collect()
     };
     FigureResult {
         id: "Sensitivity".into(),
@@ -116,8 +135,7 @@ mod tests {
         for p in &pts {
             p.params.validate().unwrap();
         }
-        let series: std::collections::BTreeSet<_> =
-            pts.iter().map(|p| p.series.clone()).collect();
+        let series: std::collections::BTreeSet<_> = pts.iter().map(|p| p.series.clone()).collect();
         assert_eq!(series.len(), 5);
     }
 
@@ -155,6 +173,9 @@ mod tests {
         let means: Vec<f64> = series.iter().map(|s| s.points[0].1.mean).collect();
         let lo = means.iter().cloned().fold(f64::INFINITY, f64::min);
         let hi = means.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        assert!(hi - lo < 0.05, "baseline estimates spread too far: {means:?}");
+        assert!(
+            hi - lo < 0.05,
+            "baseline estimates spread too far: {means:?}"
+        );
     }
 }

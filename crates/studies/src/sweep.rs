@@ -1,18 +1,31 @@
 //! Generic sweep machinery: run the ITUA model over a list of parameter
 //! points and aggregate measures with confidence intervals.
+//!
+//! Execution goes through [`itua_runner`]: points run their replications
+//! on the [`RunnerConfig`]'s worker threads (bit-identical results for
+//! every thread count), and [`run_sweep_stored`] adds progress reporting
+//! plus checkpoint/resume through a JSON result store.
 
 use itua_core::des::ItuaDes;
 use itua_core::measures::MeasureSet;
 use itua_core::params::Params;
-use serde::{Deserialize, Serialize};
+use itua_runner::engine::{replicate, RunnerConfig};
+use itua_runner::progress::{NullProgress, Progress};
+use itua_runner::store::{fingerprint, ResultStore, StoredEstimate, StoredPoint};
+use itua_runner::sweep::{PointSpec, SweepRunner};
+use itua_sim::rng::stream_seed;
+use std::path::PathBuf;
 
 /// How much simulation to spend per sweep point.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SweepConfig {
     /// Independent replications per point.
     pub replications: u32,
-    /// Base seed; replication `i` of point `j` uses
-    /// `base_seed + j * 1_000_003 + i`.
+    /// Base seed. Point `j` gets its own stream origin
+    /// `stream_seed(base_seed, j)`, and replication `i` of that point runs
+    /// with `stream_seed(origin, i)` — so no two (point, replication)
+    /// pairs share a seed, and nearby base seeds yield disjoint streams
+    /// (the pre-runner `base_seed + j·1_000_003 + i` scheme overlapped).
     pub base_seed: u64,
     /// Confidence level for the reported intervals.
     pub confidence: f64,
@@ -44,7 +57,7 @@ pub struct SweepPoint {
 }
 
 /// A single estimated value with its confidence half-width.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ValueCi {
     /// Point estimate.
     pub mean: f64,
@@ -53,7 +66,7 @@ pub struct ValueCi {
 }
 
 /// A named series of `(x, value)` points, one per sweep point.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Series {
     /// Series label, e.g. `"4 applications"` or `"Host exclusion"`.
     pub name: String,
@@ -65,7 +78,7 @@ pub struct Series {
 }
 
 /// All the series of one figure panel (or one whole figure).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FigureResult {
     /// Figure identifier, e.g. `"Figure 3"`.
     pub id: String,
@@ -78,7 +91,7 @@ pub struct FigureResult {
 }
 
 /// One panel (subfigure) of a figure.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Panel {
     /// Panel id, e.g. `"3a"`.
     pub id: String,
@@ -88,45 +101,140 @@ pub struct Panel {
     pub series: Vec<Series>,
 }
 
+/// Execution options for a sweep: threading, progress, persistence.
+pub struct RunOpts<'a> {
+    /// How to spread replications over worker threads. The default (auto
+    /// thread count) produces exactly the same estimates as
+    /// [`RunnerConfig::serial`].
+    pub runner: RunnerConfig,
+    /// Progress observer (e.g. [`itua_runner::ConsoleProgress`]).
+    pub progress: &'a dyn Progress,
+    /// Directory for the JSON result store. `Some(dir)` makes the sweep
+    /// resumable: completed points are loaded from `dir/<sweep_id>.json`
+    /// instead of re-simulated. `None` disables persistence.
+    pub results_dir: Option<PathBuf>,
+}
+
+impl Default for RunOpts<'static> {
+    fn default() -> Self {
+        RunOpts {
+            runner: RunnerConfig::default(),
+            progress: &NullProgress,
+            results_dir: None,
+        }
+    }
+}
+
 /// Runs the model at one sweep point and returns the aggregated measures.
-pub fn run_point(point: &SweepPoint, cfg: &SweepConfig, point_index: usize) -> MeasureSet {
+///
+/// Replication `i` uses `stream_seed(stream_seed(cfg.base_seed,
+/// point_index), i)`; replications are spread over the runner's threads
+/// and recorded in replication order, so the result does not depend on
+/// the thread count.
+pub fn run_point_with(
+    point: &SweepPoint,
+    cfg: &SweepConfig,
+    point_index: usize,
+    runner: &RunnerConfig,
+    progress: &dyn Progress,
+) -> MeasureSet {
     let des = ItuaDes::new(point.params.clone()).expect("sweep point parameters are valid");
+    let origin = stream_seed(cfg.base_seed, point_index as u64);
+    let outputs = replicate(cfg.replications, runner, progress, |rep| {
+        des.run(
+            stream_seed(origin, rep as u64),
+            point.horizon,
+            &point.sample_times,
+        )
+    });
     let mut ms = MeasureSet::new(cfg.confidence);
-    for rep in 0..cfg.replications {
-        let seed = cfg
-            .base_seed
-            .wrapping_add(point_index as u64 * 1_000_003)
-            .wrapping_add(rep as u64);
-        let out = des.run(seed, point.horizon, &point.sample_times);
-        ms.record(&out);
+    for out in &outputs {
+        ms.record(out);
     }
     ms
 }
 
+/// [`run_point_with`] on auto-configured threads, without progress output.
+pub fn run_point(point: &SweepPoint, cfg: &SweepConfig, point_index: usize) -> MeasureSet {
+    run_point_with(
+        point,
+        cfg,
+        point_index,
+        &RunnerConfig::default(),
+        &NullProgress,
+    )
+}
+
 /// Runs every sweep point and extracts, per `(series, measure)` pair, the
 /// x-ordered estimates. `measures` lists the measure keys to extract.
-pub fn run_sweep(
+pub fn run_sweep(points: &[SweepPoint], cfg: &SweepConfig, measures: &[&str]) -> Vec<Series> {
+    run_sweep_stored("adhoc", points, cfg, measures, &RunOpts::default())
+}
+
+/// Like [`run_sweep`], but with explicit execution options and — when
+/// `opts.results_dir` is set — checkpoint/resume: after every point the
+/// store `<results_dir>/<sweep_id>.json` is rewritten, and a rerun with
+/// the same configuration restarts at the first incomplete point. A
+/// changed configuration (replications, seed, confidence, or any point)
+/// invalidates the store via its fingerprint.
+pub fn run_sweep_stored(
+    sweep_id: &str,
     points: &[SweepPoint],
     cfg: &SweepConfig,
     measures: &[&str],
+    opts: &RunOpts<'_>,
 ) -> Vec<Series> {
+    let specs: Vec<PointSpec> = points
+        .iter()
+        .enumerate()
+        .map(|(i, p)| PointSpec::new(i, &p.series, p.x))
+        .collect();
+    let store = opts.results_dir.as_ref().map(|dir| {
+        ResultStore::open(dir, sweep_id, &sweep_fingerprint(points, cfg))
+            .expect("results directory is writable")
+    });
+    let mut runner = match store {
+        Some(store) => SweepRunner::with_store(opts.progress, store),
+        None => SweepRunner::new(opts.progress),
+    };
+    let stored = runner
+        .run(&specs, |_, i| {
+            let ms = run_point_with(&points[i], cfg, i, &opts.runner, opts.progress);
+            ms.estimates().iter().map(StoredEstimate::from).collect()
+        })
+        .expect("result store write failed");
+    series_from(&stored, measures)
+}
+
+/// Fingerprints a sweep configuration for store invalidation.
+fn sweep_fingerprint(points: &[SweepPoint], cfg: &SweepConfig) -> String {
+    let mut parts: Vec<String> = vec![
+        format!("reps={}", cfg.replications),
+        format!("seed={}", cfg.base_seed),
+        format!("conf={}", cfg.confidence),
+    ];
+    for p in points {
+        parts.push(format!(
+            "{}|x={}|h={}|t={:?}|{:?}",
+            p.series, p.x, p.horizon, p.sample_times, p.params
+        ));
+    }
+    let refs: Vec<&str> = parts.iter().map(String::as_str).collect();
+    fingerprint(&refs)
+}
+
+/// Extracts x-ordered per-`(series, measure)` estimates from stored points.
+fn series_from(stored: &[StoredPoint], measures: &[&str]) -> Vec<Series> {
     let mut series: Vec<Series> = Vec::new();
-    for (j, point) in points.iter().enumerate() {
-        let ms = run_point(point, cfg, j);
+    for point in stored {
         for &measure in measures {
-            let value = ms.mean(measure).map(|mean| {
-                let hw = ms
-                    .estimates()
-                    .into_iter()
-                    .find(|e| e.name == measure)
-                    .map(|e| e.ci.half_width)
-                    .unwrap_or(0.0);
-                ValueCi {
-                    mean,
-                    half_width: hw,
-                }
-            });
-            let Some(value) = value else { continue };
+            let Some(e) = point.estimate(measure) else {
+                continue;
+            };
+            let value = ValueCi {
+                mean: e.mean,
+                half_width: e.half_width,
+            };
             match series
                 .iter_mut()
                 .find(|s| s.name == point.series && s.measure == measure)
@@ -184,7 +292,11 @@ mod tests {
             replications: 10,
             ..Default::default()
         };
-        let points = vec![tiny_point(2.0, "a"), tiny_point(1.0, "a"), tiny_point(1.0, "b")];
+        let points = vec![
+            tiny_point(2.0, "a"),
+            tiny_point(1.0, "a"),
+            tiny_point(1.0, "b"),
+        ];
         let series = run_sweep(&points, &cfg, &[names::UNAVAILABILITY]);
         assert_eq!(series.len(), 2);
         let a = series.iter().find(|s| s.name == "a").unwrap();
@@ -202,6 +314,55 @@ mod tests {
         let s1 = run_sweep(&points, &cfg, &[names::UNAVAILABILITY]);
         let s2 = run_sweep(&points, &cfg, &[names::UNAVAILABILITY]);
         assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn run_point_is_thread_count_invariant() {
+        let cfg = SweepConfig {
+            replications: 24,
+            ..Default::default()
+        };
+        let point = tiny_point(1.0, "s");
+        let serial =
+            run_point_with(&point, &cfg, 3, &RunnerConfig::serial(), &NullProgress).estimates();
+        for threads in [2, 4, 8] {
+            let rc = RunnerConfig::default().with_threads(threads);
+            let parallel = run_point_with(&point, &cfg, 3, &rc, &NullProgress).estimates();
+            assert_eq!(parallel, serial, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn stored_sweep_resumes_without_resimulating() {
+        let cfg = SweepConfig {
+            replications: 8,
+            ..Default::default()
+        };
+        let dir =
+            std::env::temp_dir().join(format!("itua-studies-sweep-resume-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let opts = RunOpts {
+            results_dir: Some(dir.clone()),
+            ..Default::default()
+        };
+        let points = vec![tiny_point(1.0, "a"), tiny_point(2.0, "a")];
+        let measures = [names::UNAVAILABILITY];
+
+        let first = run_sweep_stored("t", &points, &cfg, &measures, &opts);
+        // Resumed run reads both points back from the store.
+        let second = run_sweep_stored("t", &points, &cfg, &measures, &opts);
+        assert_eq!(second, first);
+        // And matches the storeless path bit for bit.
+        assert_eq!(run_sweep(&points, &cfg, &measures), first);
+
+        // A changed configuration must not resume from the stale store.
+        let cfg2 = SweepConfig {
+            base_seed: cfg.base_seed + 1,
+            ..cfg
+        };
+        let third = run_sweep_stored("t", &points, &cfg2, &measures, &opts);
+        assert_ne!(third, first);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

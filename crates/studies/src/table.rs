@@ -120,14 +120,32 @@ mod tests {
                         name: "alpha".into(),
                         measure: "m".into(),
                         points: vec![
-                            (1.0, ValueCi { mean: 0.5, half_width: 0.01 }),
-                            (2.0, ValueCi { mean: 0.25, half_width: 0.02 }),
+                            (
+                                1.0,
+                                ValueCi {
+                                    mean: 0.5,
+                                    half_width: 0.01,
+                                },
+                            ),
+                            (
+                                2.0,
+                                ValueCi {
+                                    mean: 0.25,
+                                    half_width: 0.02,
+                                },
+                            ),
                         ],
                     },
                     Series {
                         name: "beta".into(),
                         measure: "m".into(),
-                        points: vec![(1.0, ValueCi { mean: 0.75, half_width: 0.0 })],
+                        points: vec![(
+                            1.0,
+                            ValueCi {
+                                mean: 0.75,
+                                half_width: 0.0,
+                            },
+                        )],
                     },
                 ],
             }],

@@ -33,13 +33,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Simulation estimate of unavailability over [0, 1000].
     let sim = SanSimulator::new(san.clone());
-    let mut unavail = TimeAveraged::new("unavailability", move |m| {
-        if m.get(up) < 2 {
-            1.0
-        } else {
-            0.0
-        }
-    });
+    let mut unavail = TimeAveraged::new(
+        "unavailability",
+        move |m| {
+            if m.get(up) < 2 {
+                1.0
+            } else {
+                0.0
+            }
+        },
+    );
     let cfg = ExperimentConfig {
         horizon: 1000.0,
         replications: 200,

@@ -33,7 +33,14 @@ fn main() {
     println!("Domain-exclusion vs host-exclusion (host corruption ×5, as in §4.3)\n");
     println!(
         "{:>7} {:>8} | {:>10} {:>10} {:>8} | {:>10} {:>10} {:>8}",
-        "spread", "horizon", "dom unavl", "host unavl", "winner", "dom unrel", "host unrel", "winner"
+        "spread",
+        "horizon",
+        "dom unavl",
+        "host unavl",
+        "winner",
+        "dom unrel",
+        "host unrel",
+        "winner"
     );
     for &horizon in &[5.0, 10.0] {
         for &spread in &[0.0, 4.0, 10.0] {
@@ -42,7 +49,14 @@ fn main() {
             let w = |d: f64, h: f64| if d < h { "domain" } else { "host" };
             println!(
                 "{:>7} {:>8} | {:>10.5} {:>10.5} {:>8} | {:>10.5} {:>10.5} {:>8}",
-                spread, horizon, du, hu, w(du, hu), dr, hr, w(dr, hr)
+                spread,
+                horizon,
+                du,
+                hu,
+                w(du, hu),
+                dr,
+                hr,
+                w(dr, hr)
             );
         }
     }

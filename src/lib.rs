@@ -9,6 +9,8 @@
 //! * [`san`] — the stochastic activity network formalism and simulator.
 //! * [`itua`] — the ITUA intrusion-tolerant replication model (the paper's
 //!   object of study) in both SAN and direct discrete-event form.
+//! * [`runner`] — parallel experiment execution with deterministic
+//!   reduction, progress reporting, and a resumable result store.
 //! * [`studies`] — the paper's Figure 3/4/5 studies and sweep harness.
 //!
 //! See `README.md` for a guided tour and `DESIGN.md` for the system
@@ -16,6 +18,7 @@
 
 pub use itua_core as itua;
 pub use itua_markov as markov;
+pub use itua_runner as runner;
 pub use itua_san as san;
 pub use itua_sim as sim;
 pub use itua_stats as stats;

@@ -22,7 +22,10 @@ fn repairable_system_three_ways() {
     // CTMC path.
     let ctmc = Ctmc::from_rates(2, &[(0, 1, lambda), (1, 0, mu)]).unwrap();
     let p = ctmc.transient(&[1.0, 0.0], t, 1e-12).unwrap();
-    assert!((p[1] - closed).abs() < 1e-9, "CTMC {p:?} vs closed {closed}");
+    assert!(
+        (p[1] - closed).abs() < 1e-9,
+        "CTMC {p:?} vs closed {closed}"
+    );
 
     // SAN-simulation path (instant-of-time estimated via many runs).
     let mut b = SanBuilder::new("repairable");
@@ -99,7 +102,11 @@ fn mm1k_queue_three_ways() {
     // CTMC steady state.
     let ss = StateSpace::generate(&san, 100).unwrap();
     assert_eq!(ss.num_states(), (k + 1) as usize);
-    let pi = ss.to_ctmc().unwrap().steady_state(1e-13, 1_000_000).unwrap();
+    let pi = ss
+        .to_ctmc()
+        .unwrap()
+        .steady_state(1e-13, 1_000_000)
+        .unwrap();
     let mean_ctmc: f64 = (0..ss.num_states())
         .map(|s| pi[s] * ss.marking(s).get(queue) as f64)
         .sum();
@@ -155,7 +162,10 @@ fn pure_death_unreliability() {
     let n = 20_000;
     for seed in 0..n {
         use itua_repro::san::reward::RewardVariable;
-        let mut rv = EverTrue::new("extinct", move |m| if m.get(alive) == 0 { 1.0 } else { 0.0 });
+        let mut rv = EverTrue::new(
+            "extinct",
+            move |m| if m.get(alive) == 0 { 1.0 } else { 0.0 },
+        );
         sim.run(seed as u64, t, &mut [&mut rv]).unwrap();
         if rv.observations()[0].value > 0.5 {
             hits += 1;

@@ -37,7 +37,10 @@ fn unavailability_increases_with_hosts_per_domain() {
         );
         last = u;
     }
-    assert!(last > 0.2, "12 hosts in one domain should be badly unavailable");
+    assert!(
+        last > 0.2,
+        "12 hosts in one domain should be badly unavailable"
+    );
 }
 
 /// §4.1 / Figure 3(b): unreliability rises rapidly up to 4 hosts per
@@ -80,7 +83,10 @@ fn corrupt_fraction_falls_with_domain_size() {
         .unwrap();
     assert!(f1 > f6, "fraction must fall with domain size: {f1} vs {f6}");
     assert!(f1 < 1.0, "false alarms keep the fraction below 1");
-    assert!(f1 > 0.4, "with one host per domain most exclusions hit corruption");
+    assert!(
+        f1 > 0.4,
+        "with one host per domain most exclusions hit corruption"
+    );
 }
 
 /// §4.1 / Figure 3(d): more hosts per domain → more domains excluded.
@@ -100,8 +106,12 @@ fn excluded_fraction_rises_with_hosts_per_domain() {
 /// larger over [0,10].
 #[test]
 fn fig4_mild_increase_and_horizon_ordering() {
-    let p1 = Params::default().with_domains(10, 1).with_applications(4, 7);
-    let p4 = Params::default().with_domains(10, 4).with_applications(4, 7);
+    let p1 = Params::default()
+        .with_domains(10, 1)
+        .with_applications(4, 7);
+    let p4 = Params::default()
+        .with_domains(10, 4)
+        .with_applications(4, 7);
     let short1 = measure(p1.clone(), 5.0, 800);
     let short4 = measure(p4.clone(), 5.0, 800);
     let long4 = measure(p4, 10.0, 800);
@@ -110,8 +120,14 @@ fn fig4_mild_increase_and_horizon_ordering() {
     let u_short4 = short4.mean(names::UNAVAILABILITY).unwrap();
     let u_long4 = long4.mean(names::UNAVAILABILITY).unwrap();
     assert!(u_short4 >= u_short1, "more hosts per domain cannot help");
-    assert!(u_short4 < 0.05, "5-hour unavailability stays small (paper §4.2)");
-    assert!(u_long4 > u_short4, "longer interval accumulates more improper time");
+    assert!(
+        u_short4 < 0.05,
+        "5-hour unavailability stays small (paper §4.2)"
+    );
+    assert!(
+        u_long4 > u_short4,
+        "longer interval accumulates more improper time"
+    );
 
     let r_short4 = short4.mean(names::UNRELIABILITY).unwrap();
     let r_long4 = long4.mean(names::UNRELIABILITY).unwrap();
@@ -122,8 +138,12 @@ fn fig4_mild_increase_and_horizon_ordering() {
 /// significant improvement — the paper's cost/benefit conclusion.
 #[test]
 fn fig4_extra_hosts_do_not_significantly_improve() {
-    let p1 = Params::default().with_domains(10, 1).with_applications(4, 7);
-    let p4 = Params::default().with_domains(10, 4).with_applications(4, 7);
+    let p1 = Params::default()
+        .with_domains(10, 1)
+        .with_applications(4, 7);
+    let p4 = Params::default()
+        .with_domains(10, 4)
+        .with_applications(4, 7);
     let u1 = measure(p1, 5.0, 800).mean(names::UNAVAILABILITY).unwrap();
     let u4 = measure(p4, 5.0, 800).mean(names::UNAVAILABILITY).unwrap();
     // Four times the hosts must not reduce unavailability measurably.
@@ -145,7 +165,10 @@ fn host_exclusion_no_worse_short_run_low_spread() {
     let host = measure(base.with_scheme(ManagementScheme::HostExclusion), 5.0, 800)
         .mean(names::UNAVAILABILITY)
         .unwrap();
-    assert!(host <= dom + 1e-6, "host exclusion worse at zero spread: {host} vs {dom}");
+    assert!(
+        host <= dom + 1e-6,
+        "host exclusion worse at zero spread: {host} vs {dom}"
+    );
 }
 
 /// §4.3 / Figure 5(c,d): host-exclusion unreliability is sensitive to the

@@ -15,9 +15,7 @@ use itua_repro::san::statespace::StateSpace;
 /// A deliberately tiny configuration so the state space stays small:
 /// 2 domains × 1 host, 1 application × 2 replicas, no spread processes.
 fn micro_params() -> Params {
-    let mut p = Params::default()
-        .with_domains(2, 1)
-        .with_applications(1, 2);
+    let mut p = Params::default().with_domains(2, 1).with_applications(1, 2);
     p.spread_rate_domain = 0.0;
     p.spread_rate_system = 0.0;
     p
@@ -77,7 +75,7 @@ fn micro_itua_san_flattens_to_solvable_ctmc() {
     for seed in 0..n {
         let p2 = places2.clone();
         let mut rv = TimeAveraged::new("u", move |m| if p2.improper(m, 0) { 1.0 } else { 0.0 });
-        sim.run(seed as u64, t, &mut [&mut rv]).unwrap();
+        sim.run(seed, t, &mut [&mut rv]).unwrap();
         sum += rv.observations()[0].value;
     }
     let san_unavail = sum / n as f64;
