@@ -7,11 +7,11 @@ fn main() {
     let cli = FigureCli::parse(std::env::args().skip(1));
     let progress = cli.progress();
     let opts = cli.opts(progress.as_ref());
-    for fig in [
-        figure3::run_with(&cli.cfg, &opts),
-        figure4::run_with(&cli.cfg, &opts),
-        figure5::run_with(&cli.cfg, &opts),
-    ] {
+    for run in [figure3::run_with, figure4::run_with, figure5::run_with] {
+        let fig = run(&cli.cfg, &opts).unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        });
         println!("{}", table::render(&fig));
         if cli.csv {
             println!("{}", table::to_csv(&fig));

@@ -6,7 +6,10 @@ use itua_studies::{figure3, table};
 fn main() {
     let cli = FigureCli::parse(std::env::args().skip(1));
     let progress = cli.progress();
-    let fig = figure3::run_with(&cli.cfg, &cli.opts(progress.as_ref()));
+    let fig = figure3::run_with(&cli.cfg, &cli.opts(progress.as_ref())).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    });
     println!("{}", table::render(&fig));
     if cli.csv {
         println!("{}", table::to_csv(&fig));

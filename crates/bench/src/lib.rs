@@ -3,6 +3,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use itua_runner::backend::BackendKind;
 use itua_runner::engine::RunnerConfig;
 use itua_runner::progress::{ConsoleProgress, NullProgress, Progress};
 use itua_studies::sweep::{RunOpts, SweepConfig};
@@ -12,6 +13,10 @@ use std::path::PathBuf;
 ///
 /// Supported arguments:
 ///
+/// * `--backend des|san` — which encoding of the ITUA process to
+///   simulate: the direct discrete-event simulator (default) or the
+///   composed stochastic activity network; both run through the same
+///   parallel pipeline and estimate the same measures,
 /// * `--reps N` — replications per sweep point (default 2000),
 /// * `--seed S` — base seed,
 /// * `--csv` — also print the figure as CSV,
@@ -23,6 +28,8 @@ use std::path::PathBuf;
 /// * `--quiet` — suppress progress output on stderr.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FigureCli {
+    /// Which simulation backend runs the sweep.
+    pub backend: BackendKind,
     /// Sweep configuration assembled from the flags.
     pub cfg: SweepConfig,
     /// Whether to print CSV after the tables.
@@ -44,6 +51,7 @@ impl FigureCli {
     /// developer-facing binaries).
     pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Self {
         let mut cli = FigureCli {
+            backend: BackendKind::Des,
             cfg: SweepConfig::default(),
             csv: false,
             threads: 0,
@@ -53,6 +61,12 @@ impl FigureCli {
         let mut it = args.into_iter();
         while let Some(arg) = it.next() {
             match arg.as_str() {
+                "--backend" => {
+                    cli.backend = it
+                        .next()
+                        .and_then(|v| BackendKind::parse(&v))
+                        .unwrap_or_else(|| panic!("--backend needs 'des' or 'san'"));
+                }
                 "--reps" => {
                     cli.cfg.replications = it
                         .next()
@@ -81,8 +95,9 @@ impl FigureCli {
                 "--no-resume" => cli.results_dir = None,
                 "--quiet" => cli.quiet = true,
                 other => panic!(
-                    "unknown argument '{other}' (try --reps N, --seed S, --csv, \
-                     --threads N, --results DIR, --no-resume, --quiet)"
+                    "unknown argument '{other}' (try --backend des|san, --reps N, \
+                     --seed S, --csv, --threads N, --results DIR, --no-resume, \
+                     --quiet)"
                 ),
             }
         }
@@ -102,6 +117,7 @@ impl FigureCli {
     /// from [`FigureCli::progress`]).
     pub fn opts<'a>(&self, progress: &'a dyn Progress) -> RunOpts<'a> {
         RunOpts {
+            backend: self.backend,
             runner: RunnerConfig::default().with_threads(self.threads),
             progress,
             results_dir: self.results_dir.clone(),
@@ -116,6 +132,7 @@ mod tests {
     #[test]
     fn parses_defaults() {
         let cli = FigureCli::parse(Vec::<String>::new());
+        assert_eq!(cli.backend, BackendKind::Des);
         assert_eq!(cli.cfg.replications, 2000);
         assert!(!cli.csv);
         assert_eq!(cli.threads, 0);
@@ -127,6 +144,8 @@ mod tests {
     fn parses_flags() {
         let cli = FigureCli::parse(
             [
+                "--backend",
+                "san",
                 "--reps",
                 "50",
                 "--seed",
@@ -141,6 +160,7 @@ mod tests {
             .into_iter()
             .map(String::from),
         );
+        assert_eq!(cli.backend, BackendKind::San);
         assert_eq!(cli.cfg.replications, 50);
         assert_eq!(cli.cfg.base_seed, 9);
         assert!(cli.csv);
@@ -160,6 +180,7 @@ mod tests {
         let cli = FigureCli::parse(["--threads".to_owned(), "3".to_owned()]);
         let progress = cli.progress();
         let opts = cli.opts(progress.as_ref());
+        assert_eq!(opts.backend, BackendKind::Des);
         assert_eq!(opts.runner.effective_threads(), 3);
         assert_eq!(opts.results_dir, Some(PathBuf::from("results")));
     }

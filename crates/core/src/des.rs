@@ -125,6 +125,19 @@ pub struct ItuaDes {
     params: Params,
 }
 
+/// Reusable per-thread simulation state for [`ItuaDes::run_into`].
+///
+/// Holds the event queue, host/domain/replica/app vectors, and sample
+/// buffer so a worker thread can run many replications without
+/// reallocating them. A scratch is tied to the parameter set it was
+/// created from ([`ItuaDes::scratch`]); reusing it never changes results —
+/// every `run_into` fully resets the state, so output depends only on the
+/// `(seed, horizon, sample_times)` arguments.
+pub struct DesScratch {
+    state: State,
+    samples: Vec<f64>,
+}
+
 /// Mutable simulation state for one run.
 struct State {
     p: Params,
@@ -160,23 +173,65 @@ impl ItuaDes {
         &self.params
     }
 
+    /// Creates a reusable scratch for [`ItuaDes::run_into`].
+    pub fn scratch(&self) -> DesScratch {
+        DesScratch {
+            state: State::new(self.params.clone(), Rng::seed_from_u64(0)),
+            samples: Vec::new(),
+        }
+    }
+
     /// Runs one replication until `horizon`, sampling instant-of-time
     /// measures at `sample_times` (ascending; values beyond the horizon are
     /// clamped to it).
+    ///
+    /// Equivalent to [`ItuaDes::run_into`] with a fresh scratch; use that
+    /// form to amortise state allocation across replications.
     ///
     /// # Panics
     ///
     /// Panics if `horizon` is not positive and finite.
     pub fn run(&self, seed: u64, horizon: f64, sample_times: &[f64]) -> RunOutput {
+        let mut scratch = self.scratch();
+        self.run_into(seed, horizon, sample_times, &mut scratch)
+    }
+
+    /// Runs one replication, reusing `scratch`'s allocations.
+    ///
+    /// The scratch is reset first, so the output is byte-identical to
+    /// [`ItuaDes::run`] with the same arguments, regardless of what the
+    /// scratch was previously used for.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `horizon` is not positive and finite, or if `scratch` was
+    /// created for a different topology (host/domain/app counts).
+    pub fn run_into(
+        &self,
+        seed: u64,
+        horizon: f64,
+        sample_times: &[f64],
+        scratch: &mut DesScratch,
+    ) -> RunOutput {
         assert!(horizon > 0.0 && horizon.is_finite(), "bad horizon");
-        let mut st = State::new(self.params.clone(), Rng::seed_from_u64(seed));
+        let DesScratch { state: st, samples } = scratch;
+        assert!(
+            st.hosts.len() == self.params.total_hosts()
+                && st.domains.len() == self.params.num_domains
+                && st.apps.len() == self.params.num_apps,
+            "scratch does not match this model's topology"
+        );
+        st.p = self.params.clone();
+        st.reset(Rng::seed_from_u64(seed));
         st.initial_placement();
 
-        let mut samples: Vec<f64> = sample_times
-            .iter()
-            .map(|&t| t.min(horizon))
-            .filter(|&t| t > 0.0)
-            .collect();
+        samples.clear();
+        samples.extend(
+            sample_times
+                .iter()
+                .map(|&t| t.min(horizon))
+                .filter(|&t| t > 0.0),
+        );
         samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaN sample times"));
         samples.dedup();
         let mut snapshots = Vec::with_capacity(samples.len());
@@ -211,7 +266,7 @@ impl ItuaDes {
                 .map(|a| a.improper.integral_until(horizon))
                 .collect(),
             byzantine_per_app: st.apps.iter().map(|a| a.byzantine).collect(),
-            exclusion_corrupt_fractions: st.exclusion_fractions,
+            exclusion_corrupt_fractions: std::mem::take(&mut st.exclusion_fractions),
             snapshots,
             first_byzantine_time: st.first_byzantine_time,
             first_improper_time: st.first_improper_time,
@@ -222,54 +277,103 @@ impl ItuaDes {
 impl State {
     fn new(p: Params, rng: Rng) -> Self {
         let nh = p.total_hosts();
-        let hosts = (0..nh)
-            .map(|h| Host {
-                domain: h / p.hosts_per_domain,
-                alive: true,
-                corrupt: false,
-                attack_epoch: 0,
-                mgr_alive: true,
-                mgr_corrupt: false,
-                mgr_attack_epoch: 0,
-                replicas: Vec::new(),
-            })
-            .collect();
-        let domains = (0..p.num_domains)
-            .map(|_| Domain {
-                excluded: false,
-                spread_level: 0.0,
-                active_hosts: p.hosts_per_domain,
-                active_mgrs: p.hosts_per_domain,
-                corrupt_mgrs: 0,
-            })
-            .collect();
-        let apps = (0..p.num_apps)
-            .map(|_| App {
-                running: 0,
-                corrupt_undetected: 0,
-                need_recovery: 0,
-                improper: TimeWeighted::new(0.0, 1.0), // no replicas yet
-                byzantine: false,
-            })
-            .collect();
-        let active_mgrs_total = nh;
-        State {
+        let num_domains = p.num_domains;
+        let num_apps = p.num_apps;
+        let mut st = State {
             p,
-            rng,
+            rng: Rng::seed_from_u64(0),
             queue: EventQueue::new(),
             now: 0.0,
-            hosts,
-            domains,
+            hosts: vec![
+                Host {
+                    domain: 0,
+                    alive: true,
+                    corrupt: false,
+                    attack_epoch: 0,
+                    mgr_alive: true,
+                    mgr_corrupt: false,
+                    mgr_attack_epoch: 0,
+                    replicas: Vec::new(),
+                };
+                nh
+            ],
+            domains: vec![
+                Domain {
+                    excluded: false,
+                    spread_level: 0.0,
+                    active_hosts: 0,
+                    active_mgrs: 0,
+                    corrupt_mgrs: 0,
+                };
+                num_domains
+            ],
             replicas: Vec::new(),
-            apps,
+            apps: vec![
+                App {
+                    running: 0,
+                    corrupt_undetected: 0,
+                    need_recovery: 0,
+                    improper: TimeWeighted::new(0.0, 1.0),
+                    byzantine: false,
+                };
+                num_apps
+            ],
             system_spread_level: 0.0,
-            active_mgrs_total,
+            active_mgrs_total: 0,
             corrupt_mgrs_total: 0,
             excluded_domains: 0,
             exclusion_fractions: Vec::new(),
             first_byzantine_time: None,
             first_improper_time: None,
+        };
+        st.reset(rng);
+        st
+    }
+
+    /// Restores the pristine time-zero state (the one [`State::new`]
+    /// produces) while keeping every allocation: the event queue's backing
+    /// storage, the per-host replica index vectors, and the replica arena.
+    ///
+    /// Replication independence relies on this being a *complete* reset:
+    /// any field mutated during a run must be restored here, so that a
+    /// subsequent run's trajectory depends only on the fresh `rng`.
+    fn reset(&mut self, rng: Rng) {
+        let hpd = self.p.hosts_per_domain;
+        self.rng = rng;
+        self.queue.clear();
+        self.now = 0.0;
+        for (h, host) in self.hosts.iter_mut().enumerate() {
+            host.domain = h / hpd;
+            host.alive = true;
+            host.corrupt = false;
+            host.attack_epoch = 0;
+            host.mgr_alive = true;
+            host.mgr_corrupt = false;
+            host.mgr_attack_epoch = 0;
+            host.replicas.clear();
         }
+        for dom in self.domains.iter_mut() {
+            dom.excluded = false;
+            dom.spread_level = 0.0;
+            dom.active_hosts = hpd;
+            dom.active_mgrs = hpd;
+            dom.corrupt_mgrs = 0;
+        }
+        self.replicas.clear();
+        for app in self.apps.iter_mut() {
+            app.running = 0;
+            app.corrupt_undetected = 0;
+            app.need_recovery = 0;
+            app.improper = TimeWeighted::new(0.0, 1.0); // no replicas yet
+            app.byzantine = false;
+        }
+        self.system_spread_level = 0.0;
+        self.active_mgrs_total = self.hosts.len();
+        self.corrupt_mgrs_total = 0;
+        self.excluded_domains = 0;
+        self.exclusion_fractions.clear();
+        self.first_byzantine_time = None;
+        self.first_improper_time = None;
     }
 
     // ------------------------------------------------------------------
@@ -914,6 +1018,26 @@ mod tests {
         assert_eq!(a, b);
         let c = des.run(8, 5.0, &[5.0]);
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn reused_scratch_matches_fresh_runs() {
+        let des = ItuaDes::new(small_params()).unwrap();
+        let mut scratch = des.scratch();
+        for seed in 0..40 {
+            let reused = des.run_into(seed, 5.0, &[1.0, 5.0], &mut scratch);
+            let fresh = des.run(seed, 5.0, &[1.0, 5.0]);
+            assert_eq!(reused, fresh, "seed {seed}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "topology")]
+    fn scratch_from_other_topology_is_rejected() {
+        let a = ItuaDes::new(small_params()).unwrap();
+        let b = ItuaDes::new(Params::default().with_domains(3, 3).with_applications(2, 3)).unwrap();
+        let mut scratch = b.scratch();
+        a.run_into(0, 1.0, &[], &mut scratch);
     }
 
     #[test]

@@ -53,7 +53,9 @@
 pub mod des;
 pub mod measures;
 pub mod params;
+pub mod san_exec;
 pub mod san_model;
 
 pub use des::ItuaDes;
 pub use params::{ManagementScheme, Params};
+pub use san_exec::ItuaSanRunner;

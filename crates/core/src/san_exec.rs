@@ -1,0 +1,323 @@
+//! Executes the composed ITUA SAN and reduces each run to the same
+//! [`RunOutput`] record the direct DES produces.
+//!
+//! This is the glue that lets the SAN encoding ride the generic experiment
+//! pipeline: [`ItuaSanRunner`] owns the flattened model plus a
+//! [`SanSimulator`], and `run_into` drives one replication through a
+//! measure observer that tracks improper-service time, Byzantine faults,
+//! exclusions, and instant-of-time snapshots — the exact measure
+//! definitions of [`crate::measures`].
+//!
+//! One known semantic gap, inherent to the SAN encoding: the
+//! "fraction of corrupt hosts at exclusion" measure counts host-OS and
+//! manager corruption, but cannot attribute a convicted *replica*'s
+//! corruption to its host (the replica submodel leaves the host before the
+//! exclusion cascade reaches it). It therefore slightly undercounts
+//! relative to the DES. Cross-backend validation compares the measures
+//! that agree exactly in distribution (unavailability, unreliability,
+//! excluded-domain fractions).
+
+use crate::measures::{RunOutput, Snapshot};
+use crate::params::Params;
+use crate::san_model::{self, BuildError, ItuaSan, ItuaSanPlaces};
+use itua_san::marking::Marking;
+use itua_san::model::{ActivityId, SanError};
+use itua_san::simulator::{Observer, SanSimulator, SimScratch};
+use itua_stats::timeweighted::TimeWeighted;
+
+/// Runs the composed ITUA SAN as a replication backend producing
+/// [`RunOutput`]s.
+#[derive(Debug, Clone)]
+pub struct ItuaSanRunner {
+    model: ItuaSan,
+    sim: SanSimulator,
+}
+
+/// Reusable per-thread state for [`ItuaSanRunner::run_into`]; wraps the
+/// simulator's [`SimScratch`].
+pub struct SanScratch {
+    sim: SimScratch,
+}
+
+impl ItuaSanRunner {
+    /// Builds the composed SAN for `params` and wraps it in a runner.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError`] for invalid parameters or construction
+    /// failures.
+    pub fn new(params: &Params) -> Result<Self, BuildError> {
+        Ok(Self::from_model(san_model::build(params)?))
+    }
+
+    /// Wraps an already-built model.
+    pub fn from_model(model: ItuaSan) -> Self {
+        let sim = SanSimulator::new(model.san.clone());
+        ItuaSanRunner { model, sim }
+    }
+
+    /// The parameter set the model was built from.
+    pub fn params(&self) -> &Params {
+        &self.model.params
+    }
+
+    /// The underlying model and its resolved measure places.
+    pub fn model(&self) -> &ItuaSan {
+        &self.model
+    }
+
+    /// Creates a reusable scratch for [`ItuaSanRunner::run_into`].
+    pub fn scratch(&self) -> SanScratch {
+        SanScratch {
+            sim: self.sim.scratch(),
+        }
+    }
+
+    /// Runs one replication until `horizon`, sampling instant-of-time
+    /// measures at `sample_times` (values beyond the horizon are clamped
+    /// to it), reusing `scratch`'s allocations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SanError::Unstabilized`] if instantaneous activities
+    /// livelock (indicates a model bug, not a statistical event).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `horizon` is not positive and finite.
+    pub fn run_into(
+        &self,
+        seed: u64,
+        horizon: f64,
+        sample_times: &[f64],
+        scratch: &mut SanScratch,
+    ) -> Result<RunOutput, SanError> {
+        assert!(horizon > 0.0 && horizon.is_finite(), "bad horizon");
+        let mut observer = MeasureObserver::new(&self.model, horizon, sample_times);
+        self.sim
+            .run_with_scratch(seed, horizon, &mut [&mut observer], &mut scratch.sim)?;
+        Ok(observer.into_output(horizon))
+    }
+
+    /// Runs one replication with a fresh scratch; see
+    /// [`ItuaSanRunner::run_into`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SanError::Unstabilized`] if instantaneous activities
+    /// livelock.
+    pub fn run(
+        &self,
+        seed: u64,
+        horizon: f64,
+        sample_times: &[f64],
+    ) -> Result<RunOutput, SanError> {
+        let mut scratch = self.scratch();
+        self.run_into(seed, horizon, sample_times, &mut scratch)
+    }
+}
+
+/// Observer that evaluates the DES-equivalent measures on the SAN marking.
+struct MeasureObserver {
+    places: ItuaSanPlaces,
+    num_domains: usize,
+    hosts_per_domain: usize,
+    samples: Vec<f64>,
+    improper: Vec<TimeWeighted>,
+    byzantine: Vec<bool>,
+    first_byzantine_time: Option<f64>,
+    first_improper_time: Option<f64>,
+    excluded_seen: i32,
+    domain_recorded: Vec<bool>,
+    exclusion_fractions: Vec<f64>,
+    snapshots: Vec<Snapshot>,
+}
+
+impl MeasureObserver {
+    fn new(model: &ItuaSan, horizon: f64, sample_times: &[f64]) -> Self {
+        // Same clamp/filter/sort/dedup the DES applies to sample times.
+        let mut samples: Vec<f64> = sample_times
+            .iter()
+            .map(|&t| t.min(horizon))
+            .filter(|&t| t > 0.0)
+            .collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaN sample times"));
+        samples.dedup();
+        let num_apps = model.params.num_apps;
+        MeasureObserver {
+            places: model.places.clone(),
+            num_domains: model.params.num_domains,
+            hosts_per_domain: model.params.hosts_per_domain,
+            samples,
+            improper: vec![TimeWeighted::new(0.0, 1.0); num_apps],
+            byzantine: vec![false; num_apps],
+            first_byzantine_time: None,
+            first_improper_time: None,
+            excluded_seen: 0,
+            domain_recorded: vec![false; model.params.num_domains],
+            exclusion_fractions: Vec::new(),
+            snapshots: Vec::new(),
+        }
+    }
+
+    fn update(&mut self, time: f64, marking: &Marking) {
+        for a in 0..self.improper.len() {
+            let improper = self.places.improper(marking, a);
+            let byz = self.places.byzantine(marking, a);
+            if improper && self.first_improper_time.is_none() && time > 0.0 {
+                self.first_improper_time = Some(time);
+            }
+            if byz && self.first_byzantine_time.is_none() {
+                self.first_byzantine_time = Some(time);
+            }
+            self.improper[a].set(time, if improper { 1.0 } else { 0.0 });
+            if byz {
+                self.byzantine[a] = true;
+            }
+        }
+        // Record newly completed domain exclusions.
+        let excluded = marking.get(self.places.excluded_domains);
+        if excluded > self.excluded_seen {
+            self.excluded_seen = excluded;
+            for d in 0..self.num_domains {
+                if !self.domain_recorded[d] && marking.get(self.places.domain_excluded[d]) == 1 {
+                    self.domain_recorded[d] = true;
+                    let corrupt = marking.get(self.places.domain_excl_corrupt[d]);
+                    self.exclusion_fractions
+                        .push(corrupt as f64 / self.hosts_per_domain as f64);
+                }
+            }
+        }
+    }
+
+    fn into_output(self, horizon: f64) -> RunOutput {
+        RunOutput {
+            horizon,
+            improper_time_per_app: self
+                .improper
+                .iter()
+                .map(|tw| tw.integral_until(horizon))
+                .collect(),
+            byzantine_per_app: self.byzantine,
+            exclusion_corrupt_fractions: self.exclusion_fractions,
+            snapshots: self.snapshots,
+            first_byzantine_time: self.first_byzantine_time,
+            first_improper_time: self.first_improper_time,
+        }
+    }
+}
+
+impl Observer for MeasureObserver {
+    fn on_init(&mut self, time: f64, marking: &Marking) {
+        self.update(time, marking);
+    }
+
+    fn on_event(&mut self, time: f64, _activity: ActivityId, marking: &Marking) {
+        self.update(time, marking);
+    }
+
+    fn sample_times(&self) -> Vec<f64> {
+        self.samples.clone()
+    }
+
+    fn on_sample(&mut self, time: f64, marking: &Marking) {
+        let running_total: i32 = self.places.running.iter().map(|&p| marking.get(p)).sum();
+        let alive_hosts: i32 = self
+            .places
+            .domain_active_hosts
+            .iter()
+            .map(|&p| marking.get(p))
+            .sum();
+        self.snapshots.push(Snapshot {
+            time,
+            frac_domains_excluded: marking.get(self.places.excluded_domains) as f64
+                / self.num_domains as f64,
+            mean_replicas_running: running_total as f64 / self.places.running.len() as f64,
+            load_per_host: if alive_hosts == 0 {
+                0.0
+            } else {
+                running_total as f64 / alive_hosts as f64
+            },
+        });
+    }
+
+    fn on_end(&mut self, time: f64, marking: &Marking) {
+        self.update(time, marking);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measures::names;
+    use crate::measures::MeasureSet;
+
+    fn small_params() -> Params {
+        Params::default().with_domains(3, 2).with_applications(2, 3)
+    }
+
+    #[test]
+    fn run_is_reproducible_and_scratch_reuse_is_exact() {
+        let runner = ItuaSanRunner::new(&small_params()).unwrap();
+        let mut scratch = runner.scratch();
+        for seed in 0..10 {
+            let reused = runner
+                .run_into(seed, 5.0, &[1.0, 5.0], &mut scratch)
+                .unwrap();
+            let fresh = runner.run(seed, 5.0, &[1.0, 5.0]).unwrap();
+            assert_eq!(reused, fresh, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn outputs_are_well_formed() {
+        let runner = ItuaSanRunner::new(&small_params()).unwrap();
+        let mut scratch = runner.scratch();
+        let mut ms = MeasureSet::new(0.95);
+        for seed in 0..40 {
+            let out = runner
+                .run_into(seed, 5.0, &[2.0, 5.0], &mut scratch)
+                .unwrap();
+            assert_eq!(out.snapshots.len(), 2);
+            assert_eq!(out.improper_time_per_app.len(), 2);
+            let u = out.unavailability(5.0);
+            assert!((0.0..=1.0).contains(&u), "seed {seed}: {u}");
+            for &f in &out.exclusion_corrupt_fractions {
+                assert!((0.0..=1.0).contains(&f), "seed {seed}: {f}");
+            }
+            for s in &out.snapshots {
+                assert!((0.0..=1.0).contains(&s.frac_domains_excluded));
+                assert!(s.mean_replicas_running >= 0.0);
+                assert!(s.load_per_host >= 0.0);
+            }
+            ms.record(&out);
+        }
+        assert!(ms.mean(names::UNAVAILABILITY).is_some());
+    }
+
+    #[test]
+    fn exclusion_fraction_counts_match_exclusions() {
+        let runner = ItuaSanRunner::new(&small_params()).unwrap();
+        let mut scratch = runner.scratch();
+        for seed in 0..30 {
+            let out = runner.run_into(seed, 10.0, &[10.0], &mut scratch).unwrap();
+            let excluded = out.snapshots[0].frac_domains_excluded * 3.0;
+            assert_eq!(
+                out.exclusion_corrupt_fractions.len(),
+                excluded.round() as usize,
+                "seed {seed}: one fraction per completed exclusion"
+            );
+        }
+    }
+
+    #[test]
+    fn host_exclusion_scheme_records_no_domain_fractions() {
+        let params = small_params().with_scheme(crate::params::ManagementScheme::HostExclusion);
+        let runner = ItuaSanRunner::new(&params).unwrap();
+        let mut scratch = runner.scratch();
+        for seed in 0..20 {
+            let out = runner.run_into(seed, 10.0, &[], &mut scratch).unwrap();
+            assert!(out.exclusion_corrupt_fractions.is_empty());
+        }
+    }
+}

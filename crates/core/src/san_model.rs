@@ -53,6 +53,17 @@ pub struct ItuaSanPlaces {
     pub corrupt: Vec<PlaceId>,
     /// Number of excluded domains (system-wide counter).
     pub excluded_domains: PlaceId,
+    /// Per domain: `dom_excluded` (1 once the domain is formally excluded).
+    pub domain_excluded: Vec<PlaceId>,
+    /// Per domain: `dom_active_hosts`.
+    pub domain_active_hosts: Vec<PlaceId>,
+    /// Per domain: `dom_excl_corrupt`, a measure-only accumulator counting
+    /// hosts that were compromised (host OS or manager) when the domain
+    /// exclusion shut them down. No predicate or rate reads it, so it never
+    /// affects the dynamics. Note it cannot see replica-only corruption —
+    /// a convicted replica leaves its host before the exclusion cascade —
+    /// so it is a slight undercount relative to the DES measure.
+    pub domain_excl_corrupt: Vec<PlaceId>,
 }
 
 impl ItuaSanPlaces {
@@ -143,6 +154,7 @@ pub fn build(params: &Params) -> Result<ItuaSan, BuildError> {
         SharedPlace::new("dom_mgrs_corrupt", 0),
         SharedPlace::new("dom_corrupt_hosts", 0),
         SharedPlace::new("dom_spread_level", 0),
+        SharedPlace::new("dom_excl_corrupt", 0),
     ];
     for a in 0..num_apps {
         domain_shared.push(SharedPlace::new(format!("dom_has_app_{a}"), 0));
@@ -209,6 +221,23 @@ pub fn build(params: &Params) -> Result<ItuaSan, BuildError> {
     let excluded_domains = san
         .place_id("itua/excluded_domains_sys")
         .expect("excluded_domains_sys place exists");
+    let mut domain_excluded = Vec::with_capacity(p.num_domains);
+    let mut domain_active_hosts = Vec::with_capacity(p.num_domains);
+    let mut domain_excl_corrupt = Vec::with_capacity(p.num_domains);
+    for d in 0..p.num_domains {
+        domain_excluded.push(
+            san.place_id(&format!("itua/domains[{d}]/hosts/dom_excluded"))
+                .expect("dom_excluded place exists"),
+        );
+        domain_active_hosts.push(
+            san.place_id(&format!("itua/domains[{d}]/hosts/dom_active_hosts"))
+                .expect("dom_active_hosts place exists"),
+        );
+        domain_excl_corrupt.push(
+            san.place_id(&format!("itua/domains[{d}]/hosts/dom_excl_corrupt"))
+                .expect("dom_excl_corrupt place exists"),
+        );
+    }
 
     Ok(ItuaSan {
         san,
@@ -216,6 +245,9 @@ pub fn build(params: &Params) -> Result<ItuaSan, BuildError> {
             running,
             corrupt,
             excluded_domains,
+            domain_excluded,
+            domain_active_hosts,
+            domain_excl_corrupt,
         },
         params: params.clone(),
     })
@@ -497,6 +529,7 @@ impl SanTemplate for HostTemplate {
         let dom_mgrs_corr = b.place("dom_mgrs_corrupt", 0);
         let dom_corrupt_hosts = b.place("dom_corrupt_hosts", 0);
         let dom_spread = b.place("dom_spread_level", 0);
+        let dom_excl_corrupt = b.place("dom_excl_corrupt", 0);
         let dom_has_app: Vec<PlaceId> = (0..num_apps)
             .map(|a| b.place(&format!("dom_has_app_{a}"), 0))
             .collect();
@@ -772,10 +805,19 @@ impl SanTemplate for HostTemplate {
                     &[],
                     |_| true,
                     move |m| {
+                        // Measure bookkeeping (read before any resets): when
+                        // the shutdown is part of a domain exclusion, count
+                        // this host toward the "corrupt at exclusion"
+                        // fraction if its OS or manager was compromised.
+                        let host_was_corrupt = m.get(corrupt) == 1;
+                        if m.get(dom_excluding) == 1
+                            && (host_was_corrupt || m.get(mgr_corrupt) == 1)
+                        {
+                            m.add(dom_excl_corrupt, 1);
+                        }
                         m.set(active, 0);
                         m.set(self_excluding, 0);
                         m.add(dom_hosts, -1);
-                        let host_was_corrupt = m.get(corrupt) == 1;
                         if host_was_corrupt {
                             m.add(dom_corrupt_hosts, -1);
                         }

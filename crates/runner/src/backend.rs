@@ -1,0 +1,420 @@
+//! The backend abstraction: one execution path for every encoding of the
+//! ITUA process.
+//!
+//! A [`Backend`] turns `(seed, horizon, sample_times)` into a
+//! [`RunOutput`] — the paper's per-replication measure record — using a
+//! per-thread reusable [`Backend::Scratch`] so simulation state (event
+//! queues, host/place vectors) is allocated once per worker thread, not
+//! once per replication. Both encodings implement it:
+//!
+//! * the direct DES ([`itua_core::des::ItuaDes`]), and
+//! * the composed SAN ([`itua_core::san_exec::ItuaSanRunner`]).
+//!
+//! [`run_measures`] is the shared replication loop: it fans replications
+//! out through [`replicate_with_scratch`] (chunk-ordered deterministic
+//! reduction, `stream_seed` seeding) and folds the outputs into a
+//! [`MeasureSet`] in replication order, so results are bit-identical for
+//! every thread count — for either backend.
+
+use crate::engine::{replicate_with_scratch, RunnerConfig};
+use crate::progress::Progress;
+use itua_core::des::{DesScratch, ItuaDes};
+use itua_core::measures::{MeasureSet, RunOutput};
+use itua_core::params::Params;
+use itua_core::san_exec::{ItuaSanRunner, SanScratch};
+use itua_sim::rng::stream_seed;
+
+/// Error from a backend run (model construction or simulation failure).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BackendError {
+    message: String,
+}
+
+impl BackendError {
+    /// Creates an error with the given message.
+    pub fn new(message: impl Into<String>) -> Self {
+        BackendError {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for BackendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for BackendError {}
+
+impl From<itua_san::model::SanError> for BackendError {
+    fn from(e: itua_san::model::SanError) -> Self {
+        BackendError::new(format!("SAN simulation failed: {e}"))
+    }
+}
+
+impl From<BackendError> for std::io::Error {
+    fn from(e: BackendError) -> Self {
+        std::io::Error::other(e)
+    }
+}
+
+/// A simulation encoding that can execute one replication of the ITUA
+/// process.
+///
+/// Implementations must be deterministic functions of the arguments: given
+/// the same `(seed, horizon, sample_times)`, `run` must return the same
+/// [`RunOutput`] regardless of the scratch's history. That contract is what
+/// lets [`run_measures`] reuse one scratch per worker thread while keeping
+/// results bit-identical for every thread count.
+pub trait Backend: Sync {
+    /// Reusable per-thread simulation state.
+    type Scratch: Send;
+
+    /// Creates a scratch compatible with this backend.
+    fn scratch(&self) -> Self::Scratch;
+
+    /// Runs one replication until `horizon`, sampling instant-of-time
+    /// measures at `sample_times`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BackendError`] if the underlying simulator fails (the DES
+    /// is infallible; the SAN can report stabilization livelock).
+    fn run(
+        &self,
+        seed: u64,
+        horizon: f64,
+        sample_times: &[f64],
+        scratch: &mut Self::Scratch,
+    ) -> Result<RunOutput, BackendError>;
+}
+
+impl Backend for ItuaDes {
+    type Scratch = DesScratch;
+
+    fn scratch(&self) -> DesScratch {
+        ItuaDes::scratch(self)
+    }
+
+    fn run(
+        &self,
+        seed: u64,
+        horizon: f64,
+        sample_times: &[f64],
+        scratch: &mut DesScratch,
+    ) -> Result<RunOutput, BackendError> {
+        Ok(self.run_into(seed, horizon, sample_times, scratch))
+    }
+}
+
+impl Backend for ItuaSanRunner {
+    type Scratch = SanScratch;
+
+    fn scratch(&self) -> SanScratch {
+        ItuaSanRunner::scratch(self)
+    }
+
+    fn run(
+        &self,
+        seed: u64,
+        horizon: f64,
+        sample_times: &[f64],
+        scratch: &mut SanScratch,
+    ) -> Result<RunOutput, BackendError> {
+        Ok(self.run_into(seed, horizon, sample_times, scratch)?)
+    }
+}
+
+/// Which encoding of the ITUA process executes a study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BackendKind {
+    /// Direct discrete-event simulation (fast; the sweep default).
+    #[default]
+    Des,
+    /// Composed stochastic activity network (the faithful reproduction
+    /// artifact; roughly an order of magnitude slower).
+    San,
+}
+
+impl BackendKind {
+    /// All supported kinds.
+    pub const ALL: [BackendKind; 2] = [BackendKind::Des, BackendKind::San];
+
+    /// Parses a CLI name (`des` / `san`, case-insensitive).
+    pub fn parse(name: &str) -> Option<Self> {
+        match name.to_ascii_lowercase().as_str() {
+            "des" => Some(BackendKind::Des),
+            "san" => Some(BackendKind::San),
+            _ => None,
+        }
+    }
+
+    /// The CLI name.
+    pub fn name(self) -> &'static str {
+        match self {
+            BackendKind::Des => "des",
+            BackendKind::San => "san",
+        }
+    }
+}
+
+impl std::fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A [`Backend`] chosen at runtime: either ITUA encoding behind one type.
+pub enum ItuaBackend {
+    /// Direct DES.
+    Des(ItuaDes),
+    /// Composed SAN.
+    San(ItuaSanRunner),
+}
+
+/// Scratch for [`ItuaBackend`]. The payloads are boxed: a scratch lives
+/// for a whole worker thread, so one allocation per worker is free, and
+/// boxing keeps the enum small.
+pub enum ItuaScratch {
+    /// Scratch for the DES backend.
+    Des(Box<DesScratch>),
+    /// Scratch for the SAN backend.
+    San(Box<SanScratch>),
+}
+
+impl ItuaBackend {
+    /// Builds the chosen encoding for `params`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BackendError`] for invalid parameters or model
+    /// construction failures.
+    pub fn for_params(kind: BackendKind, params: &Params) -> Result<Self, BackendError> {
+        match kind {
+            BackendKind::Des => ItuaDes::new(params.clone())
+                .map(ItuaBackend::Des)
+                .map_err(|e| BackendError::new(format!("invalid parameters: {e}"))),
+            BackendKind::San => ItuaSanRunner::new(params)
+                .map(ItuaBackend::San)
+                .map_err(|e| BackendError::new(format!("SAN build failed: {e}"))),
+        }
+    }
+
+    /// Which encoding this is.
+    pub fn kind(&self) -> BackendKind {
+        match self {
+            ItuaBackend::Des(_) => BackendKind::Des,
+            ItuaBackend::San(_) => BackendKind::San,
+        }
+    }
+}
+
+impl Backend for ItuaBackend {
+    type Scratch = ItuaScratch;
+
+    fn scratch(&self) -> ItuaScratch {
+        match self {
+            ItuaBackend::Des(b) => ItuaScratch::Des(Box::new(Backend::scratch(b))),
+            ItuaBackend::San(b) => ItuaScratch::San(Box::new(Backend::scratch(b))),
+        }
+    }
+
+    fn run(
+        &self,
+        seed: u64,
+        horizon: f64,
+        sample_times: &[f64],
+        scratch: &mut ItuaScratch,
+    ) -> Result<RunOutput, BackendError> {
+        match (self, scratch) {
+            (ItuaBackend::Des(b), ItuaScratch::Des(s)) => {
+                Backend::run(b, seed, horizon, sample_times, s)
+            }
+            (ItuaBackend::San(b), ItuaScratch::San(s)) => {
+                Backend::run(b, seed, horizon, sample_times, s)
+            }
+            _ => panic!("scratch kind does not match backend kind"),
+        }
+    }
+}
+
+/// Runs `replications` independent replications of `backend` and reduces
+/// them into a [`MeasureSet`] at the given confidence level.
+///
+/// Replication `i` is seeded with `stream_seed(origin_seed, i)`; outputs
+/// are recorded in replication order on the calling thread, so the result
+/// is bit-identical for every thread count and chunk size in `runner`.
+/// Each worker thread allocates one scratch and reuses it for all its
+/// replications.
+///
+/// # Errors
+///
+/// Returns the first (in replication order) [`BackendError`] any
+/// replication produced.
+///
+/// # Example
+///
+/// ```
+/// use itua_core::params::Params;
+/// use itua_runner::backend::{run_measures, BackendKind, ItuaBackend};
+/// use itua_runner::engine::RunnerConfig;
+/// use itua_runner::progress::NullProgress;
+///
+/// let params = Params::default().with_domains(4, 2).with_applications(2, 3);
+/// let backend = ItuaBackend::for_params(BackendKind::Des, &params).unwrap();
+/// let ms = run_measures(
+///     &backend,
+///     50,
+///     0.95,
+///     42,
+///     5.0,
+///     &[5.0],
+///     &RunnerConfig::default(),
+///     &NullProgress,
+/// )
+/// .unwrap();
+/// assert!(ms.mean(itua_core::measures::names::UNAVAILABILITY).is_some());
+/// ```
+#[allow(clippy::too_many_arguments)]
+pub fn run_measures<B: Backend>(
+    backend: &B,
+    replications: u32,
+    confidence: f64,
+    origin_seed: u64,
+    horizon: f64,
+    sample_times: &[f64],
+    runner: &RunnerConfig,
+    progress: &dyn Progress,
+) -> Result<MeasureSet, BackendError> {
+    let outputs = replicate_with_scratch(
+        replications,
+        runner,
+        progress,
+        || backend.scratch(),
+        |rep, scratch| {
+            backend.run(
+                stream_seed(origin_seed, rep as u64),
+                horizon,
+                sample_times,
+                scratch,
+            )
+        },
+    );
+    let mut measures = MeasureSet::new(confidence);
+    for out in outputs {
+        measures.record(&out?);
+    }
+    Ok(measures)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::progress::NullProgress;
+
+    fn small_params() -> Params {
+        Params::default().with_domains(4, 2).with_applications(2, 3)
+    }
+
+    #[test]
+    fn kind_parses_and_prints() {
+        assert_eq!(BackendKind::parse("des"), Some(BackendKind::Des));
+        assert_eq!(BackendKind::parse("SAN"), Some(BackendKind::San));
+        assert_eq!(BackendKind::parse("ctmc"), None);
+        assert_eq!(BackendKind::Des.to_string(), "des");
+        assert_eq!(BackendKind::San.to_string(), "san");
+        assert_eq!(BackendKind::default(), BackendKind::Des);
+    }
+
+    #[test]
+    fn des_measures_are_thread_count_invariant() {
+        let backend = ItuaBackend::for_params(BackendKind::Des, &small_params()).unwrap();
+        let reference = run_measures(
+            &backend,
+            64,
+            0.95,
+            7,
+            5.0,
+            &[5.0],
+            &RunnerConfig::serial(),
+            &NullProgress,
+        )
+        .unwrap();
+        for threads in [2, 4, 8] {
+            let got = run_measures(
+                &backend,
+                64,
+                0.95,
+                7,
+                5.0,
+                &[5.0],
+                &RunnerConfig::default().with_threads(threads),
+                &NullProgress,
+            )
+            .unwrap();
+            assert_eq!(got.estimates(), reference.estimates(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn san_measures_are_thread_count_invariant() {
+        let backend = ItuaBackend::for_params(BackendKind::San, &small_params()).unwrap();
+        let reference = run_measures(
+            &backend,
+            16,
+            0.95,
+            7,
+            3.0,
+            &[3.0],
+            &RunnerConfig::serial(),
+            &NullProgress,
+        )
+        .unwrap();
+        let got = run_measures(
+            &backend,
+            16,
+            0.95,
+            7,
+            3.0,
+            &[3.0],
+            &RunnerConfig::default().with_threads(4),
+            &NullProgress,
+        )
+        .unwrap();
+        assert_eq!(got.estimates(), reference.estimates());
+    }
+
+    #[test]
+    fn both_backends_estimate_the_same_measures() {
+        let params = small_params();
+        for kind in BackendKind::ALL {
+            let backend = ItuaBackend::for_params(kind, &params).unwrap();
+            assert_eq!(backend.kind(), kind);
+            let ms = run_measures(
+                &backend,
+                8,
+                0.95,
+                1,
+                2.0,
+                &[2.0],
+                &RunnerConfig::serial(),
+                &NullProgress,
+            )
+            .unwrap();
+            assert!(
+                ms.mean(itua_core::measures::names::UNAVAILABILITY)
+                    .is_some(),
+                "{kind}"
+            );
+        }
+    }
+
+    #[test]
+    fn invalid_params_surface_as_backend_error() {
+        let bad = Params::default().with_domains(0, 1);
+        for kind in BackendKind::ALL {
+            assert!(ItuaBackend::for_params(kind, &bad).is_err(), "{kind}");
+        }
+    }
+}

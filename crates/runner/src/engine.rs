@@ -88,6 +88,53 @@ where
     R: Send,
     F: Fn(u32) -> R + Sync,
 {
+    replicate_with_scratch(replications, config, progress, || (), |i, _scratch| f(i))
+}
+
+/// Like [`replicate`], but each worker thread owns a reusable scratch value
+/// created once by `init` and threaded through every replication that worker
+/// executes.
+///
+/// This is the allocation-amortising form: a simulation backend can build
+/// its event queue, state vectors, and sample buffers once per thread and
+/// reset them per replication instead of reallocating per replication. The
+/// determinism contract is unchanged — `f(i, scratch)` must produce a result
+/// that depends only on `i` (the scratch is an allocation cache, not a
+/// communication channel), and results are reassembled in chunk order, so
+/// the output is bit-identical for any thread count and chunk size.
+///
+/// # Example
+///
+/// ```
+/// use itua_runner::engine::{replicate_with_scratch, RunnerConfig};
+/// use itua_runner::progress::NullProgress;
+///
+/// // Scratch here is a reusable buffer; the result ignores its history.
+/// let sums = replicate_with_scratch(
+///     4,
+///     &RunnerConfig::default(),
+///     &NullProgress,
+///     Vec::new,
+///     |i, buf: &mut Vec<u32>| {
+///         buf.clear();
+///         buf.extend(0..=i);
+///         buf.iter().sum::<u32>()
+///     },
+/// );
+/// assert_eq!(sums, vec![0, 1, 3, 6]);
+/// ```
+pub fn replicate_with_scratch<R, S, I, F>(
+    replications: u32,
+    config: &RunnerConfig,
+    progress: &dyn Progress,
+    init: I,
+    f: F,
+) -> Vec<R>
+where
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(u32, &mut S) -> R + Sync,
+{
     if replications == 0 {
         return Vec::new();
     }
@@ -96,11 +143,12 @@ where
     let threads = config.effective_threads().min(num_chunks as usize).max(1);
 
     if threads == 1 {
+        let mut scratch = init();
         let mut out = Vec::with_capacity(replications as usize);
         for c in 0..num_chunks {
             let lo = c * chunk;
             let hi = (lo + chunk).min(replications);
-            out.extend((lo..hi).map(&f));
+            out.extend((lo..hi).map(|i| f(i, &mut scratch)));
             progress.on_replications(hi, replications);
         }
         return out;
@@ -112,6 +160,7 @@ where
         let handles: Vec<_> = (0..threads)
             .map(|_| {
                 scope.spawn(|| {
+                    let mut scratch = init();
                     let mut mine: Vec<(u32, Vec<R>)> = Vec::new();
                     loop {
                         let c = next_chunk.fetch_add(1, Ordering::Relaxed);
@@ -120,7 +169,7 @@ where
                         }
                         let lo = c * chunk;
                         let hi = (lo + chunk).min(replications);
-                        let results: Vec<R> = (lo..hi).map(&f).collect();
+                        let results: Vec<R> = (lo..hi).map(|i| f(i, &mut scratch)).collect();
                         let total_done = done.fetch_add(hi - lo, Ordering::Relaxed) + (hi - lo);
                         progress.on_replications(total_done, replications);
                         mine.push((c, results));
@@ -220,6 +269,50 @@ mod tests {
         };
         replicate(45, &cfg, &last, |i| i);
         assert_eq!(last.0.load(Ordering::Relaxed), 45);
+    }
+
+    #[test]
+    fn scratch_reuse_does_not_change_results() {
+        // A work function that abuses its scratch as a dirty buffer still
+        // yields thread-count-invariant results as long as it resets first.
+        let work = |i: u32, buf: &mut Vec<u64>| {
+            buf.clear();
+            buf.extend((0..4).map(|k| itua_sim::rng::stream_seed(i as u64, k)));
+            buf.iter().fold(0u64, |a, b| a.wrapping_add(*b))
+        };
+        let reference =
+            replicate_with_scratch(123, &RunnerConfig::serial(), &NullProgress, Vec::new, work);
+        for threads in [2, 4, 8] {
+            let cfg = RunnerConfig {
+                threads,
+                chunk_size: 7,
+            };
+            assert_eq!(
+                replicate_with_scratch(123, &cfg, &NullProgress, Vec::new, work),
+                reference,
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn scratch_is_created_once_per_worker() {
+        let inits = AtomicUsize::new(0);
+        let cfg = RunnerConfig {
+            threads: 3,
+            chunk_size: 4,
+        };
+        replicate_with_scratch(
+            60,
+            &cfg,
+            &NullProgress,
+            || {
+                inits.fetch_add(1, Ordering::Relaxed);
+            },
+            |i, _| i,
+        );
+        // One scratch per spawned worker, never one per replication.
+        assert_eq!(inits.load(Ordering::Relaxed), 3);
     }
 
     #[test]

@@ -1,20 +1,23 @@
-//! Parallel SAN experiments: the multi-threaded equivalent of
-//! [`itua_san::experiment::run_experiment`].
+//! Parallel SAN experiments: the replication loop for raw SANs plus
+//! reward variables.
 //!
-//! Reward variables hold per-run mutable state, so each replication gets a
-//! fresh set from a caller-supplied factory. The per-replication
+//! This replaced the sequential `itua_san::experiment::run_experiment`
+//! loop — a `threads = 1` [`RunnerConfig`] reproduces its results bit for
+//! bit, so there is exactly one execution path. Reward variables hold
+//! per-run mutable state, so each replication gets a fresh set from a
+//! caller-supplied factory, while the expensive simulator state (marking,
+//! event queue, schedule table) is allocated once per worker thread and
+//! reused via [`itua_san::simulator::SimScratch`]. The per-replication
 //! observations (a few named `f64`s) are shipped back to the reducing
 //! thread and recorded into one [`ReplicationEstimator`] in replication
-//! order — the same order the sequential loop uses — so the estimates are
-//! bit-identical to the sequential path for every thread count.
+//! order, so the estimates are bit-identical for every thread count.
 
-use crate::engine::{replicate, RunnerConfig};
+use crate::engine::{replicate_with_scratch, RunnerConfig};
 use crate::progress::Progress;
 use itua_san::experiment::ExperimentConfig;
 use itua_san::model::SanError;
 use itua_san::reward::{Observation, RewardVariable};
 use itua_san::simulator::{Observer, SanSimulator};
-use itua_sim::rng::stream_seed;
 use itua_stats::replication::{Estimate, ReplicationEstimator};
 
 /// Runs a replication experiment across worker threads.
@@ -22,10 +25,10 @@ use itua_stats::replication::{Estimate, ReplicationEstimator};
 /// `make_variables` builds a fresh set of reward variables for one
 /// replication; it is called once per replication, possibly concurrently
 /// from several threads. Replication `i` is seeded with
-/// `stream_seed(config.base_seed, i)` — exactly like the sequential
-/// [`itua_san::experiment::run_experiment`] — and estimates are reduced in
-/// replication order, so for any [`RunnerConfig`] (1, 2, 4, … threads)
-/// this returns **bit-identical** estimates to the sequential path.
+/// `stream_seed(config.base_seed, i)` (see [`ExperimentConfig::seed_for`])
+/// and estimates are reduced in replication order, so for any
+/// [`RunnerConfig`] (1, 2, 4, … threads) this returns **bit-identical**
+/// estimates.
 ///
 /// # Errors
 ///
@@ -38,7 +41,7 @@ use itua_stats::replication::{Estimate, ReplicationEstimator};
 /// use itua_runner::engine::RunnerConfig;
 /// use itua_runner::progress::NullProgress;
 /// use itua_runner::experiment::run_experiment_parallel;
-/// use itua_san::experiment::{run_experiment, ExperimentConfig};
+/// use itua_san::experiment::ExperimentConfig;
 /// use itua_san::model::SanBuilder;
 /// use itua_san::reward::{RewardVariable, TimeAveraged};
 /// use itua_san::simulator::SanSimulator;
@@ -52,12 +55,11 @@ use itua_stats::replication::{Estimate, ReplicationEstimator};
 /// let sim = SanSimulator::new(b.finish()?);
 /// let cfg = ExperimentConfig { horizon: 20.0, replications: 100, ..Default::default() };
 ///
-/// let parallel = run_experiment_parallel(&sim, cfg, &RunnerConfig::default(), &NullProgress,
-///     || vec![Box::new(TimeAveraged::new("unavail", move |m| m.get(down) as f64)) as Box<dyn RewardVariable>])?;
-///
-/// let mut seq_var = TimeAveraged::new("unavail", move |m| m.get(down) as f64);
-/// let sequential = run_experiment(&sim, cfg, &mut [&mut seq_var])?;
-/// assert_eq!(parallel, sequential); // bit-identical
+/// let make = || vec![Box::new(TimeAveraged::new("unavail", move |m| m.get(down) as f64))
+///     as Box<dyn RewardVariable>];
+/// let parallel = run_experiment_parallel(&sim, cfg, &RunnerConfig::default(), &NullProgress, make)?;
+/// let serial = run_experiment_parallel(&sim, cfg, &RunnerConfig::serial(), &NullProgress, make)?;
+/// assert_eq!(parallel, serial); // bit-identical for any thread count
 /// # Ok(())
 /// # }
 /// ```
@@ -71,22 +73,28 @@ pub fn run_experiment_parallel<F>(
 where
     F: Fn() -> Vec<Box<dyn RewardVariable>> + Sync,
 {
-    let per_rep: Vec<Result<Vec<Observation>, SanError>> =
-        replicate(config.replications, runner, progress, |rep| {
+    let per_rep: Vec<Result<Vec<Observation>, SanError>> = replicate_with_scratch(
+        config.replications,
+        runner,
+        progress,
+        || sim.scratch(),
+        |rep, scratch| {
             let mut variables = make_variables();
             {
                 let mut observers: Vec<&mut dyn Observer> = variables
                     .iter_mut()
                     .map(|v| v.as_mut() as &mut dyn Observer)
                     .collect();
-                sim.run(
-                    stream_seed(config.base_seed, rep as u64),
+                sim.run_with_scratch(
+                    config.seed_for(rep),
                     config.horizon,
                     &mut observers,
+                    scratch,
                 )?;
             }
             Ok(variables.iter().flat_map(|v| v.observations()).collect())
-        });
+        },
+    );
 
     let mut est = ReplicationEstimator::new(config.confidence);
     for observations in per_rep {
@@ -101,7 +109,6 @@ where
 mod tests {
     use super::*;
     use crate::progress::NullProgress;
-    use itua_san::experiment::run_experiment;
     use itua_san::model::SanBuilder;
     use itua_san::reward::{EverTrue, TimeAveraged};
 
@@ -123,7 +130,7 @@ mod tests {
     }
 
     #[test]
-    fn matches_sequential_bit_for_bit() {
+    fn thread_and_chunk_choices_are_bit_identical() {
         let sim = repairable();
         let down = sim.san().place_id("down").unwrap();
         let cfg = ExperimentConfig {
@@ -132,27 +139,54 @@ mod tests {
             base_seed: 77,
             confidence: 0.95,
         };
-        let mut v1 = TimeAveraged::new("unavail", move |m| m.get(down) as f64);
-        let mut v2 = EverTrue::new("ever_down", move |m| m.get(down) as f64);
-        let sequential = run_experiment(&sim, cfg, &mut [&mut v1, &mut v2]).unwrap();
+        let make = || {
+            vec![
+                Box::new(TimeAveraged::new("unavail", move |m| m.get(down) as f64))
+                    as Box<dyn RewardVariable>,
+                Box::new(EverTrue::new("ever_down", move |m| m.get(down) as f64)),
+            ]
+        };
+        let reference =
+            run_experiment_parallel(&sim, cfg, &RunnerConfig::serial(), &NullProgress, make)
+                .unwrap();
+        // Sanity: the estimates themselves are reasonable (steady ≈ 0.1).
+        let unavail = reference.iter().find(|e| e.name == "unavail").unwrap();
+        assert!((unavail.ci.mean - 0.1).abs() < 0.05, "{unavail:?}");
 
-        for threads in [1, 2, 4, 8] {
+        for threads in [2, 4, 8] {
             for chunk_size in [1, 7, 32] {
                 let rc = RunnerConfig {
                     threads,
                     chunk_size,
                 };
-                let parallel = run_experiment_parallel(&sim, cfg, &rc, &NullProgress, || {
-                    vec![
-                        Box::new(TimeAveraged::new("unavail", move |m| m.get(down) as f64))
-                            as Box<dyn RewardVariable>,
-                        Box::new(EverTrue::new("ever_down", move |m| m.get(down) as f64)),
-                    ]
-                })
-                .unwrap();
-                assert_eq!(parallel, sequential, "threads={threads} chunk={chunk_size}");
+                let parallel =
+                    run_experiment_parallel(&sim, cfg, &rc, &NullProgress, make).unwrap();
+                assert_eq!(parallel, reference, "threads={threads} chunk={chunk_size}");
             }
         }
+    }
+
+    #[test]
+    fn reproducible_for_same_seed() {
+        let sim = repairable();
+        let down = sim.san().place_id("down").unwrap();
+        let cfg = ExperimentConfig {
+            horizon: 10.0,
+            replications: 50,
+            base_seed: 3,
+            confidence: 0.9,
+        };
+        let make = || {
+            vec![
+                Box::new(TimeAveraged::new("u", move |m| m.get(down) as f64))
+                    as Box<dyn RewardVariable>,
+            ]
+        };
+        let a = run_experiment_parallel(&sim, cfg, &RunnerConfig::default(), &NullProgress, make)
+            .unwrap();
+        let b = run_experiment_parallel(&sim, cfg, &RunnerConfig::default(), &NullProgress, make)
+            .unwrap();
+        assert_eq!(a[0].ci.mean, b[0].ci.mean);
     }
 
     #[test]

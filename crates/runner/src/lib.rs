@@ -13,8 +13,13 @@
 //!   and results are reassembled in replication order before reduction, so
 //!   **estimates are bit-identical for every thread count** (including the
 //!   sequential path).
-//! * [`experiment`] — a parallel drop-in for
-//!   `itua_san::experiment::run_experiment`.
+//! * [`backend`] — the [`backend::Backend`] trait: one execution path for
+//!   both encodings of the ITUA process (direct DES and composed SAN),
+//!   with per-thread reusable scratch state.
+//! * [`experiment`] — the parallel replication loop for raw SANs plus
+//!   reward variables (the only experiment path; the old sequential
+//!   `itua_san::experiment::run_experiment` loop was retired in its
+//!   favor).
 //! * [`progress`] — observer interface plus a console implementation
 //!   reporting replications/second, ETA, and per-point estimates as they
 //!   land.
@@ -30,6 +35,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod engine;
 pub mod experiment;
 pub mod json;
@@ -37,7 +43,8 @@ pub mod progress;
 pub mod store;
 pub mod sweep;
 
-pub use engine::{replicate, RunnerConfig};
+pub use backend::{run_measures, Backend, BackendError, BackendKind, ItuaBackend, ItuaScratch};
+pub use engine::{replicate, replicate_with_scratch, RunnerConfig};
 pub use experiment::run_experiment_parallel;
 pub use progress::{ConsoleProgress, NullProgress, Progress};
 pub use store::{fingerprint, ResultStore, StoredEstimate, StoredPoint};

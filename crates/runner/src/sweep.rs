@@ -69,10 +69,12 @@ impl<'a> SweepRunner<'a> {
     ///
     /// # Errors
     ///
-    /// Propagates result-store write failures.
+    /// Propagates result-store write failures and simulation errors (the
+    /// sweep stops at the failing point; everything recorded so far stays
+    /// in the store, so a rerun resumes there).
     pub fn run<F>(&mut self, points: &[PointSpec], mut simulate: F) -> io::Result<Vec<StoredPoint>>
     where
-        F: FnMut(&PointSpec, usize) -> Vec<StoredEstimate>,
+        F: FnMut(&PointSpec, usize) -> io::Result<Vec<StoredEstimate>>,
     {
         let total = points.len();
         let mut out = Vec::with_capacity(total);
@@ -87,7 +89,7 @@ impl<'a> SweepRunner<'a> {
                 }
             }
             self.progress.on_point_start(i, total, &spec.label);
-            let estimates = simulate(spec, i);
+            let estimates = simulate(spec, i)?;
             let point = StoredPoint {
                 key: spec.key.clone(),
                 x: spec.x,
@@ -153,7 +155,7 @@ mod tests {
         let points = runner
             .run(&specs(), |spec, i| {
                 assert_eq!(spec, &specs()[i]);
-                vec![est(spec.x * 10.0)]
+                Ok(vec![est(spec.x * 10.0)])
             })
             .unwrap();
         assert_eq!(points.len(), 3);
@@ -172,7 +174,7 @@ mod tests {
         let first = runner
             .run(&specs(), |spec, _| {
                 calls += 1;
-                vec![est(spec.x)]
+                Ok(vec![est(spec.x)])
             })
             .unwrap();
         assert_eq!(calls, 3);
@@ -185,7 +187,7 @@ mod tests {
         let second = runner
             .run(&specs(), |spec, _| {
                 calls += 1;
-                vec![est(spec.x)]
+                Ok(vec![est(spec.x)])
             })
             .unwrap();
         assert_eq!(calls, 0, "completed points must not re-simulate");
@@ -206,7 +208,9 @@ mod tests {
         let store = ResultStore::open(&dir, "sweep", &fp).unwrap();
         let mut runner = SweepRunner::with_store(&NullProgress, store);
         let all = specs();
-        runner.run(&all[..1], |spec, _| vec![est(spec.x)]).unwrap();
+        runner
+            .run(&all[..1], |spec, _| Ok(vec![est(spec.x)]))
+            .unwrap();
 
         let store = ResultStore::open(&dir, "sweep", &fp).unwrap();
         let mut runner = SweepRunner::with_store(&NullProgress, store);
@@ -214,7 +218,7 @@ mod tests {
         let points = runner
             .run(&all, |spec, _| {
                 simulated.push(spec.key.clone());
-                vec![est(spec.x)]
+                Ok(vec![est(spec.x)])
             })
             .unwrap();
         assert_eq!(points.len(), 3);

@@ -1,11 +1,15 @@
-//! Replication-based experiments: run a SAN many times and estimate reward
-//! variables with confidence intervals, Möbius-study style.
+//! Replication-experiment configuration, Möbius-study style.
+//!
+//! The execution loop itself lives in the `itua-runner` crate
+//! (`itua_runner::run_experiment_parallel`), which runs replications
+//! across worker threads with a deterministic chunk-ordered reduction.
+//! The bespoke sequential loop that used to live here was retired in its
+//! favor — one code path now serves both the single-threaded and parallel
+//! cases (a `threads = 1` runner configuration reproduces the historical
+//! sequential results bit for bit). This module keeps the shared
+//! vocabulary: [`ExperimentConfig`].
 
-use crate::model::SanError;
-use crate::reward::RewardVariable;
-use crate::simulator::{Observer, SanSimulator};
 use itua_sim::rng::stream_seed;
-use itua_stats::replication::{Estimate, ReplicationEstimator};
 
 /// Configuration for a replication experiment.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -35,131 +39,32 @@ impl Default for ExperimentConfig {
     }
 }
 
-/// Runs `variables` over `config.replications` independent replications and
-/// returns the estimates (sorted by measure name).
-///
-/// # Errors
-///
-/// Propagates simulator errors ([`SanError::Unstabilized`]).
-///
-/// # Example
-///
-/// ```
-/// use itua_san::model::SanBuilder;
-/// use itua_san::simulator::SanSimulator;
-/// use itua_san::reward::TimeAveraged;
-/// use itua_san::experiment::{run_experiment, ExperimentConfig};
-///
-/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
-/// let mut b = SanBuilder::new("m");
-/// let up = b.place("up", 1);
-/// let down = b.place("down", 0);
-/// b.timed_activity("fail", 1.0).input_arc(up, 1).output_arc(down, 1).build()?;
-/// b.timed_activity("fix", 4.0).input_arc(down, 1).output_arc(up, 1).build()?;
-/// let sim = SanSimulator::new(b.finish()?);
-///
-/// let mut unavail = TimeAveraged::new("unavail", move |m| m.get(down) as f64);
-/// let cfg = ExperimentConfig { horizon: 20.0, replications: 200, ..Default::default() };
-/// let estimates = run_experiment(&sim, cfg, &mut [&mut unavail])?;
-/// assert_eq!(estimates.len(), 1);
-/// assert!((estimates[0].ci.mean - 0.2).abs() < 0.05); // steady ≈ 1/5
-/// # Ok(())
-/// # }
-/// ```
-pub fn run_experiment(
-    sim: &SanSimulator,
-    config: ExperimentConfig,
-    variables: &mut [&mut dyn RewardVariable],
-) -> Result<Vec<Estimate>, SanError> {
-    let mut est = ReplicationEstimator::new(config.confidence);
-    for rep in 0..config.replications {
-        for v in variables.iter_mut() {
-            v.reset();
-        }
-        {
-            // Observers borrow mutably for the duration of one run.
-            let mut obs: Vec<&mut dyn Observer> = Vec::with_capacity(variables.len());
-            for v in variables.iter_mut() {
-                obs.push(upcast(*v));
-            }
-            sim.run(
-                stream_seed(config.base_seed, rep as u64),
-                config.horizon,
-                &mut obs,
-            )?;
-        }
-        for v in variables.iter() {
-            for o in v.observations() {
-                est.record(&o.name, o.value);
-            }
-        }
+impl ExperimentConfig {
+    /// The seed replication `rep` runs with.
+    pub fn seed_for(&self, rep: u32) -> u64 {
+        stream_seed(self.base_seed, rep as u64)
     }
-    Ok(est.estimates())
-}
-
-fn upcast(v: &mut dyn RewardVariable) -> &mut dyn Observer {
-    v
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::model::SanBuilder;
-    use crate::reward::{EverTrue, TimeAveraged};
-
-    fn repairable() -> SanSimulator {
-        let mut b = SanBuilder::new("m");
-        let up = b.place("up", 1);
-        let down = b.place("down", 0);
-        b.timed_activity("fail", 1.0)
-            .input_arc(up, 1)
-            .output_arc(down, 1)
-            .build()
-            .unwrap();
-        b.timed_activity("fix", 9.0)
-            .input_arc(down, 1)
-            .output_arc(up, 1)
-            .build()
-            .unwrap();
-        SanSimulator::new(b.finish().unwrap())
-    }
 
     #[test]
-    fn estimates_multiple_measures() {
-        let sim = repairable();
-        let down = sim.san().place_id("down").unwrap();
-        let mut unavail = TimeAveraged::new("unavail", move |m| m.get(down) as f64);
-        let mut ever_down = EverTrue::new("ever_down", move |m| m.get(down) as f64);
-        let cfg = ExperimentConfig {
-            horizon: 50.0,
-            replications: 300,
-            base_seed: 10,
-            confidence: 0.95,
+    fn replication_seeds_are_distinct_streams() {
+        let cfg = ExperimentConfig::default();
+        let a = cfg.seed_for(0);
+        let b = cfg.seed_for(1);
+        assert_ne!(a, b);
+        // Nearby base seeds must not share replication seeds.
+        let other = ExperimentConfig {
+            base_seed: cfg.base_seed + 1,
+            ..cfg
         };
-        let estimates = run_experiment(&sim, cfg, &mut [&mut unavail, &mut ever_down]).unwrap();
-        assert_eq!(estimates.len(), 2);
-        let unavail_est = estimates.iter().find(|e| e.name == "unavail").unwrap();
-        // Long horizon → close to steady state 0.1.
-        assert!((unavail_est.ci.mean - 0.1).abs() < 0.02, "{unavail_est:?}");
-        let ever = estimates.iter().find(|e| e.name == "ever_down").unwrap();
-        // Over 50 time units failure is near-certain.
-        assert!(ever.ci.mean > 0.99);
-    }
-
-    #[test]
-    fn reproducible_for_same_seed() {
-        let sim = repairable();
-        let down = sim.san().place_id("down").unwrap();
-        let cfg = ExperimentConfig {
-            horizon: 10.0,
-            replications: 50,
-            base_seed: 3,
-            confidence: 0.9,
-        };
-        let mut v1 = TimeAveraged::new("u", move |m| m.get(down) as f64);
-        let a = run_experiment(&sim, cfg, &mut [&mut v1]).unwrap();
-        let mut v2 = TimeAveraged::new("u", move |m| m.get(down) as f64);
-        let b = run_experiment(&sim, cfg, &mut [&mut v2]).unwrap();
-        assert_eq!(a[0].ci.mean, b[0].ci.mean);
+        for i in 0..100 {
+            for j in 0..100 {
+                assert_ne!(cfg.seed_for(i), other.seed_for(j), "overlap at {i},{j}");
+            }
+        }
     }
 }

@@ -79,6 +79,20 @@ struct ActivityState {
     generation: u64,
 }
 
+/// Reusable per-thread simulation state for [`SanSimulator::run_with_scratch`].
+///
+/// Owns the marking, event queue, per-activity schedule table, and merged
+/// sample-time buffer, plus a cached copy of the initial marking, so a
+/// worker thread can run many replications without reallocating them.
+/// Every run fully resets the state; reuse never changes results.
+pub struct SimScratch {
+    initial: Marking,
+    marking: Marking,
+    queue: EventQueue<ScheduledEvent>,
+    states: Vec<ActivityState>,
+    sample_times: Vec<f64>,
+}
+
 impl SanSimulator {
     /// Creates a simulator for the given model.
     pub fn new(san: Arc<San>) -> Self {
@@ -90,7 +104,28 @@ impl SanSimulator {
         &self.san
     }
 
+    /// Creates a reusable scratch for [`SanSimulator::run_with_scratch`].
+    pub fn scratch(&self) -> SimScratch {
+        let initial = self.san.initial_marking();
+        SimScratch {
+            marking: initial.clone(),
+            initial,
+            queue: EventQueue::new(),
+            states: (0..self.san.num_activities())
+                .map(|_| ActivityState {
+                    key: None,
+                    generation: 0,
+                })
+                .collect(),
+            sample_times: Vec::new(),
+        }
+    }
+
     /// Runs one replication with the given seed until `horizon`.
+    ///
+    /// Equivalent to [`SanSimulator::run_with_scratch`] with a fresh
+    /// scratch; use that form to amortise state allocation across
+    /// replications.
     ///
     /// # Errors
     ///
@@ -106,17 +141,59 @@ impl SanSimulator {
         horizon: f64,
         observers: &mut [&mut dyn Observer],
     ) -> Result<RunStats, SanError> {
+        let mut scratch = self.scratch();
+        self.run_with_scratch(seed, horizon, observers, &mut scratch)
+    }
+
+    /// Runs one replication, reusing `scratch`'s allocations.
+    ///
+    /// The scratch is reset first, so the run is byte-identical to
+    /// [`SanSimulator::run`] with the same arguments, regardless of what
+    /// the scratch was previously used for.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SanError::Unstabilized`] if instantaneous activities
+    /// livelock.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `horizon` is negative or NaN, or if `scratch` was created
+    /// for a structurally different model.
+    pub fn run_with_scratch(
+        &self,
+        seed: u64,
+        horizon: f64,
+        observers: &mut [&mut dyn Observer],
+        scratch: &mut SimScratch,
+    ) -> Result<RunStats, SanError> {
         assert!(horizon >= 0.0 && !horizon.is_nan(), "bad horizon");
         let san = &*self.san;
+        assert!(
+            scratch.states.len() == san.num_activities()
+                && scratch.initial == san.initial_marking(),
+            "scratch does not match this model"
+        );
         let mut rng = Rng::seed_from_u64(seed);
-        let mut marking = san.initial_marking();
-        let mut queue: EventQueue<ScheduledEvent> = EventQueue::new();
-        let mut states: Vec<ActivityState> = (0..san.num_activities())
-            .map(|_| ActivityState {
-                key: None,
-                generation: 0,
-            })
-            .collect();
+
+        // Reset the scratch to the pristine time-zero state, keeping the
+        // backing allocations.
+        let SimScratch {
+            initial,
+            marking,
+            queue,
+            states,
+            sample_times,
+        } = scratch;
+        let marking = &mut *marking;
+        marking.clone_from(initial);
+        queue.clear();
+        for st in states.iter_mut() {
+            // Generations need not restart at zero: they only gate stale
+            // queue entries relative to each other, and the queue is empty.
+            st.key = None;
+        }
+
         let mut stats = RunStats {
             timed_firings: 0,
             instantaneous_firings: 0,
@@ -124,29 +201,31 @@ impl SanSimulator {
         };
 
         // Collect and merge requested sample times.
-        let mut sample_times: Vec<f64> = observers
-            .iter()
-            .flat_map(|o| o.sample_times())
-            .filter(|&t| t <= horizon)
-            .collect();
+        sample_times.clear();
+        sample_times.extend(
+            observers
+                .iter()
+                .flat_map(|o| o.sample_times())
+                .filter(|&t| t <= horizon),
+        );
         sample_times.sort_by(|a, b| a.partial_cmp(b).expect("sample times are not NaN"));
         sample_times.dedup();
         let mut next_sample = 0usize;
 
         // Initial stabilization.
         marking.clear_dirty();
-        self.stabilize(&mut marking, &mut rng, 0.0, observers, &mut stats, true)?;
+        self.stabilize(marking, &mut rng, 0.0, observers, &mut stats, true)?;
         marking.clear_dirty();
         for o in observers.iter_mut() {
-            o.on_init(0.0, &marking);
+            o.on_init(0.0, marking);
         }
         // Schedule every enabled timed activity.
         for (id, act) in san.activities() {
             if matches!(act.timing(), Timing::Instantaneous) {
                 continue;
             }
-            if act.enabled(&marking) {
-                Self::schedule(act, id, 0.0, &marking, &mut rng, &mut queue, &mut states);
+            if act.enabled(marking) {
+                Self::schedule(act, id, 0.0, marking, &mut rng, queue, states);
             }
         }
 
@@ -162,7 +241,7 @@ impl SanSimulator {
             while next_sample < sample_times.len() && sample_times[next_sample] <= cutoff {
                 let st = sample_times[next_sample];
                 for o in observers.iter_mut() {
-                    o.on_sample(st, &marking);
+                    o.on_sample(st, marking);
                 }
                 next_sample += 1;
             }
@@ -173,14 +252,14 @@ impl SanSimulator {
                     // observation interval still runs to the horizon.
                     stats.end_time = horizon;
                     for o in observers.iter_mut() {
-                        o.on_end(horizon, &marking);
+                        o.on_end(horizon, marking);
                     }
                     return Ok(stats);
                 }
                 Some(t) if t > horizon => {
                     stats.end_time = horizon;
                     for o in observers.iter_mut() {
-                        o.on_end(horizon, &marking);
+                        o.on_end(horizon, marking);
                     }
                     return Ok(stats);
                 }
@@ -198,15 +277,15 @@ impl SanSimulator {
 
             let act_id = ActivityId(ev.activity);
             let act = san.activity(act_id);
-            debug_assert!(act.enabled(&marking), "scheduled activity must be enabled");
+            debug_assert!(act.enabled(marking), "scheduled activity must be enabled");
 
             // Fire.
-            let case = Self::choose_case(act.case_weights(&marking), &mut rng);
-            act.fire(case, &mut marking);
+            let case = Self::choose_case(act.case_weights(marking), &mut rng);
+            act.fire(case, marking);
             stats.timed_firings += 1;
 
             // Zero-time stabilization of instantaneous activities.
-            self.stabilize(&mut marking, &mut rng, now, observers, &mut stats, false)?;
+            self.stabilize(marking, &mut rng, now, observers, &mut stats, false)?;
 
             // Incrementally update timed activities affected by the change.
             let dirty = marking.drain_dirty();
@@ -221,37 +300,29 @@ impl SanSimulator {
                 if matches!(act.timing(), Timing::Instantaneous) {
                     continue;
                 }
-                let enabled = act.enabled(&marking);
+                let enabled = act.enabled(marking);
                 let scheduled = states[id.index()].key.is_some();
                 match (enabled, scheduled) {
                     (true, false) => {
-                        Self::schedule(act, id, now, &marking, &mut rng, &mut queue, &mut states);
+                        Self::schedule(act, id, now, marking, &mut rng, queue, states);
                     }
                     (true, true) => {
                         // Resample exponentials (marking-dependent rates);
                         // keep general samples (enabling memory).
                         if matches!(act.timing(), Timing::Exponential(_)) {
-                            Self::cancel(id, &mut queue, &mut states);
-                            Self::schedule(
-                                act,
-                                id,
-                                now,
-                                &marking,
-                                &mut rng,
-                                &mut queue,
-                                &mut states,
-                            );
+                            Self::cancel(id, queue, states);
+                            Self::schedule(act, id, now, marking, &mut rng, queue, states);
                         }
                     }
                     (false, true) => {
-                        Self::cancel(id, &mut queue, &mut states);
+                        Self::cancel(id, queue, states);
                     }
                     (false, false) => {}
                 }
             }
 
             for o in observers.iter_mut() {
-                o.on_event(now, act_id, &marking);
+                o.on_event(now, act_id, marking);
             }
         }
     }
@@ -411,6 +482,35 @@ mod tests {
         assert_eq!(a, b);
         let c = sim.run(8, 50.0, &mut []).unwrap();
         assert_ne!(a.timed_firings, c.timed_firings);
+    }
+
+    #[test]
+    fn reused_scratch_matches_fresh_runs() {
+        let san = poisson_model(3.0);
+        let sim = SanSimulator::new(san);
+        let mut scratch = sim.scratch();
+        for seed in 0..30 {
+            let mut obs_reused = FiringCounter::default();
+            let reused = sim
+                .run_with_scratch(seed, 20.0, &mut [&mut obs_reused], &mut scratch)
+                .unwrap();
+            let mut obs_fresh = FiringCounter::default();
+            let fresh = sim.run(seed, 20.0, &mut [&mut obs_fresh]).unwrap();
+            assert_eq!(reused, fresh, "seed {seed}");
+            assert_eq!(obs_reused.counts, obs_fresh.counts, "seed {seed}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn scratch_from_other_model_is_rejected() {
+        let sim_a = SanSimulator::new(poisson_model(3.0));
+        let mut b = SanBuilder::new("other");
+        let p = b.place("p", 7);
+        b.timed_activity("t", 1.0).input_arc(p, 1).build().unwrap();
+        let sim_b = SanSimulator::new(b.finish().unwrap());
+        let mut scratch = sim_b.scratch();
+        let _ = sim_a.run_with_scratch(0, 1.0, &mut [], &mut scratch);
     }
 
     #[test]

@@ -58,6 +58,52 @@ proptest! {
         sim.run(seed, 100.0, &mut [&mut obs]).unwrap();
     }
 
+    /// A scratch reused across replications of random tandem models gives
+    /// exactly the trajectory a fresh simulator state would: same event
+    /// count, same final marking, for every seed in sequence.
+    #[test]
+    fn reused_scratch_matches_fresh_state(
+        stages in 2usize..6,
+        tokens in 1i32..5,
+        seeds in prop::collection::vec(any::<u64>(), 1..10),
+    ) {
+        let mut b = SanBuilder::new("tandem");
+        let places: Vec<_> = (0..stages)
+            .map(|i| b.place(format!("p{i}"), if i == 0 { tokens } else { 0 }))
+            .collect();
+        for i in 0..stages {
+            b.timed_activity(format!("mv{i}"), 1.0 + i as f64)
+                .input_arc(places[i], 1)
+                .output_arc(places[(i + 1) % stages], 1)
+                .build()
+                .unwrap();
+        }
+        let sim = SanSimulator::new(b.finish().unwrap());
+
+        #[derive(Default, PartialEq, Debug, Clone)]
+        struct Trace {
+            events: usize,
+            finals: Vec<i32>,
+        }
+        impl itua_san::simulator::Observer for Trace {
+            fn on_event(&mut self, _t: f64, _a: itua_san::model::ActivityId, _m: &Marking) {
+                self.events += 1;
+            }
+            fn on_end(&mut self, _t: f64, m: &Marking) {
+                self.finals = m.place_ids().map(|p| m.get(p)).collect();
+            }
+        }
+
+        let mut scratch = sim.scratch();
+        for seed in seeds {
+            let mut reused = Trace::default();
+            sim.run_with_scratch(seed, 20.0, &mut [&mut reused], &mut scratch).unwrap();
+            let mut fresh = Trace::default();
+            sim.run(seed, 20.0, &mut [&mut fresh]).unwrap();
+            prop_assert_eq!(&reused, &fresh, "seed {}", seed);
+        }
+    }
+
     /// Replicate counts produce exactly count × places/activities for a
     /// template with no shared state.
     #[test]

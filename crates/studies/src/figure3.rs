@@ -14,6 +14,7 @@ use crate::sweep::{
 };
 use itua_core::measures::names;
 use itua_core::params::Params;
+use std::io;
 
 /// Total hosts in the study.
 pub const TOTAL_HOSTS: usize = 12;
@@ -48,12 +49,12 @@ pub fn points() -> Vec<SweepPoint> {
 
 /// Runs the full study.
 pub fn run(cfg: &SweepConfig) -> FigureResult {
-    run_with(cfg, &RunOpts::default())
+    run_with(cfg, &RunOpts::default()).expect("default DES run with no store cannot fail")
 }
 
 /// Runs the full study with explicit execution options (threads,
 /// progress, resumable result store under sweep id `"figure3"`).
-pub fn run_with(cfg: &SweepConfig, opts: &RunOpts<'_>) -> FigureResult {
+pub fn run_with(cfg: &SweepConfig, opts: &RunOpts<'_>) -> io::Result<FigureResult> {
     let excluded_at_5 = format!("{}@{}", names::FRAC_DOMAINS_EXCLUDED, HORIZON);
     let measures = [
         names::UNAVAILABILITY,
@@ -61,14 +62,14 @@ pub fn run_with(cfg: &SweepConfig, opts: &RunOpts<'_>) -> FigureResult {
         names::FRAC_CORRUPT_AT_EXCLUSION,
         excluded_at_5.as_str(),
     ];
-    let all = run_sweep_stored("figure3", &points(), cfg, &measures, opts);
+    let all = run_sweep_stored("figure3", &points(), cfg, &measures, opts)?;
     let take = |measure: &str| -> Vec<Series> {
         all.iter()
             .filter(|s| s.measure == measure)
             .cloned()
             .collect()
     };
-    FigureResult {
+    Ok(FigureResult {
         id: "Figure 3".into(),
         title: "Variations in measures for different distributions of 12 hosts (first 5 hours)"
             .into(),
@@ -95,7 +96,7 @@ pub fn run_with(cfg: &SweepConfig, opts: &RunOpts<'_>) -> FigureResult {
                 series: take(&excluded_at_5),
             },
         ],
-    }
+    })
 }
 
 #[cfg(test)]

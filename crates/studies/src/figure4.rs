@@ -12,6 +12,7 @@ use crate::sweep::{
 };
 use itua_core::measures::names;
 use itua_core::params::Params;
+use std::io;
 
 /// Number of security domains.
 pub const NUM_DOMAINS: usize = 10;
@@ -57,12 +58,12 @@ pub fn points() -> Vec<SweepPoint> {
 
 /// Runs the full study.
 pub fn run(cfg: &SweepConfig) -> FigureResult {
-    run_with(cfg, &RunOpts::default())
+    run_with(cfg, &RunOpts::default()).expect("default DES run with no store cannot fail")
 }
 
 /// Runs the full study with explicit execution options (threads,
 /// progress, resumable result store under sweep id `"figure4"`).
-pub fn run_with(cfg: &SweepConfig, opts: &RunOpts<'_>) -> FigureResult {
+pub fn run_with(cfg: &SweepConfig, opts: &RunOpts<'_>) -> io::Result<FigureResult> {
     let excl5 = format!("{}@{}", names::FRAC_DOMAINS_EXCLUDED, HORIZONS[0]);
     let excl10 = format!("{}@{}", names::FRAC_DOMAINS_EXCLUDED, HORIZONS[1]);
     let measures = [
@@ -72,7 +73,7 @@ pub fn run_with(cfg: &SweepConfig, opts: &RunOpts<'_>) -> FigureResult {
         excl5.as_str(),
         excl10.as_str(),
     ];
-    let all = run_sweep_stored("figure4", &points(), cfg, &measures, opts);
+    let all = run_sweep_stored("figure4", &points(), cfg, &measures, opts)?;
 
     let take = |measure: &str, series_filter: &dyn Fn(&str) -> bool| -> Vec<Series> {
         all.iter()
@@ -94,7 +95,7 @@ pub fn run_with(cfg: &SweepConfig, opts: &RunOpts<'_>) -> FigureResult {
         };
     }
 
-    FigureResult {
+    Ok(FigureResult {
         id: "Figure 4".into(),
         title: "Variations in measures for different numbers of hosts in 10 domains".into(),
         x_label: "Number of hosts per domain".into(),
@@ -120,7 +121,7 @@ pub fn run_with(cfg: &SweepConfig, opts: &RunOpts<'_>) -> FigureResult {
                 series: excluded_series,
             },
         ],
-    }
+    })
 }
 
 #[cfg(test)]

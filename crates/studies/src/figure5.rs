@@ -17,6 +17,7 @@ use crate::sweep::{
 };
 use itua_core::measures::names;
 use itua_core::params::{ManagementScheme, Params};
+use std::io;
 
 /// Number of security domains.
 pub const NUM_DOMAINS: usize = 10;
@@ -69,14 +70,14 @@ pub fn points() -> Vec<SweepPoint> {
 
 /// Runs the full study.
 pub fn run(cfg: &SweepConfig) -> FigureResult {
-    run_with(cfg, &RunOpts::default())
+    run_with(cfg, &RunOpts::default()).expect("default DES run with no store cannot fail")
 }
 
 /// Runs the full study with explicit execution options (threads,
 /// progress, resumable result store under sweep id `"figure5"`).
-pub fn run_with(cfg: &SweepConfig, opts: &RunOpts<'_>) -> FigureResult {
+pub fn run_with(cfg: &SweepConfig, opts: &RunOpts<'_>) -> io::Result<FigureResult> {
     let measures = [names::UNAVAILABILITY, names::UNRELIABILITY];
-    let all = run_sweep_stored("figure5", &points(), cfg, &measures, opts);
+    let all = run_sweep_stored("figure5", &points(), cfg, &measures, opts)?;
     let take = |measure: &str, horizon_tag: &str| -> Vec<Series> {
         all.iter()
             .filter(|s| s.measure == measure && s.name.ends_with(horizon_tag))
@@ -87,7 +88,7 @@ pub fn run_with(cfg: &SweepConfig, opts: &RunOpts<'_>) -> FigureResult {
             })
             .collect()
     };
-    FigureResult {
+    Ok(FigureResult {
         id: "Figure 5".into(),
         title: "Unavailability and unreliability for different exclusion algorithms".into(),
         x_label: "Rate of attack spread".into(),
@@ -113,7 +114,7 @@ pub fn run_with(cfg: &SweepConfig, opts: &RunOpts<'_>) -> FigureResult {
                 series: take(names::UNRELIABILITY, "[0,10]"),
             },
         ],
-    }
+    })
 }
 
 #[cfg(test)]

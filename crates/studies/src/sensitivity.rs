@@ -21,6 +21,7 @@ use crate::sweep::{
 };
 use itua_core::measures::names;
 use itua_core::params::Params;
+use std::io;
 
 /// Baseline configuration of the study (the paper's §4 defaults).
 pub fn baseline() -> Params {
@@ -86,26 +87,26 @@ fn point(scale: f64, series: &str, params: Params) -> SweepPoint {
 
 /// Runs the sensitivity study.
 pub fn run(cfg: &SweepConfig) -> FigureResult {
-    run_with(cfg, &RunOpts::default())
+    run_with(cfg, &RunOpts::default()).expect("default DES run with no store cannot fail")
 }
 
 /// Runs the sensitivity study with explicit execution options (threads,
 /// progress, resumable result store under sweep id `"sensitivity"`).
-pub fn run_with(cfg: &SweepConfig, opts: &RunOpts<'_>) -> FigureResult {
+pub fn run_with(cfg: &SweepConfig, opts: &RunOpts<'_>) -> io::Result<FigureResult> {
     let all = run_sweep_stored(
         "sensitivity",
         &points(),
         cfg,
         &[names::UNAVAILABILITY, names::UNRELIABILITY],
         opts,
-    );
+    )?;
     let take = |measure: &str| -> Vec<Series> {
         all.iter()
             .filter(|s| s.measure == measure)
             .cloned()
             .collect()
     };
-    FigureResult {
+    Ok(FigureResult {
         id: "Sensitivity".into(),
         title: "One-at-a-time sensitivity of the §4 baseline (first 5 hours)".into(),
         x_label: "Parameter scale (×baseline)".into(),
@@ -121,7 +122,7 @@ pub fn run_with(cfg: &SweepConfig, opts: &RunOpts<'_>) -> FigureResult {
                 series: take(names::UNRELIABILITY),
             },
         ],
-    }
+    })
 }
 
 #[cfg(test)]

@@ -1,19 +1,23 @@
 //! Generic sweep machinery: run the ITUA model over a list of parameter
 //! points and aggregate measures with confidence intervals.
 //!
-//! Execution goes through [`itua_runner`]: points run their replications
-//! on the [`RunnerConfig`]'s worker threads (bit-identical results for
-//! every thread count), and [`run_sweep_stored`] adds progress reporting
-//! plus checkpoint/resume through a JSON result store.
+//! Execution goes through [`itua_runner`]: each point builds an
+//! [`ItuaBackend`] (DES or composed SAN — see [`RunOpts::backend`]) and
+//! hands it to [`itua_runner::run_measures`], which spreads the
+//! replications over the [`RunnerConfig`]'s worker threads with one
+//! reusable scratch state per thread (bit-identical results for every
+//! thread count). [`run_sweep_stored`] adds progress reporting plus
+//! checkpoint/resume through a JSON result store.
 
-use itua_core::des::ItuaDes;
 use itua_core::measures::MeasureSet;
 use itua_core::params::Params;
-use itua_runner::engine::{replicate, RunnerConfig};
+use itua_runner::backend::{run_measures, BackendError, BackendKind, ItuaBackend};
+use itua_runner::engine::RunnerConfig;
 use itua_runner::progress::{NullProgress, Progress};
 use itua_runner::store::{fingerprint, ResultStore, StoredEstimate, StoredPoint};
 use itua_runner::sweep::{PointSpec, SweepRunner};
 use itua_sim::rng::stream_seed;
+use std::io;
 use std::path::PathBuf;
 
 /// How much simulation to spend per sweep point.
@@ -101,8 +105,15 @@ pub struct Panel {
     pub series: Vec<Series>,
 }
 
-/// Execution options for a sweep: threading, progress, persistence.
+/// Execution options for a sweep: backend, threading, progress,
+/// persistence.
 pub struct RunOpts<'a> {
+    /// Which encoding of the ITUA process simulates each point: the
+    /// direct discrete-event simulator ([`BackendKind::Des`], the
+    /// default) or the composed stochastic activity network
+    /// ([`BackendKind::San`]). Both run through the same pipeline and
+    /// estimate the same measures.
+    pub backend: BackendKind,
     /// How to spread replications over worker threads. The default (auto
     /// thread count) produces exactly the same estimates as
     /// [`RunnerConfig::serial`].
@@ -110,14 +121,18 @@ pub struct RunOpts<'a> {
     /// Progress observer (e.g. [`itua_runner::ConsoleProgress`]).
     pub progress: &'a dyn Progress,
     /// Directory for the JSON result store. `Some(dir)` makes the sweep
-    /// resumable: completed points are loaded from `dir/<sweep_id>.json`
-    /// instead of re-simulated. `None` disables persistence.
+    /// resumable: completed points are loaded from
+    /// `dir/<store id>.json` instead of re-simulated (the store id is
+    /// `<sweep_id>` for the DES backend and `<sweep_id>-san` for the
+    /// SAN backend, so the two never clobber each other). `None`
+    /// disables persistence.
     pub results_dir: Option<PathBuf>,
 }
 
 impl Default for RunOpts<'static> {
     fn default() -> Self {
         RunOpts {
+            backend: BackendKind::Des,
             runner: RunnerConfig::default(),
             progress: &NullProgress,
             results_dir: None,
@@ -125,12 +140,42 @@ impl Default for RunOpts<'static> {
     }
 }
 
-/// Runs the model at one sweep point and returns the aggregated measures.
+/// Runs the chosen backend at one sweep point and returns the aggregated
+/// measures.
 ///
 /// Replication `i` uses `stream_seed(stream_seed(cfg.base_seed,
 /// point_index), i)`; replications are spread over the runner's threads
-/// and recorded in replication order, so the result does not depend on
-/// the thread count.
+/// (one reusable scratch state per thread) and recorded in replication
+/// order, so the result does not depend on the thread count.
+///
+/// # Errors
+///
+/// Fails when the backend cannot be built for the point's parameters or
+/// a replication errors (SAN simulation errors surface here; the DES
+/// cannot fail at run time).
+pub fn run_point_backend(
+    point: &SweepPoint,
+    cfg: &SweepConfig,
+    point_index: usize,
+    backend: BackendKind,
+    runner: &RunnerConfig,
+    progress: &dyn Progress,
+) -> Result<MeasureSet, BackendError> {
+    let backend = ItuaBackend::for_params(backend, &point.params)?;
+    run_measures(
+        &backend,
+        cfg.replications,
+        cfg.confidence,
+        stream_seed(cfg.base_seed, point_index as u64),
+        point.horizon,
+        &point.sample_times,
+        runner,
+        progress,
+    )
+}
+
+/// [`run_point_backend`] with the DES backend, which cannot fail for
+/// valid parameters.
 pub fn run_point_with(
     point: &SweepPoint,
     cfg: &SweepConfig,
@@ -138,20 +183,8 @@ pub fn run_point_with(
     runner: &RunnerConfig,
     progress: &dyn Progress,
 ) -> MeasureSet {
-    let des = ItuaDes::new(point.params.clone()).expect("sweep point parameters are valid");
-    let origin = stream_seed(cfg.base_seed, point_index as u64);
-    let outputs = replicate(cfg.replications, runner, progress, |rep| {
-        des.run(
-            stream_seed(origin, rep as u64),
-            point.horizon,
-            &point.sample_times,
-        )
-    });
-    let mut ms = MeasureSet::new(cfg.confidence);
-    for out in &outputs {
-        ms.record(out);
-    }
-    ms
+    run_point_backend(point, cfg, point_index, BackendKind::Des, runner, progress)
+        .expect("sweep point parameters are valid")
 }
 
 /// [`run_point_with`] on auto-configured threads, without progress output.
@@ -169,46 +202,88 @@ pub fn run_point(point: &SweepPoint, cfg: &SweepConfig, point_index: usize) -> M
 /// x-ordered estimates. `measures` lists the measure keys to extract.
 pub fn run_sweep(points: &[SweepPoint], cfg: &SweepConfig, measures: &[&str]) -> Vec<Series> {
     run_sweep_stored("adhoc", points, cfg, measures, &RunOpts::default())
+        .expect("storeless DES sweep cannot fail")
 }
 
 /// Like [`run_sweep`], but with explicit execution options and — when
 /// `opts.results_dir` is set — checkpoint/resume: after every point the
-/// store `<results_dir>/<sweep_id>.json` is rewritten, and a rerun with
+/// store `<results_dir>/<store id>.json` is rewritten, and a rerun with
 /// the same configuration restarts at the first incomplete point. A
-/// changed configuration (replications, seed, confidence, or any point)
-/// invalidates the store via its fingerprint.
+/// changed configuration (backend, replications, seed, confidence, or
+/// any point) invalidates the store via its fingerprint.
+///
+/// An unusable results directory is not fatal: the sweep warns on
+/// stderr and runs without checkpoint/resume.
+///
+/// # Errors
+///
+/// Propagates backend failures and result-store write errors from the
+/// runner layer; points completed before the failure stay in the store,
+/// so a rerun resumes after them.
 pub fn run_sweep_stored(
     sweep_id: &str,
     points: &[SweepPoint],
     cfg: &SweepConfig,
     measures: &[&str],
     opts: &RunOpts<'_>,
-) -> Vec<Series> {
+) -> io::Result<Vec<Series>> {
     let specs: Vec<PointSpec> = points
         .iter()
         .enumerate()
         .map(|(i, p)| PointSpec::new(i, &p.series, p.x))
         .collect();
-    let store = opts.results_dir.as_ref().map(|dir| {
-        ResultStore::open(dir, sweep_id, &sweep_fingerprint(points, cfg))
-            .expect("results directory is writable")
+    let store_id = store_id(sweep_id, opts.backend);
+    let store = opts.results_dir.as_ref().and_then(|dir| {
+        match ResultStore::open(
+            dir,
+            &store_id,
+            &sweep_fingerprint(points, cfg, opts.backend),
+        ) {
+            Ok(store) => Some(store),
+            Err(e) => {
+                eprintln!(
+                    "warning: result store {} in {} is unavailable ({e}); \
+                     running without checkpoint/resume",
+                    store_id,
+                    dir.display()
+                );
+                None
+            }
+        }
     });
     let mut runner = match store {
         Some(store) => SweepRunner::with_store(opts.progress, store),
         None => SweepRunner::new(opts.progress),
     };
-    let stored = runner
-        .run(&specs, |_, i| {
-            let ms = run_point_with(&points[i], cfg, i, &opts.runner, opts.progress);
-            ms.estimates().iter().map(StoredEstimate::from).collect()
-        })
-        .expect("result store write failed");
-    series_from(&stored, measures)
+    let stored = runner.run(&specs, |_, i| {
+        let ms = run_point_backend(
+            &points[i],
+            cfg,
+            i,
+            opts.backend,
+            &opts.runner,
+            opts.progress,
+        )
+        .map_err(io::Error::from)?;
+        Ok(ms.estimates().iter().map(StoredEstimate::from).collect())
+    })?;
+    Ok(series_from(&stored, measures))
+}
+
+/// The result-store id for a sweep run with a given backend: DES keeps
+/// the bare `sweep_id`, SAN gets a `-san` suffix, so the two backends
+/// checkpoint into separate files and never clobber each other.
+fn store_id(sweep_id: &str, backend: BackendKind) -> String {
+    match backend {
+        BackendKind::Des => sweep_id.to_owned(),
+        BackendKind::San => format!("{sweep_id}-san"),
+    }
 }
 
 /// Fingerprints a sweep configuration for store invalidation.
-fn sweep_fingerprint(points: &[SweepPoint], cfg: &SweepConfig) -> String {
+fn sweep_fingerprint(points: &[SweepPoint], cfg: &SweepConfig, backend: BackendKind) -> String {
     let mut parts: Vec<String> = vec![
+        format!("backend={backend}"),
         format!("reps={}", cfg.replications),
         format!("seed={}", cfg.base_seed),
         format!("conf={}", cfg.confidence),
@@ -348,9 +423,9 @@ mod tests {
         let points = vec![tiny_point(1.0, "a"), tiny_point(2.0, "a")];
         let measures = [names::UNAVAILABILITY];
 
-        let first = run_sweep_stored("t", &points, &cfg, &measures, &opts);
+        let first = run_sweep_stored("t", &points, &cfg, &measures, &opts).unwrap();
         // Resumed run reads both points back from the store.
-        let second = run_sweep_stored("t", &points, &cfg, &measures, &opts);
+        let second = run_sweep_stored("t", &points, &cfg, &measures, &opts).unwrap();
         assert_eq!(second, first);
         // And matches the storeless path bit for bit.
         assert_eq!(run_sweep(&points, &cfg, &measures), first);
@@ -360,9 +435,76 @@ mod tests {
             base_seed: cfg.base_seed + 1,
             ..cfg
         };
-        let third = run_sweep_stored("t", &points, &cfg2, &measures, &opts);
+        let third = run_sweep_stored("t", &points, &cfg2, &measures, &opts).unwrap();
         assert_ne!(third, first);
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn san_backend_runs_through_the_same_pipeline() {
+        let cfg = SweepConfig {
+            replications: 12,
+            ..Default::default()
+        };
+        let opts = RunOpts {
+            backend: BackendKind::San,
+            ..Default::default()
+        };
+        let points = vec![tiny_point(1.0, "a")];
+        let series = run_sweep_stored("t", &points, &cfg, &[names::UNAVAILABILITY], &opts).unwrap();
+        assert_eq!(series.len(), 1);
+        let (_, v) = series[0].points[0];
+        assert!((0.0..=1.0).contains(&v.mean));
+        // Same seeds, different encoding: the SAN result is a genuine
+        // second opinion, not a relabeled DES run.
+        let des = run_sweep(&points, &cfg, &[names::UNAVAILABILITY]);
+        assert_eq!(des.len(), 1);
+    }
+
+    #[test]
+    fn backends_checkpoint_into_separate_stores() {
+        let cfg = SweepConfig {
+            replications: 6,
+            ..Default::default()
+        };
+        let dir = std::env::temp_dir().join(format!(
+            "itua-studies-sweep-backends-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let points = vec![tiny_point(1.0, "a")];
+        for backend in [BackendKind::Des, BackendKind::San] {
+            let opts = RunOpts {
+                backend,
+                results_dir: Some(dir.clone()),
+                ..Default::default()
+            };
+            run_sweep_stored("fig", &points, &cfg, &[names::UNAVAILABILITY], &opts).unwrap();
+        }
+        assert!(dir.join("fig.json").is_file());
+        assert!(dir.join("fig-san.json").is_file());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn unusable_results_dir_degrades_to_storeless_run() {
+        let cfg = SweepConfig {
+            replications: 6,
+            ..Default::default()
+        };
+        // A file where the directory should be: the store cannot open.
+        let bogus =
+            std::env::temp_dir().join(format!("itua-studies-sweep-bogus-{}", std::process::id()));
+        std::fs::write(&bogus, b"not a directory").unwrap();
+        let opts = RunOpts {
+            results_dir: Some(bogus.clone()),
+            ..Default::default()
+        };
+        let points = vec![tiny_point(1.0, "a")];
+        let series = run_sweep_stored("t", &points, &cfg, &[names::UNAVAILABILITY], &opts).unwrap();
+        // The run completes and matches the storeless path exactly.
+        assert_eq!(run_sweep(&points, &cfg, &[names::UNAVAILABILITY]), series);
+        std::fs::remove_file(&bogus).unwrap();
     }
 
     #[test]

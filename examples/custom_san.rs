@@ -4,9 +4,10 @@
 //!
 //! Run with: `cargo run --release --example custom_san`
 
-use itua_repro::san::experiment::{run_experiment, ExperimentConfig};
+use itua_repro::runner::{run_experiment_parallel, NullProgress, RunnerConfig};
+use itua_repro::san::experiment::ExperimentConfig;
 use itua_repro::san::model::SanBuilder;
-use itua_repro::san::reward::TimeAveraged;
+use itua_repro::san::reward::{RewardVariable, TimeAveraged};
 use itua_repro::san::simulator::SanSimulator;
 use itua_repro::san::statespace::StateSpace;
 
@@ -31,24 +32,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .build()?;
     let san = b.finish()?;
 
-    // Simulation estimate of unavailability over [0, 1000].
+    // Simulation estimate of unavailability over [0, 1000], run through
+    // the unified parallel pipeline (bit-identical for any thread count).
     let sim = SanSimulator::new(san.clone());
-    let mut unavail = TimeAveraged::new(
-        "unavailability",
-        move |m| {
-            if m.get(up) < 2 {
-                1.0
-            } else {
-                0.0
-            }
-        },
-    );
     let cfg = ExperimentConfig {
         horizon: 1000.0,
         replications: 200,
         ..ExperimentConfig::default()
     };
-    let estimates = run_experiment(&sim, cfg, &mut [&mut unavail])?;
+    let estimates = run_experiment_parallel(
+        &sim,
+        cfg,
+        &RunnerConfig::default(),
+        &NullProgress,
+        move || {
+            vec![Box::new(TimeAveraged::new("unavailability", move |m| {
+                if m.get(up) < 2 {
+                    1.0
+                } else {
+                    0.0
+                }
+            })) as Box<dyn RewardVariable>]
+        },
+    )?;
     println!("simulation: {}", estimates[0].ci);
 
     // Exact steady-state solution via the CTMC path.

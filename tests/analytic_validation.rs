@@ -3,7 +3,8 @@
 //! simulation — and all three must agree.
 
 use itua_repro::markov::ctmc::Ctmc;
-use itua_repro::san::experiment::{run_experiment, ExperimentConfig};
+use itua_repro::runner::{run_experiment_parallel, NullProgress, RunnerConfig};
+use itua_repro::san::experiment::ExperimentConfig;
 use itua_repro::san::model::SanBuilder;
 use itua_repro::san::reward::{EverTrue, TimeAveraged};
 use itua_repro::san::simulator::SanSimulator;
@@ -115,16 +116,29 @@ fn mm1k_queue_three_ways() {
         "{mean_ctmc} vs {mean_closed}"
     );
 
-    // Long-run simulation with a time-averaged queue length.
+    // Long-run simulation with a time-averaged queue length, through the
+    // unified parallel pipeline.
     let sim = SanSimulator::new(san);
-    let mut rv = TimeAveraged::new("len", move |m| m.get(queue) as f64);
     let cfg = ExperimentConfig {
         horizon: 2_000.0,
         replications: 60,
         base_seed: 5,
         confidence: 0.99,
     };
-    let est = run_experiment(&sim, cfg, &mut [&mut rv]).unwrap();
+    let est = run_experiment_parallel(
+        &sim,
+        cfg,
+        &RunnerConfig::default(),
+        &NullProgress,
+        move || {
+            use itua_repro::san::reward::RewardVariable;
+            vec![
+                Box::new(TimeAveraged::new("len", move |m| m.get(queue) as f64))
+                    as Box<dyn RewardVariable>,
+            ]
+        },
+    )
+    .unwrap();
     assert!(
         (est[0].ci.mean - mean_closed).abs() < 0.02,
         "simulated mean {} vs closed {mean_closed}",

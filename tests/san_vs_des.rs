@@ -4,92 +4,84 @@
 //!
 //! This is the repository's strongest internal-consistency check: the two
 //! implementations share no model code (only the parameter set), so any
-//! semantic divergence shows up as a statistically significant gap.
+//! semantic divergence shows up as a statistically significant gap. Both
+//! encodings run through the unified backend pipeline
+//! ([`itua_repro::runner::run_measures`]), which spreads the replications
+//! over worker threads with per-thread scratch reuse — so this also
+//! exercises exactly the code path the figure binaries use with
+//! `--backend des` / `--backend san`.
+//!
+//! `frac_corrupt_hosts_at_exclusion` is deliberately not compared: the
+//! SAN's measure-only accumulator cannot attribute replica-only
+//! corruption to its host at exclusion time (see
+//! `itua_core::san_exec`), so that one measure is DES-only.
 
-use itua_repro::itua::des::ItuaDes;
+use itua_repro::itua::measures::names;
 use itua_repro::itua::params::{ManagementScheme, Params};
-use itua_repro::itua::san_model::{self, ItuaSanPlaces};
-use itua_repro::san::marking::Marking;
-use itua_repro::san::reward::{RewardVariable, TimeAveraged};
-use itua_repro::san::simulator::{Observer, SanSimulator};
-use itua_repro::stats::ci::ConfidenceInterval;
-use itua_repro::stats::online::OnlineStats;
+use itua_repro::runner::{run_measures, BackendKind, ItuaBackend, NullProgress, RunnerConfig};
+use itua_repro::stats::replication::Estimate;
 
-/// Sticky Byzantine flags per application, harvested after a run.
-struct ByzFlags {
-    places: ItuaSanPlaces,
-    hit: Vec<bool>,
+/// Runs one configuration through the unified pipeline on the given
+/// backend and returns the 99% estimates.
+fn estimates(
+    kind: BackendKind,
+    params: &Params,
+    horizon: f64,
+    reps: u32,
+    origin_seed: u64,
+) -> Vec<Estimate> {
+    let backend = ItuaBackend::for_params(kind, params).expect("valid params");
+    run_measures(
+        &backend,
+        reps,
+        0.99,
+        origin_seed,
+        horizon,
+        &[horizon],
+        &RunnerConfig::default(),
+        &NullProgress,
+    )
+    .expect("simulation succeeds")
+    .estimates()
 }
 
-impl Observer for ByzFlags {
-    fn on_init(&mut self, _t: f64, m: &Marking) {
-        for a in 0..self.hit.len() {
-            if self.places.byzantine(m, a) {
-                self.hit[a] = true;
-            }
-        }
-    }
-    fn on_event(&mut self, _t: f64, _a: itua_repro::san::model::ActivityId, m: &Marking) {
-        for a in 0..self.hit.len() {
-            if !self.hit[a] && self.places.byzantine(m, a) {
-                self.hit[a] = true;
-            }
-        }
-    }
-}
-
-/// Runs both encodings and returns
-/// `(san_unavail, des_unavail, san_unrel, des_unrel)` as per-replication
-/// observation sets.
-fn compare(params: Params, horizon: f64, reps: u64) -> [OnlineStats; 4] {
-    // SAN side.
-    let model = san_model::build(&params).expect("valid params");
-    let sim = SanSimulator::new(model.san.clone());
-    let mut san_unavail = OnlineStats::new();
-    let mut san_unrel = OnlineStats::new();
-    for seed in 0..reps {
-        let places = model.places.clone();
-        let mut unavail = TimeAveraged::new("unavail", move |m| places.improper_fraction(m));
-        let mut byz = ByzFlags {
-            places: model.places.clone(),
-            hit: vec![false; params.num_apps],
-        };
-        sim.run(seed, horizon, &mut [&mut unavail, &mut byz])
-            .expect("SAN run succeeds");
-        san_unavail.push(unavail.observations()[0].value);
-        let frac = byz.hit.iter().filter(|&&b| b).count() as f64 / params.num_apps as f64;
-        san_unrel.push(frac);
-    }
-
-    // DES side (offset seeds: the estimators must be independent).
-    let des = ItuaDes::new(params).expect("valid params");
-    let mut des_unavail = OnlineStats::new();
-    let mut des_unrel = OnlineStats::new();
-    for seed in 0..reps {
-        let out = des.run(1_000_000 + seed, horizon, &[]);
-        des_unavail.push(out.unavailability(horizon));
-        des_unrel.push(out.unreliability());
-    }
-    [san_unavail, des_unavail, san_unrel, des_unrel]
-}
-
-fn assert_agree(a: &OnlineStats, b: &OnlineStats, what: &str) {
-    // 99% intervals; they must overlap (a conservative two-sample check
-    // that keeps the false-failure rate of the suite low).
-    let ca = ConfidenceInterval::from_stats(a, 0.99).unwrap();
-    let cb = ConfidenceInterval::from_stats(b, 0.99).unwrap();
+/// Asserts the 99% intervals of the named measure overlap between the
+/// two backends (a conservative two-sample check that keeps the
+/// false-failure rate of the suite low).
+fn assert_agree(san: &[Estimate], des: &[Estimate], measure: &str) {
+    let find = |ests: &[Estimate], tag: &str| -> itua_repro::stats::ci::ConfidenceInterval {
+        ests.iter()
+            .find(|e| e.name == measure)
+            .unwrap_or_else(|| panic!("{tag} produced no estimate for {measure}"))
+            .ci
+    };
+    let cs = find(san, "SAN");
+    let cd = find(des, "DES");
     assert!(
-        ca.overlaps(&cb),
-        "{what}: SAN {ca} vs DES {cb} do not overlap"
+        cs.overlaps(&cd),
+        "{measure}: SAN {cs} vs DES {cd} do not overlap"
     );
+}
+
+/// Runs both backends (independent seed streams) and checks the shared
+/// measures agree.
+fn compare(params: Params, horizon: f64, reps: u32) {
+    let san = estimates(BackendKind::San, &params, horizon, reps, 1);
+    let des = estimates(BackendKind::Des, &params, horizon, reps, 2);
+    let excluded = format!("{}@{}", names::FRAC_DOMAINS_EXCLUDED, horizon);
+    for measure in [
+        names::UNAVAILABILITY,
+        names::UNRELIABILITY,
+        excluded.as_str(),
+    ] {
+        assert_agree(&san, &des, measure);
+    }
 }
 
 #[test]
 fn domain_exclusion_measures_agree() {
     let params = Params::default().with_domains(4, 2).with_applications(2, 3);
-    let [su, du, sr, dr] = compare(params, 5.0, 600);
-    assert_agree(&su, &du, "unavailability (domain scheme)");
-    assert_agree(&sr, &dr, "unreliability (domain scheme)");
+    compare(params, 5.0, 600);
 }
 
 #[test]
@@ -98,9 +90,12 @@ fn host_exclusion_measures_agree() {
         .with_domains(4, 2)
         .with_applications(2, 3)
         .with_scheme(ManagementScheme::HostExclusion);
-    let [su, du, sr, dr] = compare(params, 5.0, 600);
-    assert_agree(&su, &du, "unavailability (host scheme)");
-    assert_agree(&sr, &dr, "unreliability (host scheme)");
+    let san = estimates(BackendKind::San, &params, 5.0, 600, 1);
+    let des = estimates(BackendKind::Des, &params, 5.0, 600, 2);
+    // The host scheme never excludes whole domains, so only the
+    // service-level measures are meaningful.
+    assert_agree(&san, &des, names::UNAVAILABILITY);
+    assert_agree(&san, &des, names::UNRELIABILITY);
 }
 
 #[test]
@@ -110,36 +105,18 @@ fn high_spread_measures_agree() {
         .with_applications(2, 3)
         .with_host_corruption_multiplier(5.0)
         .with_spread_rate(10.0);
-    let [su, du, sr, dr] = compare(params, 5.0, 600);
-    assert_agree(&su, &du, "unavailability (spread 10)");
-    assert_agree(&sr, &dr, "unreliability (spread 10)");
+    compare(params, 5.0, 600);
 }
 
 #[test]
 fn excluded_domains_fraction_agrees() {
     let params = Params::default().with_domains(5, 2).with_applications(2, 3);
     let horizon = 5.0;
-
-    let model = san_model::build(&params).unwrap();
-    let sim = SanSimulator::new(model.san.clone());
-    struct Excl(itua_repro::san::marking::PlaceId, f64);
-    impl Observer for Excl {
-        fn on_end(&mut self, _t: f64, m: &Marking) {
-            self.1 = m.get(self.0) as f64;
-        }
-    }
-    let mut san_frac = OnlineStats::new();
-    for seed in 0..500 {
-        let mut obs = Excl(model.places.excluded_domains, 0.0);
-        sim.run(seed, horizon, &mut [&mut obs]).unwrap();
-        san_frac.push(obs.1 / params.num_domains as f64);
-    }
-
-    let des = ItuaDes::new(params.clone()).unwrap();
-    let mut des_frac = OnlineStats::new();
-    for seed in 0..500 {
-        let out = des.run(2_000_000 + seed, horizon, &[horizon]);
-        des_frac.push(out.snapshots[0].frac_domains_excluded);
-    }
-    assert_agree(&san_frac, &des_frac, "fraction of domains excluded");
+    let san = estimates(BackendKind::San, &params, horizon, 500, 1);
+    let des = estimates(BackendKind::Des, &params, horizon, 500, 2);
+    assert_agree(
+        &san,
+        &des,
+        &format!("{}@{}", names::FRAC_DOMAINS_EXCLUDED, horizon),
+    );
 }
