@@ -3,7 +3,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use itua_runner::backend::BackendKind;
+use itua_runner::backend::{BackendKind, BackendOptions};
 use itua_runner::engine::RunnerConfig;
 use itua_runner::progress::{ConsoleProgress, NullProgress, Progress};
 use itua_studies::sweep::{RunOpts, SweepConfig};
@@ -13,23 +13,29 @@ use std::path::PathBuf;
 ///
 /// Supported arguments:
 ///
-/// * `--backend des|san` — which encoding of the ITUA process to
-///   simulate: the direct discrete-event simulator (default) or the
-///   composed stochastic activity network; both run through the same
-///   parallel pipeline and estimate the same measures,
+/// * `--backend des|san|analytic` — which backend runs the study: the
+///   direct discrete-event simulator (default), the composed stochastic
+///   activity network, or the exact CTMC solver (small configurations
+///   only; figure binaries substitute their exact-solvable micro
+///   variant); all run through the same pipeline and report the same
+///   measure names,
 /// * `--reps N` — replications per sweep point (default 2000),
 /// * `--seed S` — base seed,
 /// * `--csv` — also print the figure as CSV,
 /// * `--threads N` — worker threads (default: one per core; results are
 ///   identical for every choice),
+/// * `--max-states N` — analytic backend only: bound on the tangible
+///   state space before a configuration is rejected (default 100000),
 /// * `--results DIR` — result-store directory (default `results/`),
 /// * `--no-resume` — disable the result store: re-simulate every point
 ///   and write no results file,
 /// * `--quiet` — suppress progress output on stderr.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FigureCli {
-    /// Which simulation backend runs the sweep.
+    /// Which backend runs the sweep.
     pub backend: BackendKind,
+    /// Backend construction options (`--max-states`).
+    pub backend_opts: BackendOptions,
     /// Sweep configuration assembled from the flags.
     pub cfg: SweepConfig,
     /// Whether to print CSV after the tables.
@@ -52,6 +58,7 @@ impl FigureCli {
     pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Self {
         let mut cli = FigureCli {
             backend: BackendKind::Des,
+            backend_opts: BackendOptions::default(),
             cfg: SweepConfig::default(),
             csv: false,
             threads: 0,
@@ -65,7 +72,7 @@ impl FigureCli {
                     cli.backend = it
                         .next()
                         .and_then(|v| BackendKind::parse(&v))
-                        .unwrap_or_else(|| panic!("--backend needs 'des' or 'san'"));
+                        .unwrap_or_else(|| panic!("--backend needs 'des', 'san', or 'analytic'"));
                 }
                 "--reps" => {
                     cli.cfg.replications = it
@@ -78,6 +85,13 @@ impl FigureCli {
                         .next()
                         .and_then(|v| v.parse().ok())
                         .unwrap_or_else(|| panic!("--seed needs an integer"));
+                }
+                "--max-states" => {
+                    cli.backend_opts.analytic_max_states = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&n| n > 0)
+                        .unwrap_or_else(|| panic!("--max-states needs a positive integer"));
                 }
                 "--csv" => cli.csv = true,
                 "--threads" => {
@@ -95,9 +109,9 @@ impl FigureCli {
                 "--no-resume" => cli.results_dir = None,
                 "--quiet" => cli.quiet = true,
                 other => panic!(
-                    "unknown argument '{other}' (try --backend des|san, --reps N, \
-                     --seed S, --csv, --threads N, --results DIR, --no-resume, \
-                     --quiet)"
+                    "unknown argument '{other}' (try --backend des|san|analytic, \
+                     --reps N, --seed S, --csv, --max-states N, --threads N, \
+                     --results DIR, --no-resume, --quiet)"
                 ),
             }
         }
@@ -118,6 +132,7 @@ impl FigureCli {
     pub fn opts<'a>(&self, progress: &'a dyn Progress) -> RunOpts<'a> {
         RunOpts {
             backend: self.backend,
+            backend_opts: self.backend_opts,
             runner: RunnerConfig::default().with_threads(self.threads),
             progress,
             results_dir: self.results_dir.clone(),
@@ -133,6 +148,7 @@ mod tests {
     fn parses_defaults() {
         let cli = FigureCli::parse(Vec::<String>::new());
         assert_eq!(cli.backend, BackendKind::Des);
+        assert_eq!(cli.backend_opts, BackendOptions::default());
         assert_eq!(cli.cfg.replications, 2000);
         assert!(!cli.csv);
         assert_eq!(cli.threads, 0);
@@ -167,6 +183,27 @@ mod tests {
         assert_eq!(cli.threads, 4);
         assert_eq!(cli.results_dir, Some(PathBuf::from("out")));
         assert!(cli.quiet);
+    }
+
+    #[test]
+    fn parses_analytic_backend_and_max_states() {
+        let cli = FigureCli::parse(
+            ["--backend", "analytic", "--max-states", "5000"]
+                .into_iter()
+                .map(String::from),
+        );
+        assert_eq!(cli.backend, BackendKind::Analytic);
+        assert_eq!(cli.backend_opts.analytic_max_states, 5000);
+        let progress = cli.progress();
+        let opts = cli.opts(progress.as_ref());
+        assert_eq!(opts.backend, BackendKind::Analytic);
+        assert_eq!(opts.backend_opts.analytic_max_states, 5000);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_zero_max_states() {
+        FigureCli::parse(["--max-states".to_owned(), "0".to_owned()]);
     }
 
     #[test]

@@ -1,0 +1,296 @@
+//! Exact (analytic) solution of the ITUA model for small configurations.
+//!
+//! Möbius can solve SANs "analytically by converting them into equivalent
+//! continuous time Markov chains"; this module is that path for the ITUA
+//! model. The composed SAN of [`crate::san_model`] is flattened into its
+//! tangible state space once, and every measure the simulators estimate by
+//! replication is computed exactly by uniformized transient analysis:
+//!
+//! * **unavailability** — `E[∫₀ᵀ improper_fraction ds] / T` via
+//!   [`Ctmc::expected_accumulated_reward`] over the improper-service
+//!   fraction reward;
+//! * **unreliability** — mean over applications of `P[app ever Byzantine
+//!   by T]`, via one *byzantine-absorbed* chain per application (outgoing
+//!   transitions of Byzantine states dropped, so the transient mass on
+//!   them is the first-passage probability — the analytic counterpart of
+//!   the simulators' sticky flag). Byzantine-ness is evaluated on tangible
+//!   markings; the zero-time exclusion cascades of the model only remove
+//!   replicas (never clear corruption) and recovery is a timed activity,
+//!   so a fault visible mid-cascade is still visible in the tangible
+//!   marking the cascade settles into.
+//! * **instant-of-time measures** (`frac_domains_excluded@t`,
+//!   `replicas_running@t`, `load_per_host@t`) — reward expectations under
+//!   the transient distributions at the sample times, all solved from a
+//!   single uniformization pass ([`Ctmc::transient_multi`]).
+//!
+//! The event-conditioned measures (`frac_corrupt_hosts_at_exclusion`,
+//! `time_to_first_*`) are deliberately *not* produced: they condition on
+//! event occurrences inside a replication and have no marking-level reward
+//! formulation on this chain (see DESIGN.md §8).
+//!
+//! Results flow into the ordinary [`MeasureSet`] as zero-variance
+//! estimates (`value ± 0`), so everything downstream — stores,
+//! fingerprints, figure plotting — treats the analytic backend like a
+//! simulator whose every replication agrees.
+
+use crate::measures::{names, MeasureSet};
+use crate::params::Params;
+use crate::san_model::{self, BuildError};
+use itua_markov::ctmc::{Ctmc, CtmcError};
+use itua_san::model::SanError;
+use itua_san::statespace::StateSpace;
+use std::fmt;
+
+/// Truncation accuracy for every uniformization solve. Far below the
+/// resolution of any plotted figure, far above f64 round-off.
+const EPSILON: f64 = 1e-10;
+
+/// Error from building or solving the analytic model.
+#[derive(Debug)]
+pub enum AnalyticError {
+    /// The tangible state space exceeds the configured bound; the
+    /// configuration needs a simulation backend.
+    TooLarge {
+        /// The bound that was exceeded.
+        max_states: usize,
+        /// Human-readable description of the offending configuration.
+        config: String,
+    },
+    /// The SAN could not be built from the parameters.
+    Build(BuildError),
+    /// State-space generation failed for a reason other than size.
+    San(SanError),
+    /// CTMC construction or solving failed.
+    Ctmc(CtmcError),
+}
+
+impl fmt::Display for AnalyticError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalyticError::TooLarge { max_states, config } => write!(
+                f,
+                "analytic backend supports ≤{max_states} states; got config {config} — use des/san"
+            ),
+            AnalyticError::Build(e) => write!(f, "cannot build ITUA SAN: {e}"),
+            AnalyticError::San(e) => write!(f, "state-space generation failed: {e}"),
+            AnalyticError::Ctmc(e) => write!(f, "CTMC solve failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AnalyticError {}
+
+fn describe(params: &Params) -> String {
+    format!(
+        "{} domains × {} hosts/domain, {} apps × {} replicas",
+        params.num_domains, params.hosts_per_domain, params.num_apps, params.reps_per_app
+    )
+}
+
+/// The ITUA model solved exactly: tangible state space, reward vectors,
+/// and per-application absorbing chains, built once per configuration and
+/// reusable across horizons and sample-time sets.
+#[derive(Debug, Clone)]
+pub struct ItuaAnalytic {
+    num_states: usize,
+    initial: Vec<f64>,
+    ctmc: Ctmc,
+    /// Fraction of applications with improper service, per state.
+    improper_frac: Vec<f64>,
+    /// Fraction of domains excluded, per state.
+    frac_domains_excluded: Vec<f64>,
+    /// Mean running replicas per application, per state.
+    mean_replicas_running: Vec<f64>,
+    /// Replicas per active host (0 when no host is active), per state.
+    load_per_host: Vec<f64>,
+    /// Per application: the chain with that application's Byzantine states
+    /// made absorbing, plus the absorbing flags.
+    byz: Vec<(Ctmc, Vec<bool>)>,
+}
+
+impl ItuaAnalytic {
+    /// Default bound on the tangible state space. Two-domain, two-host
+    /// configurations sit in the low thousands of states; figure-4-scale
+    /// configurations blow through this bound within seconds of generation
+    /// and fail fast.
+    pub const DEFAULT_MAX_STATES: usize = 100_000;
+
+    /// Builds the state space and reward structure for `params`.
+    ///
+    /// # Errors
+    ///
+    /// [`AnalyticError::TooLarge`] if more than `max_states` tangible
+    /// markings are reachable; [`AnalyticError::Build`] /
+    /// [`AnalyticError::San`] / [`AnalyticError::Ctmc`] for construction
+    /// failures.
+    pub fn new(params: &Params, max_states: usize) -> Result<Self, AnalyticError> {
+        let model = san_model::build(params).map_err(AnalyticError::Build)?;
+        let ss = StateSpace::generate(&model.san, max_states).map_err(|e| match e {
+            SanError::StateSpaceTooLarge(max) => AnalyticError::TooLarge {
+                max_states: max,
+                config: describe(params),
+            },
+            other => AnalyticError::San(other),
+        })?;
+
+        let places = &model.places;
+        let num_domains = params.num_domains as f64;
+        let num_apps = params.num_apps as f64;
+        let improper_frac = ss.reward_vector(|m| places.improper_fraction(m));
+        let frac_domains_excluded =
+            ss.reward_vector(|m| m.get(places.excluded_domains) as f64 / num_domains);
+        let mean_replicas_running = ss.reward_vector(|m| {
+            places.running.iter().map(|&p| m.get(p)).sum::<i32>() as f64 / num_apps
+        });
+        let load_per_host = ss.reward_vector(|m| {
+            let running: i32 = places.running.iter().map(|&p| m.get(p)).sum();
+            let alive: i32 = places.domain_active_hosts.iter().map(|&p| m.get(p)).sum();
+            if alive == 0 {
+                0.0
+            } else {
+                running as f64 / alive as f64
+            }
+        });
+        let byz = (0..params.num_apps)
+            .map(|a| ss.absorbing_ctmc(|m| places.byzantine(m, a)))
+            .collect::<Result<Vec<_>, _>>()
+            .map_err(AnalyticError::Ctmc)?;
+        let ctmc = ss.to_ctmc().map_err(AnalyticError::Ctmc)?;
+        Ok(ItuaAnalytic {
+            num_states: ss.num_states(),
+            initial: ss.initial_distribution(),
+            ctmc,
+            improper_frac,
+            frac_domains_excluded,
+            mean_replicas_running,
+            load_per_host,
+            byz,
+        })
+    }
+
+    /// Number of tangible states in the composed model.
+    pub fn num_states(&self) -> usize {
+        self.num_states
+    }
+
+    /// Solves every analytically expressible measure over `[0, horizon]`
+    /// and returns them as zero-variance estimates.
+    ///
+    /// Sample times get the same clamp/filter/sort/dedup normalization the
+    /// simulators apply, so the `@t` measure names line up exactly.
+    ///
+    /// # Errors
+    ///
+    /// Propagates CTMC solver failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `horizon` is finite and positive.
+    pub fn solve(
+        &self,
+        horizon: f64,
+        sample_times: &[f64],
+        confidence: f64,
+    ) -> Result<MeasureSet, AnalyticError> {
+        assert!(
+            horizon > 0.0 && horizon.is_finite(),
+            "horizon must be finite positive"
+        );
+        let mut ms = MeasureSet::new(confidence);
+
+        let improper_time = self
+            .ctmc
+            .expected_accumulated_reward(&self.initial, &self.improper_frac, horizon, EPSILON)
+            .map_err(AnalyticError::Ctmc)?;
+        ms.record_exact(names::UNAVAILABILITY, improper_time / horizon);
+
+        let mut byz_total = 0.0;
+        for (chain, flags) in &self.byz {
+            let p = chain
+                .transient(&self.initial, horizon, EPSILON)
+                .map_err(AnalyticError::Ctmc)?;
+            byz_total += flags
+                .iter()
+                .zip(&p)
+                .filter(|&(&absorbed, _)| absorbed)
+                .map(|(_, &pi)| pi)
+                .sum::<f64>();
+        }
+        ms.record_exact(names::UNRELIABILITY, byz_total / self.byz.len() as f64);
+
+        let mut samples: Vec<f64> = sample_times
+            .iter()
+            .map(|&t| t.min(horizon))
+            .filter(|&t| t > 0.0)
+            .collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaN sample times"));
+        samples.dedup();
+        let dists = self
+            .ctmc
+            .transient_multi(&self.initial, &samples, EPSILON)
+            .map_err(AnalyticError::Ctmc)?;
+        for (&t, dist) in samples.iter().zip(&dists) {
+            let dot = |r: &[f64]| r.iter().zip(dist).map(|(ri, pi)| ri * pi).sum::<f64>();
+            ms.record_exact(
+                &format!("{}@{}", names::FRAC_DOMAINS_EXCLUDED, t),
+                dot(&self.frac_domains_excluded),
+            );
+            ms.record_exact(
+                &format!("{}@{}", names::REPLICAS_RUNNING, t),
+                dot(&self.mean_replicas_running),
+            );
+            ms.record_exact(
+                &format!("{}@{}", names::LOAD_PER_HOST, t),
+                dot(&self.load_per_host),
+            );
+        }
+        Ok(ms)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Smallest interesting configuration with attack spread disabled —
+    /// the state space stays in the low thousands, tractable even in
+    /// debug builds.
+    fn micro_params() -> Params {
+        let mut p = Params::default().with_domains(1, 2).with_applications(1, 2);
+        p.spread_rate_domain = 0.0;
+        p.spread_rate_system = 0.0;
+        p
+    }
+
+    #[test]
+    fn solves_all_shared_measures_exactly() {
+        let analytic = ItuaAnalytic::new(&micro_params(), 100_000).unwrap();
+        assert!(analytic.num_states() > 1);
+        let ms = analytic.solve(5.0, &[2.5, 5.0, 5.0, 7.0], 0.95).unwrap();
+        let estimates = ms.estimates();
+        // 2 interval measures + 3 instants × 2 distinct sample times
+        // (7.0 clamps onto 5.0); no conditional measures.
+        assert_eq!(estimates.len(), 8);
+        for e in &estimates {
+            assert_eq!(e.ci.half_width, 0.0, "{} is not exact", e.name);
+            assert_eq!(e.min, e.max);
+            assert!(e.ci.mean.is_finite());
+        }
+        let mean = |name: &str| ms.mean(name).unwrap();
+        assert!((0.0..=1.0).contains(&mean(names::UNAVAILABILITY)));
+        assert!((0.0..=1.0).contains(&mean(names::UNRELIABILITY)));
+        assert!(mean(&format!("{}@5", names::REPLICAS_RUNNING)) >= 0.0);
+        assert!(ms.mean(names::FRAC_CORRUPT_AT_EXCLUSION).is_none());
+        assert!(ms.mean(names::TIME_TO_FIRST_BYZANTINE).is_none());
+    }
+
+    #[test]
+    fn too_large_error_names_the_config() {
+        let params = Params::default().with_domains(4, 3).with_applications(4, 7);
+        let err = ItuaAnalytic::new(&params, 500).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("≤500 states"), "{msg}");
+        assert!(msg.contains("4 domains × 3 hosts/domain"), "{msg}");
+        assert!(msg.contains("use des/san"), "{msg}");
+    }
+}

@@ -50,12 +50,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod analytic;
 pub mod des;
 pub mod measures;
 pub mod params;
 pub mod san_exec;
 pub mod san_model;
 
+pub use analytic::ItuaAnalytic;
 pub use des::ItuaDes;
 pub use params::{ManagementScheme, Params};
 pub use san_exec::ItuaSanRunner;

@@ -180,6 +180,13 @@ impl MeasureSet {
         }
     }
 
+    /// Records an exact (zero-variance) value for one named measure, as
+    /// produced by the analytic backend: the estimate comes out as
+    /// `value ± 0` (see [`ReplicationEstimator::record_exact`]).
+    pub fn record_exact(&mut self, name: &str, value: f64) {
+        self.est.record_exact(name, value);
+    }
+
     /// Point estimate for a measure (mean over replications), if at least
     /// two observations exist.
     pub fn mean(&self, name: &str) -> Option<f64> {
@@ -265,6 +272,20 @@ mod tests {
         );
         let all = ms.estimates();
         assert_eq!(all.len(), 8);
+    }
+
+    #[test]
+    fn record_exact_gives_degenerate_estimate() {
+        let mut ms = MeasureSet::new(0.95);
+        ms.record_exact(names::UNAVAILABILITY, 0.0625);
+        let e = ms
+            .estimates()
+            .into_iter()
+            .find(|e| e.name == names::UNAVAILABILITY)
+            .unwrap();
+        assert_eq!(e.ci.mean, 0.0625);
+        assert_eq!(e.ci.half_width, 0.0);
+        assert_eq!(e.min, e.max);
     }
 
     #[test]

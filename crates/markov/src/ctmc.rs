@@ -172,25 +172,66 @@ impl Ctmc {
     /// Returns [`CtmcError::BadInitialDistribution`] if `initial` does not
     /// sum to ~1 or has the wrong length.
     pub fn transient(&self, initial: &[f64], t: f64, epsilon: f64) -> Result<Vec<f64>, CtmcError> {
+        let mut multi = self.transient_multi(initial, &[t], epsilon)?;
+        Ok(multi
+            .pop()
+            .expect("one time point in, one distribution out"))
+    }
+
+    /// Transient state distributions at several time points from one
+    /// uniformization: the DTMC iterates `xᵏ = π₀ Pᵏ` are walked once up to
+    /// the largest right-truncation point, and each requested time
+    /// accumulates its own Poisson-weighted window along the way.
+    ///
+    /// Equivalent to calling [`Ctmc::transient`] per time (bit-identical
+    /// results — the same floating-point operations run in the same order),
+    /// but the dominant cost (the vector–matrix products) is paid once
+    /// instead of once per time point.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Ctmc::transient`].
+    pub fn transient_multi(
+        &self,
+        initial: &[f64],
+        times: &[f64],
+        epsilon: f64,
+    ) -> Result<Vec<Vec<f64>>, CtmcError> {
         self.check_initial(initial)?;
-        assert!(t >= 0.0 && t.is_finite(), "time must be finite nonnegative");
-        if t == 0.0 {
-            return Ok(initial.to_vec());
+        for &t in times {
+            assert!(t >= 0.0 && t.is_finite(), "time must be finite nonnegative");
         }
         let lambda = self.uniformization_rate();
-        let weights = PoissonWeights::new(lambda * t, epsilon);
-
-        let mut acc = vec![0.0; self.n];
+        let weights: Vec<Option<PoissonWeights>> = times
+            .iter()
+            .map(|&t| (t > 0.0).then(|| PoissonWeights::new(lambda * t, epsilon)))
+            .collect();
+        let right_max = weights.iter().flatten().map(|w| w.right).max();
+        let mut acc: Vec<Vec<f64>> = times
+            .iter()
+            .map(|&t| {
+                if t == 0.0 {
+                    initial.to_vec()
+                } else {
+                    vec![0.0; self.n]
+                }
+            })
+            .collect();
+        let Some(right_max) = right_max else {
+            return Ok(acc); // every requested time is 0
+        };
         let mut x = initial.to_vec();
-        // Advance to the left truncation point.
-        for _ in 0..weights.left {
-            x = self.uniformized_step(&x, lambda);
-        }
-        for (i, &w) in weights.weights.iter().enumerate() {
-            for s in 0..self.n {
-                acc[s] += w * x[s];
+        for k in 0..=right_max {
+            for (i, w) in weights.iter().enumerate() {
+                let Some(w) = w else { continue };
+                if k >= w.left && k <= w.right {
+                    let wk = w.weights[k - w.left];
+                    for s in 0..self.n {
+                        acc[i][s] += wk * x[s];
+                    }
+                }
             }
-            if weights.left + i < weights.right {
+            if k < right_max {
                 x = self.uniformized_step(&x, lambda);
             }
         }
@@ -553,6 +594,55 @@ mod tests {
             let expected = 1.0 - (-2.0f64 * t).exp();
             assert!((p - expected).abs() < 1e-9, "t = {t}");
         }
+    }
+
+    #[test]
+    fn erlang_absorption_closed_form() {
+        // k exponential stages of rate λ in series: absorption time is
+        // Erlang(k, λ), so P[absorbed by t] = 1 − e^{−λt} Σ_{i<k} (λt)^i/i!
+        // and the mean time to absorption is k/λ.
+        let (k, lambda) = (4usize, 2.5f64);
+        let rates: Vec<(usize, usize, f64)> = (0..k).map(|i| (i, i + 1, lambda)).collect();
+        let ctmc = Ctmc::from_rates(k + 1, &rates).unwrap();
+        let mut init = vec![0.0; k + 1];
+        init[0] = 1.0;
+        for &t in &[0.2, 0.8, 1.5, 4.0] {
+            let p = ctmc.absorption_by(&init, t, 1e-13).unwrap();
+            let partial: f64 = (0..k)
+                .map(|i| (lambda * t).powi(i as i32) / (1..=i).product::<usize>() as f64)
+                .sum();
+            let closed = 1.0 - (-lambda * t).exp() * partial;
+            assert!((p - closed).abs() < 1e-9, "t = {t}: {p} vs {closed}");
+        }
+        let mtta = ctmc.mean_time_to_absorption(&init, 1e-13, 100_000).unwrap();
+        assert!((mtta - k as f64 / lambda).abs() < 1e-9, "{mtta}");
+    }
+
+    #[test]
+    fn transient_multi_matches_closed_form_and_single_time() {
+        // Two-state availability at several times from one uniformization:
+        // values must hit the closed form AND be bitwise identical to the
+        // per-time transient() results.
+        let (l, m) = (1.0, 3.0);
+        let ctmc = two_state(l, m);
+        let times = [0.0, 0.1, 0.5, 1.0, 5.0];
+        let multi = ctmc.transient_multi(&[1.0, 0.0], &times, 1e-13).unwrap();
+        assert_eq!(multi.len(), times.len());
+        for (&t, dist) in times.iter().zip(&multi) {
+            let expected = m / (l + m) + l / (l + m) * (-(l + m) * t).exp();
+            assert!((dist[0] - expected).abs() < 1e-9, "t = {t}: {dist:?}");
+            let single = ctmc.transient(&[1.0, 0.0], t, 1e-13).unwrap();
+            assert_eq!(dist, &single, "t = {t} differs from single-time solve");
+        }
+    }
+
+    #[test]
+    fn transient_multi_all_zero_times() {
+        let ctmc = two_state(1.0, 1.0);
+        let multi = ctmc
+            .transient_multi(&[0.25, 0.75], &[0.0, 0.0], 1e-12)
+            .unwrap();
+        assert_eq!(multi, vec![vec![0.25, 0.75]; 2]);
     }
 
     #[test]

@@ -73,6 +73,37 @@ proptest! {
         }
     }
 
+    /// For random birth–death chains, every multi-time transient
+    /// distribution sums to 1 with nonnegative entries, and each one is
+    /// bitwise identical to the corresponding single-time solve.
+    #[test]
+    fn birth_death_transient_multi_is_distribution(
+        births in prop::collection::vec(0.01f64..10.0, 5),
+        deaths in prop::collection::vec(0.01f64..10.0, 5),
+        times in prop::collection::vec(0.0f64..15.0, 1..5),
+    ) {
+        let mut rates = Vec::new();
+        for (i, &b) in births.iter().enumerate() {
+            rates.push((i, i + 1, b));
+        }
+        for (i, &d) in deaths.iter().enumerate() {
+            rates.push((i + 1, i, d));
+        }
+        let ctmc = Ctmc::from_rates(6, &rates).unwrap();
+        let init = [1.0, 0.0, 0.0, 0.0, 0.0, 0.0];
+        let multi = ctmc.transient_multi(&init, &times, 1e-10).unwrap();
+        prop_assert_eq!(multi.len(), times.len());
+        for (&t, dist) in times.iter().zip(&multi) {
+            let sum: f64 = dist.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-6, "t = {}: mass {}", t, sum);
+            for &pi in dist {
+                prop_assert!((-1e-9..=1.0 + 1e-9).contains(&pi));
+            }
+            let single = ctmc.transient(&init, t, 1e-10).unwrap();
+            prop_assert_eq!(dist, &single);
+        }
+    }
+
     /// Accumulated reward of a constant unit reward equals the horizon.
     #[test]
     fn unit_reward_accumulates_time(

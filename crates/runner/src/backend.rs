@@ -5,19 +5,26 @@
 //! [`RunOutput`] — the paper's per-replication measure record — using a
 //! per-thread reusable [`Backend::Scratch`] so simulation state (event
 //! queues, host/place vectors) is allocated once per worker thread, not
-//! once per replication. Both encodings implement it:
+//! once per replication. Both simulation encodings implement it:
 //!
 //! * the direct DES ([`itua_core::des::ItuaDes`]), and
 //! * the composed SAN ([`itua_core::san_exec::ItuaSanRunner`]).
+//!
+//! A third, non-simulation backend solves small configurations exactly
+//! ([`itua_core::analytic::ItuaAnalytic`]): it reports its measures
+//! through [`Backend::exact_measures`] instead of per-replication runs,
+//! and [`run_measures`] short-circuits the replication loop for it.
 //!
 //! [`run_measures`] is the shared replication loop: it fans replications
 //! out through [`replicate_with_scratch`] (chunk-ordered deterministic
 //! reduction, `stream_seed` seeding) and folds the outputs into a
 //! [`MeasureSet`] in replication order, so results are bit-identical for
-//! every thread count — for either backend.
+//! every thread count — for every backend (trivially so for the analytic
+//! one, which never consults seed or thread).
 
 use crate::engine::{replicate_with_scratch, RunnerConfig};
 use crate::progress::Progress;
+use itua_core::analytic::{AnalyticError, ItuaAnalytic};
 use itua_core::des::{DesScratch, ItuaDes};
 use itua_core::measures::{MeasureSet, RunOutput};
 use itua_core::params::Params;
@@ -59,6 +66,13 @@ impl From<BackendError> for std::io::Error {
     }
 }
 
+impl From<AnalyticError> for BackendError {
+    fn from(e: AnalyticError) -> Self {
+        // `TooLarge` already carries the full "use des/san" guidance.
+        BackendError::new(e.to_string())
+    }
+}
+
 /// A simulation encoding that can execute one replication of the ITUA
 /// process.
 ///
@@ -88,6 +102,18 @@ pub trait Backend: Sync {
         sample_times: &[f64],
         scratch: &mut Self::Scratch,
     ) -> Result<RunOutput, BackendError>;
+
+    /// For deterministic (exact) backends: the full measure set, computed
+    /// without replication. `Some` short-circuits the replication loop in
+    /// [`run_measures`]; the default `None` means "simulate".
+    fn exact_measures(
+        &self,
+        _horizon: f64,
+        _sample_times: &[f64],
+        _confidence: f64,
+    ) -> Option<Result<MeasureSet, BackendError>> {
+        None
+    }
 }
 
 impl Backend for ItuaDes {
@@ -135,17 +161,21 @@ pub enum BackendKind {
     /// Composed stochastic activity network (the faithful reproduction
     /// artifact; roughly an order of magnitude slower).
     San,
+    /// Exact CTMC solution of the composed SAN (small configurations
+    /// only; zero-variance estimates).
+    Analytic,
 }
 
 impl BackendKind {
     /// All supported kinds.
-    pub const ALL: [BackendKind; 2] = [BackendKind::Des, BackendKind::San];
+    pub const ALL: [BackendKind; 3] = [BackendKind::Des, BackendKind::San, BackendKind::Analytic];
 
-    /// Parses a CLI name (`des` / `san`, case-insensitive).
+    /// Parses a CLI name (`des` / `san` / `analytic`, case-insensitive).
     pub fn parse(name: &str) -> Option<Self> {
         match name.to_ascii_lowercase().as_str() {
             "des" => Some(BackendKind::Des),
             "san" => Some(BackendKind::San),
+            "analytic" => Some(BackendKind::Analytic),
             _ => None,
         }
     }
@@ -155,6 +185,7 @@ impl BackendKind {
         match self {
             BackendKind::Des => "des",
             BackendKind::San => "san",
+            BackendKind::Analytic => "analytic",
         }
     }
 }
@@ -165,32 +196,71 @@ impl std::fmt::Display for BackendKind {
     }
 }
 
-/// A [`Backend`] chosen at runtime: either ITUA encoding behind one type.
+/// Options for backend construction that are not model parameters (they
+/// never influence results, only whether a backend accepts a
+/// configuration), so they stay out of sweep fingerprints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BackendOptions {
+    /// State-space bound for the analytic backend.
+    pub analytic_max_states: usize,
+}
+
+impl Default for BackendOptions {
+    fn default() -> Self {
+        BackendOptions {
+            analytic_max_states: ItuaAnalytic::DEFAULT_MAX_STATES,
+        }
+    }
+}
+
+/// A [`Backend`] chosen at runtime: any ITUA encoding behind one type.
 pub enum ItuaBackend {
     /// Direct DES.
     Des(ItuaDes),
     /// Composed SAN.
     San(ItuaSanRunner),
+    /// Exact CTMC solution.
+    Analytic(ItuaAnalytic),
 }
 
 /// Scratch for [`ItuaBackend`]. The payloads are boxed: a scratch lives
 /// for a whole worker thread, so one allocation per worker is free, and
-/// boxing keeps the enum small.
+/// boxing keeps the enum small. The analytic backend never runs
+/// replications, so its scratch is empty.
 pub enum ItuaScratch {
     /// Scratch for the DES backend.
     Des(Box<DesScratch>),
     /// Scratch for the SAN backend.
     San(Box<SanScratch>),
+    /// Scratch for the analytic backend (stateless).
+    Analytic,
 }
 
 impl ItuaBackend {
-    /// Builds the chosen encoding for `params`.
+    /// Builds the chosen encoding for `params` with default
+    /// [`BackendOptions`].
     ///
     /// # Errors
     ///
     /// Returns [`BackendError`] for invalid parameters or model
     /// construction failures.
     pub fn for_params(kind: BackendKind, params: &Params) -> Result<Self, BackendError> {
+        Self::for_params_with(kind, params, &BackendOptions::default())
+    }
+
+    /// Builds the chosen encoding for `params`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BackendError`] for invalid parameters or model
+    /// construction failures — including, for the analytic backend, a
+    /// configuration whose state space exceeds
+    /// [`BackendOptions::analytic_max_states`].
+    pub fn for_params_with(
+        kind: BackendKind,
+        params: &Params,
+        opts: &BackendOptions,
+    ) -> Result<Self, BackendError> {
         match kind {
             BackendKind::Des => ItuaDes::new(params.clone())
                 .map(ItuaBackend::Des)
@@ -198,6 +268,9 @@ impl ItuaBackend {
             BackendKind::San => ItuaSanRunner::new(params)
                 .map(ItuaBackend::San)
                 .map_err(|e| BackendError::new(format!("SAN build failed: {e}"))),
+            BackendKind::Analytic => ItuaAnalytic::new(params, opts.analytic_max_states)
+                .map(ItuaBackend::Analytic)
+                .map_err(Into::into),
         }
     }
 
@@ -206,7 +279,39 @@ impl ItuaBackend {
         match self {
             ItuaBackend::Des(_) => BackendKind::Des,
             ItuaBackend::San(_) => BackendKind::San,
+            ItuaBackend::Analytic(_) => BackendKind::Analytic,
         }
+    }
+}
+
+impl Backend for ItuaAnalytic {
+    type Scratch = ();
+
+    fn scratch(&self) {}
+
+    fn run(
+        &self,
+        _seed: u64,
+        _horizon: f64,
+        _sample_times: &[f64],
+        _scratch: &mut (),
+    ) -> Result<RunOutput, BackendError> {
+        Err(BackendError::new(
+            "analytic backend is exact and produces no per-replication output; \
+             run_measures short-circuits through exact_measures",
+        ))
+    }
+
+    fn exact_measures(
+        &self,
+        horizon: f64,
+        sample_times: &[f64],
+        confidence: f64,
+    ) -> Option<Result<MeasureSet, BackendError>> {
+        Some(
+            self.solve(horizon, sample_times, confidence)
+                .map_err(Into::into),
+        )
     }
 }
 
@@ -217,6 +322,7 @@ impl Backend for ItuaBackend {
         match self {
             ItuaBackend::Des(b) => ItuaScratch::Des(Box::new(Backend::scratch(b))),
             ItuaBackend::San(b) => ItuaScratch::San(Box::new(Backend::scratch(b))),
+            ItuaBackend::Analytic(_) => ItuaScratch::Analytic,
         }
     }
 
@@ -234,7 +340,22 @@ impl Backend for ItuaBackend {
             (ItuaBackend::San(b), ItuaScratch::San(s)) => {
                 Backend::run(b, seed, horizon, sample_times, s)
             }
+            (ItuaBackend::Analytic(b), ItuaScratch::Analytic) => {
+                Backend::run(b, seed, horizon, sample_times, &mut ())
+            }
             _ => panic!("scratch kind does not match backend kind"),
+        }
+    }
+
+    fn exact_measures(
+        &self,
+        horizon: f64,
+        sample_times: &[f64],
+        confidence: f64,
+    ) -> Option<Result<MeasureSet, BackendError>> {
+        match self {
+            ItuaBackend::Des(_) | ItuaBackend::San(_) => None,
+            ItuaBackend::Analytic(b) => b.exact_measures(horizon, sample_times, confidence),
         }
     }
 }
@@ -247,6 +368,11 @@ impl Backend for ItuaBackend {
 /// is bit-identical for every thread count and chunk size in `runner`.
 /// Each worker thread allocates one scratch and reuses it for all its
 /// replications.
+///
+/// An exact backend (one whose [`Backend::exact_measures`] returns `Some`)
+/// skips the replication loop entirely: its zero-variance measure set is
+/// returned as one deterministic "replication", independent of
+/// `replications`, `origin_seed`, and thread count.
 ///
 /// # Errors
 ///
@@ -287,6 +413,11 @@ pub fn run_measures<B: Backend>(
     runner: &RunnerConfig,
     progress: &dyn Progress,
 ) -> Result<MeasureSet, BackendError> {
+    if let Some(exact) = backend.exact_measures(horizon, sample_times, confidence) {
+        let measures = exact?;
+        progress.on_replications(replications, replications);
+        return Ok(measures);
+    }
     let outputs = replicate_with_scratch(
         replications,
         runner,
@@ -317,13 +448,24 @@ mod tests {
         Params::default().with_domains(4, 2).with_applications(2, 3)
     }
 
+    /// A configuration small enough for the analytic backend even in
+    /// debug builds (spread disabled keeps the state space tiny).
+    fn micro_params() -> Params {
+        let mut p = Params::default().with_domains(1, 2).with_applications(1, 2);
+        p.spread_rate_domain = 0.0;
+        p.spread_rate_system = 0.0;
+        p
+    }
+
     #[test]
     fn kind_parses_and_prints() {
         assert_eq!(BackendKind::parse("des"), Some(BackendKind::Des));
         assert_eq!(BackendKind::parse("SAN"), Some(BackendKind::San));
+        assert_eq!(BackendKind::parse("Analytic"), Some(BackendKind::Analytic));
         assert_eq!(BackendKind::parse("ctmc"), None);
         assert_eq!(BackendKind::Des.to_string(), "des");
         assert_eq!(BackendKind::San.to_string(), "san");
+        assert_eq!(BackendKind::Analytic.to_string(), "analytic");
         assert_eq!(BackendKind::default(), BackendKind::Des);
     }
 
@@ -386,9 +528,12 @@ mod tests {
     }
 
     #[test]
-    fn both_backends_estimate_the_same_measures() {
+    fn both_simulation_backends_estimate_the_same_measures() {
         let params = small_params();
-        for kind in BackendKind::ALL {
+        // Only the simulation backends: this configuration's state space
+        // is far beyond what the analytic backend accepts (by design —
+        // see analytic_rejects_large_configs_gracefully).
+        for kind in [BackendKind::Des, BackendKind::San] {
             let backend = ItuaBackend::for_params(kind, &params).unwrap();
             assert_eq!(backend.kind(), kind);
             let ms = run_measures(
@@ -408,6 +553,65 @@ mod tests {
                 "{kind}"
             );
         }
+    }
+
+    #[test]
+    fn analytic_short_circuits_with_exact_estimates() {
+        let backend = ItuaBackend::for_params(BackendKind::Analytic, &micro_params()).unwrap();
+        assert_eq!(backend.kind(), BackendKind::Analytic);
+        let ms = run_measures(
+            &backend,
+            1000, // ignored: one exact solve, not a thousand replications
+            0.95,
+            1,
+            5.0,
+            &[5.0],
+            &RunnerConfig::serial(),
+            &NullProgress,
+        )
+        .unwrap();
+        let estimates = ms.estimates();
+        assert!(!estimates.is_empty());
+        for e in &estimates {
+            assert_eq!(e.ci.half_width, 0.0, "{} is not exact", e.name);
+        }
+    }
+
+    #[test]
+    fn analytic_measures_are_invariant_in_threads_seed_and_replications() {
+        let backend = ItuaBackend::for_params(BackendKind::Analytic, &micro_params()).unwrap();
+        let run = |reps, seed, cfg: &RunnerConfig| {
+            run_measures(&backend, reps, 0.95, seed, 5.0, &[5.0], cfg, &NullProgress)
+                .unwrap()
+                .estimates()
+        };
+        let reference = run(16, 7, &RunnerConfig::serial());
+        assert_eq!(
+            run(16, 7, &RunnerConfig::default().with_threads(8)),
+            reference
+        );
+        assert_eq!(run(500, 99, &RunnerConfig::serial()), reference);
+    }
+
+    #[test]
+    fn analytic_rejects_large_configs_gracefully() {
+        // Figure-4 scale: 4 domains × 3 hosts with default spread rates is
+        // far past any reasonable state bound. A small cap makes the
+        // rejection fast without changing its nature.
+        let params = Params::default().with_domains(4, 3).with_applications(4, 7);
+        let opts = BackendOptions {
+            analytic_max_states: 2_000,
+        };
+        let err = match ItuaBackend::for_params_with(BackendKind::Analytic, &params, &opts) {
+            Err(e) => e,
+            Ok(_) => panic!("figure-4-scale config must be rejected"),
+        };
+        let msg = err.to_string();
+        assert!(
+            msg.contains("analytic backend supports ≤2000 states"),
+            "{msg}"
+        );
+        assert!(msg.contains("use des/san"), "{msg}");
     }
 
     #[test]

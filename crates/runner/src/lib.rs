@@ -43,7 +43,9 @@ pub mod progress;
 pub mod store;
 pub mod sweep;
 
-pub use backend::{run_measures, Backend, BackendError, BackendKind, ItuaBackend, ItuaScratch};
+pub use backend::{
+    run_measures, Backend, BackendError, BackendKind, BackendOptions, ItuaBackend, ItuaScratch,
+};
 pub use engine::{replicate, replicate_with_scratch, RunnerConfig};
 pub use experiment::run_experiment_parallel;
 pub use progress::{ConsoleProgress, NullProgress, Progress};

@@ -20,6 +20,19 @@ use std::sync::Arc;
 /// elimination; beyond this the model is declared unstabilized.
 const MAX_VANISHING_DEPTH: usize = 10_000;
 
+/// Work-item budget for one vanishing-marking resolution, scaled from the
+/// caller's `max_states` bound. A wide instantaneous cascade (many
+/// concurrently enabled zero-time activities) branches into a tree of
+/// firing orders that can explode combinatorially before a single
+/// tangible marking is interned — exceeding this budget is reported as
+/// state-space explosion rather than being allowed to exhaust memory.
+/// The floor keeps legitimate deep-but-narrow chains (and the livelock
+/// detector, which needs `MAX_VANISHING_DEPTH` pops) unaffected by small
+/// `max_states` values.
+fn vanishing_budget(max_states: usize) -> usize {
+    max_states.saturating_mul(10).max(2 * MAX_VANISHING_DEPTH)
+}
+
 /// The reachable tangible state space of a SAN, with transition rates.
 #[derive(Debug, Clone)]
 pub struct StateSpace {
@@ -39,7 +52,10 @@ impl StateSpace {
     /// * [`SanError::NonMarkovian`] if any timed activity has a general
     ///   (non-exponential) distribution.
     /// * [`SanError::StateSpaceTooLarge`] if more than `max_states`
-    ///   tangible markings are reachable.
+    ///   tangible markings are reachable, or a single vanishing-marking
+    ///   resolution branches past its expansion budget
+    ///   (see [`vanishing_budget`]) — both are forms of state-space
+    ///   explosion, and both fail fast instead of exhausting memory.
     /// * [`SanError::Unstabilized`] if instantaneous activities livelock.
     pub fn generate(san: &Arc<San>, max_states: usize) -> Result<Self, SanError> {
         for (_, act) in san.activities() {
@@ -73,7 +89,7 @@ impl StateSpace {
 
         // Resolve the initial marking.
         let init_marking = san.initial_marking().canonical();
-        let resolved = resolve_vanishing(san, &init_marking)?;
+        let resolved = resolve_vanishing(san, &init_marking, max_states)?;
         let mut initial = Vec::new();
         for (m, p) in resolved {
             let i = intern(m, &mut markings, &mut index, &mut frontier)?;
@@ -120,7 +136,7 @@ impl StateSpace {
                     let mut next = marking.clone();
                     act.fire(case, &mut next);
                     let next = next.canonical();
-                    for (tangible, p) in resolve_vanishing(san, &next)? {
+                    for (tangible, p) in resolve_vanishing(san, &next, max_states)? {
                         let t = intern(tangible, &mut markings, &mut index, &mut frontier)?;
                         if t != s {
                             transitions.push((s, t, rate * (w / total) * p));
@@ -179,16 +195,71 @@ impl StateSpace {
     pub fn reward_vector(&self, f: impl FnMut(&Marking) -> f64) -> Vec<f64> {
         self.markings.iter().map(f).collect()
     }
+
+    /// Builds a CTMC in which every state satisfying `is_absorbing` is made
+    /// absorbing (its outgoing transitions dropped), plus the per-state
+    /// absorbing flags.
+    ///
+    /// Summing the transient mass over the flagged states then gives
+    /// `P[the predicate has held at some point by time t]` — the analytic
+    /// counterpart of a sticky ever-true reward variable such as
+    /// per-application unreliability.
+    ///
+    /// # Errors
+    ///
+    /// Propagates matrix construction failures.
+    pub fn absorbing_ctmc(
+        &self,
+        is_absorbing: impl FnMut(&Marking) -> bool,
+    ) -> Result<(Ctmc, Vec<bool>), CtmcError> {
+        let flags: Vec<bool> = self.markings.iter().map(is_absorbing).collect();
+        let kept: Vec<(usize, usize, f64)> = self
+            .transitions
+            .iter()
+            .copied()
+            .filter(|&(from, _, _)| !flags[from])
+            .collect();
+        Ok((Ctmc::from_rates(self.markings.len(), &kept)?, flags))
+    }
+
+    /// Expected value of `f` under a distribution over states (e.g. a
+    /// transient solution): `Σ_s p[s]·f(marking(s))`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `distribution` does not have one entry per state.
+    pub fn expected_reward(&self, distribution: &[f64], mut f: impl FnMut(&Marking) -> f64) -> f64 {
+        assert_eq!(
+            distribution.len(),
+            self.markings.len(),
+            "distribution length must match the state count"
+        );
+        self.markings
+            .iter()
+            .zip(distribution)
+            .map(|(m, &p)| p * f(m))
+            .sum()
+    }
 }
 
 /// Distributes a marking over its tangible successors: follows enabled
 /// instantaneous activities (uniform among activities, weight-proportional
 /// among cases) until no instantaneous activity is enabled.
-fn resolve_vanishing(san: &San, marking: &Marking) -> Result<Vec<(Marking, f64)>, SanError> {
+fn resolve_vanishing(
+    san: &San,
+    marking: &Marking,
+    max_states: usize,
+) -> Result<Vec<(Marking, f64)>, SanError> {
+    let budget = vanishing_budget(max_states);
+    let mut pops = 0usize;
     let mut result: Vec<(Marking, f64)> = Vec::new();
     // Work queue of (marking, probability, depth).
     let mut work: Vec<(Marking, f64, usize)> = vec![(marking.clone(), 1.0, 0)];
     while let Some((m, p, depth)) = work.pop() {
+        pops += 1;
+        if pops > budget {
+            return Err(SanError::StateSpaceTooLarge(max_states));
+        }
         if depth > MAX_VANISHING_DEPTH {
             return Err(SanError::Unstabilized {
                 marking: m.values().to_vec(),
@@ -219,12 +290,23 @@ fn resolve_vanishing(san: &San, marking: &Marking) -> Result<Vec<(Marking, f64)>
             }
         }
     }
-    // Merge identical tangible markings.
-    let mut merged: HashMap<Marking, f64> = HashMap::new();
+    // Merge identical tangible markings, keeping first-encounter order:
+    // a randomly-seeded HashMap iteration here would scramble state
+    // numbering (and thus floating-point summation order) from run to
+    // run, breaking the byte-identical result stores the analytic
+    // backend promises.
+    let mut index: HashMap<Marking, usize> = HashMap::new();
+    let mut merged: Vec<(Marking, f64)> = Vec::new();
     for (m, p) in result {
-        *merged.entry(m).or_insert(0.0) += p;
+        match index.get(&m) {
+            Some(&i) => merged[i].1 += p,
+            None => {
+                index.insert(m.clone(), merged.len());
+                merged.push((m, p));
+            }
+        }
     }
-    Ok(merged.into_iter().collect())
+    Ok(merged)
 }
 
 #[cfg(test)]
@@ -399,6 +481,30 @@ mod tests {
     }
 
     #[test]
+    fn wide_vanishing_cascade_reported_as_explosion() {
+        // Ten concurrently enabled instantaneous activities: the firing
+        // orders form a tree of >10! work items, all reaching the same
+        // tangible marking. The expansion budget must report this as
+        // state-space explosion in milliseconds instead of walking the
+        // whole tree.
+        let mut b = SanBuilder::new("wide");
+        for i in 0..10 {
+            let src = b.place(format!("src{i}"), 1);
+            let dst = b.place(format!("dst{i}"), 0);
+            b.instantaneous_activity(format!("move{i}"))
+                .input_arc(src, 1)
+                .output_arc(dst, 1)
+                .build()
+                .unwrap();
+        }
+        let san = b.finish().unwrap();
+        assert!(matches!(
+            StateSpace::generate(&san, 100),
+            Err(SanError::StateSpaceTooLarge(100))
+        ));
+    }
+
+    #[test]
     fn vanishing_livelock_detected() {
         let mut b = SanBuilder::new("m");
         let p = b.place("p", 1);
@@ -419,6 +525,42 @@ mod tests {
             StateSpace::generate(&san, 100),
             Err(SanError::Unstabilized { .. })
         ));
+    }
+
+    #[test]
+    fn absorbing_ctmc_gives_first_passage_probability() {
+        // Repairable system with "ever down by t": making the down state
+        // absorbing turns the transient mass there into the first-passage
+        // probability 1 − e^{−λt} (repair can no longer mask the visit).
+        let (lambda, mu) = (0.5, 2.0);
+        let san = repairable(lambda, mu);
+        let ss = StateSpace::generate(&san, 10).unwrap();
+        let down = san.place_id("down").unwrap();
+        let (ctmc, flags) = ss.absorbing_ctmc(|m| m.get(down) > 0).unwrap();
+        assert_eq!(flags.iter().filter(|&&f| f).count(), 1);
+        for &t in &[0.3, 1.0, 4.0] {
+            let p = ctmc
+                .transient(&ss.initial_distribution(), t, 1e-12)
+                .unwrap();
+            let ever_down: f64 = flags
+                .iter()
+                .zip(&p)
+                .filter(|&(&f, _)| f)
+                .map(|(_, &pi)| pi)
+                .sum();
+            let closed = 1.0 - (-lambda * t).exp();
+            assert!((ever_down - closed).abs() < 1e-9, "t = {t}");
+        }
+    }
+
+    #[test]
+    fn expected_reward_is_dot_product() {
+        let san = repairable(1.0, 9.0);
+        let ss = StateSpace::generate(&san, 10).unwrap();
+        let down = san.place_id("down").unwrap();
+        let pi = ss.to_ctmc().unwrap().steady_state(1e-12, 100_000).unwrap();
+        let unavail = ss.expected_reward(&pi, |m| m.get(down) as f64);
+        assert!((unavail - 0.1).abs() < 1e-8);
     }
 
     #[test]

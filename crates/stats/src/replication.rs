@@ -67,6 +67,19 @@ impl ReplicationEstimator {
             .push(value);
     }
 
+    /// Records an exact (zero-variance) value for `measure`, as produced by
+    /// an analytic solver rather than a stochastic replication.
+    ///
+    /// The value is recorded twice: [`ConfidenceInterval`] requires n ≥ 2,
+    /// and a repeated observation makes Welford's variance accumulator
+    /// exactly zero, so the estimate comes out as `value ± 0` with
+    /// `min == max == value` bitwise. Downstream consumers need no special
+    /// case — the degenerate `n == 2` sample flags the estimate as exact.
+    pub fn record_exact(&mut self, measure: &str, value: f64) {
+        self.record(measure, value);
+        self.record(measure, value);
+    }
+
     /// Number of observations recorded for `measure`.
     pub fn count(&self, measure: &str) -> u64 {
         self.measures.get(measure).map_or(0, OnlineStats::count)
@@ -160,6 +173,19 @@ mod tests {
         assert_eq!(e.min, 1.0);
         assert_eq!(e.max, 3.0);
         assert_eq!(e.ci.n, 3);
+    }
+
+    #[test]
+    fn record_exact_yields_zero_width_interval() {
+        let mut est = ReplicationEstimator::new(0.95);
+        let value = 0.123_456_789_012_345f64;
+        est.record_exact("exact", value);
+        let e = est.estimate("exact").unwrap();
+        assert_eq!(e.ci.mean, value);
+        assert_eq!(e.ci.half_width, 0.0);
+        assert_eq!(e.min, value);
+        assert_eq!(e.max, value);
+        assert_eq!(e.ci.n, 2);
     }
 
     #[test]

@@ -14,6 +14,7 @@ use crate::sweep::{
 };
 use itua_core::measures::names;
 use itua_core::params::Params;
+use itua_runner::backend::BackendKind;
 use std::io;
 
 /// Total hosts in the study.
@@ -47,13 +48,46 @@ pub fn points() -> Vec<SweepPoint> {
     pts
 }
 
+/// Total hosts in the analytic (exact CTMC) variant of the study.
+pub const MICRO_TOTAL_HOSTS: usize = 2;
+
+/// The sweep points of the exact-solution variant: 2 hosts split into 2
+/// or 1 domains, for 1 application of 2 replicas and 2 applications of 1
+/// replica. Figure-3-shaped in every way — same measures, same horizon,
+/// same x-axis meaning — but small enough for the analytic backend to
+/// flatten into a tangible CTMC (tens of thousands of states) and solve
+/// exactly. The full 12-host study is far beyond any exact solver; that
+/// is what the simulation backends are for.
+pub fn micro_points() -> Vec<SweepPoint> {
+    let mut pts = Vec::new();
+    for (apps, reps) in [(1, 2), (2, 1)] {
+        for hpd in [1, 2] {
+            let domains = MICRO_TOTAL_HOSTS / hpd;
+            pts.push(SweepPoint {
+                x: hpd as f64,
+                series: format!("{apps} application{}", if apps == 1 { "" } else { "s" }),
+                params: Params::default()
+                    .with_domains(domains, hpd)
+                    .with_applications(apps, reps),
+                horizon: HORIZON,
+                sample_times: vec![HORIZON],
+            });
+        }
+    }
+    pts
+}
+
 /// Runs the full study.
 pub fn run(cfg: &SweepConfig) -> FigureResult {
     run_with(cfg, &RunOpts::default()).expect("default DES run with no store cannot fail")
 }
 
-/// Runs the full study with explicit execution options (threads,
-/// progress, resumable result store under sweep id `"figure3"`).
+/// Runs the study with explicit execution options (threads, progress,
+/// resumable result store under sweep id `"figure3"`).
+///
+/// The simulation backends run the paper's 12-host [`points`]; the
+/// analytic backend runs the exact-solvable [`micro_points`] instead
+/// (its store id is `figure3-analytic`, so the two never mix).
 pub fn run_with(cfg: &SweepConfig, opts: &RunOpts<'_>) -> io::Result<FigureResult> {
     let excluded_at_5 = format!("{}@{}", names::FRAC_DOMAINS_EXCLUDED, HORIZON);
     let measures = [
@@ -62,7 +96,11 @@ pub fn run_with(cfg: &SweepConfig, opts: &RunOpts<'_>) -> io::Result<FigureResul
         names::FRAC_CORRUPT_AT_EXCLUSION,
         excluded_at_5.as_str(),
     ];
-    let all = run_sweep_stored("figure3", &points(), cfg, &measures, opts)?;
+    let points = match opts.backend {
+        BackendKind::Analytic => micro_points(),
+        _ => points(),
+    };
+    let all = run_sweep_stored("figure3", &points, cfg, &measures, opts)?;
     let take = |measure: &str| -> Vec<Series> {
         all.iter()
             .filter(|s| s.measure == measure)
@@ -112,6 +150,19 @@ mod tests {
             assert_eq!(p.params.total_hosts(), TOTAL_HOSTS);
             p.params.validate().unwrap();
         }
+    }
+
+    #[test]
+    fn micro_study_has_4_points() {
+        let pts = micro_points();
+        assert_eq!(pts.len(), 4);
+        for p in &pts {
+            assert_eq!(p.params.total_hosts(), MICRO_TOTAL_HOSTS);
+            p.params.validate().unwrap();
+        }
+        let series: Vec<&str> = pts.iter().map(|p| p.series.as_str()).collect();
+        assert!(series.contains(&"1 application"));
+        assert!(series.contains(&"2 applications"));
     }
 
     #[test]

@@ -11,7 +11,7 @@
 
 use itua_core::measures::MeasureSet;
 use itua_core::params::Params;
-use itua_runner::backend::{run_measures, BackendError, BackendKind, ItuaBackend};
+use itua_runner::backend::{run_measures, BackendError, BackendKind, BackendOptions, ItuaBackend};
 use itua_runner::engine::RunnerConfig;
 use itua_runner::progress::{NullProgress, Progress};
 use itua_runner::store::{fingerprint, ResultStore, StoredEstimate, StoredPoint};
@@ -108,12 +108,18 @@ pub struct Panel {
 /// Execution options for a sweep: backend, threading, progress,
 /// persistence.
 pub struct RunOpts<'a> {
-    /// Which encoding of the ITUA process simulates each point: the
-    /// direct discrete-event simulator ([`BackendKind::Des`], the
-    /// default) or the composed stochastic activity network
-    /// ([`BackendKind::San`]). Both run through the same pipeline and
-    /// estimate the same measures.
+    /// Which encoding of the ITUA process runs each point: the direct
+    /// discrete-event simulator ([`BackendKind::Des`], the default), the
+    /// composed stochastic activity network ([`BackendKind::San`]), or
+    /// the exact CTMC solver ([`BackendKind::Analytic`], small
+    /// configurations only). All run through the same pipeline and
+    /// report the same stored shape (the analytic backend omits the
+    /// event-conditioned measures and reports zero half-widths).
     pub backend: BackendKind,
+    /// Construction options for the backend (e.g. the analytic state
+    /// bound). Not part of the sweep fingerprint: these options never
+    /// change results, only whether a configuration is accepted.
+    pub backend_opts: BackendOptions,
     /// How to spread replications over worker threads. The default (auto
     /// thread count) produces exactly the same estimates as
     /// [`RunnerConfig::serial`].
@@ -122,10 +128,10 @@ pub struct RunOpts<'a> {
     pub progress: &'a dyn Progress,
     /// Directory for the JSON result store. `Some(dir)` makes the sweep
     /// resumable: completed points are loaded from
-    /// `dir/<store id>.json` instead of re-simulated (the store id is
-    /// `<sweep_id>` for the DES backend and `<sweep_id>-san` for the
-    /// SAN backend, so the two never clobber each other). `None`
-    /// disables persistence.
+    /// `dir/<store id>.json` instead of re-run (the store id is
+    /// `<sweep_id>` for the DES backend and `<sweep_id>-san` /
+    /// `<sweep_id>-analytic` for the others, so backends never clobber
+    /// each other). `None` disables persistence.
     pub results_dir: Option<PathBuf>,
 }
 
@@ -133,6 +139,7 @@ impl Default for RunOpts<'static> {
     fn default() -> Self {
         RunOpts {
             backend: BackendKind::Des,
+            backend_opts: BackendOptions::default(),
             runner: RunnerConfig::default(),
             progress: &NullProgress,
             results_dir: None,
@@ -158,10 +165,11 @@ pub fn run_point_backend(
     cfg: &SweepConfig,
     point_index: usize,
     backend: BackendKind,
+    backend_opts: &BackendOptions,
     runner: &RunnerConfig,
     progress: &dyn Progress,
 ) -> Result<MeasureSet, BackendError> {
-    let backend = ItuaBackend::for_params(backend, &point.params)?;
+    let backend = ItuaBackend::for_params_with(backend, &point.params, backend_opts)?;
     run_measures(
         &backend,
         cfg.replications,
@@ -183,8 +191,16 @@ pub fn run_point_with(
     runner: &RunnerConfig,
     progress: &dyn Progress,
 ) -> MeasureSet {
-    run_point_backend(point, cfg, point_index, BackendKind::Des, runner, progress)
-        .expect("sweep point parameters are valid")
+    run_point_backend(
+        point,
+        cfg,
+        point_index,
+        BackendKind::Des,
+        &BackendOptions::default(),
+        runner,
+        progress,
+    )
+    .expect("sweep point parameters are valid")
 }
 
 /// [`run_point_with`] on auto-configured threads, without progress output.
@@ -261,6 +277,7 @@ pub fn run_sweep_stored(
             cfg,
             i,
             opts.backend,
+            &opts.backend_opts,
             &opts.runner,
             opts.progress,
         )
@@ -271,12 +288,13 @@ pub fn run_sweep_stored(
 }
 
 /// The result-store id for a sweep run with a given backend: DES keeps
-/// the bare `sweep_id`, SAN gets a `-san` suffix, so the two backends
-/// checkpoint into separate files and never clobber each other.
+/// the bare `sweep_id`, the others get a `-<backend>` suffix
+/// (`-san` / `-analytic`), so backends checkpoint into separate files
+/// and never clobber each other.
 fn store_id(sweep_id: &str, backend: BackendKind) -> String {
     match backend {
         BackendKind::Des => sweep_id.to_owned(),
-        BackendKind::San => format!("{sweep_id}-san"),
+        BackendKind::San | BackendKind::Analytic => format!("{sweep_id}-{backend}"),
     }
 }
 
@@ -461,6 +479,42 @@ mod tests {
         assert_eq!(des.len(), 1);
     }
 
+    /// A point small enough for the analytic backend even in debug
+    /// builds: one domain, two hosts, attack spread disabled.
+    fn micro_analytic_point(x: f64, series: &str) -> SweepPoint {
+        let mut params = Params::default().with_domains(1, 2).with_applications(1, 2);
+        params.spread_rate_domain = 0.0;
+        params.spread_rate_system = 0.0;
+        SweepPoint {
+            x,
+            series: series.to_owned(),
+            params,
+            horizon: 2.0,
+            sample_times: vec![2.0],
+        }
+    }
+
+    #[test]
+    fn analytic_backend_runs_through_the_same_pipeline() {
+        let cfg = SweepConfig {
+            replications: 12,
+            ..Default::default()
+        };
+        let opts = RunOpts {
+            backend: BackendKind::Analytic,
+            ..Default::default()
+        };
+        let points = vec![micro_analytic_point(1.0, "a")];
+        let measures = [names::UNAVAILABILITY, names::UNRELIABILITY];
+        let series = run_sweep_stored("t", &points, &cfg, &measures, &opts).unwrap();
+        assert_eq!(series.len(), 2);
+        for s in &series {
+            let (_, v) = s.points[0];
+            assert!((0.0..=1.0).contains(&v.mean), "{}: {v:?}", s.measure);
+            assert_eq!(v.half_width, 0.0, "{} must be exact", s.measure);
+        }
+    }
+
     #[test]
     fn backends_checkpoint_into_separate_stores() {
         let cfg = SweepConfig {
@@ -472,8 +526,14 @@ mod tests {
             std::process::id()
         ));
         let _ = std::fs::remove_dir_all(&dir);
-        let points = vec![tiny_point(1.0, "a")];
-        for backend in [BackendKind::Des, BackendKind::San] {
+        for backend in [BackendKind::Des, BackendKind::San, BackendKind::Analytic] {
+            // The analytic backend needs a state-space-tractable point;
+            // the simulators are happy with it too, but keeping their
+            // own point shows stores separate by backend, not by point.
+            let points = vec![match backend {
+                BackendKind::Analytic => micro_analytic_point(1.0, "a"),
+                _ => tiny_point(1.0, "a"),
+            }];
             let opts = RunOpts {
                 backend,
                 results_dir: Some(dir.clone()),
@@ -483,6 +543,7 @@ mod tests {
         }
         assert!(dir.join("fig.json").is_file());
         assert!(dir.join("fig-san.json").is_file());
+        assert!(dir.join("fig-analytic.json").is_file());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -1,9 +1,19 @@
 //! Analytic validation: models with closed-form answers are solved three
 //! ways — closed form, numerical CTMC (the Möbius analytic path), and SAN
 //! simulation — and all three must agree.
+//!
+//! The CTMC legs run through the same production helpers the analytic
+//! backend uses ([`StateSpace::expected_reward`],
+//! [`Ctmc::transient_multi`], [`Ctmc::absorption_by`]), so any drift in
+//! those paths fails here against closed forms, not just against another
+//! implementation.
 
+use itua_repro::itua::measures::names;
+use itua_repro::itua::params::Params;
+use itua_repro::itua::san_model;
 use itua_repro::markov::ctmc::Ctmc;
-use itua_repro::runner::{run_experiment_parallel, NullProgress, RunnerConfig};
+use itua_repro::runner::run_experiment_parallel;
+use itua_repro::runner::{run_measures, BackendKind, ItuaBackend, NullProgress, RunnerConfig};
 use itua_repro::san::experiment::ExperimentConfig;
 use itua_repro::san::model::SanBuilder;
 use itua_repro::san::reward::{EverTrue, TimeAveraged};
@@ -18,15 +28,21 @@ fn repairable_system_three_ways() {
 
     // Closed form: P(down at t) = λ/(λ+μ)(1 − e^{−(λ+μ)t}).
     let t = 1.5;
-    let closed = lambda / (lambda + mu) * (1.0 - (-(lambda + mu) * t).exp());
+    let down_at = |t: f64| lambda / (lambda + mu) * (1.0 - (-(lambda + mu) * t).exp());
+    let closed = down_at(t);
 
-    // CTMC path.
+    // CTMC path, solving several time points in one uniformization pass
+    // (the production `transient_multi` the analytic backend uses).
     let ctmc = Ctmc::from_rates(2, &[(0, 1, lambda), (1, 0, mu)]).unwrap();
-    let p = ctmc.transient(&[1.0, 0.0], t, 1e-12).unwrap();
-    assert!(
-        (p[1] - closed).abs() < 1e-9,
-        "CTMC {p:?} vs closed {closed}"
-    );
+    let times = [0.5, t, 4.0];
+    let dists = ctmc.transient_multi(&[1.0, 0.0], &times, 1e-12).unwrap();
+    for (&ti, dist) in times.iter().zip(&dists) {
+        assert!(
+            (dist[1] - down_at(ti)).abs() < 1e-9,
+            "CTMC at {ti}: {dist:?} vs closed {}",
+            down_at(ti)
+        );
+    }
 
     // SAN-simulation path (instant-of-time estimated via many runs).
     let mut b = SanBuilder::new("repairable");
@@ -62,16 +78,15 @@ fn repairable_system_three_ways() {
         5.0 * se
     );
 
-    // State-space flattening agrees with the hand-built CTMC.
+    // State-space flattening agrees with the hand-built CTMC; the reward
+    // expectation goes through the production `expected_reward`.
     let ss = StateSpace::generate(&san, 16).unwrap();
     let p2 = ss
         .to_ctmc()
         .unwrap()
         .transient(&ss.initial_distribution(), t, 1e-12)
         .unwrap();
-    let down_prob: f64 = (0..ss.num_states())
-        .map(|s| p2[s] * ss.marking(s).get(down) as f64)
-        .sum();
+    let down_prob = ss.expected_reward(&p2, |m| m.get(down) as f64);
     assert!((down_prob - closed).abs() < 1e-9);
 }
 
@@ -100,7 +115,7 @@ fn mm1k_queue_three_ways() {
     let z: f64 = (0..=k).map(|n| rho.powi(n)).sum();
     let mean_closed: f64 = (0..=k).map(|n| n as f64 * rho.powi(n) / z).sum();
 
-    // CTMC steady state.
+    // CTMC steady state, reward expectation via `expected_reward`.
     let ss = StateSpace::generate(&san, 100).unwrap();
     assert_eq!(ss.num_states(), (k + 1) as usize);
     let pi = ss
@@ -108,9 +123,7 @@ fn mm1k_queue_three_ways() {
         .unwrap()
         .steady_state(1e-13, 1_000_000)
         .unwrap();
-    let mean_ctmc: f64 = (0..ss.num_states())
-        .map(|s| pi[s] * ss.marking(s).get(queue) as f64)
-        .sum();
+    let mean_ctmc = ss.expected_reward(&pi, |m| m.get(queue) as f64);
     assert!(
         (mean_ctmc - mean_closed).abs() < 1e-8,
         "{mean_ctmc} vs {mean_closed}"
@@ -147,8 +160,9 @@ fn mm1k_queue_three_ways() {
 }
 
 /// A pure-death process: unreliability (probability the system ever
-/// emptied) has the closed form of an Erlang CDF; checked against the
-/// sticky EverTrue reward variable.
+/// emptied) has the closed form of an Erlang-like CDF; checked against
+/// the sticky EverTrue reward variable and against the production
+/// CTMC absorption path (`StateSpace` → `to_ctmc` → `absorption_by`).
 #[test]
 fn pure_death_unreliability() {
     let rate = 1.0;
@@ -171,6 +185,19 @@ fn pure_death_unreliability() {
     // proportional to survivors): P(extinct by t) = (1 − e^{−t})³.
     let closed = (1.0 - (-t).exp()).powi(3);
 
+    // Production analytic path: the extinct marking is the chain's only
+    // absorbing state, so `absorption_by` is the first-passage CDF.
+    let ss = StateSpace::generate(&san, 16).unwrap();
+    let extinct = ss
+        .to_ctmc()
+        .unwrap()
+        .absorption_by(&ss.initial_distribution(), t, 1e-12)
+        .unwrap();
+    assert!(
+        (extinct - closed).abs() < 1e-9,
+        "absorption {extinct} vs closed {closed}"
+    );
+
     let sim = SanSimulator::new(san);
     let mut hits = 0;
     let n = 20_000;
@@ -191,4 +218,47 @@ fn pure_death_unreliability() {
         (est - closed).abs() < 5.0 * se,
         "estimate {est} vs closed {closed}"
     );
+}
+
+/// The analytic ITUA backend, driven through the unified `run_measures`
+/// pipeline, matches a bespoke solve built directly from the state
+/// space: flatten the composed SAN, accumulate the improper-service
+/// reward, and divide by the horizon.
+#[test]
+fn analytic_backend_matches_direct_state_space_solve() {
+    let mut params = Params::default().with_domains(1, 2).with_applications(1, 2);
+    params.spread_rate_domain = 0.0;
+    params.spread_rate_system = 0.0;
+    let horizon = 5.0;
+
+    // Direct computation from the flattened state space.
+    let model = san_model::build(&params).unwrap();
+    let ss = StateSpace::generate(&model.san, 100_000).unwrap();
+    let improper = ss.reward_vector(|m| model.places.improper_fraction(m));
+    let expected = ss
+        .to_ctmc()
+        .unwrap()
+        .expected_accumulated_reward(&ss.initial_distribution(), &improper, horizon, 1e-10)
+        .unwrap()
+        / horizon;
+
+    // Production pipeline.
+    let backend = ItuaBackend::for_params(BackendKind::Analytic, &params).unwrap();
+    let ms = run_measures(
+        &backend,
+        50,
+        0.95,
+        7,
+        horizon,
+        &[horizon],
+        &RunnerConfig::default(),
+        &NullProgress,
+    )
+    .unwrap();
+    let unavailability = ms.mean(names::UNAVAILABILITY).unwrap();
+    assert_eq!(
+        unavailability, expected,
+        "pipeline and direct solve must agree bit for bit"
+    );
+    assert!(unavailability > 0.0 && unavailability < 1.0);
 }
