@@ -1,0 +1,308 @@
+//! Exact linear algebra for invariant computation.
+//!
+//! Two algorithms:
+//!
+//! * [`null_space`] — a basis of `{x : M·x = 0}` by Gauss–Jordan
+//!   elimination over [`Ratio`], scaled back to coprime integer vectors.
+//!   P-invariants are the null space of the delta (incidence) rows;
+//!   T-invariants are the null space of the transpose.
+//! * [`semipositive_invariants`] — the classic Farkas construction for
+//!   nonnegative left-annullers of the incidence matrix, used to derive
+//!   structural place bounds. Row growth is bounded by a budget; blowing
+//!   the budget aborts the computation (bounds are then reported as not
+//!   computed) rather than returning a partial answer.
+
+use crate::ratio::{gcd, Overflow, Ratio};
+
+/// Reduces `rows` to reduced row-echelon form in place and returns the
+/// pivot column of each nonzero row, in order.
+fn rref(rows: &mut Vec<Vec<Ratio>>) -> Result<Vec<usize>, Overflow> {
+    let num_cols = rows.first().map_or(0, Vec::len);
+    let mut pivots = Vec::new();
+    let mut row = 0;
+    for col in 0..num_cols {
+        let Some(pivot_row) = (row..rows.len()).find(|&r| !rows[r][col].is_zero()) else {
+            continue;
+        };
+        rows.swap(row, pivot_row);
+        let inv = Ratio::ONE.div(rows[row][col])?;
+        for cell in rows[row].iter_mut().skip(col) {
+            *cell = cell.mul(inv)?;
+        }
+        // Incidence rows are sparse; skipping zero entries of the pivot
+        // row keeps elimination near-linear instead of quadratic.
+        let pivot = std::mem::take(&mut rows[row]);
+        for (r, other) in rows.iter_mut().enumerate() {
+            if r != row && !other[col].is_zero() {
+                let factor = other[col];
+                for (c, &p) in pivot.iter().enumerate().skip(col) {
+                    if !p.is_zero() {
+                        other[c] = other[c].sub(p.mul(factor)?)?;
+                    }
+                }
+            }
+        }
+        rows[row] = pivot;
+        pivots.push(col);
+        row += 1;
+        if row == rows.len() {
+            break;
+        }
+    }
+    rows.truncate(row);
+    Ok(pivots)
+}
+
+/// Scales a rational vector to the unique coprime integer vector with the
+/// same direction whose first nonzero entry is positive.
+fn integerize(v: &[Ratio]) -> Result<Vec<i64>, Overflow> {
+    let mut lcm: i128 = 1;
+    for r in v {
+        let d = r.denom();
+        let g = gcd(lcm, d).max(1);
+        lcm = lcm.checked_mul(d / g).ok_or(Overflow)?;
+    }
+    let mut out = Vec::with_capacity(v.len());
+    let mut common: i128 = 0;
+    for r in v {
+        let scaled = r.numer().checked_mul(lcm / r.denom()).ok_or(Overflow)?;
+        common = gcd(common, scaled);
+        out.push(scaled);
+    }
+    common = common.max(1);
+    let sign = out.iter().find(|&&x| x != 0).map_or(1, |&x| x.signum());
+    out.iter()
+        .map(|&x| i64::try_from(sign * x / common).map_err(|_| Overflow))
+        .collect()
+}
+
+/// A basis of integer vectors spanning `{x : M·x = 0}`, where `M`'s rows
+/// are `rows` (each of length `num_cols`).
+///
+/// Each basis vector is coprime with a positive leading entry, ordered by
+/// the free column it corresponds to.
+///
+/// # Errors
+///
+/// Returns [`Overflow`] if the exact arithmetic leaves `i128`.
+pub fn null_space(rows: &[Vec<i64>], num_cols: usize) -> Result<Vec<Vec<i64>>, Overflow> {
+    let mut m: Vec<Vec<Ratio>> = rows
+        .iter()
+        .map(|r| {
+            assert_eq!(r.len(), num_cols, "ragged matrix");
+            r.iter().map(|&x| Ratio::int(i128::from(x))).collect()
+        })
+        .collect();
+    let pivots = rref(&mut m)?;
+    let mut is_pivot = vec![false; num_cols];
+    for &p in &pivots {
+        is_pivot[p] = true;
+    }
+    let mut basis = Vec::new();
+    for free in 0..num_cols {
+        if is_pivot[free] {
+            continue;
+        }
+        // x[free] = 1; pivot variables read off the RREF rows.
+        let mut v = vec![Ratio::ZERO; num_cols];
+        v[free] = Ratio::ONE;
+        for (row, &p) in pivots.iter().enumerate() {
+            v[p] = m[row][free].neg();
+        }
+        basis.push(integerize(&v)?);
+    }
+    Ok(basis)
+}
+
+/// The Farkas row budget was exceeded (or arithmetic overflowed): the
+/// semipositive-invariant computation was aborted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FarkasAbort;
+
+impl From<Overflow> for FarkasAbort {
+    fn from(_: Overflow) -> Self {
+        FarkasAbort
+    }
+}
+
+/// Semipositive P-invariants by the Farkas algorithm.
+///
+/// `delta_cols[j]` is one column of the incidence matrix (a transition's
+/// effect on every place, length `num_places`). Returns nonnegative,
+/// nonzero integer vectors `y` with `y·delta == 0` for every column.
+/// Exact duplicates and support-supersets are pruned after each step, so
+/// the result is (close to) the minimal-support generating set.
+///
+/// # Errors
+///
+/// Returns [`FarkasAbort`] if intermediate row count exceeds `row_budget`
+/// or arithmetic overflows; callers should report bounds as not computed.
+pub fn semipositive_invariants(
+    delta_cols: &[Vec<i64>],
+    num_places: usize,
+    row_budget: usize,
+) -> Result<Vec<Vec<i64>>, FarkasAbort> {
+    // Each row is (c, y): c = remaining incidence part, y = the candidate
+    // invariant built so far. Start from [C | I].
+    let mut rows: Vec<(Vec<i128>, Vec<i128>)> = (0..num_places)
+        .map(|p| {
+            let c = delta_cols
+                .iter()
+                .map(|col| i128::from(col[p]))
+                .collect::<Vec<_>>();
+            let mut y = vec![0i128; num_places];
+            y[p] = 1;
+            (c, y)
+        })
+        .collect();
+
+    for j in 0..delta_cols.len() {
+        let (zero, nonzero): (Vec<_>, Vec<_>) = rows.drain(..).partition(|(c, _)| c[j] == 0);
+        let (pos, neg): (Vec<_>, Vec<_>) = nonzero.into_iter().partition(|(c, _)| c[j] > 0);
+        let mut next = zero;
+        for (cp, yp) in &pos {
+            for (cn, yn) in &neg {
+                if next.len() >= row_budget {
+                    return Err(FarkasAbort);
+                }
+                let a = -cn[j]; // > 0, multiplier for the positive row
+                let b = cp[j]; // > 0, multiplier for the negative row
+                let combine = |u: &[i128], v: &[i128]| -> Result<Vec<i128>, FarkasAbort> {
+                    u.iter()
+                        .zip(v)
+                        .map(|(&x, &y)| {
+                            a.checked_mul(x)
+                                .and_then(|ax| b.checked_mul(y).and_then(|by| ax.checked_add(by)))
+                                .ok_or(FarkasAbort)
+                        })
+                        .collect()
+                };
+                let mut c = combine(cp, cn)?;
+                let mut y = combine(yp, yn)?;
+                let g = c
+                    .iter()
+                    .chain(y.iter())
+                    .fold(0i128, |acc, &x| gcd(acc, x))
+                    .max(1);
+                for x in c.iter_mut().chain(y.iter_mut()) {
+                    *x /= g;
+                }
+                next.push((c, y));
+            }
+        }
+        prune_supersets(&mut next);
+        rows = next;
+    }
+
+    let mut out: Vec<Vec<i64>> = Vec::new();
+    for (_, y) in rows {
+        if y.iter().all(|&x| x == 0) {
+            continue;
+        }
+        let v: Vec<i64> = y
+            .iter()
+            .map(|&x| i64::try_from(x).map_err(|_| FarkasAbort))
+            .collect::<Result<_, _>>()?;
+        if !out.contains(&v) {
+            out.push(v);
+        }
+    }
+    Ok(out)
+}
+
+/// Drops rows whose invariant support strictly contains another row's
+/// support (the classic minimality prune that keeps Farkas tractable).
+fn prune_supersets(rows: &mut Vec<(Vec<i128>, Vec<i128>)>) {
+    if rows.len() > 1024 {
+        // Quadratic prune too expensive; rely on the row budget instead.
+        return;
+    }
+    let supports: Vec<Vec<usize>> = rows
+        .iter()
+        .map(|(_, y)| {
+            y.iter()
+                .enumerate()
+                .filter(|(_, &v)| v != 0)
+                .map(|(i, _)| i)
+                .collect()
+        })
+        .collect();
+    let is_subset = |a: &[usize], b: &[usize]| a.iter().all(|x| b.binary_search(x).is_ok());
+    let keep: Vec<bool> = (0..rows.len())
+        .map(|i| {
+            !(0..rows.len()).any(|k| {
+                k != i
+                    && supports[k].len() < supports[i].len()
+                    && is_subset(&supports[k], &supports[i])
+            })
+        })
+        .collect();
+    let mut idx = 0;
+    rows.retain(|_| {
+        let k = keep[idx];
+        idx += 1;
+        k
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_space_of_simple_transfer() {
+        // One transition moving a token p -> q: delta row (-1, +1).
+        // Null space must be spanned by (1, 1): p + q conserved.
+        let basis = null_space(&[vec![-1, 1]], 2).unwrap();
+        assert_eq!(basis, vec![vec![1, 1]]);
+    }
+
+    #[test]
+    fn null_space_of_full_rank_matrix_is_empty() {
+        let basis = null_space(&[vec![1, 0], vec![0, 1]], 2).unwrap();
+        assert!(basis.is_empty());
+    }
+
+    #[test]
+    fn null_space_handles_rationals_exactly() {
+        // From x + y = 0: x = -y; then 2x + 4y - 6z = 0 gives y = 3z, so
+        // the kernel is spanned by (-3, 3, 1).
+        let basis = null_space(&[vec![2, 4, -6], vec![1, 1, 0]], 3).unwrap();
+        assert_eq!(basis.len(), 1);
+        let v = &basis[0];
+        assert_eq!(2 * v[0] + 4 * v[1] - 6 * v[2], 0);
+        assert_eq!(v[0] + v[1], 0);
+        assert_eq!(gcd(gcd(v[0].into(), v[1].into()), v[2].into()), 1);
+        assert!(v.iter().find(|&&x| x != 0).copied().unwrap() > 0);
+    }
+
+    #[test]
+    fn farkas_finds_conservation_in_producer_consumer() {
+        // p -> q (delta column (-1, 1)): y = (1, 1) is the only minimal
+        // semipositive invariant.
+        let invs = semipositive_invariants(&[vec![-1, 1]], 2, 64).unwrap();
+        assert_eq!(invs, vec![vec![1, 1]]);
+    }
+
+    #[test]
+    fn farkas_on_unbounded_net_finds_no_cover_for_growing_place() {
+        // A source transition: delta = (+1). No semipositive y annuls it.
+        let invs = semipositive_invariants(&[vec![1]], 1, 64).unwrap();
+        assert!(invs.is_empty());
+    }
+
+    #[test]
+    fn farkas_respects_row_budget() {
+        // A dense-ish random-ish matrix to force combination growth with a
+        // tiny budget.
+        let cols = vec![
+            vec![1, -1, 1, -1, 1, -1],
+            vec![-1, 1, -1, 1, -1, 1],
+            vec![1, 1, -1, -1, 1, 1],
+        ];
+        match semipositive_invariants(&cols, 6, 2) {
+            Err(FarkasAbort) => {}
+            Ok(rows) => assert!(rows.len() <= 2, "budget must cap growth"),
+        }
+    }
+}

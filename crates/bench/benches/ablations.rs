@@ -30,7 +30,7 @@ fn bench_schemes(c: &mut Criterion) {
         )
         .unwrap();
         g.bench_function(BenchmarkId::from_parameter(name), |b| {
-            b.iter(|| black_box(run_batch(&des, 20)))
+            b.iter(|| black_box(run_batch(&des, 20)));
         });
     }
     g.finish();
@@ -48,7 +48,7 @@ fn bench_spread(c: &mut Criterion) {
         )
         .unwrap();
         g.bench_function(BenchmarkId::from_parameter(spread), |b| {
-            b.iter(|| black_box(run_batch(&des, 20)))
+            b.iter(|| black_box(run_batch(&des, 20)));
         });
     }
     g.finish();
@@ -63,7 +63,7 @@ fn bench_ids_latency(c: &mut Criterion) {
         p.ids_rate = ids;
         let des = ItuaDes::new(p).unwrap();
         g.bench_function(BenchmarkId::from_parameter(ids), |b| {
-            b.iter(|| black_box(run_batch(&des, 20)))
+            b.iter(|| black_box(run_batch(&des, 20)));
         });
     }
     g.finish();
@@ -83,7 +83,7 @@ fn bench_system_scale(c: &mut Criterion) {
         )
         .unwrap();
         g.bench_function(BenchmarkId::from_parameter(name), |b| {
-            b.iter(|| black_box(run_batch(&des, 20)))
+            b.iter(|| black_box(run_batch(&des, 20)));
         });
     }
     g.finish();

@@ -18,19 +18,19 @@ fn small_cfg() -> SweepConfig {
 
 fn bench_figure3(c: &mut Criterion) {
     c.bench_function("figure3_25_reps_per_point", |b| {
-        b.iter(|| figure3::run(&small_cfg()))
+        b.iter(|| figure3::run(&small_cfg()));
     });
 }
 
 fn bench_figure4(c: &mut Criterion) {
     c.bench_function("figure4_25_reps_per_point", |b| {
-        b.iter(|| figure4::run(&small_cfg()))
+        b.iter(|| figure4::run(&small_cfg()));
     });
 }
 
 fn bench_figure5(c: &mut Criterion) {
     c.bench_function("figure5_25_reps_per_point", |b| {
-        b.iter(|| figure5::run(&small_cfg()))
+        b.iter(|| figure5::run(&small_cfg()));
     });
 }
 

@@ -20,7 +20,7 @@ fn bench_des_run(c: &mut Criterion) {
         b.iter(|| {
             seed += 1;
             black_box(des.run(seed, 5.0, &[5.0]))
-        })
+        });
     });
 }
 
@@ -32,20 +32,20 @@ fn bench_san_run(c: &mut Criterion) {
         b.iter(|| {
             seed += 1;
             black_box(sim.run(seed, 5.0, &mut []).unwrap())
-        })
+        });
     });
 }
 
 fn bench_san_build(c: &mut Criterion) {
     let p = params();
     c.bench_function("itua_san_flatten", |b| {
-        b.iter(|| black_box(san_model::build(&p).unwrap()))
+        b.iter(|| black_box(san_model::build(&p).unwrap()));
     });
     let big = Params::default()
         .with_domains(10, 3)
         .with_applications(8, 7);
     c.bench_function("itua_san_flatten_baseline_8apps", |b| {
-        b.iter(|| black_box(san_model::build(&big).unwrap()))
+        b.iter(|| black_box(san_model::build(&big).unwrap()));
     });
 }
 

@@ -19,7 +19,7 @@ fn bench_rng(c: &mut Criterion) {
                 acc = acc.wrapping_add(rng.next_u64());
             }
             black_box(acc)
-        })
+        });
     });
     let mut rng2 = Rng::seed_from_u64(2);
     c.bench_function("rng_weighted_choice_x1000", |b| {
@@ -30,7 +30,7 @@ fn bench_rng(c: &mut Criterion) {
                 acc += rng2.weighted_choice(&w);
             }
             black_box(acc)
-        })
+        });
     });
 }
 
@@ -44,7 +44,7 @@ fn bench_exponential(c: &mut Criterion) {
                 acc += d.sample(&mut rng);
             }
             black_box(acc)
-        })
+        });
     });
 }
 
@@ -61,7 +61,7 @@ fn bench_event_queue(c: &mut Criterion) {
                 acc += t;
             }
             black_box(acc)
-        })
+        });
     });
     c.bench_function("event_queue_cancel_heavy", |b| {
         let mut rng = Rng::seed_from_u64(5);
@@ -78,7 +78,7 @@ fn bench_event_queue(c: &mut Criterion) {
                 n += 1;
             }
             black_box(n)
-        })
+        });
     });
 }
 
@@ -90,10 +90,10 @@ fn bench_stats(c: &mut Criterion) {
                 s.push(i as f64 * 0.37);
             }
             black_box(s.mean())
-        })
+        });
     });
     c.bench_function("t_quantile_df30", |b| {
-        b.iter(|| black_box(t_quantile(0.975, 30.0)))
+        b.iter(|| black_box(t_quantile(0.975, 30.0)));
     });
 }
 
@@ -109,10 +109,10 @@ fn bench_ctmc(c: &mut Criterion) {
     let mut initial = vec![0.0; n];
     initial[0] = 1.0;
     c.bench_function("ctmc_transient_200_states_t10", |b| {
-        b.iter(|| black_box(ctmc.transient(&initial, 10.0, 1e-9).unwrap()))
+        b.iter(|| black_box(ctmc.transient(&initial, 10.0, 1e-9).unwrap()));
     });
     c.bench_function("ctmc_steady_state_200_states", |b| {
-        b.iter(|| black_box(ctmc.steady_state(1e-10, 1_000_000).unwrap()))
+        b.iter(|| black_box(ctmc.steady_state(1e-10, 1_000_000).unwrap()));
     });
 }
 

@@ -5,6 +5,7 @@ use itua_studies::{figure4, table};
 
 fn main() {
     let cli = FigureCli::parse(std::env::args().skip(1));
+    cli.run_check_or_exit(&figure4::points());
     let progress = cli.progress();
     let fig = figure4::run_with(&cli.cfg, &cli.opts(progress.as_ref())).unwrap_or_else(|e| {
         eprintln!("error: {e}");

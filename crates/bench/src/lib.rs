@@ -3,10 +3,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use itua_runner::backend::{BackendKind, BackendOptions};
+use itua_analyzer::AnalysisConfig;
+use itua_core::{analysis, san_model};
+use itua_runner::backend::{BackendKind, BackendOptions, ModelCheck};
 use itua_runner::engine::RunnerConfig;
 use itua_runner::progress::{ConsoleProgress, NullProgress, Progress};
-use itua_studies::sweep::{RunOpts, SweepConfig};
+use itua_studies::sweep::{RunOpts, SweepConfig, SweepPoint};
 use std::path::PathBuf;
 
 /// Parses the common CLI options of the figure binaries.
@@ -29,6 +31,11 @@ use std::path::PathBuf;
 /// * `--results DIR` — result-store directory (default `results/`),
 /// * `--no-resume` — disable the result store: re-simulate every point
 ///   and write no results file,
+/// * `--check` — run the full structural analyzer over every distinct
+///   model of the study before simulating and exit with status 2 if any
+///   hard finding surfaces (see [`check_models`]),
+/// * `--no-check` — skip even the quick pre-simulation model check that
+///   `run_measures` performs by default,
 /// * `--quiet` — suppress progress output on stderr.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FigureCli {
@@ -44,6 +51,10 @@ pub struct FigureCli {
     pub threads: usize,
     /// Result-store directory; `None` disables checkpoint/resume.
     pub results_dir: Option<PathBuf>,
+    /// Whether `--check` requested the full pre-simulation analysis.
+    pub check: bool,
+    /// Whether `--no-check` disabled the default quick model check.
+    pub no_check: bool,
     /// Whether progress output is suppressed.
     pub quiet: bool,
 }
@@ -63,6 +74,8 @@ impl FigureCli {
             csv: false,
             threads: 0,
             results_dir: Some(PathBuf::from("results")),
+            check: false,
+            no_check: false,
             quiet: false,
         };
         let mut it = args.into_iter();
@@ -107,11 +120,13 @@ impl FigureCli {
                         })));
                 }
                 "--no-resume" => cli.results_dir = None,
+                "--check" => cli.check = true,
+                "--no-check" => cli.no_check = true,
                 "--quiet" => cli.quiet = true,
                 other => panic!(
                     "unknown argument '{other}' (try --backend des|san|analytic, \
                      --reps N, --seed S, --csv, --max-states N, --threads N, \
-                     --results DIR, --no-resume, --quiet)"
+                     --results DIR, --no-resume, --check, --no-check, --quiet)"
                 ),
             }
         }
@@ -136,8 +151,54 @@ impl FigureCli {
             runner: RunnerConfig::default().with_threads(self.threads),
             progress,
             results_dir: self.results_dir.clone(),
+            check: if self.no_check {
+                ModelCheck::Off
+            } else {
+                ModelCheck::Quick
+            },
         }
     }
+
+    /// Runs `--check` (when requested) over a study's sweep points and
+    /// exits with status 2 on hard findings. Call before `run_with`.
+    pub fn run_check_or_exit(&self, points: &[SweepPoint]) {
+        if self.check && check_models(points) {
+            eprintln!("model check failed: hard findings above");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Runs the full structural analyzer ([`analysis::full_report`]) over
+/// every *distinct* parameter set among `points`, printing one structured
+/// report per model. Returns whether any hard finding surfaced (the
+/// caller should exit nonzero).
+pub fn check_models(points: &[SweepPoint]) -> bool {
+    let cfg = AnalysisConfig::default();
+    let mut seen: Vec<String> = Vec::new();
+    let mut any_hard = false;
+    for point in points {
+        let key = format!("{:?}", point.params);
+        if seen.contains(&key) {
+            continue;
+        }
+        seen.push(key);
+        println!("--- model check: {} (x = {}) ---", point.series, point.x);
+        match san_model::build(&point.params) {
+            Ok(model) => {
+                let report = analysis::full_report(&model, &cfg);
+                print!("{}", report.render(&model.san));
+                if report.has_hard_findings() {
+                    any_hard = true;
+                }
+            }
+            Err(e) => {
+                println!("model construction failed: {e}");
+                any_hard = true;
+            }
+        }
+    }
+    any_hard
 }
 
 #[cfg(test)]
@@ -153,6 +214,8 @@ mod tests {
         assert!(!cli.csv);
         assert_eq!(cli.threads, 0);
         assert_eq!(cli.results_dir, Some(PathBuf::from("results")));
+        assert!(!cli.check);
+        assert!(!cli.no_check);
         assert!(!cli.quiet);
     }
 
@@ -171,6 +234,7 @@ mod tests {
                 "4",
                 "--results",
                 "out",
+                "--check",
                 "--quiet",
             ]
             .into_iter()
@@ -182,6 +246,7 @@ mod tests {
         assert!(cli.csv);
         assert_eq!(cli.threads, 4);
         assert_eq!(cli.results_dir, Some(PathBuf::from("out")));
+        assert!(cli.check);
         assert!(cli.quiet);
     }
 
@@ -220,6 +285,42 @@ mod tests {
         assert_eq!(opts.backend, BackendKind::Des);
         assert_eq!(opts.runner.effective_threads(), 3);
         assert_eq!(opts.results_dir, Some(PathBuf::from("results")));
+        assert_eq!(opts.check, ModelCheck::Quick);
+    }
+
+    #[test]
+    fn no_check_turns_the_quick_check_off() {
+        let cli = FigureCli::parse(["--no-check".to_owned()]);
+        assert!(cli.no_check);
+        let progress = cli.progress();
+        let opts = cli.opts(progress.as_ref());
+        assert_eq!(opts.check, ModelCheck::Off);
+    }
+
+    #[test]
+    fn check_models_accepts_a_clean_micro_model() {
+        use itua_core::params::Params;
+        let params = Params::default().with_domains(1, 2).with_applications(1, 2);
+        let points = vec![
+            SweepPoint {
+                x: 2.0,
+                series: "micro".to_owned(),
+                params: params.clone(),
+                horizon: 1.0,
+                sample_times: vec![1.0],
+            },
+            // A duplicate parameter set must be analyzed only once; the
+            // easiest observable proxy is that the call stays fast and
+            // still reports no hard findings.
+            SweepPoint {
+                x: 2.0,
+                series: "micro".to_owned(),
+                params,
+                horizon: 1.0,
+                sample_times: vec![1.0],
+            },
+        ];
+        assert!(!check_models(&points));
     }
 
     #[test]

@@ -352,7 +352,7 @@ impl State {
             host.mgr_attack_epoch = 0;
             host.replicas.clear();
         }
-        for dom in self.domains.iter_mut() {
+        for dom in &mut self.domains {
             dom.excluded = false;
             dom.spread_level = 0.0;
             dom.active_hosts = hpd;
@@ -360,7 +360,7 @@ impl State {
             dom.corrupt_mgrs = 0;
         }
         self.replicas.clear();
-        for app in self.apps.iter_mut() {
+        for app in &mut self.apps {
             app.running = 0;
             app.corrupt_undetected = 0;
             app.need_recovery = 0;
@@ -488,7 +488,7 @@ impl State {
             Event::MgrDetect { host } => self.on_mgr_detect(host),
             Event::RepAttack { replica, epoch } => self.on_rep_attack(replica, epoch),
             Event::RepDetect { replica } | Event::RepFalseDetect { replica } => {
-                self.on_rep_convicted_by_ids(replica)
+                self.on_rep_convicted_by_ids(replica);
             }
             Event::RepMisbehave { replica } => self.on_rep_misbehave(replica),
             Event::SpreadDomain { host } => self.on_spread_domain(host),

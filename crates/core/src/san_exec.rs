@@ -33,10 +33,12 @@ pub struct ItuaSanRunner {
     sim: SanSimulator,
 }
 
-/// Reusable per-thread state for [`ItuaSanRunner::run_into`]; wraps the
-/// simulator's [`SimScratch`].
+/// Reusable per-thread state for [`ItuaSanRunner::run_into`]: the
+/// simulator's [`SimScratch`] plus the measure observer, whose buffers are
+/// reset (not reallocated) for every replication.
 pub struct SanScratch {
     sim: SimScratch,
+    observer: MeasureObserver,
 }
 
 impl ItuaSanRunner {
@@ -70,6 +72,7 @@ impl ItuaSanRunner {
     pub fn scratch(&self) -> SanScratch {
         SanScratch {
             sim: self.sim.scratch(),
+            observer: MeasureObserver::new(&self.model),
         }
     }
 
@@ -93,10 +96,14 @@ impl ItuaSanRunner {
         scratch: &mut SanScratch,
     ) -> Result<RunOutput, SanError> {
         assert!(horizon > 0.0 && horizon.is_finite(), "bad horizon");
-        let mut observer = MeasureObserver::new(&self.model, horizon, sample_times);
-        self.sim
-            .run_with_scratch(seed, horizon, &mut [&mut observer], &mut scratch.sim)?;
-        Ok(observer.into_output(horizon))
+        scratch.observer.reset(horizon, sample_times);
+        self.sim.run_with_scratch(
+            seed,
+            horizon,
+            &mut [&mut scratch.observer],
+            &mut scratch.sim,
+        )?;
+        Ok(scratch.observer.take_output(horizon))
     }
 
     /// Runs one replication with a fresh scratch; see
@@ -120,6 +127,7 @@ impl ItuaSanRunner {
 /// Observer that evaluates the DES-equivalent measures on the SAN marking.
 struct MeasureObserver {
     places: ItuaSanPlaces,
+    num_apps: usize,
     num_domains: usize,
     hosts_per_domain: usize,
     samples: Vec<f64>,
@@ -134,30 +142,51 @@ struct MeasureObserver {
 }
 
 impl MeasureObserver {
-    fn new(model: &ItuaSan, horizon: f64, sample_times: &[f64]) -> Self {
-        // Same clamp/filter/sort/dedup the DES applies to sample times.
-        let mut samples: Vec<f64> = sample_times
-            .iter()
-            .map(|&t| t.min(horizon))
-            .filter(|&t| t > 0.0)
-            .collect();
-        samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaN sample times"));
-        samples.dedup();
-        let num_apps = model.params.num_apps;
+    fn new(model: &ItuaSan) -> Self {
         MeasureObserver {
             places: model.places.clone(),
+            num_apps: model.params.num_apps,
             num_domains: model.params.num_domains,
             hosts_per_domain: model.params.hosts_per_domain,
-            samples,
-            improper: vec![TimeWeighted::new(0.0, 1.0); num_apps],
-            byzantine: vec![false; num_apps],
+            samples: Vec::new(),
+            improper: Vec::new(),
+            byzantine: Vec::new(),
             first_byzantine_time: None,
             first_improper_time: None,
             excluded_seen: 0,
-            domain_recorded: vec![false; model.params.num_domains],
+            domain_recorded: Vec::new(),
             exclusion_fractions: Vec::new(),
             snapshots: Vec::new(),
         }
+    }
+
+    /// Prepares the observer for a fresh replication, reusing every
+    /// buffer. `take_output` may have drained some vectors; `resize` after
+    /// `clear` restores their length either way.
+    fn reset(&mut self, horizon: f64, sample_times: &[f64]) {
+        // Same clamp/filter/sort/dedup the DES applies to sample times.
+        self.samples.clear();
+        self.samples.extend(
+            sample_times
+                .iter()
+                .map(|&t| t.min(horizon))
+                .filter(|&t| t > 0.0),
+        );
+        self.samples
+            .sort_by(|a, b| a.partial_cmp(b).expect("no NaN sample times"));
+        self.samples.dedup();
+        self.improper.clear();
+        self.improper
+            .resize(self.num_apps, TimeWeighted::new(0.0, 1.0));
+        self.byzantine.clear();
+        self.byzantine.resize(self.num_apps, false);
+        self.first_byzantine_time = None;
+        self.first_improper_time = None;
+        self.excluded_seen = 0;
+        self.domain_recorded.clear();
+        self.domain_recorded.resize(self.num_domains, false);
+        self.exclusion_fractions.clear();
+        self.snapshots.clear();
     }
 
     fn update(&mut self, time: f64, marking: &Marking) {
@@ -190,7 +219,10 @@ impl MeasureObserver {
         }
     }
 
-    fn into_output(self, horizon: f64) -> RunOutput {
+    /// Extracts the run's measures. Accumulator vectors are moved out (the
+    /// output owns them anyway); the next [`MeasureObserver::reset`]
+    /// rebuilds them.
+    fn take_output(&mut self, horizon: f64) -> RunOutput {
         RunOutput {
             horizon,
             improper_time_per_app: self
@@ -198,9 +230,9 @@ impl MeasureObserver {
                 .iter()
                 .map(|tw| tw.integral_until(horizon))
                 .collect(),
-            byzantine_per_app: self.byzantine,
-            exclusion_corrupt_fractions: self.exclusion_fractions,
-            snapshots: self.snapshots,
+            byzantine_per_app: std::mem::take(&mut self.byzantine),
+            exclusion_corrupt_fractions: std::mem::take(&mut self.exclusion_fractions),
+            snapshots: std::mem::take(&mut self.snapshots),
             first_byzantine_time: self.first_byzantine_time,
             first_improper_time: self.first_improper_time,
         }
@@ -266,6 +298,32 @@ mod tests {
                 .unwrap();
             let fresh = runner.run(seed, 5.0, &[1.0, 5.0]).unwrap();
             assert_eq!(reused, fresh, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_is_exact_across_heterogeneous_runs() {
+        // Interleave horizons and sample grids of different lengths so a
+        // stale buffer from the previous replication (longer snapshot
+        // list, different sample times, leftover exclusion fractions)
+        // would corrupt the next output if reset missed anything.
+        let runner = ItuaSanRunner::new(&small_params()).unwrap();
+        let mut scratch = runner.scratch();
+        let configs: [(f64, &[f64]); 3] = [
+            (5.0, &[1.0, 5.0]),
+            (10.0, &[2.0, 4.0, 6.0, 10.0]),
+            (2.0, &[]),
+        ];
+        for round in 0..4 {
+            for (i, &(horizon, samples)) in configs.iter().enumerate() {
+                let seed = round * 100 + i as u64;
+                let reused = runner
+                    .run_into(seed, horizon, samples, &mut scratch)
+                    .unwrap();
+                let fresh = runner.run(seed, horizon, samples).unwrap();
+                assert_eq!(reused, fresh, "round {round}, config {i}");
+                assert_eq!(reused.snapshots.len(), samples.len());
+            }
         }
     }
 

@@ -184,6 +184,7 @@ fn fmt_dur(d: Duration) -> String {
 #[macro_export]
 macro_rules! criterion_group {
     (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        /// Runs every benchmark of this group once.
         pub fn $name() {
             let mut criterion = $config;
             $($target(&mut criterion);)+

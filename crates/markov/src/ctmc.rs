@@ -139,7 +139,7 @@ impl Ctmc {
     /// The uniformization rate `Λ` (strictly larger than every exit rate so
     /// the uniformized DTMC is aperiodic).
     pub fn uniformization_rate(&self) -> f64 {
-        let max_exit = self.exit_rates.iter().cloned().fold(0.0, f64::max);
+        let max_exit = self.exit_rates.iter().copied().fold(0.0, f64::max);
         if max_exit == 0.0 {
             1.0 // all-absorbing chain; any Λ works
         } else {

@@ -114,6 +114,32 @@ pub trait Backend: Sync {
     ) -> Option<Result<MeasureSet, BackendError>> {
         None
     }
+
+    /// A cheap structural self-check of the model, run once before the
+    /// replication loop when [`ModelCheck::Quick`] is in force. The
+    /// default has nothing to verify. The SAN backend verifies its
+    /// expected invariants and rate sanity at the initial marking
+    /// ([`itua_core::analysis::quick_check`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BackendError`] describing every violation found.
+    fn self_check(&self) -> Result<(), BackendError> {
+        Ok(())
+    }
+}
+
+/// Whether [`run_measures_checked`] verifies the model before simulating.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ModelCheck {
+    /// Run [`Backend::self_check`] once before the replication loop and
+    /// refuse to simulate a model that fails it. O(places + activities)
+    /// for the SAN backend — cheap enough to be the default for every
+    /// sweep point.
+    #[default]
+    Quick,
+    /// Skip the check (`--no-check`).
+    Off,
 }
 
 impl Backend for ItuaDes {
@@ -149,6 +175,15 @@ impl Backend for ItuaSanRunner {
         scratch: &mut SanScratch,
     ) -> Result<RunOutput, BackendError> {
         Ok(self.run_into(seed, horizon, sample_times, scratch)?)
+    }
+
+    fn self_check(&self) -> Result<(), BackendError> {
+        itua_core::analysis::quick_check(self.model()).map_err(|e| {
+            BackendError::new(format!(
+                "SAN model failed its structural self-check (pass --no-check to \
+                 simulate anyway):\n{e}"
+            ))
+        })
     }
 }
 
@@ -358,6 +393,13 @@ impl Backend for ItuaBackend {
             ItuaBackend::Analytic(b) => b.exact_measures(horizon, sample_times, confidence),
         }
     }
+
+    fn self_check(&self) -> Result<(), BackendError> {
+        match self {
+            ItuaBackend::Des(_) | ItuaBackend::Analytic(_) => Ok(()),
+            ItuaBackend::San(b) => b.self_check(),
+        }
+    }
 }
 
 /// Runs `replications` independent replications of `backend` and reduces
@@ -413,6 +455,43 @@ pub fn run_measures<B: Backend>(
     runner: &RunnerConfig,
     progress: &dyn Progress,
 ) -> Result<MeasureSet, BackendError> {
+    run_measures_checked(
+        backend,
+        replications,
+        confidence,
+        origin_seed,
+        horizon,
+        sample_times,
+        runner,
+        progress,
+        ModelCheck::Quick,
+    )
+}
+
+/// [`run_measures`] with an explicit [`ModelCheck`] policy: under
+/// [`ModelCheck::Quick`] (the [`run_measures`] default) the backend's
+/// [`Backend::self_check`] runs once up front and a failing model is
+/// refused instead of simulated.
+///
+/// # Errors
+///
+/// Returns the self-check failure, or the first (in replication order)
+/// [`BackendError`] any replication produced.
+#[allow(clippy::too_many_arguments)]
+pub fn run_measures_checked<B: Backend>(
+    backend: &B,
+    replications: u32,
+    confidence: f64,
+    origin_seed: u64,
+    horizon: f64,
+    sample_times: &[f64],
+    runner: &RunnerConfig,
+    progress: &dyn Progress,
+    check: ModelCheck,
+) -> Result<MeasureSet, BackendError> {
+    if check == ModelCheck::Quick {
+        backend.self_check()?;
+    }
     if let Some(exact) = backend.exact_measures(horizon, sample_times, confidence) {
         let measures = exact?;
         progress.on_replications(replications, replications);
@@ -602,9 +681,8 @@ mod tests {
         let opts = BackendOptions {
             analytic_max_states: 2_000,
         };
-        let err = match ItuaBackend::for_params_with(BackendKind::Analytic, &params, &opts) {
-            Err(e) => e,
-            Ok(_) => panic!("figure-4-scale config must be rejected"),
+        let Err(err) = ItuaBackend::for_params_with(BackendKind::Analytic, &params, &opts) else {
+            panic!("figure-4-scale config must be rejected")
         };
         let msg = err.to_string();
         assert!(
@@ -612,6 +690,37 @@ mod tests {
             "{msg}"
         );
         assert!(msg.contains("use des/san"), "{msg}");
+    }
+
+    #[test]
+    fn san_self_check_passes_and_check_modes_agree() {
+        let backend = ItuaBackend::for_params(BackendKind::San, &small_params()).unwrap();
+        backend.self_check().unwrap();
+        let run = |check| {
+            run_measures_checked(
+                &backend,
+                4,
+                0.95,
+                1,
+                2.0,
+                &[2.0],
+                &RunnerConfig::serial(),
+                &NullProgress,
+                check,
+            )
+            .unwrap()
+            .estimates()
+        };
+        // The check only gates; it must not influence the estimates.
+        assert_eq!(run(ModelCheck::Quick), run(ModelCheck::Off));
+    }
+
+    #[test]
+    fn des_and_analytic_self_checks_are_trivially_ok() {
+        let des = ItuaBackend::for_params(BackendKind::Des, &small_params()).unwrap();
+        let analytic = ItuaBackend::for_params(BackendKind::Analytic, &micro_params()).unwrap();
+        assert!(des.self_check().is_ok());
+        assert!(analytic.self_check().is_ok());
     }
 
     #[test]

@@ -52,9 +52,7 @@ impl RunnerConfig {
         if self.threads > 0 {
             self.threads
         } else {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
+            std::thread::available_parallelism().map_or(1, std::num::NonZero::get)
         }
     }
 }

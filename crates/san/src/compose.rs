@@ -23,7 +23,7 @@
 use crate::marking::PlaceId;
 use crate::model::{ActivityBuilder, San, SanBuilder, SanError, ValueFn};
 use itua_sim::dist::Distribution;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// A place shared among the children of a composition node.
@@ -172,7 +172,7 @@ impl ComposedModel {
             &self.root,
             &mut builder,
             String::new(),
-            &HashMap::new(),
+            &BTreeMap::new(),
             &mut rep_indices,
         )?;
         builder.finish()
@@ -182,7 +182,7 @@ impl ComposedModel {
         node: &Node,
         builder: &mut SanBuilder,
         prefix: String,
-        env: &HashMap<String, PlaceId>,
+        env: &BTreeMap<String, PlaceId>,
         rep_indices: &mut Vec<usize>,
     ) -> Result<(), SanError> {
         match node {
@@ -248,7 +248,7 @@ fn bind_shared(
     builder: &mut SanBuilder,
     path: &str,
     shared: &[SharedPlace],
-    env: &mut HashMap<String, PlaceId>,
+    env: &mut BTreeMap<String, PlaceId>,
 ) {
     for sp in shared {
         if !env.contains_key(&sp.name) {
@@ -263,7 +263,7 @@ fn bind_shared(
 pub struct SubnetBuilder<'a> {
     builder: &'a mut SanBuilder,
     prefix: String,
-    env: HashMap<String, PlaceId>,
+    env: BTreeMap<String, PlaceId>,
     rep_indices: Vec<usize>,
 }
 

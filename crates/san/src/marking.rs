@@ -20,6 +20,12 @@ impl PlaceId {
     pub fn index(self) -> usize {
         self.0 as usize
     }
+
+    /// The id with the given raw index. The caller is responsible for the
+    /// index being in range for the model it is used against.
+    pub fn from_index(index: usize) -> PlaceId {
+        PlaceId(index as u32)
+    }
 }
 
 impl fmt::Display for PlaceId {

@@ -30,6 +30,12 @@ impl ActivityId {
     pub fn index(self) -> usize {
         self.0 as usize
     }
+
+    /// The id with the given raw index. The caller is responsible for the
+    /// index being in range for the model it is used against.
+    pub fn from_index(index: usize) -> ActivityId {
+        ActivityId(index as u32)
+    }
 }
 
 impl fmt::Display for ActivityId {
@@ -94,6 +100,14 @@ pub struct Activity {
     /// Places whose change can affect enabling or rate; used for
     /// incremental re-evaluation.
     pub(crate) reads: Vec<PlaceId>,
+    /// Declared input arcs `(place, multiplicity)` — structure the builder
+    /// recorded alongside the opaque predicate/effect closures.
+    pub(crate) declared_inputs: Vec<(PlaceId, i32)>,
+    /// Declared output arcs `(place, multiplicity)`.
+    pub(crate) declared_outputs: Vec<(PlaceId, i32)>,
+    /// Number of opaque input-gate functions (effects the declared arcs do
+    /// not describe).
+    pub(crate) gate_effects: usize,
 }
 
 impl Activity {
@@ -120,6 +134,55 @@ impl Activity {
     /// Case weights in `marking` (unnormalized).
     pub fn case_weights(&self, marking: &Marking) -> Vec<f64> {
         self.cases.iter().map(|c| (c.weight)(marking)).collect()
+    }
+
+    /// Whether the activity fires in zero time.
+    pub fn is_instantaneous(&self) -> bool {
+        matches!(self.timing, Timing::Instantaneous)
+    }
+
+    /// Places the activity's enabling predicates or rate function read.
+    pub fn reads(&self) -> &[PlaceId] {
+        &self.reads
+    }
+
+    /// Declared input arcs `(place, multiplicity)`.
+    ///
+    /// Together with [`Self::declared_output_arcs`] this is the statically
+    /// known part of the activity's structure; effects added through
+    /// [`ActivityBuilder::input_gate`] or case effects are opaque closures
+    /// and are *not* reflected here (see [`Self::num_gate_effects`]).
+    pub fn declared_input_arcs(&self) -> &[(PlaceId, i32)] {
+        &self.declared_inputs
+    }
+
+    /// Declared output arcs `(place, multiplicity)`.
+    pub fn declared_output_arcs(&self) -> &[(PlaceId, i32)] {
+        &self.declared_outputs
+    }
+
+    /// Number of opaque input-gate marking functions attached to this
+    /// activity (marking changes the declared arcs do not describe).
+    pub fn num_gate_effects(&self) -> usize {
+        self.gate_effects
+    }
+
+    /// Number of output-gate effects on `case` (beyond declared arcs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `case` is out of range.
+    pub fn num_case_effects(&self, case: usize) -> usize {
+        self.cases[case].effects.len()
+    }
+
+    /// The exponential rate in `marking`, or `None` for non-exponential
+    /// timing.
+    pub fn rate(&self, marking: &Marking) -> Option<f64> {
+        match &self.timing {
+            Timing::Exponential(r) => Some(r(marking)),
+            _ => None,
+        }
     }
 
     /// Applies input-gate effects then the chosen case's effects.
@@ -255,6 +318,16 @@ impl San {
     /// Name of a place.
     pub fn place_name(&self, place: PlaceId) -> &str {
         &self.place_names[place.index()]
+    }
+
+    /// Initial token count of a place.
+    pub fn initial_tokens(&self, place: PlaceId) -> i32 {
+        self.initial[place.index()]
+    }
+
+    /// Iterates over all place ids in index order.
+    pub fn place_ids(&self) -> impl Iterator<Item = PlaceId> {
+        (0..self.place_names.len() as u32).map(PlaceId)
     }
 
     /// The activity with the given id.
@@ -400,6 +473,9 @@ impl SanBuilder {
             input_effects: Vec::new(),
             cases: Vec::new(),
             extra_reads: Vec::new(),
+            declared_inputs: Vec::new(),
+            declared_outputs: Vec::new(),
+            gate_effects: 0,
         }
     }
 
@@ -442,6 +518,9 @@ pub struct ActivityBuilder<'a> {
     input_effects: Vec<Effect>,
     cases: Vec<Case>,
     extra_reads: Vec<PlaceId>,
+    declared_inputs: Vec<(PlaceId, i32)>,
+    declared_outputs: Vec<(PlaceId, i32)>,
+    gate_effects: usize,
 }
 
 impl<'a> ActivityBuilder<'a> {
@@ -452,6 +531,7 @@ impl<'a> ActivityBuilder<'a> {
         self.predicates.push(Arc::new(move |m| m.get(place) >= k));
         self.input_effects.push(Arc::new(move |m| m.add(place, -k)));
         self.extra_reads.push(place);
+        self.declared_inputs.push((place, k));
         self
     }
 
@@ -466,6 +546,7 @@ impl<'a> ActivityBuilder<'a> {
         // the case effect; SAN semantics order is gate-function then case,
         // and token deposits commute with each other.
         self.input_effects.push(eff);
+        self.declared_outputs.push((place, k));
         self
     }
 
@@ -480,6 +561,7 @@ impl<'a> ActivityBuilder<'a> {
         self.predicates.push(Arc::new(predicate));
         self.input_effects.push(Arc::new(function));
         self.extra_reads.extend_from_slice(reads);
+        self.gate_effects += 1;
         self
     }
 
@@ -556,6 +638,9 @@ impl<'a> ActivityBuilder<'a> {
             input_effects: self.input_effects,
             cases,
             reads,
+            declared_inputs: self.declared_inputs,
+            declared_outputs: self.declared_outputs,
+            gate_effects: self.gate_effects,
         });
         Ok(id)
     }
@@ -686,6 +771,32 @@ mod tests {
         let san = b.finish().unwrap();
         let found: Vec<_> = san.places_matching(|n| n.ends_with("/running")).collect();
         assert_eq!(found.len(), 2);
+    }
+
+    #[test]
+    fn introspection_exposes_declared_structure() {
+        let mut b = SanBuilder::new("m");
+        let p = b.place("p", 2);
+        let q = b.place("q", 0);
+        let g = b.place("g", 1);
+        let a = b
+            .timed_activity("move", 1.5)
+            .input_arc(p, 2)
+            .output_arc(q, 1)
+            .input_gate(&[g], move |m| m.get(g) > 0, move |m| m.set(g, 0))
+            .build()
+            .unwrap();
+        let san = b.finish().unwrap();
+        let act = san.activity(a);
+        assert_eq!(act.declared_input_arcs(), &[(p, 2)]);
+        assert_eq!(act.declared_output_arcs(), &[(q, 1)]);
+        assert_eq!(act.num_gate_effects(), 1);
+        assert!(!act.is_instantaneous());
+        assert_eq!(act.rate(&san.initial_marking()), Some(1.5));
+        assert!(act.reads().contains(&p));
+        assert!(act.reads().contains(&g));
+        assert_eq!(san.initial_tokens(p), 2);
+        assert_eq!(san.place_ids().count(), 3);
     }
 
     #[test]

@@ -17,8 +17,8 @@ proptest! {
         let scale = 1.0 + mean.abs() + var.abs();
         prop_assert!((s.mean() - mean).abs() / scale < 1e-9);
         prop_assert!((s.sample_variance().unwrap() - var).abs() / scale.powi(2) < 1e-6);
-        prop_assert_eq!(s.min().unwrap(), xs.iter().cloned().fold(f64::INFINITY, f64::min));
-        prop_assert_eq!(s.max().unwrap(), xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max));
+        prop_assert_eq!(s.min().unwrap(), xs.iter().copied().fold(f64::INFINITY, f64::min));
+        prop_assert_eq!(s.max().unwrap(), xs.iter().copied().fold(f64::NEG_INFINITY, f64::max));
     }
 
     /// Merging partitions equals processing the whole stream.
@@ -69,8 +69,8 @@ proptest! {
         }
         let end = t + 1.0;
         let mean = tw.mean_until(end);
-        let lo = levels.iter().cloned().fold(f64::INFINITY, f64::min);
-        let hi = levels.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let lo = levels.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = levels.iter().copied().fold(f64::NEG_INFINITY, f64::max);
         prop_assert!(mean >= lo - 1e-9 && mean <= hi + 1e-9);
     }
 

@@ -172,8 +172,8 @@ mod tests {
         // Different series are run with different point indices (seeds),
         // so we only check they are close, not identical.
         let means: Vec<f64> = series.iter().map(|s| s.points[0].1.mean).collect();
-        let lo = means.iter().cloned().fold(f64::INFINITY, f64::min);
-        let hi = means.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let lo = means.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = means.iter().copied().fold(f64::NEG_INFINITY, f64::max);
         assert!(
             hi - lo < 0.05,
             "baseline estimates spread too far: {means:?}"

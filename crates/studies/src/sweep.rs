@@ -11,7 +11,9 @@
 
 use itua_core::measures::MeasureSet;
 use itua_core::params::Params;
-use itua_runner::backend::{run_measures, BackendError, BackendKind, BackendOptions, ItuaBackend};
+use itua_runner::backend::{
+    run_measures_checked, BackendError, BackendKind, BackendOptions, ItuaBackend, ModelCheck,
+};
 use itua_runner::engine::RunnerConfig;
 use itua_runner::progress::{NullProgress, Progress};
 use itua_runner::store::{fingerprint, ResultStore, StoredEstimate, StoredPoint};
@@ -133,6 +135,10 @@ pub struct RunOpts<'a> {
     /// `<sweep_id>-analytic` for the others, so backends never clobber
     /// each other). `None` disables persistence.
     pub results_dir: Option<PathBuf>,
+    /// Whether each point's model is structurally verified before
+    /// simulation ([`ModelCheck::Quick`], the default) or not
+    /// (`--no-check`). The check only gates: it never changes estimates.
+    pub check: ModelCheck,
 }
 
 impl Default for RunOpts<'static> {
@@ -143,6 +149,7 @@ impl Default for RunOpts<'static> {
             runner: RunnerConfig::default(),
             progress: &NullProgress,
             results_dir: None,
+            check: ModelCheck::default(),
         }
     }
 }
@@ -160,6 +167,7 @@ impl Default for RunOpts<'static> {
 /// Fails when the backend cannot be built for the point's parameters or
 /// a replication errors (SAN simulation errors surface here; the DES
 /// cannot fail at run time).
+#[allow(clippy::too_many_arguments)]
 pub fn run_point_backend(
     point: &SweepPoint,
     cfg: &SweepConfig,
@@ -168,9 +176,10 @@ pub fn run_point_backend(
     backend_opts: &BackendOptions,
     runner: &RunnerConfig,
     progress: &dyn Progress,
+    check: ModelCheck,
 ) -> Result<MeasureSet, BackendError> {
     let backend = ItuaBackend::for_params_with(backend, &point.params, backend_opts)?;
-    run_measures(
+    run_measures_checked(
         &backend,
         cfg.replications,
         cfg.confidence,
@@ -179,6 +188,7 @@ pub fn run_point_backend(
         &point.sample_times,
         runner,
         progress,
+        check,
     )
 }
 
@@ -199,6 +209,7 @@ pub fn run_point_with(
         &BackendOptions::default(),
         runner,
         progress,
+        ModelCheck::Quick,
     )
     .expect("sweep point parameters are valid")
 }
@@ -280,6 +291,7 @@ pub fn run_sweep_stored(
             &opts.backend_opts,
             &opts.runner,
             opts.progress,
+            opts.check,
         )
         .map_err(io::Error::from)?;
         Ok(ms.estimates().iter().map(StoredEstimate::from).collect())

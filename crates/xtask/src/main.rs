@@ -1,0 +1,49 @@
+//! Workspace maintenance tasks, invoked as `cargo xtask <command>`.
+//!
+//! Currently the only command is `lint`: the determinism lint described
+//! in [`lint`]. It exits 0 when the tree is clean, 1 when violations or
+//! stale allowlist entries exist, and 2 on usage errors.
+
+mod lint;
+
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => run_lint(),
+        Some(other) => {
+            eprintln!("unknown command '{other}'\nusage: cargo xtask lint");
+            ExitCode::from(2)
+        }
+        None => {
+            eprintln!("usage: cargo xtask lint");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run_lint() -> ExitCode {
+    // The binary lives in crates/xtask, so the workspace root is two
+    // levels up from the manifest — independent of the invocation cwd.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/xtask has a workspace root two levels up");
+    let allow = root.join(lint::ALLOWLIST_FILE);
+    match lint::run(root, &allow) {
+        Ok(outcome) => {
+            print!("{}", outcome.render());
+            if outcome.is_clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("xtask lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -16,6 +16,7 @@
 //! See `README.md` for a guided tour and `DESIGN.md` for the system
 //! inventory.
 
+pub use itua_analyzer as analyzer;
 pub use itua_core as itua;
 pub use itua_markov as markov;
 pub use itua_runner as runner;

@@ -1,0 +1,119 @@
+//! End-to-end checks of the structural analyzer over the composed ITUA
+//! SAN models: the hand-derived invariants of `itua_core::analysis` must
+//! hold on every probed firing, the paper-scale study configurations
+//! must carry no hard findings, and the documented `frac_corrupt`
+//! measurement gap must surface as an *allowlisted soft* finding — never
+//! a gate.
+
+use itua_analyzer::{AnalysisConfig, Severity};
+use itua_core::params::Params;
+use itua_core::{analysis, san_model};
+use itua_studies::{figure3, figure4, figure5};
+
+fn micro_params() -> Params {
+    Params::default().with_domains(1, 2).with_applications(1, 2)
+}
+
+/// A probe sized for debug-build test time; CI's `--check` run covers
+/// the full default depth in release.
+fn small_probe() -> AnalysisConfig {
+    let mut cfg = AnalysisConfig::default();
+    cfg.probe.max_markings = 256;
+    cfg.probe.num_walks = 8;
+    cfg.probe.walk_len = 64;
+    cfg
+}
+
+#[test]
+fn micro_model_satisfies_the_hand_derived_invariants() {
+    let model = san_model::build(&micro_params()).unwrap();
+    let report = analysis::full_report(&model, &AnalysisConfig::default());
+    // No hard finding means: every expected invariant (replica
+    // conservation, running/corruption counters, per-domain host and
+    // manager counters, system-wide manager counters) held at the
+    // initial marking and across every firing the probe observed.
+    assert!(!report.has_hard_findings(), "{}", report.render(&model.san));
+    assert!(report.invariants_computed);
+    assert!(
+        report.nontrivial_p_invariants() >= 2,
+        "micro model must exhibit real conservation laws, got {}",
+        report.nontrivial_p_invariants()
+    );
+}
+
+#[test]
+fn composed_figure3_model_has_nontrivial_p_invariants() {
+    let point = figure3::points().swap_remove(0);
+    let model = san_model::build(&point.params).unwrap();
+    let report = analysis::full_report(&model, &small_probe());
+    assert!(
+        report.invariants_computed,
+        "figure-3 models sit under the invariant place cap"
+    );
+    assert!(
+        report.nontrivial_p_invariants() >= 2,
+        "expected at least two nontrivial P-invariants, got {}",
+        report.nontrivial_p_invariants()
+    );
+    assert!(!report.has_hard_findings(), "{}", report.render(&model.san));
+}
+
+#[test]
+fn study_configurations_carry_no_hard_findings() {
+    let reps = [
+        figure4::points().swap_remove(0),
+        figure5::points().swap_remove(0),
+    ];
+    for point in reps {
+        let model = san_model::build(&point.params).unwrap();
+        let report = analysis::full_report(&model, &small_probe());
+        assert!(
+            !report.has_hard_findings(),
+            "{} (x = {}):\n{}",
+            point.series,
+            point.x,
+            report.render(&model.san)
+        );
+    }
+}
+
+#[test]
+fn frac_corrupt_gap_fires_as_an_allowlisted_soft_finding() {
+    let model = san_model::build(&micro_params()).unwrap();
+    let san = &model.san;
+    // Craft the smallest marking exhibiting the gap: a domain exclusion
+    // in progress, host 0 clean (OS and manager) but hosting the
+    // application while one of its replicas is corrupt and undetected.
+    // `shut_host` then fires without crediting `dom_excl_corrupt`, even
+    // though the excluded host may well have held the corrupt replica.
+    let mut values: Vec<i32> = san.initial_marking().values().to_vec();
+    for (name, v) in [
+        ("itua/domains[0]/hosts/dom_excluding", 1),
+        ("itua/domains[0]/hosts[0]/host/has_app_0", 1),
+        ("itua/domains[0]/hosts/dom_has_app_0", 1),
+        ("itua/apps[0]/app/rep_corr_undetected", 1),
+    ] {
+        let id = san
+            .place_id(name)
+            .unwrap_or_else(|| panic!("model has no place '{name}'"));
+        values[id.index()] = v;
+    }
+    let mut cfg = small_probe();
+    cfg.probe.extra_roots.push(values);
+    let report = analysis::full_report(&model, &cfg);
+    let gap: Vec<_> = report
+        .findings
+        .iter()
+        .filter(|f| f.id == "frac-corrupt-replica-blind")
+        .collect();
+    assert!(
+        !gap.is_empty(),
+        "crafted marking must drive shut_host into the blind spot:\n{}",
+        report.render(san)
+    );
+    assert!(
+        gap.iter().all(|f| f.severity == Severity::Soft),
+        "the gap is documented and allowlisted, so it must not gate"
+    );
+    assert!(!report.has_hard_findings(), "{}", report.render(san));
+}
