@@ -26,6 +26,9 @@ use std::path::PathBuf;
 /// * `--csv` — also print the figure as CSV,
 /// * `--threads N` — worker threads (default: one per core; results are
 ///   identical for every choice),
+/// * `--batch N` — replications per batched backend call (default 32;
+///   purely an amortisation knob, results are identical for every
+///   choice),
 /// * `--max-states N` — analytic backend only: bound on the tangible
 ///   state space before a configuration is rejected (default 100000),
 /// * `--results DIR` — result-store directory (default `results/`),
@@ -49,6 +52,8 @@ pub struct FigureCli {
     pub csv: bool,
     /// Worker threads (`0` = one per core).
     pub threads: usize,
+    /// Replications per batched backend call (`0` is treated as 1).
+    pub batch_size: u32,
     /// Result-store directory; `None` disables checkpoint/resume.
     pub results_dir: Option<PathBuf>,
     /// Whether `--check` requested the full pre-simulation analysis.
@@ -73,6 +78,7 @@ impl FigureCli {
             cfg: SweepConfig::default(),
             csv: false,
             threads: 0,
+            batch_size: RunnerConfig::default().batch_size,
             results_dir: Some(PathBuf::from("results")),
             check: false,
             no_check: false,
@@ -113,6 +119,12 @@ impl FigureCli {
                         .and_then(|v| v.parse().ok())
                         .unwrap_or_else(|| panic!("--threads needs a non-negative integer"));
                 }
+                "--batch" => {
+                    cli.batch_size = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| panic!("--batch needs a non-negative integer"));
+                }
                 "--results" => {
                     cli.results_dir =
                         Some(PathBuf::from(it.next().unwrap_or_else(|| {
@@ -126,7 +138,8 @@ impl FigureCli {
                 other => panic!(
                     "unknown argument '{other}' (try --backend des|san|analytic, \
                      --reps N, --seed S, --csv, --max-states N, --threads N, \
-                     --results DIR, --no-resume, --check, --no-check, --quiet)"
+                     --batch N, --results DIR, --no-resume, --check, --no-check, \
+                     --quiet)"
                 ),
             }
         }
@@ -148,7 +161,9 @@ impl FigureCli {
         RunOpts {
             backend: self.backend,
             backend_opts: self.backend_opts,
-            runner: RunnerConfig::default().with_threads(self.threads),
+            runner: RunnerConfig::default()
+                .with_threads(self.threads)
+                .with_batch_size(self.batch_size),
             progress,
             results_dir: self.results_dir.clone(),
             check: if self.no_check {
@@ -211,6 +226,7 @@ mod tests {
         assert_eq!(cli.backend, BackendKind::Des);
         assert_eq!(cli.backend_opts, BackendOptions::default());
         assert_eq!(cli.cfg.replications, 2000);
+        assert_eq!(cli.batch_size, RunnerConfig::default().batch_size);
         assert!(!cli.csv);
         assert_eq!(cli.threads, 0);
         assert_eq!(cli.results_dir, Some(PathBuf::from("results")));
@@ -232,6 +248,8 @@ mod tests {
                 "--csv",
                 "--threads",
                 "4",
+                "--batch",
+                "4",
                 "--results",
                 "out",
                 "--check",
@@ -245,6 +263,7 @@ mod tests {
         assert_eq!(cli.cfg.base_seed, 9);
         assert!(cli.csv);
         assert_eq!(cli.threads, 4);
+        assert_eq!(cli.batch_size, 4);
         assert_eq!(cli.results_dir, Some(PathBuf::from("out")));
         assert!(cli.check);
         assert!(cli.quiet);

@@ -23,6 +23,7 @@ use crate::san_model::{self, BuildError, ItuaSan, ItuaSanPlaces};
 use itua_san::marking::Marking;
 use itua_san::model::{ActivityId, SanError};
 use itua_san::simulator::{Observer, SanSimulator, SimScratch};
+use itua_sim::rng::stream_seed;
 use itua_stats::timeweighted::TimeWeighted;
 
 /// Runs the composed ITUA SAN as a replication backend producing
@@ -106,6 +107,45 @@ impl ItuaSanRunner {
         Ok(scratch.observer.take_output(horizon))
     }
 
+    /// Runs the half-open replication range `reps`, appending one result
+    /// per replication in ascending order; replication `rep` is seeded
+    /// `stream_seed(origin_seed, rep)`.
+    ///
+    /// The per-run sample-time schedule is identical across a batch, so
+    /// its clamp/filter/sort/dedup happens once here instead of once per
+    /// replication. Outputs are bit-identical to per-replication
+    /// [`ItuaSanRunner::run_into`] calls with the same seeds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `horizon` is not positive and finite.
+    pub fn run_batch_into<E: From<SanError>>(
+        &self,
+        origin_seed: u64,
+        reps: std::ops::Range<u32>,
+        horizon: f64,
+        sample_times: &[f64],
+        scratch: &mut SanScratch,
+        out: &mut Vec<Result<RunOutput, E>>,
+    ) {
+        assert!(horizon > 0.0 && horizon.is_finite(), "bad horizon");
+        scratch.observer.prepare_samples(horizon, sample_times);
+        for rep in reps {
+            scratch.observer.reset_run();
+            let result = self
+                .sim
+                .run_with_scratch(
+                    stream_seed(origin_seed, u64::from(rep)),
+                    horizon,
+                    &mut [&mut scratch.observer],
+                    &mut scratch.sim,
+                )
+                .map(|_| scratch.observer.take_output(horizon))
+                .map_err(E::from);
+            out.push(result);
+        }
+    }
+
     /// Runs one replication with a fresh scratch; see
     /// [`ItuaSanRunner::run_into`].
     ///
@@ -160,11 +200,15 @@ impl MeasureObserver {
         }
     }
 
-    /// Prepares the observer for a fresh replication, reusing every
-    /// buffer. `take_output` may have drained some vectors; `resize` after
-    /// `clear` restores their length either way.
+    /// Prepares the observer for a fresh replication.
     fn reset(&mut self, horizon: f64, sample_times: &[f64]) {
-        // Same clamp/filter/sort/dedup the DES applies to sample times.
+        self.prepare_samples(horizon, sample_times);
+        self.reset_run();
+    }
+
+    /// Prepares the sample-time schedule, shared by every replication of
+    /// a batch: the same clamp/filter/sort/dedup the DES applies.
+    fn prepare_samples(&mut self, horizon: f64, sample_times: &[f64]) {
         self.samples.clear();
         self.samples.extend(
             sample_times
@@ -175,6 +219,13 @@ impl MeasureObserver {
         self.samples
             .sort_by(|a, b| a.partial_cmp(b).expect("no NaN sample times"));
         self.samples.dedup();
+    }
+
+    /// Resets the per-replication accumulators, reusing every buffer, and
+    /// leaves the sample schedule in place. `take_output` may have
+    /// drained some vectors; `resize` after `clear` restores their length
+    /// either way.
+    fn reset_run(&mut self) {
         self.improper.clear();
         self.improper
             .resize(self.num_apps, TimeWeighted::new(0.0, 1.0));
@@ -252,6 +303,10 @@ impl Observer for MeasureObserver {
         self.samples.clone()
     }
 
+    fn append_sample_times(&self, out: &mut Vec<f64>) {
+        out.extend_from_slice(&self.samples);
+    }
+
     fn on_sample(&mut self, time: f64, marking: &Marking) {
         let running_total: i32 = self.places.running.iter().map(|&p| marking.get(p)).sum();
         let alive_hosts: i32 = self
@@ -298,6 +353,40 @@ mod tests {
                 .unwrap();
             let fresh = runner.run(seed, 5.0, &[1.0, 5.0]).unwrap();
             assert_eq!(reused, fresh, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn batched_runs_match_per_replication_runs() {
+        // The batched entry point must produce byte-identical outputs to
+        // one `run_into` call per replication with the same stream seeds,
+        // for any way the replication range is split into batches.
+        let runner = ItuaSanRunner::new(&small_params()).unwrap();
+        let origin = 0xABCD;
+        let reps = 12u32;
+        let mut scratch = runner.scratch();
+        let reference: Vec<RunOutput> = (0..reps)
+            .map(|rep| {
+                runner
+                    .run_into(
+                        stream_seed(origin, u64::from(rep)),
+                        5.0,
+                        &[1.0, 5.0],
+                        &mut scratch,
+                    )
+                    .unwrap()
+            })
+            .collect();
+        for batch in [1u32, 4, 32] {
+            let mut out: Vec<Result<RunOutput, SanError>> = Vec::new();
+            let mut start = 0;
+            while start < reps {
+                let end = (start + batch).min(reps);
+                runner.run_batch_into(origin, start..end, 5.0, &[1.0, 5.0], &mut scratch, &mut out);
+                start = end;
+            }
+            let got: Vec<RunOutput> = out.into_iter().map(Result::unwrap).collect();
+            assert_eq!(got, reference, "batch={batch}");
         }
     }
 

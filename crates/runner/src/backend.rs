@@ -16,13 +16,14 @@
 //! and [`run_measures`] short-circuits the replication loop for it.
 //!
 //! [`run_measures`] is the shared replication loop: it fans replications
-//! out through [`replicate_with_scratch`] (chunk-ordered deterministic
-//! reduction, `stream_seed` seeding) and folds the outputs into a
-//! [`MeasureSet`] in replication order, so results are bit-identical for
-//! every thread count — for every backend (trivially so for the analytic
-//! one, which never consults seed or thread).
+//! out through [`replicate_batched`] (chunk-ordered deterministic
+//! reduction, `stream_seed` seeding, batch-amortised per-run setup via
+//! [`Backend::run_batch`]) and folds the outputs into a [`MeasureSet`]
+//! in replication order, so results are bit-identical for every thread
+//! count and batch size — for every backend (trivially so for the
+//! analytic one, which never consults seed or thread).
 
-use crate::engine::{replicate_with_scratch, RunnerConfig};
+use crate::engine::{replicate_batched, RunnerConfig};
 use crate::progress::Progress;
 use itua_core::analytic::{AnalyticError, ItuaAnalytic};
 use itua_core::des::{DesScratch, ItuaDes};
@@ -103,6 +104,35 @@ pub trait Backend: Sync {
         scratch: &mut Self::Scratch,
     ) -> Result<RunOutput, BackendError>;
 
+    /// Runs the half-open replication range `reps`, appending one result
+    /// per replication (in ascending index order) to `out`.
+    ///
+    /// Replication `rep` must be seeded `stream_seed(origin_seed, rep)`
+    /// and produce exactly the output [`Backend::run`] would — the
+    /// default does precisely that. Backends override this only to
+    /// amortise per-replication setup that is identical across the batch
+    /// (the SAN backend prepares its sample-time schedule once), never to
+    /// change results: outputs must be bit-identical for every batch
+    /// size.
+    fn run_batch(
+        &self,
+        origin_seed: u64,
+        reps: std::ops::Range<u32>,
+        horizon: f64,
+        sample_times: &[f64],
+        scratch: &mut Self::Scratch,
+        out: &mut Vec<Result<RunOutput, BackendError>>,
+    ) {
+        for rep in reps {
+            out.push(self.run(
+                stream_seed(origin_seed, u64::from(rep)),
+                horizon,
+                sample_times,
+                scratch,
+            ));
+        }
+    }
+
     /// For deterministic (exact) backends: the full measure set, computed
     /// without replication. `Some` short-circuits the replication loop in
     /// [`run_measures`]; the default `None` means "simulate".
@@ -175,6 +205,18 @@ impl Backend for ItuaSanRunner {
         scratch: &mut SanScratch,
     ) -> Result<RunOutput, BackendError> {
         Ok(self.run_into(seed, horizon, sample_times, scratch)?)
+    }
+
+    fn run_batch(
+        &self,
+        origin_seed: u64,
+        reps: std::ops::Range<u32>,
+        horizon: f64,
+        sample_times: &[f64],
+        scratch: &mut SanScratch,
+        out: &mut Vec<Result<RunOutput, BackendError>>,
+    ) {
+        self.run_batch_into(origin_seed, reps, horizon, sample_times, scratch, out);
     }
 
     fn self_check(&self) -> Result<(), BackendError> {
@@ -382,6 +424,29 @@ impl Backend for ItuaBackend {
         }
     }
 
+    fn run_batch(
+        &self,
+        origin_seed: u64,
+        reps: std::ops::Range<u32>,
+        horizon: f64,
+        sample_times: &[f64],
+        scratch: &mut ItuaScratch,
+        out: &mut Vec<Result<RunOutput, BackendError>>,
+    ) {
+        match (self, scratch) {
+            (ItuaBackend::Des(b), ItuaScratch::Des(s)) => {
+                Backend::run_batch(b, origin_seed, reps, horizon, sample_times, s, out);
+            }
+            (ItuaBackend::San(b), ItuaScratch::San(s)) => {
+                Backend::run_batch(b, origin_seed, reps, horizon, sample_times, s, out);
+            }
+            (ItuaBackend::Analytic(b), ItuaScratch::Analytic) => {
+                Backend::run_batch(b, origin_seed, reps, horizon, sample_times, &mut (), out);
+            }
+            _ => panic!("scratch kind does not match backend kind"),
+        }
+    }
+
     fn exact_measures(
         &self,
         horizon: f64,
@@ -497,18 +562,13 @@ pub fn run_measures_checked<B: Backend>(
         progress.on_replications(replications, replications);
         return Ok(measures);
     }
-    let outputs = replicate_with_scratch(
+    let outputs = replicate_batched(
         replications,
         runner,
         progress,
         || backend.scratch(),
-        |rep, scratch| {
-            backend.run(
-                stream_seed(origin_seed, rep as u64),
-                horizon,
-                sample_times,
-                scratch,
-            )
+        |reps, scratch, out| {
+            backend.run_batch(origin_seed, reps, horizon, sample_times, scratch, out);
         },
     );
     let mut measures = MeasureSet::new(confidence);
@@ -604,6 +664,28 @@ mod tests {
         )
         .unwrap();
         assert_eq!(got.estimates(), reference.estimates());
+    }
+
+    #[test]
+    fn san_measures_are_batch_size_invariant() {
+        // Batching is purely an amortisation knob: for any batch size
+        // (and any batch × thread combination) the estimates are
+        // bit-identical to the unbatched serial run.
+        let backend = ItuaBackend::for_params(BackendKind::San, &small_params()).unwrap();
+        let run = |rc: &RunnerConfig| {
+            run_measures(&backend, 24, 0.95, 7, 3.0, &[3.0], rc, &NullProgress)
+                .unwrap()
+                .estimates()
+        };
+        let reference = run(&RunnerConfig::serial().with_batch_size(1));
+        for batch in [1, 4, 32] {
+            for threads in [1, 4] {
+                let rc = RunnerConfig::default()
+                    .with_threads(threads)
+                    .with_batch_size(batch);
+                assert_eq!(run(&rc), reference, "batch={batch} threads={threads}");
+            }
+        }
     }
 
     #[test]

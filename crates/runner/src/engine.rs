@@ -21,6 +21,11 @@ pub struct RunnerConfig {
     /// contract (results are reassembled in chunk order), so this does not
     /// affect results, only scheduling granularity.
     pub chunk_size: u32,
+    /// Replications handed to the backend per [`replicate_batched`] call
+    /// within a chunk. Purely an amortisation knob: each replication's
+    /// result must depend only on its index, so batching never affects
+    /// results, and `batch_size` stays out of store fingerprints.
+    pub batch_size: u32,
 }
 
 impl Default for RunnerConfig {
@@ -28,6 +33,7 @@ impl Default for RunnerConfig {
         RunnerConfig {
             threads: 0,
             chunk_size: 32,
+            batch_size: 32,
         }
     }
 }
@@ -44,6 +50,12 @@ impl RunnerConfig {
     /// Sets an explicit thread count (`0` = auto).
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// Sets the batch size (`0` is treated as 1).
+    pub fn with_batch_size(mut self, batch_size: u32) -> Self {
+        self.batch_size = batch_size;
         self
     }
 
@@ -133,21 +145,77 @@ where
     I: Fn() -> S + Sync,
     F: Fn(u32, &mut S) -> R + Sync,
 {
+    replicate_batched(
+        replications,
+        config,
+        progress,
+        init,
+        |range, scratch, out| {
+            for i in range {
+                out.push(f(i, scratch));
+            }
+        },
+    )
+}
+
+/// Like [`replicate_with_scratch`], but hands each worker a whole
+/// half-open *range* of replication indices at a time, appending one
+/// result per index (in ascending order) to the output buffer.
+///
+/// This is the batch-amortising form: a backend can perform per-run setup
+/// that is identical across replications (sample-time schedules, buffer
+/// sizing) once per batch instead of once per replication. Batches never
+/// straddle chunk boundaries, and the determinism contract is unchanged —
+/// each index's result must depend only on that index — so the output is
+/// bit-identical for every thread count, chunk size, *and* batch size
+/// ([`RunnerConfig::batch_size`]; `0` is treated as 1).
+pub fn replicate_batched<R, S, I, F>(
+    replications: u32,
+    config: &RunnerConfig,
+    progress: &dyn Progress,
+    init: I,
+    f: F,
+) -> Vec<R>
+where
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(std::ops::Range<u32>, &mut S, &mut Vec<R>) + Sync,
+{
     if replications == 0 {
         return Vec::new();
     }
     let chunk = config.chunk_size.max(1);
+    let batch = config.batch_size.max(1);
     let num_chunks = replications.div_ceil(chunk);
     let threads = config.effective_threads().min(num_chunks as usize).max(1);
+
+    // Runs one chunk: its replications in batch-sized ranges, results
+    // appended to `out` in index order.
+    let run_chunk = |c: u32, scratch: &mut S, out: &mut Vec<R>| -> u32 {
+        let lo = c * chunk;
+        let hi = (lo + chunk).min(replications);
+        let before = out.len();
+        let mut b = lo;
+        while b < hi {
+            let e = (b + batch).min(hi);
+            f(b..e, scratch, out);
+            b = e;
+        }
+        assert_eq!(
+            out.len() - before,
+            (hi - lo) as usize,
+            "batch callback must append exactly one result per replication"
+        );
+        hi - lo
+    };
 
     if threads == 1 {
         let mut scratch = init();
         let mut out = Vec::with_capacity(replications as usize);
+        let mut total_done = 0;
         for c in 0..num_chunks {
-            let lo = c * chunk;
-            let hi = (lo + chunk).min(replications);
-            out.extend((lo..hi).map(|i| f(i, &mut scratch)));
-            progress.on_replications(hi, replications);
+            total_done += run_chunk(c, &mut scratch, &mut out);
+            progress.on_replications(total_done, replications);
         }
         return out;
     }
@@ -165,10 +233,9 @@ where
                         if c >= num_chunks {
                             break;
                         }
-                        let lo = c * chunk;
-                        let hi = (lo + chunk).min(replications);
-                        let results: Vec<R> = (lo..hi).map(|i| f(i, &mut scratch)).collect();
-                        let total_done = done.fetch_add(hi - lo, Ordering::Relaxed) + (hi - lo);
+                        let mut results: Vec<R> = Vec::new();
+                        let n = run_chunk(c, &mut scratch, &mut results);
+                        let total_done = done.fetch_add(n, Ordering::Relaxed) + n;
                         progress.on_replications(total_done, replications);
                         mine.push((c, results));
                     }
@@ -206,6 +273,7 @@ mod tests {
             let cfg = RunnerConfig {
                 threads,
                 chunk_size: 3,
+                ..Default::default()
             };
             let got = replicate(100, &cfg, &NullProgress, |i| i);
             assert_eq!(got, (0..100).collect::<Vec<_>>(), "threads = {threads}");
@@ -221,6 +289,7 @@ mod tests {
                 let cfg = RunnerConfig {
                     threads,
                     chunk_size,
+                    ..Default::default()
                 };
                 assert_eq!(
                     replicate(257, &cfg, &NullProgress, work),
@@ -243,6 +312,7 @@ mod tests {
         let cfg = RunnerConfig {
             threads: 4,
             chunk_size: 5,
+            ..Default::default()
         };
         let out = replicate(83, &cfg, &NullProgress, |i| {
             calls.fetch_add(1, Ordering::Relaxed);
@@ -264,6 +334,7 @@ mod tests {
         let cfg = RunnerConfig {
             threads: 2,
             chunk_size: 10,
+            ..Default::default()
         };
         replicate(45, &cfg, &last, |i| i);
         assert_eq!(last.0.load(Ordering::Relaxed), 45);
@@ -284,6 +355,7 @@ mod tests {
             let cfg = RunnerConfig {
                 threads,
                 chunk_size: 7,
+                ..Default::default()
             };
             assert_eq!(
                 replicate_with_scratch(123, &cfg, &NullProgress, Vec::new, work),
@@ -299,6 +371,7 @@ mod tests {
         let cfg = RunnerConfig {
             threads: 3,
             chunk_size: 4,
+            ..Default::default()
         };
         replicate_with_scratch(
             60,

@@ -1,9 +1,11 @@
 //! Parallel SAN experiments: the replication loop for raw SANs plus
-//! reward variables.
+//! reward variables, and its configuration ([`ExperimentConfig`]).
 //!
-//! This replaced the sequential `itua_san::experiment::run_experiment`
-//! loop — a `threads = 1` [`RunnerConfig`] reproduces its results bit for
-//! bit, so there is exactly one execution path. Reward variables hold
+//! This replaced the bespoke sequential loop that once lived in the
+//! `itua-san` crate — a `threads = 1` [`RunnerConfig`] reproduces its
+//! results bit for bit, so there is exactly one execution path (the
+//! retired crate module is gone; its [`ExperimentConfig`] vocabulary
+//! moved here, next to the loop that consumes it). Reward variables hold
 //! per-run mutable state, so each replication gets a fresh set from a
 //! caller-supplied factory, while the expensive simulator state (marking,
 //! event queue, schedule table) is allocated once per worker thread and
@@ -14,11 +16,46 @@
 
 use crate::engine::{replicate_with_scratch, RunnerConfig};
 use crate::progress::Progress;
-use itua_san::experiment::ExperimentConfig;
 use itua_san::model::SanError;
 use itua_san::reward::{Observation, RewardVariable};
 use itua_san::simulator::{Observer, SanSimulator};
+use itua_sim::rng::stream_seed;
 use itua_stats::replication::{Estimate, ReplicationEstimator};
+
+/// Configuration for a replication experiment, Möbius-study style.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExperimentConfig {
+    /// Simulation horizon per replication.
+    pub horizon: f64,
+    /// Number of replications.
+    pub replications: u32,
+    /// Base seed; replication `i` runs with the stream-derived seed
+    /// [`stream_seed`]`(base_seed, i)`, so experiments with nearby base
+    /// seeds never share replication seeds (the historical `base_seed + i`
+    /// scheme overlapped whenever two bases differed by less than the
+    /// replication count).
+    pub base_seed: u64,
+    /// Confidence level for reported intervals.
+    pub confidence: f64,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig {
+            horizon: 5.0,
+            replications: 1000,
+            base_seed: 1,
+            confidence: 0.95,
+        }
+    }
+}
+
+impl ExperimentConfig {
+    /// The seed replication `rep` runs with.
+    pub fn seed_for(&self, rep: u32) -> u64 {
+        stream_seed(self.base_seed, u64::from(rep))
+    }
+}
 
 /// Runs a replication experiment across worker threads.
 ///
@@ -40,8 +77,7 @@ use itua_stats::replication::{Estimate, ReplicationEstimator};
 /// ```
 /// use itua_runner::engine::RunnerConfig;
 /// use itua_runner::progress::NullProgress;
-/// use itua_runner::experiment::run_experiment_parallel;
-/// use itua_san::experiment::ExperimentConfig;
+/// use itua_runner::experiment::{run_experiment_parallel, ExperimentConfig};
 /// use itua_san::model::SanBuilder;
 /// use itua_san::reward::{RewardVariable, TimeAveraged};
 /// use itua_san::simulator::SanSimulator;
@@ -112,6 +148,22 @@ mod tests {
     use itua_san::model::SanBuilder;
     use itua_san::reward::{EverTrue, TimeAveraged};
 
+    #[test]
+    fn replication_seeds_are_distinct_streams() {
+        let cfg = ExperimentConfig::default();
+        assert_ne!(cfg.seed_for(0), cfg.seed_for(1));
+        // Nearby base seeds must not share replication seeds.
+        let other = ExperimentConfig {
+            base_seed: cfg.base_seed + 1,
+            ..cfg
+        };
+        for i in 0..100 {
+            for j in 0..100 {
+                assert_ne!(cfg.seed_for(i), other.seed_for(j), "overlap at {i},{j}");
+            }
+        }
+    }
+
     fn repairable() -> SanSimulator {
         let mut b = SanBuilder::new("m");
         let up = b.place("up", 1);
@@ -158,6 +210,7 @@ mod tests {
                 let rc = RunnerConfig {
                     threads,
                     chunk_size,
+                    ..Default::default()
                 };
                 let parallel =
                     run_experiment_parallel(&sim, cfg, &rc, &NullProgress, make).unwrap();

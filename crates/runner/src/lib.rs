@@ -17,9 +17,9 @@
 //!   both encodings of the ITUA process (direct DES and composed SAN),
 //!   with per-thread reusable scratch state.
 //! * [`experiment`] — the parallel replication loop for raw SANs plus
-//!   reward variables (the only experiment path; the old sequential
-//!   `itua_san::experiment::run_experiment` loop was retired in its
-//!   favor).
+//!   reward variables, and its [`experiment::ExperimentConfig`] (the
+//!   only experiment path; the old sequential loop in `itua-san` was
+//!   retired in its favor and the config type moved here).
 //! * [`progress`] — observer interface plus a console implementation
 //!   reporting replications/second, ETA, and per-point estimates as they
 //!   land.
@@ -46,8 +46,8 @@ pub mod sweep;
 pub use backend::{
     run_measures, Backend, BackendError, BackendKind, BackendOptions, ItuaBackend, ItuaScratch,
 };
-pub use engine::{replicate, replicate_with_scratch, RunnerConfig};
-pub use experiment::run_experiment_parallel;
+pub use engine::{replicate, replicate_batched, replicate_with_scratch, RunnerConfig};
+pub use experiment::{run_experiment_parallel, ExperimentConfig};
 pub use progress::{ConsoleProgress, NullProgress, Progress};
 pub use store::{fingerprint, ResultStore, StoredEstimate, StoredPoint};
 pub use sweep::{PointSpec, SweepRunner};

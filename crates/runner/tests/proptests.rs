@@ -5,8 +5,8 @@
 
 use itua_runner::engine::RunnerConfig;
 use itua_runner::experiment::run_experiment_parallel;
+use itua_runner::experiment::ExperimentConfig;
 use itua_runner::progress::NullProgress;
-use itua_san::experiment::ExperimentConfig;
 use itua_san::model::SanBuilder;
 use itua_san::reward::{EverTrue, RewardVariable, TimeAveraged};
 use itua_san::simulator::SanSimulator;
@@ -68,7 +68,7 @@ proptest! {
                 .unwrap();
 
         for threads in [1usize, 2, 4, 8] {
-            let rc = RunnerConfig { threads, chunk_size };
+            let rc = RunnerConfig { threads, chunk_size, ..Default::default() };
             let parallel =
                 run_experiment_parallel(&sim, cfg, &rc, &NullProgress, make).unwrap();
             prop_assert_eq!(

@@ -17,8 +17,6 @@
 //! * [`statespace`] — exhaustive state-space generation that flattens an
 //!   all-exponential SAN into a CTMC for `itua-markov` (with on-the-fly
 //!   elimination of vanishing markings).
-//! * [`experiment`] — replication-based estimation of reward variables
-//!   with confidence intervals.
 //!
 //! # Example
 //!
@@ -66,7 +64,6 @@
 #![warn(missing_docs)]
 
 pub mod compose;
-pub mod experiment;
 pub mod marking;
 pub mod model;
 pub mod reward;

@@ -154,9 +154,20 @@ impl Marking {
         &self.values
     }
 
-    /// Drains the log of places whose value changed since the last drain.
-    pub(crate) fn drain_dirty(&mut self) -> Vec<u32> {
-        std::mem::take(&mut self.dirty)
+    /// Number of entries in the dirty log (monotone between clears).
+    ///
+    /// Together with [`Marking::dirty_since`] this lets two independent
+    /// consumers (the simulator's instantaneous-enabling index and its
+    /// timed-reschedule loop) each read the log with their own cursor,
+    /// without draining it out from under the other.
+    pub(crate) fn dirty_len(&self) -> usize {
+        self.dirty.len()
+    }
+
+    /// The dirty-log entries appended since index `from` (places may
+    /// repeat; consumers dedupe).
+    pub(crate) fn dirty_since(&self, from: usize) -> &[u32] {
+        &self.dirty[from..]
     }
 
     /// Clears the dirty log without returning it.
@@ -220,9 +231,12 @@ mod tests {
         m.set(pid(1), 4);
         m.set(pid(1), 4); // no-op: value unchanged
         m.add(pid(2), 1);
-        let dirty = m.drain_dirty();
-        assert_eq!(dirty, vec![1, 2]);
-        assert!(m.drain_dirty().is_empty());
+        assert_eq!(m.dirty_since(0), &[1, 2]);
+        assert_eq!(m.dirty_len(), 2);
+        assert_eq!(m.dirty_since(1), &[2]);
+        m.clear_dirty();
+        assert_eq!(m.dirty_len(), 0);
+        assert!(m.dirty_since(0).is_empty());
     }
 
     #[test]
@@ -244,8 +258,7 @@ mod tests {
         m.set(pid(0), 1);
         let c = m.canonical();
         assert_eq!(c.values(), &[1]);
-        let mut c2 = c.clone();
-        assert!(c2.drain_dirty().is_empty());
+        assert_eq!(c.dirty_len(), 0);
     }
 
     #[test]

@@ -272,8 +272,13 @@ pub struct San {
     pub(crate) place_index: BTreeMap<String, PlaceId>,
     pub(crate) initial: Vec<i32>,
     pub(crate) activities: Vec<Activity>,
-    /// For each place, the activities that read it (enabling or rate).
-    pub(crate) dependents: Vec<Vec<ActivityId>>,
+    /// For each place, the *timed* activities that read it (enabling or
+    /// rate). Split by timing class so the simulator's two incremental
+    /// re-evaluation loops (timed reschedule, instantaneous enabling
+    /// index) each walk exactly the activities they care about.
+    pub(crate) timed_dependents: Vec<Vec<ActivityId>>,
+    /// For each place, the *instantaneous* activities that read it.
+    pub(crate) inst_dependents: Vec<Vec<ActivityId>>,
 }
 
 impl San {
@@ -355,9 +360,34 @@ impl San {
             .map(|(i, a)| (ActivityId(i as u32), a))
     }
 
-    /// Activities that must be re-examined when `place` changes.
-    pub(crate) fn dependents_of(&self, place: u32) -> &[ActivityId] {
-        &self.dependents[place as usize]
+    /// Timed activities that must be re-examined when `place` changes.
+    pub(crate) fn timed_dependents_of(&self, place: u32) -> &[ActivityId] {
+        &self.timed_dependents[place as usize]
+    }
+
+    /// Instantaneous activities whose enabling may change when `place`
+    /// changes.
+    pub(crate) fn inst_dependents_of(&self, place: u32) -> &[ActivityId] {
+        &self.inst_dependents[place as usize]
+    }
+
+    /// Collects the instantaneous activities enabled in `marking` into
+    /// `out` (cleared first), in ascending activity-id order.
+    ///
+    /// This is the *reference* enumeration both execution paths share:
+    /// the simulator rebuilds (and, in debug builds, cross-checks) its
+    /// incremental enabled-instantaneous set against it, and the
+    /// state-space generator's vanishing-marking resolution uses it
+    /// directly. The ascending-id order is load-bearing — the simulator
+    /// draws `enabled[rng.usize_below(len)]`, so any reordering would
+    /// change which activity a given RNG draw selects.
+    pub(crate) fn enabled_instantaneous_into(&self, marking: &Marking, out: &mut Vec<ActivityId>) {
+        out.clear();
+        for (id, a) in self.activities() {
+            if a.is_instantaneous() && a.enabled(marking) {
+                out.push(id);
+            }
+        }
     }
 }
 
@@ -489,10 +519,16 @@ impl SanBuilder {
         if self.place_names.is_empty() || self.activities.is_empty() {
             return Err(SanError::EmptyModel);
         }
-        let mut dependents = vec![Vec::new(); self.place_names.len()];
+        let mut timed_dependents = vec![Vec::new(); self.place_names.len()];
+        let mut inst_dependents = vec![Vec::new(); self.place_names.len()];
         for (i, a) in self.activities.iter().enumerate() {
+            let by_timing = if a.is_instantaneous() {
+                &mut inst_dependents
+            } else {
+                &mut timed_dependents
+            };
             for p in &a.reads {
-                let list: &mut Vec<ActivityId> = &mut dependents[p.index()];
+                let list: &mut Vec<ActivityId> = &mut by_timing[p.index()];
                 if !list.contains(&ActivityId(i as u32)) {
                     list.push(ActivityId(i as u32));
                 }
@@ -504,7 +540,8 @@ impl SanBuilder {
             place_index: self.place_index,
             initial: self.initial,
             activities: self.activities,
-            dependents,
+            timed_dependents,
+            inst_dependents,
         }))
     }
 }
@@ -735,8 +772,9 @@ mod tests {
             .build()
             .unwrap();
         let san = b.finish().unwrap();
-        assert_eq!(san.dependents_of(p.0), &[a0, a2]);
-        assert_eq!(san.dependents_of(q.0), &[a1, a2]);
+        assert_eq!(san.timed_dependents_of(p.0), &[a0, a2]);
+        assert_eq!(san.timed_dependents_of(q.0), &[a1, a2]);
+        assert!(san.inst_dependents_of(p.0).is_empty());
     }
 
     #[test]
@@ -811,7 +849,7 @@ mod tests {
             .unwrap();
         let san = b.finish().unwrap();
         // lvl is in the reads, so dependents of lvl include the activity.
-        assert!(san.dependents_of(lvl.0).contains(&a));
+        assert!(san.timed_dependents_of(lvl.0).contains(&a));
         match san.activity(a).timing() {
             Timing::Exponential(rate) => {
                 let mut m = san.initial_marking();

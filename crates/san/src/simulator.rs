@@ -17,7 +17,7 @@
 //!   (marking-dependent) weights, evaluated just before firing.
 
 use crate::marking::Marking;
-use crate::model::{ActivityId, San, SanError, Timing};
+use crate::model::{Activity, ActivityId, San, SanError, Timing};
 use itua_sim::queue::{EventKey, EventQueue};
 use itua_sim::rng::Rng;
 use std::sync::Arc;
@@ -39,6 +39,14 @@ pub trait Observer {
     /// (for instant-of-time variables). Must be sorted ascending.
     fn sample_times(&self) -> Vec<f64> {
         Vec::new()
+    }
+
+    /// Appends the observer's requested sample times to `out`. The default
+    /// delegates to [`Observer::sample_times`]; observers that keep their
+    /// times in a buffer can override this to avoid the per-run `Vec`
+    /// allocation (the simulator only ever calls this form).
+    fn append_sample_times(&self, out: &mut Vec<f64>) {
+        out.extend(self.sample_times());
     }
 
     /// Called at each requested sample time with the marking then in force.
@@ -66,6 +74,7 @@ pub struct RunStats {
 #[derive(Debug, Clone)]
 pub struct SanSimulator {
     san: Arc<San>,
+    full_rescan: bool,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -79,29 +88,220 @@ struct ActivityState {
     generation: u64,
 }
 
+/// Inserts a completion event for `id` at absolute time `time`.
+fn schedule_at(
+    id: ActivityId,
+    time: f64,
+    queue: &mut EventQueue<ScheduledEvent>,
+    states: &mut [ActivityState],
+) {
+    let st = &mut states[id.index()];
+    st.generation += 1;
+    let key = queue.schedule(
+        time,
+        ScheduledEvent {
+            activity: id.0,
+            generation: st.generation,
+        },
+    );
+    st.key = Some(key);
+}
+
+/// Persistent sorted set of the enabled instantaneous activities, kept in
+/// sync with the marking's dirty log.
+///
+/// `enabled` is ordered by ascending [`ActivityId`] — exactly the order a
+/// full scan over the model produces. That ordering is load-bearing:
+/// `stabilize` draws `enabled[rng.usize_below(len)]`, so any deviation
+/// would change which activity a given uniform selects and break the
+/// bit-identical determinism contract. `synced` is this index's private
+/// cursor into the marking's dirty log; the timed-reschedule loop reads
+/// the same log with its own cursor (always 0), which is why the log is
+/// cursored rather than drained.
+struct InstIndex {
+    enabled: Vec<ActivityId>,
+    candidates: Vec<ActivityId>,
+    synced: usize,
+}
+
+impl InstIndex {
+    fn new() -> Self {
+        InstIndex {
+            enabled: Vec::new(),
+            candidates: Vec::new(),
+            synced: 0,
+        }
+    }
+
+    /// Recomputes the set with a full scan (run reset; dirty log empty).
+    fn rebuild(&mut self, san: &San, marking: &Marking) {
+        san.enabled_instantaneous_into(marking, &mut self.enabled);
+        self.synced = 0;
+    }
+
+    /// Re-checks only the instantaneous activities that read a place
+    /// dirtied since the last sync, splicing them in or out of the sorted
+    /// set.
+    fn sync(&mut self, san: &San, marking: &Marking) {
+        if self.synced == marking.dirty_len() {
+            return;
+        }
+        self.candidates.clear();
+        for &p in marking.dirty_since(self.synced) {
+            self.candidates.extend_from_slice(san.inst_dependents_of(p));
+        }
+        self.synced = marking.dirty_len();
+        self.candidates.sort_unstable();
+        self.candidates.dedup();
+        for &id in &self.candidates {
+            let enabled_now = san.activity(id).enabled(marking);
+            match self.enabled.binary_search(&id) {
+                Ok(pos) if !enabled_now => {
+                    self.enabled.remove(pos);
+                }
+                Err(pos) if enabled_now => {
+                    self.enabled.insert(pos, id);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Tells the index the dirty log is being cleared. The set itself
+    /// stays valid (clearing the log does not change the marking); only
+    /// the cursor must restart. Callers must be fully synced first.
+    fn note_cleared(&mut self) {
+        self.synced = 0;
+    }
+}
+
+/// Deferred exponential-delay draws for the (re)scheduling loops.
+///
+/// Exponential delays within one scheduling pass are sampled as a block:
+/// `schedule` records `(activity, rate)` pairs, and `flush` draws all
+/// pending uniforms with one [`Rng::fill_f64_open`] call and converts
+/// them with a branch-free `-ln(u)/rate` pass over the slice. A flush
+/// happens before any general-distribution sample, so the global RNG
+/// draw order — and with it the event-queue insertion order and every
+/// estimate — is bit-identical to unbatched scheduling.
+struct ExpoBatch {
+    now: f64,
+    pending: Vec<(ActivityId, f64)>,
+    uniforms: Vec<f64>,
+}
+
+impl ExpoBatch {
+    fn new() -> Self {
+        ExpoBatch {
+            now: 0.0,
+            pending: Vec::new(),
+            uniforms: Vec::new(),
+        }
+    }
+
+    /// Starts a scheduling pass at simulation time `now`.
+    fn begin(&mut self, now: f64) {
+        self.pending.clear();
+        self.now = now;
+    }
+
+    /// Schedules a timed activity: exponential draws are deferred into
+    /// the batch; general distributions flush the batch first (preserving
+    /// the global draw order) and sample immediately.
+    fn schedule(
+        &mut self,
+        act: &Activity,
+        id: ActivityId,
+        marking: &Marking,
+        rng: &mut Rng,
+        queue: &mut EventQueue<ScheduledEvent>,
+        states: &mut [ActivityState],
+    ) {
+        match act.timing() {
+            Timing::Exponential(rate) => {
+                let r = rate(marking);
+                assert!(
+                    r.is_finite() && r >= 0.0,
+                    "activity '{}' produced invalid rate {r}",
+                    act.name()
+                );
+                if r == 0.0 {
+                    return; // rate 0 = effectively disabled; draws nothing
+                }
+                self.pending.push((id, r));
+            }
+            Timing::General(dist) => {
+                self.flush(rng, queue, states);
+                let delay = dist.sample(rng);
+                schedule_at(id, self.now + delay, queue, states);
+            }
+            Timing::Instantaneous => unreachable!("instantaneous activities are not scheduled"),
+        }
+    }
+
+    /// Samples every pending exponential delay in one block and inserts
+    /// the events in the order they were scheduled.
+    fn flush(
+        &mut self,
+        rng: &mut Rng,
+        queue: &mut EventQueue<ScheduledEvent>,
+        states: &mut [ActivityState],
+    ) {
+        if self.pending.is_empty() {
+            return;
+        }
+        self.uniforms.resize(self.pending.len(), 0.0);
+        rng.fill_f64_open(&mut self.uniforms);
+        for (u, &(_, rate)) in self.uniforms.iter_mut().zip(&self.pending) {
+            *u = -u.ln() / rate;
+        }
+        for (&(id, _), &delay) in self.pending.iter().zip(&self.uniforms) {
+            schedule_at(id, self.now + delay, queue, states);
+        }
+        self.pending.clear();
+    }
+}
+
 /// Reusable per-thread simulation state for [`SanSimulator::run_with_scratch`].
 ///
-/// Owns the marking, event queue, per-activity schedule table, and merged
-/// sample-time buffer, plus a cached copy of the initial marking, so a
-/// worker thread can run many replications without reallocating them.
-/// Every run fully resets the state; reuse never changes results.
+/// Owns the marking, event queue, per-activity schedule table, merged
+/// sample-time buffer, the incremental enabling index, and the batched
+/// exponential-sampling buffers, plus a cached copy of the initial
+/// marking, so a worker thread can run many replications without
+/// reallocating any of them. Every run fully resets the state; reuse
+/// never changes results.
 pub struct SimScratch {
     initial: Marking,
     marking: Marking,
     queue: EventQueue<ScheduledEvent>,
     states: Vec<ActivityState>,
     sample_times: Vec<f64>,
+    inst: InstIndex,
+    expo: ExpoBatch,
+    affected: Vec<ActivityId>,
 }
 
 impl SanSimulator {
     /// Creates a simulator for the given model.
     pub fn new(san: Arc<San>) -> Self {
-        SanSimulator { san }
+        SanSimulator {
+            san,
+            full_rescan: false,
+        }
     }
 
     /// The underlying model.
     pub fn san(&self) -> &Arc<San> {
         &self.san
+    }
+
+    /// Forces `stabilize` to recompute the enabled-instantaneous set with
+    /// a full scan each iteration instead of the incremental enabling
+    /// index. Results are identical either way; tests use this mode as
+    /// the oracle the incremental index is checked against.
+    #[doc(hidden)]
+    pub fn set_full_rescan_stabilize(&mut self, on: bool) {
+        self.full_rescan = on;
     }
 
     /// Creates a reusable scratch for [`SanSimulator::run_with_scratch`].
@@ -118,6 +318,9 @@ impl SanSimulator {
                 })
                 .collect(),
             sample_times: Vec::new(),
+            inst: InstIndex::new(),
+            expo: ExpoBatch::new(),
+            affected: Vec::new(),
         }
     }
 
@@ -184,6 +387,9 @@ impl SanSimulator {
             queue,
             states,
             sample_times,
+            inst,
+            expo,
+            affected,
         } = scratch;
         let marking = &mut *marking;
         marking.clone_from(initial);
@@ -202,32 +408,35 @@ impl SanSimulator {
 
         // Collect and merge requested sample times.
         sample_times.clear();
-        sample_times.extend(
-            observers
-                .iter()
-                .flat_map(|o| o.sample_times())
-                .filter(|&t| t <= horizon),
-        );
+        for o in observers.iter() {
+            o.append_sample_times(sample_times);
+        }
+        sample_times.retain(|&t| t <= horizon);
         sample_times.sort_by(|a, b| a.partial_cmp(b).expect("sample times are not NaN"));
         sample_times.dedup();
         let mut next_sample = 0usize;
 
-        // Initial stabilization.
+        // Initial stabilization. Firings before time zero are not
+        // observable events, hence the empty observer slice.
         marking.clear_dirty();
-        self.stabilize(marking, &mut rng, 0.0, observers, &mut stats, true)?;
+        inst.rebuild(san, marking);
+        self.stabilize(marking, &mut rng, 0.0, &mut [], &mut stats, inst)?;
         marking.clear_dirty();
+        inst.note_cleared();
         for o in observers.iter_mut() {
             o.on_init(0.0, marking);
         }
         // Schedule every enabled timed activity.
+        expo.begin(0.0);
         for (id, act) in san.activities() {
             if matches!(act.timing(), Timing::Instantaneous) {
                 continue;
             }
             if act.enabled(marking) {
-                Self::schedule(act, id, 0.0, marking, &mut rng, queue, states);
+                expo.schedule(act, id, marking, &mut rng, queue, states);
             }
         }
+        expo.flush(&mut rng, queue, states);
 
         let mut now;
         loop {
@@ -285,33 +494,34 @@ impl SanSimulator {
             stats.timed_firings += 1;
 
             // Zero-time stabilization of instantaneous activities.
-            self.stabilize(marking, &mut rng, now, observers, &mut stats, false)?;
+            self.stabilize(marking, &mut rng, now, observers, &mut stats, inst)?;
 
-            // Incrementally update timed activities affected by the change.
-            let dirty = marking.drain_dirty();
-            let mut affected: Vec<ActivityId> = vec![act_id];
-            for p in dirty {
-                affected.extend_from_slice(san.dependents_of(p));
+            // Incrementally update the timed activities affected by the
+            // firing and its cascade, batching the exponential resamples.
+            affected.clear();
+            affected.push(act_id);
+            for &p in marking.dirty_since(0) {
+                affected.extend_from_slice(san.timed_dependents_of(p));
             }
+            marking.clear_dirty();
+            inst.note_cleared();
             affected.sort_unstable();
             affected.dedup();
-            for id in affected {
+            expo.begin(now);
+            for &id in affected.iter() {
                 let act = san.activity(id);
-                if matches!(act.timing(), Timing::Instantaneous) {
-                    continue;
-                }
                 let enabled = act.enabled(marking);
                 let scheduled = states[id.index()].key.is_some();
                 match (enabled, scheduled) {
                     (true, false) => {
-                        Self::schedule(act, id, now, marking, &mut rng, queue, states);
+                        expo.schedule(act, id, marking, &mut rng, queue, states);
                     }
                     (true, true) => {
                         // Resample exponentials (marking-dependent rates);
                         // keep general samples (enabling memory).
                         if matches!(act.timing(), Timing::Exponential(_)) {
                             Self::cancel(id, queue, states);
-                            Self::schedule(act, id, now, marking, &mut rng, queue, states);
+                            expo.schedule(act, id, marking, &mut rng, queue, states);
                         }
                     }
                     (false, true) => {
@@ -320,48 +530,12 @@ impl SanSimulator {
                     (false, false) => {}
                 }
             }
+            expo.flush(&mut rng, queue, states);
 
             for o in observers.iter_mut() {
                 o.on_event(now, act_id, marking);
             }
         }
-    }
-
-    fn schedule(
-        act: &crate::model::Activity,
-        id: ActivityId,
-        now: f64,
-        marking: &Marking,
-        rng: &mut Rng,
-        queue: &mut EventQueue<ScheduledEvent>,
-        states: &mut [ActivityState],
-    ) {
-        let delay = match act.timing() {
-            Timing::Exponential(rate) => {
-                let r = rate(marking);
-                assert!(
-                    r.is_finite() && r >= 0.0,
-                    "activity '{}' produced invalid rate {r}",
-                    act.name()
-                );
-                if r == 0.0 {
-                    return; // rate 0 = effectively disabled
-                }
-                -rng.next_f64_open().ln() / r
-            }
-            Timing::General(dist) => dist.sample(rng),
-            Timing::Instantaneous => unreachable!("instantaneous activities are not scheduled"),
-        };
-        let st = &mut states[id.index()];
-        st.generation += 1;
-        let key = queue.schedule(
-            now + delay,
-            ScheduledEvent {
-                activity: id.0,
-                generation: st.generation,
-            },
-        );
-        st.key = Some(key);
     }
 
     fn cancel(
@@ -384,8 +558,11 @@ impl SanSimulator {
         }
     }
 
-    /// Fires enabled instantaneous activities (uniform random order) until
-    /// none is enabled.
+    /// Fires enabled instantaneous activities (uniform random choice)
+    /// until none is enabled, keeping `idx` in sync with the dirty log.
+    ///
+    /// For the initial stabilization the caller passes an empty observer
+    /// slice: firings before time zero are not observable events.
     fn stabilize(
         &self,
         marking: &mut Marking,
@@ -393,17 +570,27 @@ impl SanSimulator {
         now: f64,
         observers: &mut [&mut dyn Observer],
         stats: &mut RunStats,
-        initial: bool,
+        idx: &mut InstIndex,
     ) -> Result<(), SanError> {
         let san = &*self.san;
         let mut firings = 0usize;
         loop {
-            let enabled: Vec<ActivityId> = san
-                .activities()
-                .filter(|(_, a)| matches!(a.timing(), Timing::Instantaneous) && a.enabled(marking))
-                .map(|(id, _)| id)
-                .collect();
-            if enabled.is_empty() {
+            if self.full_rescan {
+                san.enabled_instantaneous_into(marking, &mut idx.enabled);
+                idx.synced = marking.dirty_len();
+            } else {
+                idx.sync(san, marking);
+                #[cfg(debug_assertions)]
+                {
+                    let mut check = Vec::new();
+                    san.enabled_instantaneous_into(marking, &mut check);
+                    debug_assert_eq!(
+                        idx.enabled, check,
+                        "incremental enabling index diverged from full rescan"
+                    );
+                }
+            }
+            if idx.enabled.is_empty() {
                 return Ok(());
             }
             firings += 1;
@@ -412,15 +599,13 @@ impl SanSimulator {
                     marking: marking.values().to_vec(),
                 });
             }
-            let id = enabled[rng.usize_below(enabled.len())];
+            let id = idx.enabled[rng.usize_below(idx.enabled.len())];
             let act = san.activity(id);
             let case = Self::choose_case(act.case_weights(marking), rng);
             act.fire(case, marking);
             stats.instantaneous_firings += 1;
-            if !initial {
-                for o in observers.iter_mut() {
-                    o.on_event(now, id, marking);
-                }
+            for o in observers.iter_mut() {
+                o.on_event(now, id, marking);
             }
         }
     }

@@ -11,7 +11,7 @@
 //! accumulating path probabilities.
 
 use crate::marking::Marking;
-use crate::model::{San, SanError, Timing};
+use crate::model::{ActivityId, San, SanError, Timing};
 use itua_markov::ctmc::{Ctmc, CtmcError};
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
@@ -253,6 +253,9 @@ fn resolve_vanishing(
     let budget = vanishing_budget(max_states);
     let mut pops = 0usize;
     let mut result: Vec<(Marking, f64)> = Vec::new();
+    // Reused across pops; the same "enabled instantaneous activities of a
+    // marking" definition the simulator's enabling index maintains.
+    let mut enabled: Vec<ActivityId> = Vec::new();
     // Work queue of (marking, probability, depth).
     let mut work: Vec<(Marking, f64, usize)> = vec![(marking.clone(), 1.0, 0)];
     while let Some((m, p, depth)) = work.pop() {
@@ -265,16 +268,14 @@ fn resolve_vanishing(
                 marking: m.values().to_vec(),
             });
         }
-        let enabled: Vec<_> = san
-            .activities()
-            .filter(|(_, a)| matches!(a.timing(), Timing::Instantaneous) && a.enabled(&m))
-            .collect();
+        san.enabled_instantaneous_into(&m, &mut enabled);
         if enabled.is_empty() {
             result.push((m, p));
             continue;
         }
         let share = p / enabled.len() as f64;
-        for (_, act) in enabled {
+        for &id in &enabled {
+            let act = san.activity(id);
             let weights = act.case_weights(&m);
             let total: f64 = weights.iter().sum();
             if !(total.is_finite() && total > 0.0) {

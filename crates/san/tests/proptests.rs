@@ -104,6 +104,78 @@ proptest! {
         }
     }
 
+    /// The incremental enabling index drives stabilization through
+    /// exactly the trajectory the historical full marking rescan does:
+    /// same events at the same (bit-identical) times, same final marking,
+    /// on random SANs whose instantaneous activities cascade into each
+    /// other (so the index sees insertions, removals, and chains of
+    /// newly-enabled activities mid-stabilization).
+    #[test]
+    fn incremental_enabled_set_matches_full_rescan(
+        stages in 2usize..6,
+        tokens in 1i32..4,
+        seeds in prop::collection::vec(any::<u64>(), 1..8),
+    ) {
+        let build = || {
+            let mut b = SanBuilder::new("cascade");
+            let ring: Vec<_> = (0..stages)
+                .map(|i| b.place(format!("r{i}"), if i == 0 { tokens } else { 0 }))
+                .collect();
+            let buf: Vec<_> = (0..stages).map(|i| b.place(format!("b{i}"), 0)).collect();
+            for i in 0..stages {
+                // Timed firings feed the instantaneous layer.
+                b.timed_activity(format!("mv{i}"), 1.0 + i as f64)
+                    .input_arc(ring[i], 1)
+                    .output_arc(buf[i], 1)
+                    .build()
+                    .unwrap();
+                // Each instantaneous activity either returns the token to
+                // the ring or cascades it into the next buffer, enabling
+                // the next instantaneous activity mid-stabilization.
+                let next_ring = ring[(i + 1) % stages];
+                let next_buf = buf[(i + 1) % stages];
+                b.instantaneous_activity(format!("route{i}"))
+                    .input_arc(buf[i], 1)
+                    .case(2.0, move |m| m.add(next_ring, 1))
+                    .case(1.0, move |m| m.add(next_buf, 1))
+                    .build()
+                    .unwrap();
+            }
+            b.finish().unwrap()
+        };
+
+        #[derive(Default, PartialEq, Debug)]
+        struct Trace {
+            events: Vec<(u64, u32)>,
+            finals: Vec<i32>,
+        }
+        impl itua_san::simulator::Observer for Trace {
+            fn on_event(&mut self, t: f64, a: itua_san::model::ActivityId, _m: &Marking) {
+                self.events.push((t.to_bits(), a.index() as u32));
+            }
+            fn on_end(&mut self, _t: f64, m: &Marking) {
+                self.finals = m.place_ids().map(|p| m.get(p)).collect();
+            }
+        }
+
+        let incremental = SanSimulator::new(build());
+        let mut full_rescan = SanSimulator::new(build());
+        full_rescan.set_full_rescan_stabilize(true);
+        let mut inc_scratch = incremental.scratch();
+        let mut full_scratch = full_rescan.scratch();
+        for seed in seeds {
+            let mut inc = Trace::default();
+            incremental
+                .run_with_scratch(seed, 15.0, &mut [&mut inc], &mut inc_scratch)
+                .unwrap();
+            let mut full = Trace::default();
+            full_rescan
+                .run_with_scratch(seed, 15.0, &mut [&mut full], &mut full_scratch)
+                .unwrap();
+            prop_assert_eq!(&inc, &full, "seed {}", seed);
+        }
+    }
+
     /// Replicate counts produce exactly count × places/activities for a
     /// template with no shared state.
     #[test]

@@ -154,6 +154,18 @@ impl Rng {
         ((self.next_u64() >> 11) + 1) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
+    /// Fills `out` with uniform draws from the open interval `(0, 1]`.
+    ///
+    /// Consumes exactly `out.len()` generator outputs in order: element
+    /// `i` equals what the `i`-th call to [`Rng::next_f64_open`] would
+    /// have returned, so batched and one-at-a-time sampling produce
+    /// bit-identical streams.
+    pub fn fill_f64_open(&mut self, out: &mut [f64]) {
+        for slot in out.iter_mut() {
+            *slot = self.next_f64_open();
+        }
+    }
+
     /// Returns a uniform integer in `[0, bound)` without modulo bias.
     ///
     /// Uses Lemire's multiply-shift rejection method.

@@ -470,6 +470,63 @@ mod tests {
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
+    /// Records the `resumed` flag of every finished point.
+    struct ResumeTracker(std::sync::Mutex<Vec<bool>>);
+
+    impl Progress for ResumeTracker {
+        fn on_point_done(
+            &self,
+            _index: usize,
+            _total: usize,
+            _label: &str,
+            _estimates: &[itua_runner::store::StoredEstimate],
+            resumed: bool,
+        ) {
+            self.0.lock().unwrap().push(resumed);
+        }
+    }
+
+    #[test]
+    fn store_resume_is_batch_size_invariant() {
+        // The batch size is an amortisation knob, not part of the sweep
+        // fingerprint: a store written at one batch size must be resumed
+        // (not recomputed) at another, with identical results.
+        let cfg = SweepConfig {
+            replications: 8,
+            ..Default::default()
+        };
+        let dir =
+            std::env::temp_dir().join(format!("itua-studies-sweep-batch-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let points = vec![tiny_point(1.0, "a"), tiny_point(2.0, "a")];
+        let measures = [names::UNAVAILABILITY];
+
+        let opts_batch4 = RunOpts {
+            backend: BackendKind::San,
+            runner: RunnerConfig::default().with_batch_size(4),
+            results_dir: Some(dir.clone()),
+            ..Default::default()
+        };
+        let first = run_sweep_stored("t", &points, &cfg, &measures, &opts_batch4).unwrap();
+
+        let tracker = ResumeTracker(std::sync::Mutex::new(Vec::new()));
+        let opts_batch32 = RunOpts {
+            backend: BackendKind::San,
+            runner: RunnerConfig::default().with_batch_size(32),
+            progress: &tracker,
+            results_dir: Some(dir.clone()),
+            ..Default::default()
+        };
+        let second = run_sweep_stored("t", &points, &cfg, &measures, &opts_batch32).unwrap();
+        assert_eq!(second, first);
+        assert_eq!(
+            *tracker.0.lock().unwrap(),
+            vec![true, true],
+            "a different batch size must resume every point from the store"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
     #[test]
     fn san_backend_runs_through_the_same_pipeline() {
         let cfg = SweepConfig {

@@ -1,8 +1,12 @@
 //! Workspace maintenance tasks, invoked as `cargo xtask <command>`.
 //!
-//! Currently the only command is `lint`: the determinism lint described
-//! in [`lint`]. It exits 0 when the tree is clean, 1 when violations or
-//! stale allowlist entries exist, and 2 on usage errors.
+//! * `lint` — the determinism lint described in [`lint`]. Exits 0 when
+//!   the tree is clean, 1 when violations or stale allowlist entries
+//!   exist, and 2 on usage errors.
+//! * `bench-json` — runs the SAN hot-path benchmark in full mode and
+//!   rewrites the `current` medians of the tracked `BENCH_san.json` at
+//!   the workspace root (the `baseline` section is preserved). See
+//!   `EXPERIMENTS.md` § "Hot-path benchmark".
 
 mod lint;
 
@@ -13,24 +17,29 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => run_lint(),
+        Some("bench-json") => run_bench_json(),
         Some(other) => {
-            eprintln!("unknown command '{other}'\nusage: cargo xtask lint");
+            eprintln!("unknown command '{other}'\nusage: cargo xtask lint|bench-json");
             ExitCode::from(2)
         }
         None => {
-            eprintln!("usage: cargo xtask lint");
+            eprintln!("usage: cargo xtask lint|bench-json");
             ExitCode::from(2)
         }
     }
 }
 
-fn run_lint() -> ExitCode {
-    // The binary lives in crates/xtask, so the workspace root is two
-    // levels up from the manifest — independent of the invocation cwd.
-    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+/// The workspace root: the binary lives in crates/xtask, so it is two
+/// levels up from the manifest — independent of the invocation cwd.
+fn workspace_root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
         .ancestors()
         .nth(2)
-        .expect("crates/xtask has a workspace root two levels up");
+        .expect("crates/xtask has a workspace root two levels up")
+}
+
+fn run_lint() -> ExitCode {
+    let root = workspace_root();
     let allow = root.join(lint::ALLOWLIST_FILE);
     match lint::run(root, &allow) {
         Ok(outcome) => {
@@ -43,6 +52,33 @@ fn run_lint() -> ExitCode {
         }
         Err(e) => {
             eprintln!("xtask lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run_bench_json() -> ExitCode {
+    let status = std::process::Command::new(env!("CARGO"))
+        .current_dir(workspace_root())
+        .args([
+            "bench",
+            "-p",
+            "itua-bench",
+            "--bench",
+            "san_hotpath",
+            "--",
+            "--json",
+            "BENCH_san.json",
+        ])
+        .status();
+    match status {
+        Ok(s) if s.success() => ExitCode::SUCCESS,
+        Ok(s) => {
+            eprintln!("xtask bench-json: benchmark exited with {s}");
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("xtask bench-json: failed to launch cargo: {e}");
             ExitCode::from(2)
         }
     }

@@ -4,8 +4,8 @@
 //!
 //! Run with: `cargo run --release --example custom_san`
 
+use itua_repro::runner::experiment::ExperimentConfig;
 use itua_repro::runner::{run_experiment_parallel, NullProgress, RunnerConfig};
-use itua_repro::san::experiment::ExperimentConfig;
 use itua_repro::san::model::SanBuilder;
 use itua_repro::san::reward::{RewardVariable, TimeAveraged};
 use itua_repro::san::simulator::SanSimulator;

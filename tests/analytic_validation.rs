@@ -12,9 +12,9 @@ use itua_repro::itua::measures::names;
 use itua_repro::itua::params::Params;
 use itua_repro::itua::san_model;
 use itua_repro::markov::ctmc::Ctmc;
+use itua_repro::runner::experiment::ExperimentConfig;
 use itua_repro::runner::run_experiment_parallel;
 use itua_repro::runner::{run_measures, BackendKind, ItuaBackend, NullProgress, RunnerConfig};
-use itua_repro::san::experiment::ExperimentConfig;
 use itua_repro::san::model::SanBuilder;
 use itua_repro::san::reward::{EverTrue, TimeAveraged};
 use itua_repro::san::simulator::SanSimulator;

@@ -1,0 +1,85 @@
+//! Oracle check for the simulator's incremental enabling index on the
+//! paper's three study models.
+//!
+//! The stabilization hot path keeps a persistent, activity-id-ordered set
+//! of enabled instantaneous activities, synced from the marking's
+//! dirty-place log, instead of rescanning every activity per firing. The
+//! randomized-SAN property test (`crates/san/tests/proptests.rs`,
+//! `incremental_enabled_set_matches_full_rescan`) covers adversarial
+//! structures; this test pins the same guarantee on the actual ITUA SANs
+//! the figures are built from: for each study's parameter sets, the
+//! default simulator and the full-rescan oracle
+//! ([`SanSimulator::set_full_rescan_stabilize`]) produce bit-identical
+//! event trajectories and final markings.
+
+use itua_repro::itua::san_model;
+use itua_repro::san::marking::Marking;
+use itua_repro::san::model::ActivityId;
+use itua_repro::san::simulator::{Observer, SanSimulator};
+use itua_repro::studies::{figure3, figure4, figure5};
+
+/// Exact event trace: (time bits, activity index) pairs plus the final
+/// marking, so any divergence — ordering, timing, or routing — fails.
+#[derive(Default, PartialEq, Debug)]
+struct Trace {
+    events: Vec<(u64, u32)>,
+    finals: Vec<i32>,
+}
+
+impl Observer for Trace {
+    fn on_event(&mut self, t: f64, a: ActivityId, _m: &Marking) {
+        self.events.push((t.to_bits(), a.index() as u32));
+    }
+    fn on_end(&mut self, _t: f64, m: &Marking) {
+        self.finals = m.place_ids().map(|p| m.get(p)).collect();
+    }
+}
+
+/// Runs `reps` replications of one study point through both simulators
+/// and asserts identical traces.
+fn assert_oracle_agreement(study: &str, points: &[itua_repro::studies::sweep::SweepPoint]) {
+    // One representative parameter set per study keeps the test fast;
+    // the first point exercises the densest instantaneous structure
+    // (most hosts per domain or most applications).
+    let point = &points[0];
+    let model = san_model::build(&point.params).expect("study model builds");
+    let incremental = SanSimulator::new(model.san.clone());
+    let mut full_rescan = SanSimulator::new(model.san.clone());
+    full_rescan.set_full_rescan_stabilize(true);
+    let mut inc_scratch = incremental.scratch();
+    let mut full_scratch = full_rescan.scratch();
+    for rep in 0..4u64 {
+        let seed = 0xDEC0DE ^ rep;
+        let mut inc = Trace::default();
+        incremental
+            .run_with_scratch(seed, point.horizon, &mut [&mut inc], &mut inc_scratch)
+            .expect("incremental run succeeds");
+        let mut full = Trace::default();
+        full_rescan
+            .run_with_scratch(seed, point.horizon, &mut [&mut full], &mut full_scratch)
+            .expect("full-rescan run succeeds");
+        assert_eq!(
+            inc, full,
+            "{study}: incremental enabling index diverged from full rescan (seed {seed})"
+        );
+        assert!(
+            !inc.events.is_empty(),
+            "{study}: trace is empty — the comparison is vacuous"
+        );
+    }
+}
+
+#[test]
+fn figure3_model_matches_full_rescan_oracle() {
+    assert_oracle_agreement("figure3", &figure3::points());
+}
+
+#[test]
+fn figure4_model_matches_full_rescan_oracle() {
+    assert_oracle_agreement("figure4", &figure4::points());
+}
+
+#[test]
+fn figure5_model_matches_full_rescan_oracle() {
+    assert_oracle_agreement("figure5", &figure5::points());
+}
