@@ -5,6 +5,7 @@
 
 use itua_analyzer::AnalysisConfig;
 use itua_core::{analysis, san_model};
+use itua_rare::SplitSpec;
 use itua_runner::backend::{BackendKind, BackendOptions, ModelCheck};
 use itua_runner::engine::RunnerConfig;
 use itua_runner::progress::{ConsoleProgress, NullProgress, Progress};
@@ -39,6 +40,16 @@ use std::path::PathBuf;
 ///   hard finding surfaces (see [`check_models`]),
 /// * `--no-check` — skip even the quick pre-simulation model check that
 ///   `run_measures` performs by default,
+/// * `--split-levels SPEC` — run every point through RESTART importance
+///   splitting on the corrupt-domain-count level. `SPEC` is
+///   comma-separated `<threshold>x<factor>` pairs with strictly
+///   increasing thresholds (e.g. `1x8,2x4`: split 8-for-1 when the count
+///   first reaches 1, a further 4-for-1 at 2); `none` (or an empty spec)
+///   selects the splitting machinery with no thresholds, which
+///   reproduces the plain path bit for bit. Splitting runs checkpoint
+///   into a separate `-split` store. Applies to the DES and SAN
+///   backends; the analytic backend ignores it (exact, nothing to
+///   simulate),
 /// * `--quiet` — suppress progress output on stderr.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FigureCli {
@@ -60,6 +71,9 @@ pub struct FigureCli {
     pub check: bool,
     /// Whether `--no-check` disabled the default quick model check.
     pub no_check: bool,
+    /// RESTART splitting thresholds (`--split-levels`); `None` runs the
+    /// plain replication loop.
+    pub split: Option<SplitSpec>,
     /// Whether progress output is suppressed.
     pub quiet: bool,
 }
@@ -82,6 +96,7 @@ impl FigureCli {
             results_dir: Some(PathBuf::from("results")),
             check: false,
             no_check: false,
+            split: None,
             quiet: false,
         };
         let mut it = args.into_iter();
@@ -134,12 +149,20 @@ impl FigureCli {
                 "--no-resume" => cli.results_dir = None,
                 "--check" => cli.check = true,
                 "--no-check" => cli.no_check = true,
+                "--split-levels" => {
+                    let spec = it
+                        .next()
+                        .unwrap_or_else(|| panic!("--split-levels needs a spec like '1x8,2x4'"));
+                    cli.split = Some(spec.parse().unwrap_or_else(|e| {
+                        panic!("--split-levels: {e}");
+                    }));
+                }
                 "--quiet" => cli.quiet = true,
                 other => panic!(
                     "unknown argument '{other}' (try --backend des|san|analytic, \
                      --reps N, --seed S, --csv, --max-states N, --threads N, \
                      --batch N, --results DIR, --no-resume, --check, --no-check, \
-                     --quiet)"
+                     --split-levels SPEC, --quiet)"
                 ),
             }
         }
@@ -171,6 +194,7 @@ impl FigureCli {
             } else {
                 ModelCheck::Quick
             },
+            split: self.split.clone(),
         }
     }
 
@@ -288,6 +312,27 @@ mod tests {
     #[should_panic]
     fn rejects_zero_max_states() {
         FigureCli::parse(["--max-states".to_owned(), "0".to_owned()]);
+    }
+
+    #[test]
+    fn parses_split_levels() {
+        let cli = FigureCli::parse(["--split-levels".to_owned(), "1x8,2x4".to_owned()]);
+        let spec = cli.split.clone().unwrap();
+        assert_eq!(spec.to_string(), "1x8,2x4");
+        let progress = cli.progress();
+        let opts = cli.opts(progress.as_ref());
+        assert_eq!(opts.split, Some(spec));
+        // `none` selects the splitting machinery with no thresholds.
+        let cli = FigureCli::parse(["--split-levels".to_owned(), "none".to_owned()]);
+        assert_eq!(cli.split, Some(SplitSpec::none()));
+        // Default: plain path.
+        assert_eq!(FigureCli::parse(Vec::<String>::new()).split, None);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_malformed_split_levels() {
+        FigureCli::parse(["--split-levels".to_owned(), "2x4,1x8".to_owned()]);
     }
 
     #[test]

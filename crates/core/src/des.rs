@@ -139,6 +139,11 @@ pub struct DesScratch {
 }
 
 /// Mutable simulation state for one run.
+///
+/// `Clone` deep-copies the entire mid-run state, including the event queue
+/// and the run's RNG; an importance-splitting branch clones the state at a
+/// level crossing and continues independently.
+#[derive(Clone)]
 struct State {
     p: Params,
     rng: Rng,
@@ -225,52 +230,195 @@ impl ItuaDes {
         st.reset(Rng::seed_from_u64(seed));
         st.initial_placement();
 
-        samples.clear();
-        samples.extend(
-            sample_times
-                .iter()
-                .map(|&t| t.min(horizon))
-                .filter(|&t| t > 0.0),
-        );
-        samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaN sample times"));
-        samples.dedup();
+        clamp_sample_times(sample_times, horizon, samples);
         let mut snapshots = Vec::with_capacity(samples.len());
         let mut next_sample = 0usize;
 
-        loop {
-            let next_time = st.queue.peek_time();
-            let cutoff = match next_time {
-                Some(t) if t <= horizon => t,
-                _ => horizon,
-            };
-            while next_sample < samples.len() && samples[next_sample] <= cutoff {
-                snapshots.push(st.snapshot(samples[next_sample]));
-                next_sample += 1;
-            }
-            match next_time {
-                Some(t) if t <= horizon => {
-                    let (t, ev) = st.queue.pop().expect("peeked");
-                    st.now = t;
-                    st.handle(ev);
-                }
-                _ => break,
-            }
-        }
-        st.now = horizon;
+        while step_state(st, horizon, samples, &mut next_sample, &mut snapshots) {}
 
-        RunOutput {
+        finish_output(st, horizon, snapshots)
+    }
+
+    /// Creates one importance-splitting branch at its time-zero state.
+    ///
+    /// The branch reproduces [`ItuaDes::run_into`] exactly when stepped to
+    /// the horizon without splits: the same seed initialization, placement
+    /// draws, sample clamping, and per-event handling (both paths share
+    /// [`step_state`]), so a run in which no threshold is crossed is
+    /// bit-identical to the plain replication path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `horizon` is not positive and finite.
+    pub fn split_branch<'a, L>(
+        &self,
+        seed: u64,
+        horizon: f64,
+        sample_times: &[f64],
+        level_fn: &'a L,
+    ) -> DesBranch<'a, L> {
+        assert!(horizon > 0.0 && horizon.is_finite(), "bad horizon");
+        let mut state = State::new(self.params.clone(), Rng::seed_from_u64(seed));
+        state.initial_placement();
+        let mut samples = Vec::new();
+        clamp_sample_times(sample_times, horizon, &mut samples);
+        DesBranch {
+            level_fn,
+            state,
+            samples,
+            next_sample: 0,
+            snapshots: Vec::new(),
             horizon,
-            improper_time_per_app: st
-                .apps
-                .iter()
-                .map(|a| a.improper.integral_until(horizon))
-                .collect(),
-            byzantine_per_app: st.apps.iter().map(|a| a.byzantine).collect(),
-            exclusion_corrupt_fractions: std::mem::take(&mut st.exclusion_fractions),
-            snapshots,
-            first_byzantine_time: st.first_byzantine_time,
-            first_improper_time: st.first_improper_time,
         }
+    }
+}
+
+/// Clamps requested sample times into `out`: values beyond the horizon
+/// collapse onto it, non-positive ones are dropped, and the result is
+/// sorted and deduplicated — the schedule every run actually snapshots.
+pub(crate) fn clamp_sample_times(sample_times: &[f64], horizon: f64, out: &mut Vec<f64>) {
+    out.clear();
+    out.extend(
+        sample_times
+            .iter()
+            .map(|&t| t.min(horizon))
+            .filter(|&t| t > 0.0),
+    );
+    out.sort_by(|a, b| a.partial_cmp(b).expect("no NaN sample times"));
+    out.dedup();
+}
+
+/// Advances a run by one event: delivers due snapshots, then pops and
+/// handles the next event. Returns `false` once the queue is drained or
+/// the next event lies beyond the horizon (setting `st.now = horizon`).
+///
+/// Both [`ItuaDes::run_into`] and the splitting branches drive the
+/// simulation exclusively through this function, which is what makes the
+/// two paths bit-identical when no split fires.
+fn step_state(
+    st: &mut State,
+    horizon: f64,
+    samples: &[f64],
+    next_sample: &mut usize,
+    snapshots: &mut Vec<Snapshot>,
+) -> bool {
+    let next_time = st.queue.peek_time();
+    let cutoff = match next_time {
+        Some(t) if t <= horizon => t,
+        _ => horizon,
+    };
+    while *next_sample < samples.len() && samples[*next_sample] <= cutoff {
+        snapshots.push(st.snapshot(samples[*next_sample]));
+        *next_sample += 1;
+    }
+    match next_time {
+        Some(t) if t <= horizon => {
+            let (t, ev) = st.queue.pop().expect("peeked");
+            st.now = t;
+            st.handle(ev);
+            true
+        }
+        _ => {
+            st.now = horizon;
+            false
+        }
+    }
+}
+
+/// Builds the run's [`RunOutput`] once stepping has finished.
+fn finish_output(st: &mut State, horizon: f64, snapshots: Vec<Snapshot>) -> RunOutput {
+    RunOutput {
+        horizon,
+        improper_time_per_app: st
+            .apps
+            .iter()
+            .map(|a| a.improper.integral_until(horizon))
+            .collect(),
+        byzantine_per_app: st.apps.iter().map(|a| a.byzantine).collect(),
+        exclusion_corrupt_fractions: std::mem::take(&mut st.exclusion_fractions),
+        snapshots,
+        first_byzantine_time: st.first_byzantine_time,
+        first_improper_time: st.first_improper_time,
+    }
+}
+
+/// Read-only view of a DES run's state, exposed to importance level
+/// functions between events.
+pub struct DesStateView<'a>(&'a State);
+
+impl DesStateView<'_> {
+    /// Number of domains that are excluded or contain any compromised
+    /// host (host OS, manager, or a live corrupt replica) — the natural
+    /// importance level for unreliability: domains the intrusion has
+    /// already reached.
+    pub fn corrupt_domain_count(&self) -> u32 {
+        let st = self.0;
+        let hpd = st.p.hosts_per_domain;
+        (0..st.p.num_domains)
+            .filter(|&d| {
+                st.domains[d].excluded || (d * hpd..(d + 1) * hpd).any(|h| st.host_compromised(h))
+            })
+            .count() as u32
+    }
+}
+
+/// One importance-splitting trajectory of the DES backend.
+///
+/// Created by [`ItuaDes::split_branch`]; driven by `itua_rare::run_tree`.
+pub struct DesBranch<'a, L> {
+    level_fn: &'a L,
+    state: State,
+    samples: Vec<f64>,
+    next_sample: usize,
+    snapshots: Vec<Snapshot>,
+    horizon: f64,
+}
+
+impl<L> Clone for DesBranch<'_, L> {
+    fn clone(&self) -> Self {
+        DesBranch {
+            level_fn: self.level_fn,
+            state: self.state.clone(),
+            samples: self.samples.clone(),
+            next_sample: self.next_sample,
+            snapshots: self.snapshots.clone(),
+            horizon: self.horizon,
+        }
+    }
+}
+
+impl<L> itua_rare::SplitBranch for DesBranch<'_, L>
+where
+    L: for<'s> itua_rare::LevelFn<DesStateView<'s>>,
+{
+    type Output = RunOutput;
+    type Error = std::convert::Infallible;
+
+    fn step(&mut self) -> Result<bool, Self::Error> {
+        Ok(step_state(
+            &mut self.state,
+            self.horizon,
+            &self.samples,
+            &mut self.next_sample,
+            &mut self.snapshots,
+        ))
+    }
+
+    fn level(&self) -> u32 {
+        self.level_fn.level(&DesStateView(&self.state))
+    }
+
+    fn reseed(&mut self, seed: u64) {
+        self.state.rng = Rng::seed_from_u64(seed);
+        self.state.resample_pending();
+    }
+
+    fn survives(&mut self, p: f64) -> bool {
+        self.state.rng.bernoulli(p)
+    }
+
+    fn finish(mut self) -> RunOutput {
+        finish_output(&mut self.state, self.horizon, self.snapshots)
     }
 }
 
@@ -472,6 +620,100 @@ impl State {
         if let Some(d) = self.exp_delay(rate) {
             self.queue
                 .schedule(self.now + d, Event::RepAttack { replica: r, epoch });
+        }
+    }
+
+    /// Redraws the remaining delay of every pending event from the
+    /// current stream.
+    ///
+    /// Every delay in this model is exponential, so by memorylessness the
+    /// redrawn schedule has exactly the law of the old one conditioned on
+    /// the present state — this changes *which* future gets sampled,
+    /// never its distribution. An importance-splitting branch calls this
+    /// after reseeding (via [`itua_rare::SplitBranch::reseed`]): without
+    /// it, sibling branches would inherit the parent's already-drawn
+    /// event times from the cloned queue and replay near-identical
+    /// futures, defeating the variance reduction splitting exists for.
+    /// Entries whose guard no longer holds (stale epochs, dead or already
+    /// corrupt entities) would be no-ops at pop time and are dropped
+    /// instead of redrawn. Events are redrawn in queue (time) order, so
+    /// the result is a pure function of state and seed.
+    fn resample_pending(&mut self) {
+        let mut pending = Vec::new();
+        while let Some((_, ev)) = self.queue.pop() {
+            pending.push(ev);
+        }
+        for ev in pending {
+            let rate = match ev {
+                Event::HostAttack { host, epoch } => {
+                    let h = &self.hosts[host];
+                    (h.alive && !h.corrupt && h.attack_epoch == epoch).then(|| {
+                        self.p.host_attack_rate()
+                            * self.p.spread_multiplier(
+                                self.domains[h.domain].spread_level,
+                                self.system_spread_level,
+                            )
+                    })
+                }
+                Event::HostDetect { host } => {
+                    let h = &self.hosts[host];
+                    (h.alive && h.corrupt).then_some(self.p.ids_rate)
+                }
+                Event::HostFalseAlarm { host } => {
+                    let h = &self.hosts[host];
+                    (h.alive && !h.corrupt).then(|| self.p.host_false_alarm_rate())
+                }
+                Event::MgrAttack { host, epoch } => {
+                    let h = &self.hosts[host];
+                    (h.alive && h.mgr_alive && !h.mgr_corrupt && h.mgr_attack_epoch == epoch).then(
+                        || {
+                            if h.corrupt {
+                                self.p.corrupt_host_manager_rate()
+                            } else {
+                                self.p.manager_attack_rate()
+                            }
+                        },
+                    )
+                }
+                Event::MgrDetect { host } => {
+                    let h = &self.hosts[host];
+                    (h.alive && h.mgr_alive && h.mgr_corrupt).then_some(self.p.ids_rate)
+                }
+                Event::RepAttack { replica, epoch } => {
+                    let r = &self.replicas[replica];
+                    (r.alive && !r.corrupt && r.attack_epoch == epoch).then(|| {
+                        if self.hosts[r.host].corrupt {
+                            self.p.corrupt_host_replica_rate()
+                        } else {
+                            self.p.replica_attack_rate()
+                        }
+                    })
+                }
+                Event::RepDetect { replica } => {
+                    let r = &self.replicas[replica];
+                    (r.alive && r.corrupt && !r.convicted).then_some(self.p.ids_rate)
+                }
+                Event::RepFalseDetect { replica } => {
+                    let r = &self.replicas[replica];
+                    (r.alive && r.corrupt && !r.convicted)
+                        .then(|| self.p.replica_false_alarm_rate())
+                }
+                Event::RepMisbehave { replica } => {
+                    let r = &self.replicas[replica];
+                    (r.alive && r.corrupt && !r.convicted).then_some(self.p.misbehave_rate)
+                }
+                Event::SpreadDomain { host } => {
+                    let h = &self.hosts[host];
+                    (h.alive && h.corrupt).then_some(self.p.spread_rate_domain)
+                }
+                Event::SpreadSystem { host } => {
+                    let h = &self.hosts[host];
+                    (h.alive && h.corrupt).then_some(self.p.spread_rate_system)
+                }
+            };
+            if let Some(d) = rate.and_then(|rate| self.exp_delay(rate)) {
+                self.queue.schedule(self.now + d, ev);
+            }
         }
     }
 
@@ -1029,6 +1271,51 @@ mod tests {
             let fresh = des.run(seed, 5.0, &[1.0, 5.0]);
             assert_eq!(reused, fresh, "seed {seed}");
         }
+    }
+
+    #[test]
+    fn split_branch_without_splits_matches_plain_run() {
+        // Driving a branch through run_tree with an empty spec must be
+        // bit-identical to ItuaDes::run — the splitting path reuses the
+        // exact step loop and the root branch never reseeds.
+        let des = ItuaDes::new(small_params()).unwrap();
+        let level = crate::split::CorruptDomainCount;
+        for seed in 0..20u64 {
+            let plain = des.run(seed, 5.0, &[1.0, 5.0]);
+            let branch = des.split_branch(seed, 5.0, &[1.0, 5.0], &level);
+            let mut leaves = Vec::new();
+            let stats =
+                itua_rare::run_tree(branch, seed, &itua_rare::SplitSpec::none(), &mut leaves)
+                    .unwrap();
+            assert_eq!(stats.branches, 1);
+            assert_eq!(leaves.len(), 1);
+            assert_eq!(leaves[0].0, 1.0);
+            assert_eq!(leaves[0].1, plain, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn split_branch_with_splits_produces_weighted_leaves() {
+        let des = ItuaDes::new(small_params()).unwrap();
+        let level = crate::split::CorruptDomainCount;
+        let spec: itua_rare::SplitSpec = "1x4".parse().unwrap();
+        let mut split_trees = 0u32;
+        for seed in 0..40u64 {
+            let branch = des.split_branch(seed, 5.0, &[5.0], &level);
+            let mut leaves = Vec::new();
+            let stats = itua_rare::run_tree(branch, seed, &spec, &mut leaves).unwrap();
+            if stats.branches > 1 {
+                split_trees += 1;
+            }
+            for &(w, ref out) in &leaves {
+                assert!(w > 0.0 && w <= 1.0);
+                assert!(out.unavailability(5.0) >= 0.0);
+            }
+            // Every surviving leaf reached the horizon; killed branches
+            // left no output.
+            assert_eq!(leaves.len() as u32, stats.leaves);
+        }
+        assert!(split_trees > 0, "no tree ever crossed level 1");
     }
 
     #[test]

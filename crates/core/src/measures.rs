@@ -150,6 +150,15 @@ impl MeasureSet {
         }
     }
 
+    /// Creates an empty weighted aggregate for importance-splitting runs;
+    /// observations are recorded per split tree via
+    /// [`MeasureSet::record_tree`].
+    pub fn new_weighted(level: f64) -> Self {
+        MeasureSet {
+            est: ReplicationEstimator::new_weighted(level),
+        }
+    }
+
     /// Records one replication's output.
     pub fn record(&mut self, out: &RunOutput) {
         self.est
@@ -178,6 +187,94 @@ impl MeasureSet {
                 s.load_per_host,
             );
         }
+    }
+
+    /// Records one importance-splitting tree's weighted leaves as a single
+    /// replication-level observation.
+    ///
+    /// The weight process of RESTART splitting is a martingale, so for any
+    /// *unconditional* horizon measure the per-tree total `Σ_leaves w·x` is
+    /// one unbiased iid observation of the plain per-replication value —
+    /// those totals are recorded with weight 1, giving an exact t-interval
+    /// across trees. *Conditional* measures (observed only in some runs:
+    /// exclusion fractions, first-failure times) are recorded as the
+    /// weighted ratio `Σw·v / Σw` over the observing leaves, carrying
+    /// weight `Σw` so the effective sample size reflects how much of the
+    /// tree's probability mass observed the event; trees with no observing
+    /// leaf are skipped, mirroring the plain path.
+    ///
+    /// A tree whose branches were all roulette-killed (`leaves` empty)
+    /// still contributes `0` to every unconditional measure — dropping it
+    /// would bias the estimator upward. `horizon` and `sample_times` are
+    /// the run arguments, used to reconstruct the snapshot schedule for
+    /// such empty trees.
+    ///
+    /// A single-leaf tree with weight 1 (no split fired) reproduces
+    /// [`MeasureSet::record`] bit-for-bit: every `w·x` and `Σw·v/Σw`
+    /// collapses to `x` exactly at `w == 1.0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this set was not created with [`MeasureSet::new_weighted`].
+    pub fn record_tree(&mut self, leaves: &[(f64, RunOutput)], horizon: f64, sample_times: &[f64]) {
+        let mut schedule = Vec::new();
+        crate::des::clamp_sample_times(sample_times, horizon, &mut schedule);
+        debug_assert!(
+            leaves
+                .iter()
+                .all(|(_, o)| o.snapshots.len() == schedule.len()),
+            "leaf snapshots do not match the sample schedule"
+        );
+
+        let unavailability: f64 = leaves
+            .iter()
+            .map(|(w, o)| w * o.unavailability(o.horizon))
+            .sum();
+        self.est
+            .record_weighted(names::UNAVAILABILITY, unavailability, 1.0);
+        let unreliability: f64 = leaves.iter().map(|(w, o)| w * o.unreliability()).sum();
+        self.est
+            .record_weighted(names::UNRELIABILITY, unreliability, 1.0);
+        for (i, &t) in schedule.iter().enumerate() {
+            let total = |f: fn(&Snapshot) -> f64| -> f64 {
+                leaves.iter().map(|(w, o)| w * f(&o.snapshots[i])).sum()
+            };
+            self.est.record_weighted(
+                &format!("{}@{}", names::FRAC_DOMAINS_EXCLUDED, t),
+                total(|s| s.frac_domains_excluded),
+                1.0,
+            );
+            self.est.record_weighted(
+                &format!("{}@{}", names::REPLICAS_RUNNING, t),
+                total(|s| s.mean_replicas_running),
+                1.0,
+            );
+            self.est.record_weighted(
+                &format!("{}@{}", names::LOAD_PER_HOST, t),
+                total(|s| s.load_per_host),
+                1.0,
+            );
+        }
+
+        let mut conditional = |name: &str, value: fn(&RunOutput) -> Option<f64>| {
+            let mut wsum = 0.0;
+            let mut vsum = 0.0;
+            for (w, o) in leaves {
+                if let Some(v) = value(o) {
+                    wsum += w;
+                    vsum += w * v;
+                }
+            }
+            if wsum > 0.0 {
+                self.est.record_weighted(name, vsum / wsum, wsum);
+            }
+        };
+        conditional(
+            names::FRAC_CORRUPT_AT_EXCLUSION,
+            RunOutput::mean_exclusion_corrupt_fraction,
+        );
+        conditional(names::TIME_TO_FIRST_BYZANTINE, |o| o.first_byzantine_time);
+        conditional(names::TIME_TO_FIRST_IMPROPER, |o| o.first_improper_time);
     }
 
     /// Records an exact (zero-variance) value for one named measure, as
@@ -286,6 +383,60 @@ mod tests {
         assert_eq!(e.ci.mean, 0.0625);
         assert_eq!(e.ci.half_width, 0.0);
         assert_eq!(e.min, e.max);
+    }
+
+    #[test]
+    fn record_tree_single_leaf_weight_one_matches_record() {
+        let mut plain = MeasureSet::new(0.95);
+        let mut split = MeasureSet::new_weighted(0.95);
+        for rep in 0..6 {
+            let mut out = sample_output();
+            out.improper_time_per_app[0] += rep as f64 * 0.1;
+            plain.record(&out);
+            split.record_tree(&[(1.0, out)], 5.0, &[5.0]);
+        }
+        let (a, b) = (plain.estimates(), split.estimates());
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.ci.mean.to_bits(), y.ci.mean.to_bits(), "{}", x.name);
+            assert_eq!(
+                x.ci.half_width.to_bits(),
+                y.ci.half_width.to_bits(),
+                "{}",
+                x.name
+            );
+            assert_eq!(x.min, y.min);
+            assert_eq!(x.max, y.max);
+        }
+    }
+
+    #[test]
+    fn record_tree_empty_tree_still_counts_for_unconditional_measures() {
+        let mut ms = MeasureSet::new_weighted(0.95);
+        ms.record_tree(&[], 5.0, &[5.0]);
+        ms.record_tree(&[(1.0, sample_output())], 5.0, &[5.0]);
+        assert_eq!(ms.estimator().count(names::UNAVAILABILITY), 2);
+        assert_eq!(
+            ms.estimator()
+                .count(&format!("{}@5", names::FRAC_DOMAINS_EXCLUDED)),
+            2
+        );
+        // The dead tree observed no exclusion event.
+        assert_eq!(ms.estimator().count(names::FRAC_CORRUPT_AT_EXCLUSION), 1);
+        assert_eq!(ms.mean(names::UNAVAILABILITY).unwrap(), 0.05);
+    }
+
+    #[test]
+    fn record_tree_splits_average_with_weights() {
+        let mut ms = MeasureSet::new_weighted(0.95);
+        // Two half-weight leaves with byzantine flags true/false: the
+        // tree's unreliability total is 0.5 * 0.25 + 0.5 * 0.25 with the
+        // sample_output flags (1 of 4 apps byzantine each).
+        let out = sample_output();
+        ms.record_tree(&[(0.5, out.clone()), (0.5, out)], 5.0, &[5.0]);
+        ms.record_tree(&[(1.0, sample_output())], 5.0, &[5.0]);
+        assert!((ms.mean(names::UNRELIABILITY).unwrap() - 0.25).abs() < 1e-12);
     }
 
     #[test]

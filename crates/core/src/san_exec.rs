@@ -22,7 +22,7 @@ use crate::params::Params;
 use crate::san_model::{self, BuildError, ItuaSan, ItuaSanPlaces};
 use itua_san::marking::Marking;
 use itua_san::model::{ActivityId, SanError};
-use itua_san::simulator::{Observer, SanSimulator, SimScratch};
+use itua_san::simulator::{Observer, RunCursor, SanSimulator, SimScratch};
 use itua_sim::rng::stream_seed;
 use itua_stats::timeweighted::TimeWeighted;
 
@@ -36,7 +36,10 @@ pub struct ItuaSanRunner {
 
 /// Reusable per-thread state for [`ItuaSanRunner::run_into`]: the
 /// simulator's [`SimScratch`] plus the measure observer, whose buffers are
-/// reset (not reallocated) for every replication.
+/// reset (not reallocated) for every replication. `Clone` copies the full
+/// mid-run state, which is what lets importance splitting fork a run at a
+/// level crossing.
+#[derive(Clone)]
 pub struct SanScratch {
     sim: SimScratch,
     observer: MeasureObserver,
@@ -162,9 +165,144 @@ impl ItuaSanRunner {
         let mut scratch = self.scratch();
         self.run_into(seed, horizon, sample_times, &mut scratch)
     }
+
+    /// Begins one replication as an importance-splitting branch: the run
+    /// is initialized (stabilized initial marking, observer `on_init`,
+    /// initial schedule) but no timed event has fired yet. Driving it with
+    /// [`itua_rare::run_tree`] and an empty
+    /// [`itua_rare::SplitSpec`] reproduces [`ItuaSanRunner::run_into`]
+    /// bit for bit: the branch steps through the exact same
+    /// [`itua_san::simulator::SanSimulator`] event loop.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SanError::Unstabilized`] if the initial instantaneous
+    /// cascade livelocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `horizon` is not positive and finite.
+    pub fn split_branch<'a, L>(
+        &'a self,
+        seed: u64,
+        horizon: f64,
+        sample_times: &[f64],
+        level_fn: &'a L,
+    ) -> Result<SanBranch<'a, L>, SanError> {
+        assert!(horizon > 0.0 && horizon.is_finite(), "bad horizon");
+        let mut scratch = self.scratch();
+        scratch.observer.reset(horizon, sample_times);
+        let cursor = self.sim.begin_run(
+            seed,
+            horizon,
+            &mut [&mut scratch.observer],
+            &mut scratch.sim,
+        )?;
+        Ok(SanBranch {
+            runner: self,
+            level_fn,
+            scratch,
+            cursor,
+            horizon,
+        })
+    }
+}
+
+/// Read-only view of a mid-run SAN marking handed to
+/// [`itua_rare::LevelFn`] implementations.
+pub struct SanStateView<'a> {
+    marking: &'a Marking,
+    places: &'a ItuaSanPlaces,
+}
+
+impl SanStateView<'_> {
+    /// Number of security domains that are excluded or currently house a
+    /// compromised host OS or a corrupt ITUA manager.
+    ///
+    /// This is the SAN analog of
+    /// [`crate::des::DesStateView::corrupt_domain_count`]. One caveat:
+    /// replica-only corruption is not attributable to a domain in the SAN
+    /// encoding (replica submodels are anonymous), so a domain whose only
+    /// corruption is an intruded replica does not raise the level here.
+    /// Level functions only steer the splitting effort — any such
+    /// discrepancy affects variance, never the estimate's expectation.
+    pub fn corrupt_domain_count(&self) -> u32 {
+        let p = self.places;
+        (0..p.domain_excluded.len())
+            .filter(|&d| {
+                self.marking.get(p.domain_excluded[d]) > 0
+                    || self.marking.get(p.domain_corrupt_hosts[d]) > 0
+                    || self.marking.get(p.domain_mgrs_corrupt[d]) > 0
+            })
+            .count() as u32
+    }
+}
+
+/// One importance-splitting branch of a SAN replication: the cloneable
+/// mid-run state (scratch + cursor) plus the simulator and level function
+/// it steps under. Implements [`itua_rare::SplitBranch`].
+pub struct SanBranch<'a, L> {
+    runner: &'a ItuaSanRunner,
+    level_fn: &'a L,
+    scratch: SanScratch,
+    cursor: RunCursor,
+    horizon: f64,
+}
+
+impl<L> Clone for SanBranch<'_, L> {
+    fn clone(&self) -> Self {
+        SanBranch {
+            runner: self.runner,
+            level_fn: self.level_fn,
+            scratch: self.scratch.clone(),
+            cursor: self.cursor.clone(),
+            horizon: self.horizon,
+        }
+    }
+}
+
+impl<L> itua_rare::SplitBranch for SanBranch<'_, L>
+where
+    L: for<'s> itua_rare::LevelFn<SanStateView<'s>>,
+{
+    type Output = RunOutput;
+    type Error = SanError;
+
+    fn step(&mut self) -> Result<bool, SanError> {
+        let SanScratch { sim, observer } = &mut self.scratch;
+        self.runner
+            .sim
+            .step_run(self.horizon, &mut [observer], sim, &mut self.cursor)
+    }
+
+    fn level(&self) -> u32 {
+        self.level_fn.level(&SanStateView {
+            marking: self.scratch.sim.marking(),
+            places: &self.runner.model.places,
+        })
+    }
+
+    fn reseed(&mut self, seed: u64) {
+        self.cursor.reseed(seed);
+        // Decorrelate this branch from its siblings: redraw the pending
+        // completion times (memoryless, so the trajectory law given the
+        // cloned marking is unchanged) from the new stream.
+        self.runner
+            .sim
+            .resample_pending(&mut self.scratch.sim, &mut self.cursor);
+    }
+
+    fn survives(&mut self, p: f64) -> bool {
+        self.cursor.survives(p)
+    }
+
+    fn finish(mut self) -> RunOutput {
+        self.scratch.observer.take_output(self.horizon)
+    }
 }
 
 /// Observer that evaluates the DES-equivalent measures on the SAN marking.
+#[derive(Clone)]
 struct MeasureObserver {
     places: ItuaSanPlaces,
     num_apps: usize,
@@ -414,6 +552,49 @@ mod tests {
                 assert_eq!(reused.snapshots.len(), samples.len());
             }
         }
+    }
+
+    #[test]
+    fn split_branch_without_splits_matches_plain_run() {
+        // The splitting path reuses the simulator's begin_run/step_run
+        // loop, so a tree with no thresholds must reproduce run_into bit
+        // for bit (root branch, no reseed, no roulette draws).
+        let runner = ItuaSanRunner::new(&small_params()).unwrap();
+        let level = crate::split::CorruptDomainCount;
+        for seed in 0..15u64 {
+            let plain = runner.run(seed, 5.0, &[1.0, 5.0]).unwrap();
+            let branch = runner.split_branch(seed, 5.0, &[1.0, 5.0], &level).unwrap();
+            let mut leaves = Vec::new();
+            let stats =
+                itua_rare::run_tree(branch, seed, &itua_rare::SplitSpec::none(), &mut leaves)
+                    .unwrap();
+            assert_eq!(stats.branches, 1);
+            assert_eq!(leaves.len(), 1);
+            assert_eq!(leaves[0].0, 1.0);
+            assert_eq!(leaves[0].1, plain, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn split_branch_with_splits_produces_weighted_leaves() {
+        let runner = ItuaSanRunner::new(&small_params()).unwrap();
+        let level = crate::split::CorruptDomainCount;
+        let spec: itua_rare::SplitSpec = "1x4".parse().unwrap();
+        let mut split_trees = 0u32;
+        for seed in 0..30u64 {
+            let branch = runner.split_branch(seed, 5.0, &[5.0], &level).unwrap();
+            let mut leaves = Vec::new();
+            let stats = itua_rare::run_tree(branch, seed, &spec, &mut leaves).unwrap();
+            if stats.branches > 1 {
+                split_trees += 1;
+            }
+            for &(w, ref out) in &leaves {
+                assert!(w > 0.0 && w <= 1.0);
+                assert!(out.unavailability(5.0) >= 0.0);
+            }
+            assert_eq!(leaves.len() as u32, stats.leaves);
+        }
+        assert!(split_trees > 0, "no tree ever crossed level 1");
     }
 
     #[test]

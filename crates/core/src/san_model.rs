@@ -64,6 +64,13 @@ pub struct ItuaSanPlaces {
     /// a convicted replica leaves its host before the exclusion cascade —
     /// so it is a slight undercount relative to the DES measure.
     pub domain_excl_corrupt: Vec<PlaceId>,
+    /// Per domain: `dom_corrupt_hosts`, the number of active hosts in the
+    /// domain whose OS is currently compromised. Used by the rare-event
+    /// importance level function.
+    pub domain_corrupt_hosts: Vec<PlaceId>,
+    /// Per domain: `dom_mgrs_corrupt`, the number of corrupt ITUA managers
+    /// in the domain. Used by the rare-event importance level function.
+    pub domain_mgrs_corrupt: Vec<PlaceId>,
 }
 
 impl ItuaSanPlaces {
@@ -224,6 +231,8 @@ pub fn build(params: &Params) -> Result<ItuaSan, BuildError> {
     let mut domain_excluded = Vec::with_capacity(p.num_domains);
     let mut domain_active_hosts = Vec::with_capacity(p.num_domains);
     let mut domain_excl_corrupt = Vec::with_capacity(p.num_domains);
+    let mut domain_corrupt_hosts = Vec::with_capacity(p.num_domains);
+    let mut domain_mgrs_corrupt = Vec::with_capacity(p.num_domains);
     for d in 0..p.num_domains {
         domain_excluded.push(
             san.place_id(&format!("itua/domains[{d}]/hosts/dom_excluded"))
@@ -237,6 +246,14 @@ pub fn build(params: &Params) -> Result<ItuaSan, BuildError> {
             san.place_id(&format!("itua/domains[{d}]/hosts/dom_excl_corrupt"))
                 .expect("dom_excl_corrupt place exists"),
         );
+        domain_corrupt_hosts.push(
+            san.place_id(&format!("itua/domains[{d}]/hosts/dom_corrupt_hosts"))
+                .expect("dom_corrupt_hosts place exists"),
+        );
+        domain_mgrs_corrupt.push(
+            san.place_id(&format!("itua/domains[{d}]/hosts/dom_mgrs_corrupt"))
+                .expect("dom_mgrs_corrupt place exists"),
+        );
     }
 
     Ok(ItuaSan {
@@ -248,6 +265,8 @@ pub fn build(params: &Params) -> Result<ItuaSan, BuildError> {
             domain_excluded,
             domain_active_hosts,
             domain_excl_corrupt,
+            domain_corrupt_hosts,
+            domain_mgrs_corrupt,
         },
         params: params.clone(),
     })

@@ -1,0 +1,44 @@
+//! Importance level functions for RESTART-style splitting on the ITUA
+//! model.
+//!
+//! A level function maps a mid-run simulator state to a non-negative
+//! importance level; the splitting scheduler in `itua-rare` forks a run
+//! whenever the level crosses a configured threshold upward and plays
+//! Russian roulette when it falls back. The level function is purely a
+//! variance-reduction steering wheel: a bad choice wastes effort but can
+//! never bias the estimator.
+//!
+//! [`CorruptDomainCount`] is the level function the paper's unreliability
+//! tail calls for: an application suffers a Byzantine failure only after
+//! the attacker corrupts replicas in at least a third of the running
+//! group, which requires compromising (or excluding) several security
+//! domains first. The number of corrupt-or-excluded domains is therefore
+//! a natural progress coordinate toward the rare event, and it is cheap
+//! to evaluate on both the direct DES state and the SAN marking.
+
+use crate::des::DesStateView;
+use crate::san_exec::SanStateView;
+use itua_rare::LevelFn;
+
+/// Importance level = number of security domains that are excluded or
+/// currently contain a compromised host (DES: host OS or manager; SAN:
+/// host OS or manager — replica-only corruption is visible to the DES
+/// view but not the SAN view, see
+/// [`SanStateView::corrupt_domain_count`]).
+///
+/// Works with both backends: implements
+/// [`LevelFn`] over [`DesStateView`] and [`SanStateView`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CorruptDomainCount;
+
+impl<'s> LevelFn<DesStateView<'s>> for CorruptDomainCount {
+    fn level(&self, state: &DesStateView<'s>) -> u32 {
+        state.corrupt_domain_count()
+    }
+}
+
+impl<'s> LevelFn<SanStateView<'s>> for CorruptDomainCount {
+    fn level(&self, state: &SanStateView<'s>) -> u32 {
+        state.corrupt_domain_count()
+    }
+}

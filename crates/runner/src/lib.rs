@@ -20,6 +20,10 @@
 //!   reward variables, and its [`experiment::ExperimentConfig`] (the
 //!   only experiment path; the old sequential loop in `itua-san` was
 //!   retired in its favor and the config type moved here).
+//! * [`split`] — the RESTART importance-splitting replication loop
+//!   ([`split::run_measures_split`]): one splitting tree per replication,
+//!   weighted leaves reduced tree-by-tree, bit-identical across thread
+//!   counts and collapsing to the plain loop when no thresholds are set.
 //! * [`progress`] — observer interface plus a console implementation
 //!   reporting replications/second, ETA, and per-point estimates as they
 //!   land.
@@ -40,6 +44,7 @@ pub mod engine;
 pub mod experiment;
 pub mod json;
 pub mod progress;
+pub mod split;
 pub mod store;
 pub mod sweep;
 
@@ -49,5 +54,6 @@ pub use backend::{
 pub use engine::{replicate, replicate_batched, replicate_with_scratch, RunnerConfig};
 pub use experiment::{run_experiment_parallel, ExperimentConfig};
 pub use progress::{ConsoleProgress, NullProgress, Progress};
+pub use split::{run_measures_split, SplitRun, SplitTotals};
 pub use store::{fingerprint, ResultStore, StoredEstimate, StoredPoint};
 pub use sweep::{PointSpec, SweepRunner};

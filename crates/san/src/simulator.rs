@@ -83,6 +83,7 @@ struct ScheduledEvent {
     generation: u64,
 }
 
+#[derive(Clone)]
 struct ActivityState {
     key: Option<EventKey>,
     generation: u64,
@@ -118,6 +119,7 @@ fn schedule_at(
 /// cursor into the marking's dirty log; the timed-reschedule loop reads
 /// the same log with its own cursor (always 0), which is why the log is
 /// cursored rather than drained.
+#[derive(Clone)]
 struct InstIndex {
     enabled: Vec<ActivityId>,
     candidates: Vec<ActivityId>,
@@ -184,6 +186,7 @@ impl InstIndex {
 /// happens before any general-distribution sample, so the global RNG
 /// draw order — and with it the event-queue insertion order and every
 /// estimate — is bit-identical to unbatched scheduling.
+#[derive(Clone)]
 struct ExpoBatch {
     now: f64,
     pending: Vec<(ActivityId, f64)>,
@@ -270,6 +273,11 @@ impl ExpoBatch {
 /// marking, so a worker thread can run many replications without
 /// reallocating any of them. Every run fully resets the state; reuse
 /// never changes results.
+///
+/// `Clone` deep-copies the entire mid-run state (marking, queue, schedule
+/// table, batching buffers); together with a cloned [`RunCursor`] the copy
+/// continues the run independently — the basis of importance splitting.
+#[derive(Clone)]
 pub struct SimScratch {
     initial: Marking,
     marking: Marking,
@@ -279,6 +287,49 @@ pub struct SimScratch {
     inst: InstIndex,
     expo: ExpoBatch,
     affected: Vec<ActivityId>,
+}
+
+impl SimScratch {
+    /// The current marking (importance level functions read this between
+    /// [`SanSimulator::step_run`] calls; the marking is stabilized then).
+    pub fn marking(&self) -> &Marking {
+        &self.marking
+    }
+}
+
+/// Execution cursor for a run driven stepwise through
+/// [`SanSimulator::begin_run`] / [`SanSimulator::step_run`].
+///
+/// Owns the run-local random stream, the sample-delivery position, and the
+/// firing statistics. Cloning a cursor together with its [`SimScratch`]
+/// snapshots a run mid-flight; the importance-splitting scheduler clones
+/// both at level crossings and reseeds the copy.
+#[derive(Debug, Clone)]
+pub struct RunCursor {
+    rng: Rng,
+    next_sample: usize,
+    stats: RunStats,
+    /// Simulation time of the last fired event (0 before the first).
+    /// [`SanSimulator::resample_pending`] needs the current time to
+    /// redraw remaining delays from "now".
+    now: f64,
+}
+
+impl RunCursor {
+    /// Firing statistics accumulated so far.
+    pub fn stats(&self) -> RunStats {
+        self.stats
+    }
+
+    /// Replaces the run's random stream with one seeded from `seed`.
+    pub fn reseed(&mut self, seed: u64) {
+        self.rng = Rng::seed_from_u64(seed);
+    }
+
+    /// Draws one Bernoulli(`p`) from the run's stream (Russian roulette).
+    pub fn survives(&mut self, p: f64) -> bool {
+        self.rng.bernoulli(p)
+    }
 }
 
 impl SanSimulator {
@@ -370,6 +421,35 @@ impl SanSimulator {
         observers: &mut [&mut dyn Observer],
         scratch: &mut SimScratch,
     ) -> Result<RunStats, SanError> {
+        let mut cursor = self.begin_run(seed, horizon, observers, scratch)?;
+        while self.step_run(horizon, observers, scratch, &mut cursor)? {}
+        Ok(cursor.stats)
+    }
+
+    /// Resets `scratch`, performs the time-zero stabilization and initial
+    /// scheduling, and returns the cursor from which the run proceeds one
+    /// event at a time via [`SanSimulator::step_run`].
+    ///
+    /// `run_with_scratch` is exactly `begin_run` followed by `step_run`
+    /// until it returns `false`, so stepwise execution is bit-identical to
+    /// the monolithic loop by construction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SanError::Unstabilized`] if instantaneous activities
+    /// livelock during the initial stabilization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `horizon` is negative or NaN, or if `scratch` was created
+    /// for a structurally different model.
+    pub fn begin_run(
+        &self,
+        seed: u64,
+        horizon: f64,
+        observers: &mut [&mut dyn Observer],
+        scratch: &mut SimScratch,
+    ) -> Result<RunCursor, SanError> {
         assert!(horizon >= 0.0 && !horizon.is_nan(), "bad horizon");
         let san = &*self.san;
         assert!(
@@ -389,7 +469,7 @@ impl SanSimulator {
             sample_times,
             inst,
             expo,
-            affected,
+            affected: _,
         } = scratch;
         let marking = &mut *marking;
         marking.clone_from(initial);
@@ -414,7 +494,6 @@ impl SanSimulator {
         sample_times.retain(|&t| t <= horizon);
         sample_times.sort_by(|a, b| a.partial_cmp(b).expect("sample times are not NaN"));
         sample_times.dedup();
-        let mut next_sample = 0usize;
 
         // Initial stabilization. Firings before time zero are not
         // observable events, hence the empty observer slice.
@@ -438,104 +517,143 @@ impl SanSimulator {
         }
         expo.flush(&mut rng, queue, states);
 
-        let mut now;
-        loop {
-            let next_time = queue.peek_time();
-            // Deliver sample points that precede the next event (or all
-            // remaining ones if the queue is drained / past horizon).
-            let cutoff = match next_time {
-                Some(t) if t <= horizon => t,
-                _ => horizon,
-            };
-            while next_sample < sample_times.len() && sample_times[next_sample] <= cutoff {
-                let st = sample_times[next_sample];
-                for o in observers.iter_mut() {
-                    o.on_sample(st, marking);
-                }
-                next_sample += 1;
-            }
+        Ok(RunCursor {
+            rng,
+            next_sample: 0,
+            stats,
+            now: 0.0,
+        })
+    }
 
-            match next_time {
-                None => {
-                    // No more events: the marking is frozen, but the
-                    // observation interval still runs to the horizon.
-                    stats.end_time = horizon;
-                    for o in observers.iter_mut() {
-                        o.on_end(horizon, marking);
-                    }
-                    return Ok(stats);
-                }
-                Some(t) if t > horizon => {
-                    stats.end_time = horizon;
-                    for o in observers.iter_mut() {
-                        o.on_end(horizon, marking);
-                    }
-                    return Ok(stats);
-                }
-                Some(_) => {}
-            }
+    /// Advances the run by one event-queue entry: delivers due sample
+    /// points, then pops and fires the next timed activity (with its
+    /// zero-time stabilization cascade and rescheduling). Returns
+    /// `Ok(false)` once the horizon is reached or the queue drains —
+    /// `cursor.stats()` is final at that point.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SanError::Unstabilized`] if instantaneous activities
+    /// livelock.
+    pub fn step_run(
+        &self,
+        horizon: f64,
+        observers: &mut [&mut dyn Observer],
+        scratch: &mut SimScratch,
+        cursor: &mut RunCursor,
+    ) -> Result<bool, SanError> {
+        let san = &*self.san;
+        let SimScratch {
+            initial: _,
+            marking,
+            queue,
+            states,
+            sample_times,
+            inst,
+            expo,
+            affected,
+        } = scratch;
+        let marking = &mut *marking;
+        let rng = &mut cursor.rng;
 
-            let (t, ev) = queue.pop().expect("peeked event exists");
-            now = t;
-            let state = &mut states[ev.activity as usize];
-            if state.generation != ev.generation {
-                continue; // stale (defensive; cancel() normally prevents this)
-            }
-            state.key = None;
-            state.generation += 1;
-
-            let act_id = ActivityId(ev.activity);
-            let act = san.activity(act_id);
-            debug_assert!(act.enabled(marking), "scheduled activity must be enabled");
-
-            // Fire.
-            let case = Self::choose_case(act.case_weights(marking), &mut rng);
-            act.fire(case, marking);
-            stats.timed_firings += 1;
-
-            // Zero-time stabilization of instantaneous activities.
-            self.stabilize(marking, &mut rng, now, observers, &mut stats, inst)?;
-
-            // Incrementally update the timed activities affected by the
-            // firing and its cascade, batching the exponential resamples.
-            affected.clear();
-            affected.push(act_id);
-            for &p in marking.dirty_since(0) {
-                affected.extend_from_slice(san.timed_dependents_of(p));
-            }
-            marking.clear_dirty();
-            inst.note_cleared();
-            affected.sort_unstable();
-            affected.dedup();
-            expo.begin(now);
-            for &id in affected.iter() {
-                let act = san.activity(id);
-                let enabled = act.enabled(marking);
-                let scheduled = states[id.index()].key.is_some();
-                match (enabled, scheduled) {
-                    (true, false) => {
-                        expo.schedule(act, id, marking, &mut rng, queue, states);
-                    }
-                    (true, true) => {
-                        // Resample exponentials (marking-dependent rates);
-                        // keep general samples (enabling memory).
-                        if matches!(act.timing(), Timing::Exponential(_)) {
-                            Self::cancel(id, queue, states);
-                            expo.schedule(act, id, marking, &mut rng, queue, states);
-                        }
-                    }
-                    (false, true) => {
-                        Self::cancel(id, queue, states);
-                    }
-                    (false, false) => {}
-                }
-            }
-            expo.flush(&mut rng, queue, states);
-
+        let next_time = queue.peek_time();
+        // Deliver sample points that precede the next event (or all
+        // remaining ones if the queue is drained / past horizon).
+        let cutoff = match next_time {
+            Some(t) if t <= horizon => t,
+            _ => horizon,
+        };
+        while cursor.next_sample < sample_times.len() && sample_times[cursor.next_sample] <= cutoff
+        {
+            let st = sample_times[cursor.next_sample];
             for o in observers.iter_mut() {
-                o.on_event(now, act_id, marking);
+                o.on_sample(st, marking);
+            }
+            cursor.next_sample += 1;
+        }
+
+        match next_time {
+            // No more events (the marking is frozen, but the observation
+            // interval still runs to the horizon), or the next event lies
+            // beyond it: the run is over.
+            None => {
+                cursor.stats.end_time = horizon;
+                for o in observers.iter_mut() {
+                    o.on_end(horizon, marking);
+                }
+                return Ok(false);
+            }
+            Some(t) if t > horizon => {
+                cursor.stats.end_time = horizon;
+                for o in observers.iter_mut() {
+                    o.on_end(horizon, marking);
+                }
+                return Ok(false);
+            }
+            Some(_) => {}
+        }
+
+        let (now, ev) = queue.pop().expect("peeked event exists");
+        cursor.now = now;
+        let state = &mut states[ev.activity as usize];
+        if state.generation != ev.generation {
+            return Ok(true); // stale (defensive; cancel() normally prevents this)
+        }
+        state.key = None;
+        state.generation += 1;
+
+        let act_id = ActivityId(ev.activity);
+        let act = san.activity(act_id);
+        debug_assert!(act.enabled(marking), "scheduled activity must be enabled");
+
+        // Fire.
+        let case = Self::choose_case(act.case_weights(marking), rng);
+        act.fire(case, marking);
+        cursor.stats.timed_firings += 1;
+
+        // Zero-time stabilization of instantaneous activities.
+        self.stabilize(marking, rng, now, observers, &mut cursor.stats, inst)?;
+
+        // Incrementally update the timed activities affected by the
+        // firing and its cascade, batching the exponential resamples.
+        affected.clear();
+        affected.push(act_id);
+        for &p in marking.dirty_since(0) {
+            affected.extend_from_slice(san.timed_dependents_of(p));
+        }
+        marking.clear_dirty();
+        inst.note_cleared();
+        affected.sort_unstable();
+        affected.dedup();
+        expo.begin(now);
+        for &id in affected.iter() {
+            let act = san.activity(id);
+            let enabled = act.enabled(marking);
+            let scheduled = states[id.index()].key.is_some();
+            match (enabled, scheduled) {
+                (true, false) => {
+                    expo.schedule(act, id, marking, rng, queue, states);
+                }
+                (true, true) => {
+                    // Resample exponentials (marking-dependent rates);
+                    // keep general samples (enabling memory).
+                    if matches!(act.timing(), Timing::Exponential(_)) {
+                        Self::cancel(id, queue, states);
+                        expo.schedule(act, id, marking, rng, queue, states);
+                    }
+                }
+                (false, true) => {
+                    Self::cancel(id, queue, states);
+                }
+                (false, false) => {}
             }
         }
+        expo.flush(rng, queue, states);
+
+        for o in observers.iter_mut() {
+            o.on_event(now, act_id, marking);
+        }
+        Ok(true)
     }
 
     fn cancel(
@@ -548,6 +666,47 @@ impl SanSimulator {
             queue.cancel(key);
             st.generation += 1;
         }
+    }
+
+    /// Redraws the completion time of every scheduled exponential
+    /// activity from the cursor's stream, anchored at the current
+    /// simulation time.
+    ///
+    /// Exponential distributions are memoryless, so conditioned on the
+    /// current marking the redrawn schedule has exactly the law of the
+    /// old one — this changes *which* future gets sampled, never its
+    /// distribution. An importance-splitting branch calls this after
+    /// [`RunCursor::reseed`]: without it, sibling branches would inherit
+    /// the parent's already-drawn completion times from the cloned queue
+    /// and replay near-identical futures, defeating the variance
+    /// reduction splitting exists for. Generally distributed activities
+    /// (none in the ITUA model) keep their samples: their enabling memory
+    /// is not memoryless, so a redraw would change the law.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scratch` does not belong to this model.
+    pub fn resample_pending(&self, scratch: &mut SimScratch, cursor: &mut RunCursor) {
+        let san = &*self.san;
+        assert!(
+            scratch.states.len() == san.num_activities(),
+            "scratch does not match this model"
+        );
+        let SimScratch {
+            marking,
+            queue,
+            states,
+            expo,
+            ..
+        } = scratch;
+        expo.begin(cursor.now);
+        for (id, act) in san.activities() {
+            if states[id.index()].key.is_some() && matches!(act.timing(), Timing::Exponential(_)) {
+                Self::cancel(id, queue, states);
+                expo.schedule(act, id, marking, &mut cursor.rng, queue, states);
+            }
+        }
+        expo.flush(&mut cursor.rng, queue, states);
     }
 
     fn choose_case(weights: Vec<f64>, rng: &mut Rng) -> usize {

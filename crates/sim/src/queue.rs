@@ -16,7 +16,7 @@ use std::collections::HashSet;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct EventKey(u64);
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Entry<T> {
     time: f64,
     seq: u64,
@@ -65,7 +65,10 @@ impl<T> Ord for Entry<T> {
 /// assert_eq!(q.pop(), Some((2.0, "b")));
 /// assert_eq!(q.pop(), None);
 /// ```
-#[derive(Debug)]
+// Clone lets an importance-splitting branch snapshot a simulator state
+// mid-run; the cloned heap preserves sequence numbers, so the clone pops
+// events in exactly the original order.
+#[derive(Debug, Clone)]
 pub struct EventQueue<T> {
     heap: BinaryHeap<Entry<T>>,
     /// Sequence numbers of events that are scheduled and not yet popped or

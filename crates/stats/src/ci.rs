@@ -2,6 +2,7 @@
 
 use crate::online::OnlineStats;
 use crate::tdist::t_quantile;
+use crate::weighted::WeightedStats;
 use std::fmt;
 
 /// Error returned when a confidence interval cannot be formed.
@@ -73,6 +74,36 @@ impl ConfidenceInterval {
         }
         let se = stats.std_error().expect("n >= 2");
         let df = (n - 1) as f64;
+        let t = t_quantile(0.5 + level / 2.0, df);
+        Ok(ConfidenceInterval {
+            mean: stats.mean(),
+            half_width: t * se,
+            n,
+            level,
+        })
+    }
+
+    /// Builds an interval from an accumulated [`WeightedStats`], using the
+    /// effective sample size `n_eff = (Σw)² / Σw²` for the t-distribution's
+    /// degrees of freedom (clamped to at least 1). `n` reports the raw
+    /// observation count. When every weight is exactly `1.0` this is
+    /// bit-identical to [`ConfidenceInterval::from_stats`]: `n_eff` equals
+    /// the count exactly for integer-representable counts, so `df` and `t`
+    /// match, and the clamp is inactive since `df >= 1` at `n >= 2`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ConfidenceInterval::from_observations`].
+    pub fn from_weighted_stats(stats: &WeightedStats, level: f64) -> Result<Self, CiError> {
+        if !(0.0..1.0).contains(&level) || level <= 0.0 {
+            return Err(CiError::BadLevel);
+        }
+        let n = stats.count();
+        if n < 2 {
+            return Err(CiError::TooFewObservations);
+        }
+        let se = stats.std_error().expect("n >= 2");
+        let df = (stats.n_eff() - 1.0).max(1.0);
         let t = t_quantile(0.5 + level / 2.0, df);
         Ok(ConfidenceInterval {
             mean: stats.mean(),

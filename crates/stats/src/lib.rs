@@ -15,6 +15,8 @@
 //!   relative-precision stopping.
 //! * [`batch`] — batch-means estimation for steady-state measures.
 //! * [`histogram`] — fixed-bin histograms and exact percentiles.
+//! * [`weighted`] — weight-carrying moments for importance-splitting
+//!   estimators, bit-compatible with [`online`] at weight 1.
 //!
 //! # Example
 //!
@@ -38,8 +40,10 @@ pub mod replication;
 pub mod special;
 pub mod tdist;
 pub mod timeweighted;
+pub mod weighted;
 
 pub use ci::ConfidenceInterval;
 pub use online::OnlineStats;
-pub use replication::{Estimate, ReplicationEstimator};
+pub use replication::{Estimate, ReplicationEstimator, Weighting};
 pub use timeweighted::TimeWeighted;
+pub use weighted::WeightedStats;

@@ -1,0 +1,300 @@
+//! Weighted streaming moments for importance-splitting estimators.
+//!
+//! Importance splitting (RESTART) produces observations that carry
+//! likelihood weights: a branch that survived `k` splits of factor `R`
+//! contributes its value with weight `R^-k`. [`WeightedStats`] accumulates
+//! such `(value, weight)` pairs with a weighted Welford recurrence and
+//! reports the weighted mean, the reliability-weights sample variance, and
+//! the effective sample size `n_eff = (Σw)² / Σw²` used for t-intervals.
+//!
+//! The recurrence is arranged so that a stream of weight-`1.0` pushes is
+//! **bit-identical** to [`OnlineStats`](crate::online::OnlineStats): every
+//! intermediate expression evaluates to the exact same sequence of floating
+//! point operations (`w * delta / w1` with `w == 1.0` multiplies by an
+//! exact `1.0` and divides by the exact integer-valued `Σw`). This is what
+//! lets the splitting path degenerate to the plain replication path when no
+//! split ever fires, and it is pinned by the `weighted_collapse` property
+//! tests.
+
+use crate::online::OnlineStats;
+
+/// Streaming weighted mean/variance/min/max accumulator.
+///
+/// # Example
+///
+/// ```
+/// use itua_stats::weighted::WeightedStats;
+///
+/// let mut s = WeightedStats::new();
+/// s.push(1.0, 0.25);
+/// s.push(0.0, 0.75);
+/// assert!((s.mean() - 0.25).abs() < 1e-15);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeightedStats {
+    count: u64,
+    w1: f64,
+    w2: f64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl WeightedStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        WeightedStats {
+            count: 0,
+            w1: 0.0,
+            w2: 0.0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation of `x` carrying weight `w`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is NaN or `w` is not a finite positive number (a bad
+    /// weight silently corrupts every later statistic, so it is rejected
+    /// loudly, mirroring [`OnlineStats::push`]).
+    pub fn push(&mut self, x: f64, w: f64) {
+        assert!(!x.is_nan(), "NaN observation");
+        assert!(
+            w.is_finite() && w > 0.0,
+            "weight must be finite and > 0, got {w}"
+        );
+        self.count += 1;
+        self.w1 += w;
+        self.w2 += w * w;
+        let delta = x - self.mean;
+        self.mean += w * delta / self.w1;
+        let delta2 = x - self.mean;
+        self.m2 += w * delta * delta2;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations pushed so far (unweighted count).
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Total weight `Σw`.
+    pub fn total_weight(&self) -> f64 {
+        self.w1
+    }
+
+    /// Effective sample size `(Σw)² / Σw²` (0 when empty). Equals
+    /// [`WeightedStats::count`] when every weight is identical.
+    pub fn n_eff(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.w1 * self.w1 / self.w2
+        }
+    }
+
+    /// Weighted sample mean (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased (reliability-weights) sample variance
+    /// `Σw(x-mean)² / (Σw − Σw²/Σw)`; `None` with fewer than two
+    /// observations. Collapses to [`OnlineStats::sample_variance`] at
+    /// weight 1.
+    pub fn sample_variance(&self) -> Option<f64> {
+        if self.count < 2 {
+            None
+        } else {
+            Some(self.m2 / (self.w1 - self.w2 / self.w1))
+        }
+    }
+
+    /// Standard error of the weighted mean, `sqrt(variance / n_eff)`;
+    /// `None` with fewer than two observations.
+    pub fn std_error(&self) -> Option<f64> {
+        self.sample_variance().map(|v| (v / self.n_eff()).sqrt())
+    }
+
+    /// Smallest observation; `None` when empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest observation; `None` when empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Merges another accumulator into this one (parallel weighted
+    /// Welford). The arithmetic mirrors [`OnlineStats::merge`] with `Σw`
+    /// standing in for the count, so merging weight-1 accumulators stays
+    /// bit-identical to the unweighted merge.
+    pub fn merge(&mut self, other: &WeightedStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let delta = other.mean - self.mean;
+        let total = self.w1 + other.w1;
+        self.mean += delta * other.w1 / total;
+        self.m2 += other.m2 + delta * delta * self.w1 * other.w1 / total;
+        self.w1 = total;
+        self.w2 += other.w2;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Whether this accumulator is bitwise identical to `other` under the
+    /// weight-1 embedding (same count, mean, second moment, min, max).
+    /// Test/diagnostic helper for the collapse property.
+    pub fn collapses_to(&self, other: &OnlineStats) -> bool {
+        self.count == other.count()
+            && self.mean.to_bits() == other.mean().to_bits()
+            && self.min() == other.min()
+            && self.max() == other.max()
+            && self.sample_variance().map(f64::to_bits) == other.sample_variance().map(f64::to_bits)
+            && self.std_error().map(f64::to_bits) == other.std_error().map(f64::to_bits)
+    }
+}
+
+impl Default for WeightedStats {
+    fn default() -> Self {
+        // Same caveat as OnlineStats: a derived Default would zero min/max
+        // instead of using the identity elements of min/max.
+        WeightedStats::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_stats() {
+        let s = WeightedStats::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.total_weight(), 0.0);
+        assert_eq!(s.n_eff(), 0.0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.sample_variance(), None);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+    }
+
+    #[test]
+    fn weighted_mean_matches_direct_computation() {
+        let data = [(2.0, 0.5), (4.0, 1.5), (10.0, 0.25), (-1.0, 3.0)];
+        let mut s = WeightedStats::new();
+        for (x, w) in data {
+            s.push(x, w);
+        }
+        let wsum: f64 = data.iter().map(|(_, w)| w).sum();
+        let mean = data.iter().map(|(x, w)| x * w).sum::<f64>() / wsum;
+        assert!((s.mean() - mean).abs() < 1e-12);
+        assert_eq!(s.total_weight(), wsum);
+        let m2 = data
+            .iter()
+            .map(|(x, w)| w * (x - mean).powi(2))
+            .sum::<f64>();
+        let w2: f64 = data.iter().map(|(_, w)| w * w).sum();
+        let var = m2 / (wsum - w2 / wsum);
+        assert!((s.sample_variance().unwrap() - var).abs() < 1e-12);
+    }
+
+    #[test]
+    fn n_eff_equals_count_for_equal_weights() {
+        let mut s = WeightedStats::new();
+        for i in 0..100 {
+            s.push(i as f64, 0.25);
+        }
+        assert!((s.n_eff() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weight_one_collapses_to_online_stats() {
+        let mut w = WeightedStats::new();
+        let mut o = OnlineStats::new();
+        for i in 0..1000 {
+            let x = (i as f64 * 0.37).sin() * 1e3;
+            w.push(x, 1.0);
+            o.push(x);
+        }
+        assert!(w.collapses_to(&o));
+    }
+
+    #[test]
+    fn merge_matches_sequential() {
+        let data: Vec<(f64, f64)> = (0..200)
+            .map(|i| ((i as f64).sqrt(), 0.1 + (i % 7) as f64))
+            .collect();
+        let (a_data, b_data) = data.split_at(73);
+        let mut a = WeightedStats::new();
+        for &(x, w) in a_data {
+            a.push(x, w);
+        }
+        let mut b = WeightedStats::new();
+        for &(x, w) in b_data {
+            b.push(x, w);
+        }
+        let mut whole = WeightedStats::new();
+        for &(x, w) in &data {
+            whole.push(x, w);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.total_weight() - whole.total_weight()).abs() < 1e-9);
+        assert!((a.mean() - whole.mean()).abs() < 1e-10);
+        assert!((a.sample_variance().unwrap() - whole.sample_variance().unwrap()).abs() < 1e-9);
+        assert_eq!(a.min(), whole.min());
+        assert_eq!(a.max(), whole.max());
+    }
+
+    #[test]
+    fn merge_with_empty() {
+        let mut a = WeightedStats::new();
+        a.push(1.0, 2.0);
+        a.push(3.0, 0.5);
+        let before = a.clone();
+        a.merge(&WeightedStats::new());
+        assert_eq!(a, before);
+
+        let mut e = WeightedStats::new();
+        e.merge(&before);
+        assert_eq!(e, before);
+    }
+
+    #[test]
+    #[should_panic]
+    fn nan_rejected() {
+        WeightedStats::new().push(f64::NAN, 1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_weight_rejected() {
+        WeightedStats::new().push(1.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn negative_weight_rejected() {
+        WeightedStats::new().push(1.0, -0.5);
+    }
+
+    #[test]
+    #[should_panic]
+    fn infinite_weight_rejected() {
+        WeightedStats::new().push(1.0, f64::INFINITY);
+    }
+}

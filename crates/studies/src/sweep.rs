@@ -11,11 +11,13 @@
 
 use itua_core::measures::MeasureSet;
 use itua_core::params::Params;
+use itua_rare::SplitSpec;
 use itua_runner::backend::{
     run_measures_checked, BackendError, BackendKind, BackendOptions, ItuaBackend, ModelCheck,
 };
 use itua_runner::engine::RunnerConfig;
 use itua_runner::progress::{NullProgress, Progress};
+use itua_runner::split::run_measures_split;
 use itua_runner::store::{fingerprint, ResultStore, StoredEstimate, StoredPoint};
 use itua_runner::sweep::{PointSpec, SweepRunner};
 use itua_sim::rng::stream_seed;
@@ -139,6 +141,14 @@ pub struct RunOpts<'a> {
     /// simulation ([`ModelCheck::Quick`], the default) or not
     /// (`--no-check`). The check only gates: it never changes estimates.
     pub check: ModelCheck,
+    /// RESTART importance-splitting thresholds (`--split-levels`). `Some`
+    /// routes every point through
+    /// [`itua_runner::split::run_measures_split`] instead of the plain
+    /// replication loop, checkpoints into a separate `-split` store, and
+    /// enters the sweep fingerprint (the splitting configuration changes
+    /// the sampling scheme, though never the estimand). The analytic
+    /// backend ignores the spec — it stays the exact oracle.
+    pub split: Option<SplitSpec>,
 }
 
 impl Default for RunOpts<'static> {
@@ -150,6 +160,7 @@ impl Default for RunOpts<'static> {
             progress: &NullProgress,
             results_dir: None,
             check: ModelCheck::default(),
+            split: None,
         }
     }
 }
@@ -178,18 +189,68 @@ pub fn run_point_backend(
     progress: &dyn Progress,
     check: ModelCheck,
 ) -> Result<MeasureSet, BackendError> {
-    let backend = ItuaBackend::for_params_with(backend, &point.params, backend_opts)?;
-    run_measures_checked(
-        &backend,
-        cfg.replications,
-        cfg.confidence,
-        stream_seed(cfg.base_seed, point_index as u64),
-        point.horizon,
-        &point.sample_times,
+    run_point_backend_split(
+        point,
+        cfg,
+        point_index,
+        backend,
+        backend_opts,
         runner,
         progress,
         check,
+        None,
     )
+}
+
+/// [`run_point_backend`] with an optional RESTART splitting
+/// specification: `Some(spec)` runs one importance-splitting tree per
+/// replication (see [`itua_runner::split::run_measures_split`]) instead
+/// of one plain trajectory. `None` — and `Some` of an empty spec, bit
+/// for bit — reproduces the plain path.
+///
+/// # Errors
+///
+/// As [`run_point_backend`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_point_backend_split(
+    point: &SweepPoint,
+    cfg: &SweepConfig,
+    point_index: usize,
+    backend: BackendKind,
+    backend_opts: &BackendOptions,
+    runner: &RunnerConfig,
+    progress: &dyn Progress,
+    check: ModelCheck,
+    split: Option<&SplitSpec>,
+) -> Result<MeasureSet, BackendError> {
+    let backend = ItuaBackend::for_params_with(backend, &point.params, backend_opts)?;
+    let origin = stream_seed(cfg.base_seed, point_index as u64);
+    match split {
+        Some(spec) => run_measures_split(
+            &backend,
+            cfg.replications,
+            cfg.confidence,
+            origin,
+            point.horizon,
+            &point.sample_times,
+            spec,
+            runner,
+            progress,
+            check,
+        )
+        .map(|run| run.measures),
+        None => run_measures_checked(
+            &backend,
+            cfg.replications,
+            cfg.confidence,
+            origin,
+            point.horizon,
+            &point.sample_times,
+            runner,
+            progress,
+            check,
+        ),
+    }
 }
 
 /// [`run_point_backend`] with the DES backend, which cannot fail for
@@ -259,12 +320,12 @@ pub fn run_sweep_stored(
         .enumerate()
         .map(|(i, p)| PointSpec::new(i, &p.series, p.x))
         .collect();
-    let store_id = store_id(sweep_id, opts.backend);
+    let store_id = store_id(sweep_id, opts.backend, opts.split.as_ref());
     let store = opts.results_dir.as_ref().and_then(|dir| {
         match ResultStore::open(
             dir,
             &store_id,
-            &sweep_fingerprint(points, cfg, opts.backend),
+            &sweep_fingerprint(points, cfg, opts.backend, opts.split.as_ref()),
         ) {
             Ok(store) => Some(store),
             Err(e) => {
@@ -283,7 +344,7 @@ pub fn run_sweep_stored(
         None => SweepRunner::new(opts.progress),
     };
     let stored = runner.run(&specs, |_, i| {
-        let ms = run_point_backend(
+        let ms = run_point_backend_split(
             &points[i],
             cfg,
             i,
@@ -292,6 +353,7 @@ pub fn run_sweep_stored(
             &opts.runner,
             opts.progress,
             opts.check,
+            opts.split.as_ref(),
         )
         .map_err(io::Error::from)?;
         Ok(ms.estimates().iter().map(StoredEstimate::from).collect())
@@ -302,22 +364,39 @@ pub fn run_sweep_stored(
 /// The result-store id for a sweep run with a given backend: DES keeps
 /// the bare `sweep_id`, the others get a `-<backend>` suffix
 /// (`-san` / `-analytic`), so backends checkpoint into separate files
-/// and never clobber each other.
-fn store_id(sweep_id: &str, backend: BackendKind) -> String {
-    match backend {
+/// and never clobber each other. A splitting run appends `-split` for
+/// the same reason: its estimates come from a different sampling scheme
+/// than the plain run's.
+fn store_id(sweep_id: &str, backend: BackendKind, split: Option<&SplitSpec>) -> String {
+    let base = match backend {
         BackendKind::Des => sweep_id.to_owned(),
         BackendKind::San | BackendKind::Analytic => format!("{sweep_id}-{backend}"),
+    };
+    match split {
+        Some(_) => format!("{base}-split"),
+        None => base,
     }
 }
 
-/// Fingerprints a sweep configuration for store invalidation.
-fn sweep_fingerprint(points: &[SweepPoint], cfg: &SweepConfig, backend: BackendKind) -> String {
+/// Fingerprints a sweep configuration for store invalidation. The
+/// splitting spec is part of the fingerprint (it changes the sampling
+/// scheme); the thread/batch configuration is not (it never changes
+/// results).
+fn sweep_fingerprint(
+    points: &[SweepPoint],
+    cfg: &SweepConfig,
+    backend: BackendKind,
+    split: Option<&SplitSpec>,
+) -> String {
     let mut parts: Vec<String> = vec![
         format!("backend={backend}"),
         format!("reps={}", cfg.replications),
         format!("seed={}", cfg.base_seed),
         format!("conf={}", cfg.confidence),
     ];
+    if let Some(spec) = split {
+        parts.push(format!("split={spec}"));
+    }
     for p in points {
         parts.push(format!(
             "{}|x={}|h={}|t={:?}|{:?}",
@@ -524,6 +603,49 @@ mod tests {
             vec![true, true],
             "a different batch size must resume every point from the store"
         );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn split_sweep_uses_its_own_store_and_empty_spec_matches_plain() {
+        let cfg = SweepConfig {
+            replications: 10,
+            ..Default::default()
+        };
+        let dir =
+            std::env::temp_dir().join(format!("itua-studies-sweep-split-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let points = vec![tiny_point(1.0, "a")];
+        let measures = [names::UNAVAILABILITY, names::UNRELIABILITY];
+
+        let plain_opts = RunOpts {
+            results_dir: Some(dir.clone()),
+            ..Default::default()
+        };
+        let plain = run_sweep_stored("fig", &points, &cfg, &measures, &plain_opts).unwrap();
+
+        // An empty spec through the splitting path is bit-identical to
+        // the plain loop but still checkpoints separately (different
+        // sampling machinery, separate resume lineage).
+        let empty_opts = RunOpts {
+            results_dir: Some(dir.clone()),
+            split: Some(SplitSpec::none()),
+            ..Default::default()
+        };
+        let empty = run_sweep_stored("fig", &points, &cfg, &measures, &empty_opts).unwrap();
+        assert_eq!(empty, plain);
+        assert!(dir.join("fig.json").is_file());
+        assert!(dir.join("fig-split.json").is_file());
+
+        // A real spec changes the sampling scheme; the fingerprint keeps
+        // it from resuming the empty-spec store.
+        let split_opts = RunOpts {
+            results_dir: Some(dir.clone()),
+            split: Some("1x4".parse().unwrap()),
+            ..Default::default()
+        };
+        let split = run_sweep_stored("fig", &points, &cfg, &measures, &split_opts).unwrap();
+        assert_eq!(split.len(), plain.len());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -1,0 +1,163 @@
+//! Regression rules for the tracked benchmark JSONs, applied by
+//! `cargo xtask bench-json --check`.
+//!
+//! Two files are gated:
+//!
+//! * `BENCH_san.json` (schema `itua-san-hotpath-v1`) — timing medians.
+//!   Every `current` entry must stay within [`REGRESSION_FACTOR`] of its
+//!   `baseline` entry; higher ns/replication is a regression.
+//! * `BENCH_rare.json` (schema `itua-rare-split-v1`) — the deterministic
+//!   rare-event splitting figures. `current.event_reduction` must stay at
+//!   or above [`MIN_EVENT_REDUCTION`]: the importance-splitting engine
+//!   must keep needing ≥10× fewer simulated events than plain Monte
+//!   Carlo for equal CI width on the figure-4 tail point.
+//!
+//! The parser is deliberately minimal — xtask has no dependencies, and
+//! both files are written by the benches themselves as one-line objects
+//! whose `baseline`/`current` sections contain only numeric fields.
+
+/// Allowed slowdown of a timing median relative to its baseline (15%).
+pub const REGRESSION_FACTOR: f64 = 1.15;
+
+/// Floor on the rare-event benchmark's work-normalized variance-reduction
+/// factor.
+pub const MIN_EVENT_REDUCTION: f64 = 10.0;
+
+/// Extracts the flat object following `"key":{` up to the next `}`.
+///
+/// Sufficient for the tracked bench files: their `baseline` and
+/// `current` sections hold only `"name":number` pairs, never nested
+/// objects or strings.
+fn object_section<'a>(text: &'a str, key: &str) -> Result<&'a str, String> {
+    let tag = format!("\"{key}\":{{");
+    let start = text
+        .find(&tag)
+        .ok_or_else(|| format!("no \"{key}\" object"))?
+        + tag.len();
+    let len = text[start..]
+        .find('}')
+        .ok_or_else(|| format!("unterminated \"{key}\" object"))?;
+    Ok(&text[start..start + len])
+}
+
+/// Parses the `"name":number` pairs of a flat object section.
+fn numeric_entries(section: &str) -> Vec<(String, f64)> {
+    section
+        .split(',')
+        .filter_map(|pair| {
+            let (k, v) = pair.split_once(':')?;
+            let name = k.trim().trim_matches('"').to_owned();
+            let val: f64 = v.trim().parse().ok()?;
+            Some((name, val))
+        })
+        .collect()
+}
+
+fn lookup(entries: &[(String, f64)], name: &str) -> Option<f64> {
+    entries.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+}
+
+/// Checks the hot-path timing file: every `current` median must be
+/// within [`REGRESSION_FACTOR`] of its `baseline`.
+///
+/// Returns the list of violations (empty = clean).
+///
+/// # Errors
+///
+/// Returns a message when the file does not have the expected
+/// baseline/current shape.
+pub fn check_san(text: &str) -> Result<Vec<String>, String> {
+    let baseline = numeric_entries(object_section(text, "baseline")?);
+    let current = numeric_entries(object_section(text, "current")?);
+    if current.is_empty() {
+        return Err("empty \"current\" object".into());
+    }
+    let mut violations = Vec::new();
+    for (name, cur) in &current {
+        let Some(base) = lookup(&baseline, name) else {
+            // A scenario added after the baseline was recorded has
+            // nothing to regress against.
+            continue;
+        };
+        if *cur > base * REGRESSION_FACTOR && base > 0.0 {
+            violations.push(format!(
+                "{name}: {cur:.0} ns vs baseline {base:.0} ns (+{:.0}%, limit +{:.0}%)",
+                (cur / base - 1.0) * 100.0,
+                (REGRESSION_FACTOR - 1.0) * 100.0,
+            ));
+        }
+    }
+    Ok(violations)
+}
+
+/// Checks the rare-event file: `current.event_reduction` must be at
+/// least [`MIN_EVENT_REDUCTION`].
+///
+/// Returns the list of violations (empty = clean).
+///
+/// # Errors
+///
+/// Returns a message when the file has no numeric
+/// `current.event_reduction` field.
+pub fn check_rare(text: &str) -> Result<Vec<String>, String> {
+    let current = numeric_entries(object_section(text, "current")?);
+    let red = lookup(&current, "event_reduction")
+        .ok_or_else(|| "no numeric \"event_reduction\" in \"current\"".to_owned())?;
+    if red < MIN_EVENT_REDUCTION {
+        Ok(vec![format!(
+            "event_reduction {red:.2}x below the {MIN_EVENT_REDUCTION}x floor"
+        )])
+    } else {
+        Ok(Vec::new())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAN: &str = r#"{"schema":"itua-san-hotpath-v1","unit":"median ns per replication","baseline":{"a":100.0,"b":200.0},"current":{"a":110.0,"b":200.0}}"#;
+
+    #[test]
+    fn within_tolerance_is_clean() {
+        assert_eq!(check_san(SAN).unwrap(), Vec::<String>::new());
+    }
+
+    #[test]
+    fn regression_over_15_percent_is_flagged() {
+        let text = SAN.replace("\"a\":110.0,\"b\":200.0", "\"a\":116.0,\"b\":200.0");
+        let violations = check_san(&text).unwrap();
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].starts_with("a: 116 ns"), "{violations:?}");
+    }
+
+    #[test]
+    fn new_scenario_without_baseline_is_ignored() {
+        let text = SAN.replace(
+            "\"current\":{\"a\":110.0",
+            "\"current\":{\"c\":999.0,\"a\":110.0",
+        );
+        assert_eq!(check_san(&text).unwrap(), Vec::<String>::new());
+    }
+
+    #[test]
+    fn malformed_file_is_an_error() {
+        assert!(check_san("{}").is_err());
+        assert!(check_rare("{\"current\":{\"trees\":1.0}}").is_err());
+    }
+
+    #[test]
+    fn event_reduction_floor() {
+        let ok = r#"{"baseline":{"event_reduction":17.5},"current":{"event_reduction":12.0}}"#;
+        assert_eq!(check_rare(ok).unwrap(), Vec::<String>::new());
+        let bad = r#"{"baseline":{"event_reduction":17.5},"current":{"event_reduction":9.99}}"#;
+        assert_eq!(check_rare(bad).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn scientific_notation_parses() {
+        let text = r#"{"baseline":{"x":1.5e-4},"current":{"x":1.6e-4,"event_reduction":17.501246516957455}}"#;
+        assert!(check_san(text).unwrap().is_empty());
+        assert!(check_rare(text).unwrap().is_empty());
+    }
+}

@@ -46,6 +46,7 @@ pub const SCAN_DIRS: &[&str] = &[
     "crates/markov/src",
     "crates/studies/src",
     "crates/analyzer/src",
+    "crates/rare/src",
 ];
 
 /// One flagged line.

@@ -3,11 +3,17 @@
 //! * `lint` — the determinism lint described in [`lint`]. Exits 0 when
 //!   the tree is clean, 1 when violations or stale allowlist entries
 //!   exist, and 2 on usage errors.
-//! * `bench-json` — runs the SAN hot-path benchmark in full mode and
-//!   rewrites the `current` medians of the tracked `BENCH_san.json` at
-//!   the workspace root (the `baseline` section is preserved). See
-//!   `EXPERIMENTS.md` § "Hot-path benchmark".
+//! * `bench-json` — runs the tracked benchmarks in full mode and
+//!   rewrites the `current` sections of `BENCH_san.json` (SAN hot-path
+//!   timing medians) and `BENCH_rare.json` (rare-event splitting
+//!   figures) at the workspace root; the `baseline` sections are
+//!   preserved. With `--check`, afterwards applies the [`benchcheck`]
+//!   rules — >15% timing regression against the `BENCH_san.json`
+//!   baseline, or a rare-event `event_reduction` below 10× — and exits
+//!   2 when any rule fails. See `EXPERIMENTS.md` § "Hot-path benchmark"
+//!   and § "Rare-event benchmark".
 
+mod benchcheck;
 mod lint;
 
 use std::path::Path;
@@ -17,13 +23,13 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => run_lint(),
-        Some("bench-json") => run_bench_json(),
+        Some("bench-json") => run_bench_json(&args[1..]),
         Some(other) => {
-            eprintln!("unknown command '{other}'\nusage: cargo xtask lint|bench-json");
+            eprintln!("unknown command '{other}'\nusage: cargo xtask lint|bench-json [--check]");
             ExitCode::from(2)
         }
         None => {
-            eprintln!("usage: cargo xtask lint|bench-json");
+            eprintln!("usage: cargo xtask lint|bench-json [--check]");
             ExitCode::from(2)
         }
     }
@@ -57,29 +63,79 @@ fn run_lint() -> ExitCode {
     }
 }
 
-fn run_bench_json() -> ExitCode {
-    let status = std::process::Command::new(env!("CARGO"))
-        .current_dir(workspace_root())
-        .args([
-            "bench",
-            "-p",
-            "itua-bench",
-            "--bench",
-            "san_hotpath",
-            "--",
-            "--json",
-            "BENCH_san.json",
-        ])
-        .status();
-    match status {
-        Ok(s) if s.success() => ExitCode::SUCCESS,
-        Ok(s) => {
-            eprintln!("xtask bench-json: benchmark exited with {s}");
-            ExitCode::FAILURE
+/// The tracked benchmarks: (bench target, JSON file at the workspace
+/// root, check rule).
+type CheckFn = fn(&str) -> Result<Vec<String>, String>;
+const TRACKED_BENCHES: &[(&str, &str, CheckFn)] = &[
+    ("san_hotpath", "BENCH_san.json", benchcheck::check_san),
+    ("rare_split", "BENCH_rare.json", benchcheck::check_rare),
+];
+
+fn run_bench_json(args: &[String]) -> ExitCode {
+    let check = match args {
+        [] => false,
+        [flag] if flag == "--check" => true,
+        _ => {
+            eprintln!("usage: cargo xtask bench-json [--check]");
+            return ExitCode::from(2);
         }
-        Err(e) => {
-            eprintln!("xtask bench-json: failed to launch cargo: {e}");
-            ExitCode::from(2)
+    };
+    for (bench, json, _) in TRACKED_BENCHES {
+        let status = std::process::Command::new(env!("CARGO"))
+            .current_dir(workspace_root())
+            .args([
+                "bench",
+                "-p",
+                "itua-bench",
+                "--bench",
+                bench,
+                "--",
+                "--json",
+                json,
+            ])
+            .status();
+        match status {
+            Ok(s) if s.success() => {}
+            Ok(s) => {
+                eprintln!("xtask bench-json: {bench} exited with {s}");
+                return ExitCode::FAILURE;
+            }
+            Err(e) => {
+                eprintln!("xtask bench-json: failed to launch cargo: {e}");
+                return ExitCode::from(2);
+            }
         }
+    }
+    if !check {
+        return ExitCode::SUCCESS;
+    }
+    let mut failed = false;
+    for (_, json, rule) in TRACKED_BENCHES {
+        let path = workspace_root().join(json);
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("xtask bench-json: cannot read {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        };
+        match rule(&text) {
+            Ok(violations) if violations.is_empty() => println!("{json}: ok"),
+            Ok(violations) => {
+                failed = true;
+                for v in violations {
+                    println!("{json}: REGRESSION: {v}");
+                }
+            }
+            Err(e) => {
+                eprintln!("xtask bench-json: {json}: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if failed {
+        ExitCode::from(2)
+    } else {
+        ExitCode::SUCCESS
     }
 }

@@ -9,6 +9,8 @@
 //! * [`san`] — the stochastic activity network formalism and simulator.
 //! * [`itua`] — the ITUA intrusion-tolerant replication model (the paper's
 //!   object of study) in both SAN and direct discrete-event form.
+//! * [`rare`] — RESTART-style importance splitting for rare-event
+//!   (unreliability tail) estimation.
 //! * [`runner`] — parallel experiment execution with deterministic
 //!   reduction, progress reporting, and a resumable result store.
 //! * [`studies`] — the paper's Figure 3/4/5 studies and sweep harness.
@@ -19,6 +21,7 @@
 pub use itua_analyzer as analyzer;
 pub use itua_core as itua;
 pub use itua_markov as markov;
+pub use itua_rare as rare;
 pub use itua_runner as runner;
 pub use itua_san as san;
 pub use itua_sim as sim;
