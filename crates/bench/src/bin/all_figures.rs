@@ -1,28 +1,6 @@
-//! Regenerates every figure of the paper in one run.
-
-use itua_bench::FigureCli;
-use itua_runner::backend::BackendKind;
-use itua_studies::{figure3, figure4, figure5, table};
+//! Legacy shim for `itua run all-figures` (Figures 3–5 in one run).
+//! Same flags, same output, byte-identical result stores.
 
 fn main() {
-    let cli = FigureCli::parse(std::env::args().skip(1));
-    let mut points = match cli.backend {
-        BackendKind::Analytic => figure3::micro_points(),
-        _ => figure3::points(),
-    };
-    points.extend(figure4::points());
-    points.extend(figure5::points());
-    cli.run_check_or_exit(&points);
-    let progress = cli.progress();
-    let opts = cli.opts(progress.as_ref());
-    for run in [figure3::run_with, figure4::run_with, figure5::run_with] {
-        let fig = run(&cli.cfg, &opts).unwrap_or_else(|e| {
-            eprintln!("error: {e}");
-            std::process::exit(1);
-        });
-        println!("{}", table::render(&fig));
-        if cli.csv {
-            println!("{}", table::to_csv(&fig));
-        }
-    }
+    itua_bench::driver::shim_main("all-figures");
 }

@@ -4,9 +4,11 @@
 //! figure shapes) and prints a scorecard. Used to pick the repository's
 //! defaults; see DESIGN.md §5 and EXPERIMENTS.md.
 
-use itua_core::des::ItuaDes;
 use itua_core::measures::{names, MeasureSet};
 use itua_core::params::{ManagementScheme, Params};
+use itua_runner::backend::{run_measures, BackendKind, ItuaBackend};
+use itua_runner::engine::RunnerConfig;
+use itua_runner::progress::NullProgress;
 
 #[derive(Clone, Copy, Debug)]
 struct Candidate {
@@ -25,13 +27,22 @@ fn apply(p: Params, c: Candidate) -> Params {
     p
 }
 
-fn measure(p: Params, reps: u64, horizon: f64) -> MeasureSet {
-    let des = ItuaDes::new(p).unwrap();
-    let mut ms = MeasureSet::new(0.95);
-    for seed in 0..reps {
-        ms.record(&des.run(seed, horizon, &[horizon]));
-    }
-    ms
+fn measure(p: Params, reps: u32, horizon: f64) -> MeasureSet {
+    // Same pipeline as the studies: per-thread scratch reuse, worker
+    // threads, quick pre-simulation model check — estimates are
+    // bit-identical for every thread count.
+    let backend = ItuaBackend::for_params(BackendKind::Des, &p).unwrap();
+    run_measures(
+        &backend,
+        reps,
+        0.95,
+        0,
+        horizon,
+        &[horizon],
+        &RunnerConfig::default(),
+        &NullProgress,
+    )
+    .unwrap()
 }
 
 fn main() {

@@ -1,24 +1,6 @@
-//! Regenerates the paper's Figure 3 (§4.1): distributions of 12 hosts.
-
-use itua_bench::FigureCli;
-use itua_runner::backend::BackendKind;
-use itua_studies::{figure3, table};
+//! Legacy shim for `itua run figure3` (§4.1: distributions of 12 hosts).
+//! Same flags, same output, byte-identical result stores.
 
 fn main() {
-    let cli = FigureCli::parse(std::env::args().skip(1));
-    // The analytic backend runs the exact-solvable micro variant, so
-    // --check must analyze the models that will actually be built.
-    cli.run_check_or_exit(&match cli.backend {
-        BackendKind::Analytic => figure3::micro_points(),
-        _ => figure3::points(),
-    });
-    let progress = cli.progress();
-    let fig = figure3::run_with(&cli.cfg, &cli.opts(progress.as_ref())).unwrap_or_else(|e| {
-        eprintln!("error: {e}");
-        std::process::exit(1);
-    });
-    println!("{}", table::render(&fig));
-    if cli.csv {
-        println!("{}", table::to_csv(&fig));
-    }
+    itua_bench::driver::shim_main("figure3");
 }

@@ -1,18 +1,6 @@
-//! Regenerates the paper's Figure 4 (§4.2): hosts in 10 domains.
-
-use itua_bench::FigureCli;
-use itua_studies::{figure4, table};
+//! Legacy shim for `itua run figure4` (§4.2: hosts in 10 domains).
+//! Same flags, same output, byte-identical result stores.
 
 fn main() {
-    let cli = FigureCli::parse(std::env::args().skip(1));
-    cli.run_check_or_exit(&figure4::points());
-    let progress = cli.progress();
-    let fig = figure4::run_with(&cli.cfg, &cli.opts(progress.as_ref())).unwrap_or_else(|e| {
-        eprintln!("error: {e}");
-        std::process::exit(1);
-    });
-    println!("{}", table::render(&fig));
-    if cli.csv {
-        println!("{}", table::to_csv(&fig));
-    }
+    itua_bench::driver::shim_main("figure4");
 }

@@ -1,18 +1,6 @@
-//! Regenerates the paper's Figure 5 (§4.3): exclusion-scheme comparison.
-
-use itua_bench::FigureCli;
-use itua_studies::{figure5, table};
+//! Legacy shim for `itua run figure5` (§4.3: exclusion-scheme comparison).
+//! Same flags, same output, byte-identical result stores.
 
 fn main() {
-    let cli = FigureCli::parse(std::env::args().skip(1));
-    cli.run_check_or_exit(&figure5::points());
-    let progress = cli.progress();
-    let fig = figure5::run_with(&cli.cfg, &cli.opts(progress.as_ref())).unwrap_or_else(|e| {
-        eprintln!("error: {e}");
-        std::process::exit(1);
-    });
-    println!("{}", table::render(&fig));
-    if cli.csv {
-        println!("{}", table::to_csv(&fig));
-    }
+    itua_bench::driver::shim_main("figure5");
 }

@@ -1,0 +1,65 @@
+//! Unified experiment CLI over the scenario registry.
+//!
+//! * `itua list` — the built-in scenarios and the `.scn` file format.
+//! * `itua run <scenario|file.scn> [flags]` — run a scenario; flags are
+//!   exactly the legacy figure-binary flags (see `FigureCli`).
+//! * `itua check <scenario|file.scn> [flags]` — run the full structural
+//!   analyzer over the scenario's models without simulating; exit 2 on
+//!   hard findings (or an invalid scenario file).
+
+use itua_bench::{driver, FigureCli};
+use itua_scenario::registry;
+
+const USAGE: &str = "\
+usage: itua <command> [arguments]
+
+commands:
+  list                         list the built-in scenarios
+  run <scenario|file.scn>      run a scenario (flags: --backend des|san|analytic,
+                               --reps N, --seed S, --csv, --threads N, --batch N,
+                               --max-states N, --results DIR, --no-resume,
+                               --check, --no-check, --split-levels SPEC, --quiet)
+  check <scenario|file.scn>    structural model check only (--backend selects
+                               which points are analyzed); exit 2 on hard findings
+  help                         show this message
+
+A scenario argument is a built-in name (see `itua list`) or a path to a
+user-authored `.scn` file (`key = value` lines; see EXPERIMENTS.md).";
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let Some(cmd) = args.next() else {
+        eprintln!("{USAGE}");
+        std::process::exit(2);
+    };
+    match cmd.as_str() {
+        "list" => {
+            for scenario in registry::registry() {
+                println!("{:<12} {}", scenario.name(), scenario.description());
+            }
+            println!("{:<12} a user-authored scenario file", "<file.scn>");
+        }
+        "run" | "check" => {
+            let Some(target) = args.next() else {
+                eprintln!("itua {cmd}: missing scenario (built-in name or .scn path)");
+                std::process::exit(2);
+            };
+            let scenario = driver::resolve(&target).unwrap_or_else(|e| {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            });
+            let cli = FigureCli::parse(args);
+            let code = if cmd == "check" {
+                driver::check_scenario(scenario.as_ref(), cli.backend)
+            } else {
+                driver::run_scenario(scenario.as_ref(), &cli)
+            };
+            std::process::exit(code);
+        }
+        "help" | "--help" | "-h" => println!("{USAGE}"),
+        other => {
+            eprintln!("itua: unknown command '{other}'\n{USAGE}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,18 +1,6 @@
-//! Regenerates the parameter-sensitivity study (§4's "we have also tried
-//! to explore the system's sensitivity to variations in these parameters").
-
-use itua_bench::FigureCli;
-use itua_studies::{sensitivity, table};
+//! Legacy shim for `itua run sensitivity` (§4's parameter-sensitivity
+//! exploration). Same flags, same output, byte-identical result stores.
 
 fn main() {
-    let cli = FigureCli::parse(std::env::args().skip(1));
-    let progress = cli.progress();
-    let fig = sensitivity::run_with(&cli.cfg, &cli.opts(progress.as_ref())).unwrap_or_else(|e| {
-        eprintln!("error: {e}");
-        std::process::exit(1);
-    });
-    println!("{}", table::render(&fig));
-    if cli.csv {
-        println!("{}", table::to_csv(&fig));
-    }
+    itua_bench::driver::shim_main("sensitivity");
 }

@@ -1,0 +1,144 @@
+//! The shared drive path behind the `itua` CLI and the legacy figure
+//! shims: resolve a scenario, fold its pinned settings into the CLI
+//! flags, optionally pre-flight the structural analyzer, run, print.
+
+use crate::{check_models, FigureCli};
+use itua_runner::backend::BackendKind;
+use itua_scenario::file::FileScenario;
+use itua_scenario::{registry, Scenario};
+use itua_studies::table;
+use std::path::Path;
+
+/// Resolves a scenario argument: a built-in name from the registry, or
+/// a path to a user-authored `.scn` file (recognized by its extension
+/// or a path separator).
+///
+/// # Errors
+///
+/// A human-readable message for an unknown name, an unreadable file, or
+/// a scenario file that fails to parse/validate.
+pub fn resolve(arg: &str) -> Result<Box<dyn Scenario>, String> {
+    if arg.ends_with(".scn") || arg.contains('/') {
+        let text = std::fs::read_to_string(arg).map_err(|e| format!("cannot read '{arg}': {e}"))?;
+        let stem = Path::new(arg)
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or("scenario");
+        let scenario = FileScenario::parse(&text, stem).map_err(|e| format!("{arg}: {e}"))?;
+        Ok(Box::new(scenario))
+    } else {
+        registry::find(arg).ok_or_else(|| {
+            let names: Vec<String> = registry::registry()
+                .iter()
+                .map(|s| s.name().to_owned())
+                .collect();
+            format!(
+                "unknown scenario '{arg}' (built-ins: {}; or a path to a .scn file)",
+                names.join(", ")
+            )
+        })
+    }
+}
+
+/// Runs `scenario` under the parsed CLI flags and prints its figures.
+/// Returns the process exit code: 0 on success, 1 on a runtime error,
+/// 2 when `--check` surfaced hard analyzer findings.
+pub fn run_scenario(scenario: &dyn Scenario, cli: &FigureCli) -> i32 {
+    let mut cfg = cli.cfg;
+    let mut split = cli.split.clone();
+    scenario.configure(&mut cfg, &mut split);
+    if cli.check && check_models(&scenario.points(cli.backend)) {
+        eprintln!("model check failed: hard findings above");
+        return 2;
+    }
+    let progress = cli.progress();
+    let mut opts = cli.opts(progress.as_ref());
+    opts.split = split;
+    match scenario.run(&cfg, &opts) {
+        Ok(figures) => {
+            for fig in figures {
+                println!("{}", table::render(&fig));
+                if cli.csv {
+                    println!("{}", table::to_csv(&fig));
+                }
+            }
+            0
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            1
+        }
+    }
+}
+
+/// Runs the full structural analyzer over every distinct model of the
+/// scenario's sweep (for `backend`). Returns the process exit code:
+/// 0 when clean, 2 on hard findings.
+pub fn check_scenario(scenario: &dyn Scenario, backend: BackendKind) -> i32 {
+    if check_models(&scenario.points(backend)) {
+        eprintln!("model check failed: hard findings above");
+        2
+    } else {
+        println!(
+            "scenario '{}' passed the structural model check",
+            scenario.name()
+        );
+        0
+    }
+}
+
+/// Entry point of the legacy figure binaries: each is now a shim that
+/// runs its built-in scenario with unchanged flags, output, and result
+/// stores.
+pub fn shim_main(name: &str) -> ! {
+    let cli = FigureCli::parse(std::env::args().skip(1));
+    let scenario = registry::find(name).expect("shim names a shipped scenario");
+    std::process::exit(run_scenario(scenario.as_ref(), &cli));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// `Box<dyn Scenario>` has no `Debug`, so `unwrap_err` can't be used.
+    fn expect_err(r: Result<Box<dyn Scenario>, String>) -> String {
+        match r {
+            Ok(s) => panic!("expected an error, resolved '{}'", s.name()),
+            Err(e) => e,
+        }
+    }
+
+    #[test]
+    fn resolve_finds_builtins_and_rejects_unknowns() {
+        assert_eq!(resolve("figure3").unwrap().name(), "figure3");
+        assert_eq!(resolve("all-figures").unwrap().name(), "all-figures");
+        let err = expect_err(resolve("figure9"));
+        assert!(err.contains("unknown scenario"));
+        assert!(err.contains("figure3"));
+    }
+
+    #[test]
+    fn resolve_parses_scn_files_and_reports_their_errors() {
+        let dir = std::env::temp_dir().join("itua-driver-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let good = dir.join("mini.scn");
+        std::fs::write(
+            &good,
+            "domains = 2\nhosts-per-domain = 1\napps = 1\nreps-per-app = 3\n\
+             sweep = spread-rate-domain\nvalues = 0, 4\nmeasures = unavailability\n",
+        )
+        .unwrap();
+        let s = resolve(good.to_str().unwrap()).unwrap();
+        assert_eq!(s.name(), "mini"); // file stem fallback
+        assert_eq!(s.points(BackendKind::Des).len(), 2);
+
+        let bad = dir.join("bad.scn");
+        std::fs::write(&bad, "sweep = nope\n").unwrap();
+        let err = expect_err(resolve(bad.to_str().unwrap()));
+        assert!(err.contains("bad.scn"), "{err}");
+        assert!(err.contains("line 1"), "{err}");
+
+        let err = expect_err(resolve(dir.join("absent.scn").to_str().unwrap()));
+        assert!(err.contains("cannot read"));
+    }
+}

@@ -3,6 +3,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod driver;
+
 use itua_analyzer::AnalysisConfig;
 use itua_core::{analysis, san_model};
 use itua_rare::SplitSpec;
@@ -195,6 +197,7 @@ impl FigureCli {
                 ModelCheck::Quick
             },
             split: self.split.clone(),
+            fingerprint_extra: Vec::new(),
         }
     }
 

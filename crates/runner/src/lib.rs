@@ -55,5 +55,5 @@ pub use engine::{replicate, replicate_batched, replicate_with_scratch, RunnerCon
 pub use experiment::{run_experiment_parallel, ExperimentConfig};
 pub use progress::{ConsoleProgress, NullProgress, Progress};
 pub use split::{run_measures_split, SplitRun, SplitTotals};
-pub use store::{fingerprint, ResultStore, StoredEstimate, StoredPoint};
+pub use store::{fingerprint, fingerprint_iter, ResultStore, StoredEstimate, StoredPoint};
 pub use sweep::{PointSpec, SweepRunner};

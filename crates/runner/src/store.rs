@@ -240,6 +240,16 @@ fn decode(text: &str, sweep_id: &str, fingerprint: &str) -> Option<Vec<StoredPoi
 /// seed, point keys, measure list, …) yields a different fingerprint so
 /// stale stores are never resumed.
 pub fn fingerprint(parts: &[&str]) -> String {
+    fingerprint_iter(parts.iter().copied())
+}
+
+/// [`fingerprint`] over any iterator of parts, so callers composing a
+/// fingerprint from heterogeneous sources (sweep configuration plus
+/// scenario-identity parts — see `itua_studies::sweep::RunOpts::
+/// fingerprint_extra`) need not collect into one slice first. Appending
+/// zero extra parts yields exactly the same fingerprint as the base
+/// sequence: the hash is over the parts actually yielded.
+pub fn fingerprint_iter<'a, I: IntoIterator<Item = &'a str>>(parts: I) -> String {
     let mut hash = 0xcbf29ce484222325u64;
     for part in parts {
         for b in part.bytes() {
@@ -348,5 +358,29 @@ mod tests {
         assert_ne!(fingerprint(&["a", "b"]), fingerprint(&["ab"]));
         assert_ne!(fingerprint(&["a"]), fingerprint(&["b"]));
         assert_eq!(fingerprint(&[]).len(), 16);
+    }
+
+    #[test]
+    fn fingerprint_iter_matches_slice_form() {
+        let owned: Vec<String> = vec!["a".into(), "b".into()];
+        assert_eq!(
+            fingerprint_iter(owned.iter().map(String::as_str)),
+            fingerprint(&["a", "b"])
+        );
+        // Appending no extra parts is the identity on the fingerprint.
+        let extra: Vec<String> = Vec::new();
+        assert_eq!(
+            fingerprint_iter(
+                ["a", "b"]
+                    .into_iter()
+                    .chain(extra.iter().map(String::as_str))
+            ),
+            fingerprint(&["a", "b"])
+        );
+        // A non-empty extra part changes it.
+        assert_ne!(
+            fingerprint_iter(["a", "b", "scn=123"].into_iter()),
+            fingerprint(&["a", "b"])
+        );
     }
 }

@@ -1,0 +1,177 @@
+//! Built-in scenarios: the shipped studies wrapped as [`Scenario`]s.
+//!
+//! Each entry is a declarative wrapper over an
+//! [`itua_studies::study::Study`] descriptor — same sweep id, same
+//! points, same renderer, empty [`Scenario::fingerprint_parts`] — so
+//! `itua run figure3` writes a store byte-identical to the legacy
+//! `figure3` binary's. The `all-figures` composite runs Figures 3–5
+//! sequentially under shared options.
+
+use crate::Scenario;
+use itua_runner::backend::BackendKind;
+use itua_studies::study::{self, Study};
+use itua_studies::sweep::{FigureResult, RunOpts, Series, SweepConfig, SweepPoint};
+use std::io;
+
+/// A [`Study`] descriptor exposed as a built-in scenario.
+#[derive(Debug, Clone, Copy)]
+pub struct StudyScenario {
+    study: &'static Study,
+}
+
+impl StudyScenario {
+    /// The wrapped descriptor.
+    pub fn study(&self) -> &'static Study {
+        self.study
+    }
+}
+
+impl Scenario for StudyScenario {
+    fn name(&self) -> &str {
+        self.study.id
+    }
+
+    fn description(&self) -> &str {
+        self.study.description
+    }
+
+    fn points(&self, backend: BackendKind) -> Vec<SweepPoint> {
+        self.study.points_for(backend)
+    }
+
+    fn measures(&self) -> Vec<String> {
+        (self.study.measures)()
+    }
+
+    fn render(&self, series: &[Series]) -> FigureResult {
+        (self.study.render)(series)
+    }
+}
+
+/// The composite scenario running Figures 3, 4, and 5 in sequence with
+/// shared execution options (one result store per figure, exactly as if
+/// each were run alone).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AllFigures;
+
+impl AllFigures {
+    fn figures() -> Vec<StudyScenario> {
+        ["figure3", "figure4", "figure5"]
+            .iter()
+            .map(|id| StudyScenario {
+                study: study::by_id(id).expect("shipped figure study"),
+            })
+            .collect()
+    }
+}
+
+impl Scenario for AllFigures {
+    fn name(&self) -> &str {
+        "all-figures"
+    }
+
+    fn description(&self) -> &str {
+        "Figures 3, 4, and 5 in sequence (shared options, separate stores)"
+    }
+
+    /// The union of the figures' points — what `itua check all-figures`
+    /// verifies.
+    fn points(&self, backend: BackendKind) -> Vec<SweepPoint> {
+        Self::figures()
+            .iter()
+            .flat_map(|f| f.points(backend))
+            .collect()
+    }
+
+    fn measures(&self) -> Vec<String> {
+        Self::figures()
+            .iter()
+            .flat_map(super::Scenario::measures)
+            .collect()
+    }
+
+    fn render(&self, series: &[Series]) -> FigureResult {
+        // Only reachable through the per-figure `run`, which renders via
+        // each figure's own Study; keep a sane fallback anyway.
+        (study::by_id("figure3").expect("shipped").render)(series)
+    }
+
+    fn run(&self, cfg: &SweepConfig, opts: &RunOpts<'_>) -> io::Result<Vec<FigureResult>> {
+        let mut out = Vec::new();
+        for figure in Self::figures() {
+            out.extend(figure.run(cfg, opts)?);
+        }
+        Ok(out)
+    }
+}
+
+/// All built-in scenarios, in presentation order.
+pub fn registry() -> Vec<Box<dyn Scenario>> {
+    let mut all: Vec<Box<dyn Scenario>> = study::all()
+        .iter()
+        .map(|study| Box::new(StudyScenario { study }) as Box<dyn Scenario>)
+        .collect();
+    all.push(Box::new(AllFigures));
+    all
+}
+
+/// Looks up a built-in scenario by name.
+pub fn find(name: &str) -> Option<Box<dyn Scenario>> {
+    registry().into_iter().find(|s| s.name() == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_holds_the_five_shipped_scenarios() {
+        let names: Vec<String> = registry().iter().map(|s| s.name().to_owned()).collect();
+        assert_eq!(
+            names,
+            [
+                "figure3",
+                "figure4",
+                "figure5",
+                "sensitivity",
+                "all-figures"
+            ]
+        );
+    }
+
+    #[test]
+    fn builtins_carry_no_extra_fingerprint_parts() {
+        for s in registry() {
+            assert!(
+                s.fingerprint_parts().is_empty(),
+                "{} would break byte-identity with its legacy store",
+                s.name()
+            );
+        }
+    }
+
+    #[test]
+    fn builtin_points_match_their_study() {
+        let s = find("figure3").unwrap();
+        let study = study::by_id("figure3").unwrap();
+        let a = s.points(BackendKind::Des);
+        let b = study.points_for(BackendKind::Des);
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a[0].series, b[0].series);
+        // Analytic backend substitutes the micro variant, as the legacy
+        // binary did.
+        let micro = s.points(BackendKind::Analytic);
+        assert_ne!(micro.len(), a.len());
+    }
+
+    #[test]
+    fn all_figures_unions_the_three_figures() {
+        let all = find("all-figures").unwrap();
+        let per_figure: usize = ["figure3", "figure4", "figure5"]
+            .iter()
+            .map(|id| find(id).unwrap().points(BackendKind::Des).len())
+            .sum();
+        assert_eq!(all.points(BackendKind::Des).len(), per_figure);
+        assert!(find("figure6").is_none());
+    }
+}

@@ -9,12 +9,10 @@
 //! * (c) fraction of corrupt hosts in an excluded domain,
 //! * (d) fraction of domains excluded at t = 5.
 
-use crate::sweep::{
-    run_sweep_stored, FigureResult, Panel, RunOpts, Series, SweepConfig, SweepPoint,
-};
+use crate::study::Study;
+use crate::sweep::{FigureResult, Panel, RunOpts, Series, SweepConfig, SweepPoint};
 use itua_core::measures::names;
 use itua_core::params::Params;
-use itua_runner::backend::BackendKind;
 use std::io;
 
 /// Total hosts in the study.
@@ -77,9 +75,30 @@ pub fn micro_points() -> Vec<SweepPoint> {
     pts
 }
 
+/// The declarative descriptor of this study; the scenario registry and
+/// the `figure3` binary both run through it.
+pub const STUDY: Study = Study {
+    id: "figure3",
+    description: "Figure 3 (§4.1): distributions of 12 hosts into domains",
+    points,
+    micro_points: Some(micro_points),
+    measures,
+    render,
+};
+
+/// The measure keys the study extracts.
+pub fn measures() -> Vec<String> {
+    vec![
+        names::UNAVAILABILITY.to_owned(),
+        names::UNRELIABILITY.to_owned(),
+        names::FRAC_CORRUPT_AT_EXCLUSION.to_owned(),
+        format!("{}@{}", names::FRAC_DOMAINS_EXCLUDED, HORIZON),
+    ]
+}
+
 /// Runs the full study.
 pub fn run(cfg: &SweepConfig) -> FigureResult {
-    run_with(cfg, &RunOpts::default()).expect("default DES run with no store cannot fail")
+    STUDY.run(cfg)
 }
 
 /// Runs the study with explicit execution options (threads, progress,
@@ -88,26 +107,24 @@ pub fn run(cfg: &SweepConfig) -> FigureResult {
 /// The simulation backends run the paper's 12-host [`points`]; the
 /// analytic backend runs the exact-solvable [`micro_points`] instead
 /// (its store id is `figure3-analytic`, so the two never mix).
+///
+/// # Errors
+///
+/// Propagates backend failures and result-store write errors.
 pub fn run_with(cfg: &SweepConfig, opts: &RunOpts<'_>) -> io::Result<FigureResult> {
+    STUDY.run_with(cfg, opts)
+}
+
+/// Renders the extracted series as the figure's four panels.
+pub fn render(all: &[Series]) -> FigureResult {
     let excluded_at_5 = format!("{}@{}", names::FRAC_DOMAINS_EXCLUDED, HORIZON);
-    let measures = [
-        names::UNAVAILABILITY,
-        names::UNRELIABILITY,
-        names::FRAC_CORRUPT_AT_EXCLUSION,
-        excluded_at_5.as_str(),
-    ];
-    let points = match opts.backend {
-        BackendKind::Analytic => micro_points(),
-        _ => points(),
-    };
-    let all = run_sweep_stored("figure3", &points, cfg, &measures, opts)?;
     let take = |measure: &str| -> Vec<Series> {
         all.iter()
             .filter(|s| s.measure == measure)
             .cloned()
             .collect()
     };
-    Ok(FigureResult {
+    FigureResult {
         id: "Figure 3".into(),
         title: "Variations in measures for different distributions of 12 hosts (first 5 hours)"
             .into(),
@@ -134,7 +151,7 @@ pub fn run_with(cfg: &SweepConfig, opts: &RunOpts<'_>) -> io::Result<FigureResul
                 series: take(&excluded_at_5),
             },
         ],
-    })
+    }
 }
 
 #[cfg(test)]

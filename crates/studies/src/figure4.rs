@@ -7,9 +7,8 @@
 //! * (c) fraction of corrupt hosts in an excluded domain (long-run),
 //! * (d) fraction of domains excluded at t = 5 and t = 10.
 
-use crate::sweep::{
-    run_sweep_stored, FigureResult, Panel, RunOpts, Series, SweepConfig, SweepPoint,
-};
+use crate::study::Study;
+use crate::sweep::{FigureResult, Panel, RunOpts, Series, SweepConfig, SweepPoint};
 use itua_core::measures::names;
 use itua_core::params::Params;
 use std::io;
@@ -56,24 +55,47 @@ pub fn points() -> Vec<SweepPoint> {
     pts
 }
 
+/// The declarative descriptor of this study; the scenario registry and
+/// the `figure4` binary both run through it.
+pub const STUDY: Study = Study {
+    id: "figure4",
+    description: "Figure 4 (§4.2): 1–4 hosts in a constant 10 domains",
+    points,
+    micro_points: None,
+    measures,
+    render,
+};
+
+/// The measure keys the study extracts.
+pub fn measures() -> Vec<String> {
+    vec![
+        names::UNAVAILABILITY.to_owned(),
+        names::UNRELIABILITY.to_owned(),
+        names::FRAC_CORRUPT_AT_EXCLUSION.to_owned(),
+        format!("{}@{}", names::FRAC_DOMAINS_EXCLUDED, HORIZONS[0]),
+        format!("{}@{}", names::FRAC_DOMAINS_EXCLUDED, HORIZONS[1]),
+    ]
+}
+
 /// Runs the full study.
 pub fn run(cfg: &SweepConfig) -> FigureResult {
-    run_with(cfg, &RunOpts::default()).expect("default DES run with no store cannot fail")
+    STUDY.run(cfg)
 }
 
 /// Runs the full study with explicit execution options (threads,
 /// progress, resumable result store under sweep id `"figure4"`).
+///
+/// # Errors
+///
+/// Propagates backend failures and result-store write errors.
 pub fn run_with(cfg: &SweepConfig, opts: &RunOpts<'_>) -> io::Result<FigureResult> {
+    STUDY.run_with(cfg, opts)
+}
+
+/// Renders the extracted series as the figure's four panels.
+pub fn render(all: &[Series]) -> FigureResult {
     let excl5 = format!("{}@{}", names::FRAC_DOMAINS_EXCLUDED, HORIZONS[0]);
     let excl10 = format!("{}@{}", names::FRAC_DOMAINS_EXCLUDED, HORIZONS[1]);
-    let measures = [
-        names::UNAVAILABILITY,
-        names::UNRELIABILITY,
-        names::FRAC_CORRUPT_AT_EXCLUSION,
-        excl5.as_str(),
-        excl10.as_str(),
-    ];
-    let all = run_sweep_stored("figure4", &points(), cfg, &measures, opts)?;
 
     let take = |measure: &str, series_filter: &dyn Fn(&str) -> bool| -> Vec<Series> {
         all.iter()
@@ -95,7 +117,7 @@ pub fn run_with(cfg: &SweepConfig, opts: &RunOpts<'_>) -> io::Result<FigureResul
         };
     }
 
-    Ok(FigureResult {
+    FigureResult {
         id: "Figure 4".into(),
         title: "Variations in measures for different numbers of hosts in 10 domains".into(),
         x_label: "Number of hosts per domain".into(),
@@ -121,7 +143,7 @@ pub fn run_with(cfg: &SweepConfig, opts: &RunOpts<'_>) -> io::Result<FigureResul
                 series: excluded_series,
             },
         ],
-    })
+    }
 }
 
 #[cfg(test)]

@@ -12,9 +12,8 @@
 //!
 //! each comparing the two exclusion schemes.
 
-use crate::sweep::{
-    run_sweep_stored, FigureResult, Panel, RunOpts, Series, SweepConfig, SweepPoint,
-};
+use crate::study::Study;
+use crate::sweep::{FigureResult, Panel, RunOpts, Series, SweepConfig, SweepPoint};
 use itua_core::measures::names;
 use itua_core::params::{ManagementScheme, Params};
 use std::io;
@@ -68,16 +67,42 @@ pub fn points() -> Vec<SweepPoint> {
     pts
 }
 
+/// The declarative descriptor of this study; the scenario registry and
+/// the `figure5` binary both run through it.
+pub const STUDY: Study = Study {
+    id: "figure5",
+    description: "Figure 5 (§4.3): domain- vs host-exclusion under attack spread",
+    points,
+    micro_points: None,
+    measures,
+    render,
+};
+
+/// The measure keys the study extracts.
+pub fn measures() -> Vec<String> {
+    vec![
+        names::UNAVAILABILITY.to_owned(),
+        names::UNRELIABILITY.to_owned(),
+    ]
+}
+
 /// Runs the full study.
 pub fn run(cfg: &SweepConfig) -> FigureResult {
-    run_with(cfg, &RunOpts::default()).expect("default DES run with no store cannot fail")
+    STUDY.run(cfg)
 }
 
 /// Runs the full study with explicit execution options (threads,
 /// progress, resumable result store under sweep id `"figure5"`).
+///
+/// # Errors
+///
+/// Propagates backend failures and result-store write errors.
 pub fn run_with(cfg: &SweepConfig, opts: &RunOpts<'_>) -> io::Result<FigureResult> {
-    let measures = [names::UNAVAILABILITY, names::UNRELIABILITY];
-    let all = run_sweep_stored("figure5", &points(), cfg, &measures, opts)?;
+    STUDY.run_with(cfg, opts)
+}
+
+/// Renders the extracted series as the figure's four panels.
+pub fn render(all: &[Series]) -> FigureResult {
     let take = |measure: &str, horizon_tag: &str| -> Vec<Series> {
         all.iter()
             .filter(|s| s.measure == measure && s.name.ends_with(horizon_tag))
@@ -88,7 +113,7 @@ pub fn run_with(cfg: &SweepConfig, opts: &RunOpts<'_>) -> io::Result<FigureResul
             })
             .collect()
     };
-    Ok(FigureResult {
+    FigureResult {
         id: "Figure 5".into(),
         title: "Unavailability and unreliability for different exclusion algorithms".into(),
         x_label: "Rate of attack spread".into(),
@@ -114,7 +139,7 @@ pub fn run_with(cfg: &SweepConfig, opts: &RunOpts<'_>) -> io::Result<FigureResul
                 series: take(names::UNRELIABILITY, "[0,10]"),
             },
         ],
-    })
+    }
 }
 
 #[cfg(test)]

@@ -12,6 +12,10 @@
 //!   0–10 (§4.3).
 //! * [`sensitivity`] — one-at-a-time sensitivity of the baseline to the
 //!   defense parameters (the exploration §4 mentions).
+//! * [`study`] — declarative [`study::Study`] descriptors: every shipped
+//!   figure reduced to (id, points, measures, renderer), the single run
+//!   path behind both the legacy figure binaries and the `itua` CLI's
+//!   scenario registry.
 //! * [`sweep`] — the generic sweep/estimation machinery.
 //! * [`table`] — plain-text rendering of figure series.
 //!
@@ -33,7 +37,9 @@ pub mod figure3;
 pub mod figure4;
 pub mod figure5;
 pub mod sensitivity;
+pub mod study;
 pub mod sweep;
 pub mod table;
 
+pub use study::Study;
 pub use sweep::{FigureResult, RunOpts, Series, SweepConfig};

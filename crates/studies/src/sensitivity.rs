@@ -16,9 +16,8 @@
 //! * misbehavior (group-conviction) rate (baseline 2/h),
 //! * false-alarm rate (baseline 2/h cumulative).
 
-use crate::sweep::{
-    run_sweep_stored, FigureResult, Panel, RunOpts, Series, SweepConfig, SweepPoint,
-};
+use crate::study::Study;
+use crate::sweep::{FigureResult, Panel, RunOpts, Series, SweepConfig, SweepPoint};
 use itua_core::measures::names;
 use itua_core::params::Params;
 use std::io;
@@ -85,28 +84,49 @@ fn point(scale: f64, series: &str, params: Params) -> SweepPoint {
     }
 }
 
+/// The declarative descriptor of this study; the scenario registry and
+/// the `sensitivity` binary both run through it.
+pub const STUDY: Study = Study {
+    id: "sensitivity",
+    description: "One-at-a-time sensitivity of the §4 baseline parameters",
+    points,
+    micro_points: None,
+    measures,
+    render,
+};
+
+/// The measure keys the study extracts.
+pub fn measures() -> Vec<String> {
+    vec![
+        names::UNAVAILABILITY.to_owned(),
+        names::UNRELIABILITY.to_owned(),
+    ]
+}
+
 /// Runs the sensitivity study.
 pub fn run(cfg: &SweepConfig) -> FigureResult {
-    run_with(cfg, &RunOpts::default()).expect("default DES run with no store cannot fail")
+    STUDY.run(cfg)
 }
 
 /// Runs the sensitivity study with explicit execution options (threads,
 /// progress, resumable result store under sweep id `"sensitivity"`).
+///
+/// # Errors
+///
+/// Propagates backend failures and result-store write errors.
 pub fn run_with(cfg: &SweepConfig, opts: &RunOpts<'_>) -> io::Result<FigureResult> {
-    let all = run_sweep_stored(
-        "sensitivity",
-        &points(),
-        cfg,
-        &[names::UNAVAILABILITY, names::UNRELIABILITY],
-        opts,
-    )?;
+    STUDY.run_with(cfg, opts)
+}
+
+/// Renders the extracted series as the study's two panels.
+pub fn render(all: &[Series]) -> FigureResult {
     let take = |measure: &str| -> Vec<Series> {
         all.iter()
             .filter(|s| s.measure == measure)
             .cloned()
             .collect()
     };
-    Ok(FigureResult {
+    FigureResult {
         id: "Sensitivity".into(),
         title: "One-at-a-time sensitivity of the §4 baseline (first 5 hours)".into(),
         x_label: "Parameter scale (×baseline)".into(),
@@ -122,7 +142,7 @@ pub fn run_with(cfg: &SweepConfig, opts: &RunOpts<'_>) -> io::Result<FigureResul
                 series: take(names::UNRELIABILITY),
             },
         ],
-    })
+    }
 }
 
 #[cfg(test)]

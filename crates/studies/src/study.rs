@@ -1,0 +1,148 @@
+//! Declarative study descriptors: one [`Study`] per shipped figure.
+//!
+//! Before the scenario layer, every figure module carried its own
+//! `run()` / `run_with()` pair — `run` being nothing but `run_with` with
+//! default options — and each figure binary re-derived which points to
+//! analyze for `--check` (the analytic backend substitutes an
+//! exact-solvable micro variant in Figure 3). A [`Study`] captures all
+//! of that declaratively: the sweep id, the point constructors (with the
+//! optional micro substitution), the measure list, and the renderer that
+//! turns extracted series into a [`FigureResult`]. The figure modules
+//! now expose a `STUDY` constant and delegate their `run`/`run_with`
+//! functions to the single [`Study::run_with`] path, and the scenario
+//! registry (`itua-scenario`) wraps the same constants as built-in
+//! scenarios — so `itua run figure3` and the legacy `figure3` binary are
+//! the same code and produce byte-identical result stores.
+
+use crate::sweep::{run_sweep_stored, FigureResult, RunOpts, Series, SweepConfig, SweepPoint};
+use itua_runner::backend::BackendKind;
+use std::io;
+
+/// A declarative descriptor of one shipped study.
+///
+/// All behavior is carried by plain function pointers so descriptors can
+/// be `const` and the registry can hold them in a static table.
+#[derive(Clone, Copy)]
+pub struct Study {
+    /// Sweep/store identifier (e.g. `"figure3"`); the result store file
+    /// is `<id>.json` with the backend/split suffixes of
+    /// [`run_sweep_stored`].
+    pub id: &'static str,
+    /// One-line description (shown by `itua list`).
+    pub description: &'static str,
+    /// Constructor of the full sweep points.
+    pub points: fn() -> Vec<SweepPoint>,
+    /// Exact-solvable micro variant substituted for the analytic
+    /// backend, if the full study is beyond exact solution but a
+    /// figure-shaped micro study exists (Figure 3). `None` runs the full
+    /// points on every backend.
+    pub micro_points: Option<fn() -> Vec<SweepPoint>>,
+    /// Measure keys to extract from the sweep (possibly `@t`-suffixed).
+    pub measures: fn() -> Vec<String>,
+    /// Renderer from extracted series to the figure's panels.
+    pub render: fn(&[Series]) -> FigureResult,
+}
+
+impl Study {
+    /// The points this study runs on `backend` (the analytic backend
+    /// gets the micro variant when one exists).
+    pub fn points_for(&self, backend: BackendKind) -> Vec<SweepPoint> {
+        match (backend, self.micro_points) {
+            (BackendKind::Analytic, Some(micro)) => micro(),
+            _ => (self.points)(),
+        }
+    }
+
+    /// Runs the study with explicit execution options (threads,
+    /// progress, resumable result store under [`Study::id`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend failures and result-store write errors from
+    /// the sweep layer.
+    pub fn run_with(&self, cfg: &SweepConfig, opts: &RunOpts<'_>) -> io::Result<FigureResult> {
+        let points = self.points_for(opts.backend);
+        let measures = (self.measures)();
+        let refs: Vec<&str> = measures.iter().map(String::as_str).collect();
+        let all = run_sweep_stored(self.id, &points, cfg, &refs, opts)?;
+        Ok((self.render)(&all))
+    }
+
+    /// Runs the study with default options (DES backend, auto threads,
+    /// no result store).
+    pub fn run(&self, cfg: &SweepConfig) -> FigureResult {
+        self.run_with(cfg, &RunOpts::default())
+            .expect("default DES run with no store cannot fail")
+    }
+}
+
+impl std::fmt::Debug for Study {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Study")
+            .field("id", &self.id)
+            .field("description", &self.description)
+            .field("has_micro", &self.micro_points.is_some())
+            .finish()
+    }
+}
+
+/// Every shipped study, in presentation order. The scenario registry
+/// builds its built-in entries from this table; the figure binaries are
+/// shims over the same descriptors.
+pub fn all() -> &'static [Study] {
+    &[
+        crate::figure3::STUDY,
+        crate::figure4::STUDY,
+        crate::figure5::STUDY,
+        crate::sensitivity::STUDY,
+    ]
+}
+
+/// The shipped study with this sweep id, if any.
+pub fn by_id(id: &str) -> Option<&'static Study> {
+    all().iter().find(|s| s.id == id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_studies_are_registered_with_unique_ids() {
+        let ids: Vec<&str> = all().iter().map(|s| s.id).collect();
+        assert_eq!(ids, vec!["figure3", "figure4", "figure5", "sensitivity"]);
+        for s in all() {
+            assert!(!s.description.is_empty(), "{}: needs a description", s.id);
+            assert!(!(s.points)().is_empty(), "{}: no points", s.id);
+            assert!(!(s.measures)().is_empty(), "{}: no measures", s.id);
+        }
+        assert!(by_id("figure3").is_some());
+        assert!(by_id("figure9").is_none());
+    }
+
+    #[test]
+    fn analytic_backend_substitutes_micro_variant_only_where_defined() {
+        let fig3 = by_id("figure3").unwrap();
+        let full = fig3.points_for(BackendKind::Des);
+        let micro = fig3.points_for(BackendKind::Analytic);
+        assert_ne!(full.len(), micro.len());
+        assert!(micro.iter().all(|p| p.params.total_hosts() == 2));
+
+        let fig5 = by_id("figure5").unwrap();
+        assert_eq!(
+            fig5.points_for(BackendKind::Des).len(),
+            fig5.points_for(BackendKind::Analytic).len()
+        );
+    }
+
+    #[test]
+    fn study_run_matches_module_run() {
+        let cfg = SweepConfig {
+            replications: 5,
+            ..Default::default()
+        };
+        let via_study = by_id("sensitivity").unwrap().run(&cfg);
+        let via_module = crate::sensitivity::run(&cfg);
+        assert_eq!(via_study, via_module);
+    }
+}

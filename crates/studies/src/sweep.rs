@@ -18,7 +18,7 @@ use itua_runner::backend::{
 use itua_runner::engine::RunnerConfig;
 use itua_runner::progress::{NullProgress, Progress};
 use itua_runner::split::run_measures_split;
-use itua_runner::store::{fingerprint, ResultStore, StoredEstimate, StoredPoint};
+use itua_runner::store::{fingerprint_iter, ResultStore, StoredEstimate, StoredPoint};
 use itua_runner::sweep::{PointSpec, SweepRunner};
 use itua_sim::rng::stream_seed;
 use std::io;
@@ -149,6 +149,14 @@ pub struct RunOpts<'a> {
     /// the sampling scheme, though never the estimand). The analytic
     /// backend ignores the spec — it stays the exact oracle.
     pub split: Option<SplitSpec>,
+    /// Extra identity parts folded into the store fingerprint *after* the
+    /// configuration and point parts. The scenario layer uses this to key
+    /// `results/` stores by scenario identity: a user-authored `.scn`
+    /// scenario contributes its normalized content hash, so editing the
+    /// file invalidates the store instead of silently resuming stale
+    /// points. Empty (the default, and what every built-in study passes)
+    /// leaves the fingerprint bit-identical to the pre-scenario scheme.
+    pub fingerprint_extra: Vec<String>,
 }
 
 impl Default for RunOpts<'static> {
@@ -161,6 +169,7 @@ impl Default for RunOpts<'static> {
             results_dir: None,
             check: ModelCheck::default(),
             split: None,
+            fingerprint_extra: Vec::new(),
         }
     }
 }
@@ -325,7 +334,13 @@ pub fn run_sweep_stored(
         match ResultStore::open(
             dir,
             &store_id,
-            &sweep_fingerprint(points, cfg, opts.backend, opts.split.as_ref()),
+            &sweep_fingerprint(
+                points,
+                cfg,
+                opts.backend,
+                opts.split.as_ref(),
+                &opts.fingerprint_extra,
+            ),
         ) {
             Ok(store) => Some(store),
             Err(e) => {
@@ -381,12 +396,15 @@ fn store_id(sweep_id: &str, backend: BackendKind, split: Option<&SplitSpec>) -> 
 /// Fingerprints a sweep configuration for store invalidation. The
 /// splitting spec is part of the fingerprint (it changes the sampling
 /// scheme); the thread/batch configuration is not (it never changes
-/// results).
+/// results). Scenario-identity parts ([`RunOpts::fingerprint_extra`])
+/// are appended last, so an empty extra list reproduces the
+/// pre-scenario fingerprint bit for bit.
 fn sweep_fingerprint(
     points: &[SweepPoint],
     cfg: &SweepConfig,
     backend: BackendKind,
     split: Option<&SplitSpec>,
+    extra: &[String],
 ) -> String {
     let mut parts: Vec<String> = vec![
         format!("backend={backend}"),
@@ -403,8 +421,12 @@ fn sweep_fingerprint(
             p.series, p.x, p.horizon, p.sample_times, p.params
         ));
     }
-    let refs: Vec<&str> = parts.iter().map(String::as_str).collect();
-    fingerprint(&refs)
+    fingerprint_iter(
+        parts
+            .iter()
+            .map(String::as_str)
+            .chain(extra.iter().map(String::as_str)),
+    )
 }
 
 /// Extracts x-ordered per-`(series, measure)` estimates from stored points.
@@ -602,6 +624,56 @@ mod tests {
             *tracker.0.lock().unwrap(),
             vec![true, true],
             "a different batch size must resume every point from the store"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fingerprint_extra_keys_the_store_by_scenario_identity() {
+        let cfg = SweepConfig {
+            replications: 6,
+            ..Default::default()
+        };
+        let dir =
+            std::env::temp_dir().join(format!("itua-studies-sweep-extra-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let points = vec![tiny_point(1.0, "a")];
+        let measures = [names::UNAVAILABILITY];
+
+        let opts_v1 = RunOpts {
+            results_dir: Some(dir.clone()),
+            fingerprint_extra: vec!["scn=v1".into()],
+            ..Default::default()
+        };
+        let first = run_sweep_stored("t", &points, &cfg, &measures, &opts_v1).unwrap();
+
+        // Same identity: the store resumes.
+        let tracker = ResumeTracker(std::sync::Mutex::new(Vec::new()));
+        let opts_same = RunOpts {
+            results_dir: Some(dir.clone()),
+            progress: &tracker,
+            fingerprint_extra: vec!["scn=v1".into()],
+            ..Default::default()
+        };
+        let second = run_sweep_stored("t", &points, &cfg, &measures, &opts_same).unwrap();
+        assert_eq!(second, first);
+        assert_eq!(*tracker.0.lock().unwrap(), vec![true]);
+
+        // An edited scenario (different identity hash) must not resume
+        // the stale store, even though the points are unchanged.
+        let tracker = ResumeTracker(std::sync::Mutex::new(Vec::new()));
+        let opts_v2 = RunOpts {
+            results_dir: Some(dir.clone()),
+            progress: &tracker,
+            fingerprint_extra: vec!["scn=v2".into()],
+            ..Default::default()
+        };
+        let third = run_sweep_stored("t", &points, &cfg, &measures, &opts_v2).unwrap();
+        assert_eq!(third, first, "same points and seeds, same estimates");
+        assert_eq!(
+            *tracker.0.lock().unwrap(),
+            vec![false],
+            "a changed scenario hash must re-run the point"
         );
         std::fs::remove_dir_all(&dir).unwrap();
     }

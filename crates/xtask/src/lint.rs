@@ -47,6 +47,7 @@ pub const SCAN_DIRS: &[&str] = &[
     "crates/studies/src",
     "crates/analyzer/src",
     "crates/rare/src",
+    "crates/scenario/src",
 ];
 
 /// One flagged line.

@@ -14,6 +14,9 @@
 //! * [`runner`] — parallel experiment execution with deterministic
 //!   reduction, progress reporting, and a resumable result store.
 //! * [`studies`] — the paper's Figure 3/4/5 studies and sweep harness.
+//! * [`scenario`] — the declarative experiment layer: the scenario trait,
+//!   the built-in study registry behind the `itua` CLI, and the `.scn`
+//!   scenario-file parser.
 //!
 //! See `README.md` for a guided tour and `DESIGN.md` for the system
 //! inventory.
@@ -24,6 +27,7 @@ pub use itua_markov as markov;
 pub use itua_rare as rare;
 pub use itua_runner as runner;
 pub use itua_san as san;
+pub use itua_scenario as scenario;
 pub use itua_sim as sim;
 pub use itua_stats as stats;
 pub use itua_studies as studies;
