@@ -13,7 +13,8 @@
 //! * tuple strategies up to arity 7
 //! * `prop::collection::vec(strategy, sizes)`
 //! * `prop::bool::ANY`
-//! * `Strategy::prop_map`
+//! * `prop::sample::Index` (deferred collection indexing)
+//! * `Strategy::prop_map`, `Just`, unweighted `prop_oneof!`
 //!
 //! Differences from real proptest: failing inputs are **not shrunk** (the
 //! failing case index and seed are printed instead, and `PROPTEST_SEED`
@@ -203,6 +204,56 @@ pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
     }
 }
 
+/// A strategy that always produces a clone of one value (proptest's
+/// `Just`).
+#[derive(Debug, Clone, Copy)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+/// Uniform choice among same-valued strategies; the expansion of
+/// [`prop_oneof!`].
+pub struct Union<T> {
+    options: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T> Union<T> {
+    /// Creates a union over `options`, which must be non-empty.
+    pub fn new(options: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+        assert!(!options.is_empty(), "empty prop_oneof!");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.options.len() as u64) as usize;
+        self.options[i].generate(rng)
+    }
+}
+
+/// Uniform choice among strategies producing the same value type
+/// (proptest's `prop_oneof!`, without the weighted form).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$(Box::new($strat) as Box<dyn $crate::Strategy<Value = _>>),+])
+    };
+}
+
 /// Size specification for collection strategies.
 #[derive(Debug, Clone, Copy)]
 pub struct SizeRange {
@@ -261,6 +312,32 @@ pub mod prop {
                         rng.below(span) as usize
                     };
                 (0..len).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+    }
+
+    /// Sampling strategies (`prop::sample::Index`).
+    pub mod sample {
+        use super::super::{Arbitrary, TestRng};
+
+        /// A deferred index into a collection whose length is unknown at
+        /// generation time: `any::<Index>()` draws raw randomness, and
+        /// [`Index::index`] projects it onto a concrete length later.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+        pub struct Index(usize);
+
+        impl Index {
+            /// Maps this index onto a collection of length `len`
+            /// (which must be positive).
+            pub fn index(&self, len: usize) -> usize {
+                assert!(len > 0, "cannot index an empty collection");
+                self.0 % len
+            }
+        }
+
+        impl Arbitrary for Index {
+            fn arbitrary(rng: &mut TestRng) -> Index {
+                Index(rng.next_u64() as usize)
             }
         }
     }
@@ -401,8 +478,8 @@ macro_rules! prop_assume {
 /// Everything the tests import.
 pub mod prelude {
     pub use crate::{
-        any, prop, prop_assert, prop_assert_eq, prop_assume, proptest, Arbitrary, ProptestConfig,
-        Strategy,
+        any, prop, prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest, Arbitrary, Just,
+        ProptestConfig, Strategy, Union,
     };
 }
 
@@ -467,6 +544,22 @@ mod tests {
             v.push(true);
             prop_assert!(x < 99);
             prop_assert_eq!(v.last(), Some(&true));
+        }
+
+        /// `prop_oneof!` mixes its arms; `Just` is constant; `Index`
+        /// projects into arbitrary lengths.
+        #[test]
+        fn oneof_just_index_smoke(
+            ops in prop::collection::vec(
+                prop_oneof![(1u8..4).prop_map(i32::from), Just(-1i32)],
+                1..50,
+            ),
+            idx in any::<prop::sample::Index>(),
+        ) {
+            for &op in &ops {
+                prop_assert!(op == -1 || (1..4).contains(&op));
+            }
+            prop_assert!(idx.index(ops.len()) < ops.len());
         }
     }
 }

@@ -75,37 +75,24 @@ pub struct RunStats {
 pub struct SanSimulator {
     san: Arc<San>,
     full_rescan: bool,
+    full_rescan_resched: bool,
 }
 
-#[derive(Debug, Clone, Copy)]
-struct ScheduledEvent {
-    activity: u32,
-    generation: u64,
-}
-
-#[derive(Clone)]
-struct ActivityState {
-    key: Option<EventKey>,
-    generation: u64,
-}
+/// Once the marking's dirty log holds this many entries, the simulator
+/// clears it and restarts both index cursors. Clearing less often than
+/// every step amortizes the log lifecycle across the two consumers (the
+/// instantaneous enabling index and the timed reschedule index) while
+/// keeping the log's memory bounded.
+const DIRTY_LOG_CLEAR_LEN: usize = 512;
 
 /// Inserts a completion event for `id` at absolute time `time`.
 fn schedule_at(
     id: ActivityId,
     time: f64,
-    queue: &mut EventQueue<ScheduledEvent>,
-    states: &mut [ActivityState],
+    queue: &mut EventQueue<ActivityId>,
+    keys: &mut [Option<EventKey>],
 ) {
-    let st = &mut states[id.index()];
-    st.generation += 1;
-    let key = queue.schedule(
-        time,
-        ScheduledEvent {
-            activity: id.0,
-            generation: st.generation,
-        },
-    );
-    st.key = Some(key);
+    keys[id.index()] = Some(queue.schedule(time, id));
 }
 
 /// Persistent sorted set of the enabled instantaneous activities, kept in
@@ -177,6 +164,112 @@ impl InstIndex {
     }
 }
 
+/// Persistent reschedule index for the timed activities, the counterpart
+/// of [`InstIndex`] on the timed side of the per-place dependent split
+/// (`San::timed_dependents_of`).
+///
+/// After each firing the simulator must re-examine exactly the timed
+/// activities whose enabling or rate may have changed: the fired activity
+/// plus every timed activity reading a place the firing (and its
+/// instantaneous cascade) dirtied. `collect` derives that set from the
+/// marking's dirty log through this index's private cursor — the
+/// instantaneous index reads the same log through its own cursor, so the
+/// log is cleared only when it grows past [`DIRTY_LOG_CLEAR_LEN`], not
+/// per step. The `affected` set is kept in ascending [`ActivityId`]
+/// order: the reschedule loop draws exponential variates in iteration
+/// order, so the ordering pins the RNG stream and with it bit-identical
+/// trajectories.
+#[derive(Clone)]
+struct TimedIndex {
+    affected: Vec<ActivityId>,
+    /// Cursor into the marking's dirty log (entries before it are
+    /// already reflected in past reschedules).
+    synced: usize,
+    /// Per-place dirt flags, scratch for the full-rescan oracle scan.
+    /// All-false between uses.
+    dirt: Vec<bool>,
+}
+
+impl TimedIndex {
+    fn new() -> Self {
+        TimedIndex {
+            affected: Vec::new(),
+            synced: 0,
+            dirt: Vec::new(),
+        }
+    }
+
+    /// Tells the index the dirty log is being cleared (see
+    /// [`InstIndex::note_cleared`]).
+    fn note_cleared(&mut self) {
+        self.synced = 0;
+    }
+
+    /// Rebuilds `affected` for the step that fired `fired`: the fired
+    /// activity plus the timed dependents of every place dirtied since
+    /// the last collect, ascending and deduped. Advances the cursor.
+    ///
+    /// With `full_rescan` the set is instead derived by scanning *every*
+    /// timed activity's read set against the dirtied places — the same
+    /// set computed from the forward (activity → reads) map instead of
+    /// the inverse (place → dependents) index. Tests use that mode as
+    /// the oracle; debug builds cross-check every step against it.
+    fn collect(&mut self, san: &San, marking: &Marking, fired: ActivityId, full_rescan: bool) {
+        let from = self.synced;
+        self.synced = marking.dirty_len();
+        if full_rescan {
+            let mut scanned = std::mem::take(&mut self.affected);
+            self.scan_into(san, marking, from, fired, &mut scanned);
+            self.affected = scanned;
+            return;
+        }
+        self.affected.clear();
+        self.affected.push(fired);
+        for &p in marking.dirty_since(from) {
+            self.affected.extend_from_slice(san.timed_dependents_of(p));
+        }
+        self.affected.sort_unstable();
+        self.affected.dedup();
+        #[cfg(debug_assertions)]
+        {
+            let mut check = Vec::new();
+            self.scan_into(san, marking, from, fired, &mut check);
+            debug_assert_eq!(
+                self.affected, check,
+                "incremental timed reschedule index diverged from full rescan"
+            );
+        }
+    }
+
+    /// The full-rescan enumeration: walks all activities in id order and
+    /// collects the timed ones that are `fired` or read a dirtied place.
+    fn scan_into(
+        &mut self,
+        san: &San,
+        marking: &Marking,
+        from: usize,
+        fired: ActivityId,
+        out: &mut Vec<ActivityId>,
+    ) {
+        self.dirt.resize(marking.len(), false);
+        for &p in marking.dirty_since(from) {
+            self.dirt[p as usize] = true;
+        }
+        out.clear();
+        for (id, act) in san.activities() {
+            if act.is_instantaneous() {
+                continue;
+            }
+            if id == fired || act.reads().iter().any(|p| self.dirt[p.index()]) {
+                out.push(id);
+            }
+        }
+        for &p in marking.dirty_since(from) {
+            self.dirt[p as usize] = false;
+        }
+    }
+}
+
 /// Deferred exponential-delay draws for the (re)scheduling loops.
 ///
 /// Exponential delays within one scheduling pass are sampled as a block:
@@ -217,8 +310,8 @@ impl ExpoBatch {
         id: ActivityId,
         marking: &Marking,
         rng: &mut Rng,
-        queue: &mut EventQueue<ScheduledEvent>,
-        states: &mut [ActivityState],
+        queue: &mut EventQueue<ActivityId>,
+        keys: &mut [Option<EventKey>],
     ) {
         match act.timing() {
             Timing::Exponential(rate) => {
@@ -234,9 +327,9 @@ impl ExpoBatch {
                 self.pending.push((id, r));
             }
             Timing::General(dist) => {
-                self.flush(rng, queue, states);
+                self.flush(rng, queue, keys);
                 let delay = dist.sample(rng);
-                schedule_at(id, self.now + delay, queue, states);
+                schedule_at(id, self.now + delay, queue, keys);
             }
             Timing::Instantaneous => unreachable!("instantaneous activities are not scheduled"),
         }
@@ -247,8 +340,8 @@ impl ExpoBatch {
     fn flush(
         &mut self,
         rng: &mut Rng,
-        queue: &mut EventQueue<ScheduledEvent>,
-        states: &mut [ActivityState],
+        queue: &mut EventQueue<ActivityId>,
+        keys: &mut [Option<EventKey>],
     ) {
         if self.pending.is_empty() {
             return;
@@ -259,7 +352,7 @@ impl ExpoBatch {
             *u = -u.ln() / rate;
         }
         for (&(id, _), &delay) in self.pending.iter().zip(&self.uniforms) {
-            schedule_at(id, self.now + delay, queue, states);
+            schedule_at(id, self.now + delay, queue, keys);
         }
         self.pending.clear();
     }
@@ -281,12 +374,12 @@ impl ExpoBatch {
 pub struct SimScratch {
     initial: Marking,
     marking: Marking,
-    queue: EventQueue<ScheduledEvent>,
-    states: Vec<ActivityState>,
+    queue: EventQueue<ActivityId>,
+    keys: Vec<Option<EventKey>>,
     sample_times: Vec<f64>,
     inst: InstIndex,
+    timed: TimedIndex,
     expo: ExpoBatch,
-    affected: Vec<ActivityId>,
 }
 
 impl SimScratch {
@@ -338,6 +431,7 @@ impl SanSimulator {
         SanSimulator {
             san,
             full_rescan: false,
+            full_rescan_resched: false,
         }
     }
 
@@ -355,6 +449,15 @@ impl SanSimulator {
         self.full_rescan = on;
     }
 
+    /// Forces the timed reschedule loop to derive its affected set by
+    /// scanning every timed activity's read set instead of the
+    /// incremental [`TimedIndex`]. Results are identical either way;
+    /// tests use this mode as the oracle the index is checked against.
+    #[doc(hidden)]
+    pub fn set_full_rescan_reschedule(&mut self, on: bool) {
+        self.full_rescan_resched = on;
+    }
+
     /// Creates a reusable scratch for [`SanSimulator::run_with_scratch`].
     pub fn scratch(&self) -> SimScratch {
         let initial = self.san.initial_marking();
@@ -362,16 +465,11 @@ impl SanSimulator {
             marking: initial.clone(),
             initial,
             queue: EventQueue::new(),
-            states: (0..self.san.num_activities())
-                .map(|_| ActivityState {
-                    key: None,
-                    generation: 0,
-                })
-                .collect(),
+            keys: vec![None; self.san.num_activities()],
             sample_times: Vec::new(),
             inst: InstIndex::new(),
+            timed: TimedIndex::new(),
             expo: ExpoBatch::new(),
-            affected: Vec::new(),
         }
     }
 
@@ -453,8 +551,7 @@ impl SanSimulator {
         assert!(horizon >= 0.0 && !horizon.is_nan(), "bad horizon");
         let san = &*self.san;
         assert!(
-            scratch.states.len() == san.num_activities()
-                && scratch.initial == san.initial_marking(),
+            scratch.keys.len() == san.num_activities() && scratch.initial == san.initial_marking(),
             "scratch does not match this model"
         );
         let mut rng = Rng::seed_from_u64(seed);
@@ -465,19 +562,17 @@ impl SanSimulator {
             initial,
             marking,
             queue,
-            states,
+            keys,
             sample_times,
             inst,
+            timed,
             expo,
-            affected: _,
         } = scratch;
         let marking = &mut *marking;
         marking.clone_from(initial);
         queue.clear();
-        for st in states.iter_mut() {
-            // Generations need not restart at zero: they only gate stale
-            // queue entries relative to each other, and the queue is empty.
-            st.key = None;
+        for k in keys.iter_mut() {
+            *k = None;
         }
 
         let mut stats = RunStats {
@@ -502,6 +597,7 @@ impl SanSimulator {
         self.stabilize(marking, &mut rng, 0.0, &mut [], &mut stats, inst)?;
         marking.clear_dirty();
         inst.note_cleared();
+        timed.note_cleared();
         for o in observers.iter_mut() {
             o.on_init(0.0, marking);
         }
@@ -512,10 +608,10 @@ impl SanSimulator {
                 continue;
             }
             if act.enabled(marking) {
-                expo.schedule(act, id, marking, &mut rng, queue, states);
+                expo.schedule(act, id, marking, &mut rng, queue, keys);
             }
         }
-        expo.flush(&mut rng, queue, states);
+        expo.flush(&mut rng, queue, keys);
 
         Ok(RunCursor {
             rng,
@@ -547,11 +643,11 @@ impl SanSimulator {
             initial: _,
             marking,
             queue,
-            states,
+            keys,
             sample_times,
             inst,
+            timed,
             expo,
-            affected,
         } = scratch;
         let marking = &mut *marking;
         let rng = &mut cursor.rng;
@@ -593,16 +689,14 @@ impl SanSimulator {
             Some(_) => {}
         }
 
-        let (now, ev) = queue.pop().expect("peeked event exists");
+        let (now, act_id) = queue.pop().expect("peeked event exists");
         cursor.now = now;
-        let state = &mut states[ev.activity as usize];
-        if state.generation != ev.generation {
-            return Ok(true); // stale (defensive; cancel() normally prevents this)
-        }
-        state.key = None;
-        state.generation += 1;
+        debug_assert!(
+            keys[act_id.index()].is_some(),
+            "popped activity must have been scheduled"
+        );
+        keys[act_id.index()] = None;
 
-        let act_id = ActivityId(ev.activity);
         let act = san.activity(act_id);
         debug_assert!(act.enabled(marking), "scheduled activity must be enabled");
 
@@ -616,39 +710,41 @@ impl SanSimulator {
 
         // Incrementally update the timed activities affected by the
         // firing and its cascade, batching the exponential resamples.
-        affected.clear();
-        affected.push(act_id);
-        for &p in marking.dirty_since(0) {
-            affected.extend_from_slice(san.timed_dependents_of(p));
-        }
-        marking.clear_dirty();
-        inst.note_cleared();
-        affected.sort_unstable();
-        affected.dedup();
+        // `timed` consumes only the dirty-log suffix past its cursor, so
+        // the log itself is cleared lazily (below) once it grows past the
+        // threshold — both cursors share one log lifecycle.
+        timed.collect(san, marking, act_id, self.full_rescan_resched);
         expo.begin(now);
-        for &id in affected.iter() {
+        for &id in &timed.affected {
             let act = san.activity(id);
             let enabled = act.enabled(marking);
-            let scheduled = states[id.index()].key.is_some();
+            let scheduled = keys[id.index()].is_some();
             match (enabled, scheduled) {
                 (true, false) => {
-                    expo.schedule(act, id, marking, rng, queue, states);
+                    expo.schedule(act, id, marking, rng, queue, keys);
                 }
                 (true, true) => {
                     // Resample exponentials (marking-dependent rates);
                     // keep general samples (enabling memory).
                     if matches!(act.timing(), Timing::Exponential(_)) {
-                        Self::cancel(id, queue, states);
-                        expo.schedule(act, id, marking, rng, queue, states);
+                        Self::cancel(id, queue, keys);
+                        expo.schedule(act, id, marking, rng, queue, keys);
                     }
                 }
                 (false, true) => {
-                    Self::cancel(id, queue, states);
+                    Self::cancel(id, queue, keys);
                 }
                 (false, false) => {}
             }
         }
-        expo.flush(rng, queue, states);
+        expo.flush(rng, queue, keys);
+        if marking.dirty_len() >= DIRTY_LOG_CLEAR_LEN {
+            // Every cursor is fully synced here, so dropping the log is
+            // invisible to both indices.
+            marking.clear_dirty();
+            inst.note_cleared();
+            timed.note_cleared();
+        }
 
         for o in observers.iter_mut() {
             o.on_event(now, act_id, marking);
@@ -656,15 +752,9 @@ impl SanSimulator {
         Ok(true)
     }
 
-    fn cancel(
-        id: ActivityId,
-        queue: &mut EventQueue<ScheduledEvent>,
-        states: &mut [ActivityState],
-    ) {
-        let st = &mut states[id.index()];
-        if let Some(key) = st.key.take() {
+    fn cancel(id: ActivityId, queue: &mut EventQueue<ActivityId>, keys: &mut [Option<EventKey>]) {
+        if let Some(key) = keys[id.index()].take() {
             queue.cancel(key);
-            st.generation += 1;
         }
     }
 
@@ -689,24 +779,24 @@ impl SanSimulator {
     pub fn resample_pending(&self, scratch: &mut SimScratch, cursor: &mut RunCursor) {
         let san = &*self.san;
         assert!(
-            scratch.states.len() == san.num_activities(),
+            scratch.keys.len() == san.num_activities(),
             "scratch does not match this model"
         );
         let SimScratch {
             marking,
             queue,
-            states,
+            keys,
             expo,
             ..
         } = scratch;
         expo.begin(cursor.now);
         for (id, act) in san.activities() {
-            if states[id.index()].key.is_some() && matches!(act.timing(), Timing::Exponential(_)) {
-                Self::cancel(id, queue, states);
-                expo.schedule(act, id, marking, &mut cursor.rng, queue, states);
+            if keys[id.index()].is_some() && matches!(act.timing(), Timing::Exponential(_)) {
+                Self::cancel(id, queue, keys);
+                expo.schedule(act, id, marking, &mut cursor.rng, queue, keys);
             }
         }
-        expo.flush(&mut cursor.rng, queue, states);
+        expo.flush(&mut cursor.rng, queue, keys);
     }
 
     fn choose_case(weights: Vec<f64>, rng: &mut Rng) -> usize {

@@ -4,22 +4,35 @@
 //!
 //! * ties in event time are broken by **insertion order** (FIFO), so a
 //!   simulation is a pure function of its seed;
-//! * cancellation is O(log n) amortized via lazy deletion, because a
-//!   stochastic activity network constantly cancels activities that became
-//!   disabled.
+//! * cancellation is O(1) via generation-stamped slots with lazy deletion,
+//!   because a stochastic activity network constantly cancels activities
+//!   that became disabled — no per-event hashing anywhere on the path;
+//! * stale (cancelled) heap entries are discarded on pop and, amortized,
+//!   by compaction whenever they outnumber the live ones, so the heap
+//!   stays within a constant factor of the live event count even under
+//!   reschedule storms that cancel nearly every entry they push.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
-use std::collections::HashSet;
 
 /// Opaque handle identifying a scheduled event, used for cancellation.
+///
+/// A key is a slot index plus the slot's generation at schedule time.
+/// Each slot holds at most one live event; cancelling or delivering the
+/// event bumps the slot's generation, which invalidates the key (and any
+/// stale heap entry carrying it) in O(1) without hashing.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct EventKey(u64);
+pub struct EventKey {
+    slot: u32,
+    generation: u64,
+}
 
 #[derive(Debug, Clone)]
 struct Entry<T> {
     time: f64,
     seq: u64,
+    slot: u32,
+    generation: u64,
     payload: T,
 }
 
@@ -49,7 +62,11 @@ impl<T> Ord for Entry<T> {
     }
 }
 
-/// A pending-event set with deterministic ordering and O(log n) cancel.
+/// Heap sizes below this never trigger compaction; the O(n) sweep is not
+/// worth it for a handful of stale entries.
+const COMPACT_MIN_LEN: usize = 64;
+
+/// A pending-event set with deterministic ordering and O(1) cancel.
 ///
 /// # Example
 ///
@@ -66,16 +83,21 @@ impl<T> Ord for Entry<T> {
 /// assert_eq!(q.pop(), None);
 /// ```
 // Clone lets an importance-splitting branch snapshot a simulator state
-// mid-run; the cloned heap preserves sequence numbers, so the clone pops
-// events in exactly the original order.
+// mid-run; the cloned heap preserves sequence numbers and slot
+// generations, so the clone pops events in exactly the original order.
 #[derive(Debug, Clone)]
 pub struct EventQueue<T> {
     heap: BinaryHeap<Entry<T>>,
-    /// Sequence numbers of events that are scheduled and not yet popped or
-    /// cancelled. Membership here is the source of truth for liveness.
-    pending: HashSet<u64>,
-    /// Sequence numbers cancelled while still in the heap (lazy deletion).
-    cancelled: HashSet<u64>,
+    /// Current generation per slot. A heap entry (or key) is live iff its
+    /// generation equals its slot's; cancel and pop bump the slot, so
+    /// every stale entry mismatches. Generations are monotone per slot
+    /// and never reset, which keeps keys from earlier occupancies of a
+    /// reused slot invalid forever.
+    generations: Vec<u64>,
+    /// Slots available for reuse (their current generation is unclaimed).
+    free: Vec<u32>,
+    /// Number of live (scheduled, not yet popped or cancelled) events.
+    live: usize,
     next_seq: u64,
 }
 
@@ -84,8 +106,9 @@ impl<T> EventQueue<T> {
     pub fn new() -> Self {
         EventQueue {
             heap: BinaryHeap::new(),
-            pending: HashSet::new(),
-            cancelled: HashSet::new(),
+            generations: Vec::new(),
+            free: Vec::new(),
+            live: 0,
             next_seq: 0,
         }
     }
@@ -100,31 +123,53 @@ impl<T> EventQueue<T> {
         assert!(!time.is_nan(), "cannot schedule an event at NaN");
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Entry { time, seq, payload });
-        self.pending.insert(seq);
-        EventKey(seq)
+        let slot = match self.free.pop() {
+            Some(s) => s,
+            None => {
+                self.generations.push(0);
+                (self.generations.len() - 1) as u32
+            }
+        };
+        let generation = self.generations[slot as usize];
+        self.heap.push(Entry {
+            time,
+            seq,
+            slot,
+            generation,
+            payload,
+        });
+        self.live += 1;
+        EventKey { slot, generation }
     }
 
     /// Cancels a previously scheduled event.
     ///
     /// Returns `true` if the event was still pending. Cancelling twice, or
     /// cancelling an already-popped event, returns `false` and is harmless.
+    /// The entry stays in the heap as a stale tombstone until it surfaces
+    /// or a compaction sweep removes it.
     pub fn cancel(&mut self, key: EventKey) -> bool {
-        if self.pending.remove(&key.0) {
-            self.cancelled.insert(key.0);
-            true
-        } else {
-            false
+        match self.generations.get_mut(key.slot as usize) {
+            Some(g) if *g == key.generation => {
+                *g += 1;
+                self.free.push(key.slot);
+                self.live -= 1;
+                self.maybe_compact();
+                true
+            }
+            _ => false,
         }
     }
 
     /// Removes and returns the earliest live event as `(time, payload)`.
     pub fn pop(&mut self) -> Option<(f64, T)> {
         while let Some(entry) = self.heap.pop() {
-            if self.cancelled.remove(&entry.seq) {
-                continue;
+            if self.generations[entry.slot as usize] != entry.generation {
+                continue; // stale: cancelled after it was pushed
             }
-            self.pending.remove(&entry.seq);
+            self.generations[entry.slot as usize] += 1;
+            self.free.push(entry.slot);
+            self.live -= 1;
             return Some((entry.time, entry.payload));
         }
         None
@@ -132,35 +177,48 @@ impl<T> EventQueue<T> {
 
     /// Returns the time of the earliest live event without removing it.
     pub fn peek_time(&mut self) -> Option<f64> {
-        loop {
-            let seq = match self.heap.peek() {
-                Some(e) => e.seq,
-                None => return None,
-            };
-            if self.cancelled.contains(&seq) {
-                let e = self.heap.pop().expect("peeked entry exists");
-                self.cancelled.remove(&e.seq);
-                continue;
+        while let Some(e) = self.heap.peek() {
+            if self.generations[e.slot as usize] == e.generation {
+                return Some(e.time);
             }
-            return self.heap.peek().map(|e| e.time);
+            self.heap.pop();
         }
+        None
     }
 
     /// Number of live (not-yet-cancelled) events.
     pub fn len(&self) -> usize {
-        self.pending.len()
+        self.live
     }
 
     /// Whether there are no live events.
     pub fn is_empty(&self) -> bool {
-        self.pending.is_empty()
+        self.live == 0
     }
 
-    /// Drops every pending event.
+    /// Drops every pending event. Slot generations are bumped, not reset,
+    /// so keys issued before the clear stay invalid.
     pub fn clear(&mut self) {
         self.heap.clear();
-        self.pending.clear();
-        self.cancelled.clear();
+        self.free.clear();
+        for (slot, g) in self.generations.iter_mut().enumerate() {
+            *g += 1;
+            self.free.push(slot as u32);
+        }
+        self.live = 0;
+    }
+
+    /// Sweeps stale entries out of the heap once they outnumber the live
+    /// ones. Rebuilding costs O(n) and halves the heap, so the amortized
+    /// cost per cancellation is O(1); pop order is unaffected because it
+    /// is fully determined by the `(time, seq)` comparator, not by the
+    /// heap's internal layout.
+    fn maybe_compact(&mut self) {
+        if self.heap.len() >= COMPACT_MIN_LEN && self.heap.len() > 2 * self.live {
+            let mut entries = std::mem::take(&mut self.heap).into_vec();
+            entries.retain(|e| self.generations[e.slot as usize] == e.generation);
+            self.heap = BinaryHeap::from(entries);
+        }
     }
 }
 
@@ -213,7 +271,10 @@ mod tests {
     #[test]
     fn cancel_unknown_key_is_false() {
         let mut q: EventQueue<()> = EventQueue::new();
-        assert!(!q.cancel(EventKey(12345)));
+        assert!(!q.cancel(EventKey {
+            slot: 12345,
+            generation: 0,
+        }));
     }
 
     #[test]
@@ -237,6 +298,19 @@ mod tests {
     }
 
     #[test]
+    fn keys_from_before_clear_are_invalid() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(1.0, 1);
+        q.clear();
+        assert!(!q.cancel(a), "pre-clear key must not cancel anything");
+        // Reusing the same slot after clear must hand out a fresh key.
+        let b = q.schedule(3.0, 3);
+        assert!(!q.cancel(a));
+        assert_eq!(q.pop(), Some((3.0, 3)));
+        assert!(!q.cancel(b), "event already delivered");
+    }
+
+    #[test]
     #[should_panic]
     fn nan_time_panics() {
         let mut q = EventQueue::new();
@@ -252,6 +326,45 @@ mod tests {
         assert!(!q.cancel(a), "event already delivered");
         assert_eq!(q.len(), 1);
         assert_eq!(q.pop(), Some((2.0, "b")));
+    }
+
+    #[test]
+    fn slot_reuse_does_not_resurrect_old_keys() {
+        let mut q = EventQueue::new();
+        let mut old_keys = Vec::new();
+        // Repeatedly schedule and cancel so slots are recycled many times.
+        for round in 0..50 {
+            let k = q.schedule(round as f64, round);
+            for &old in &old_keys {
+                assert!(!q.cancel(old), "stale key cancelled a live event");
+            }
+            assert!(q.cancel(k));
+            old_keys.push(k);
+        }
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn compaction_preserves_order_under_cancel_storm() {
+        // Push far more cancelled than live entries so compaction kicks
+        // in, then verify the live ones still pop in (time, FIFO) order.
+        let mut q = EventQueue::new();
+        let mut live = Vec::new();
+        for i in 0..500u32 {
+            let key = q.schedule(f64::from(i % 10), i);
+            if i % 7 == 0 {
+                live.push((f64::from(i % 10), i));
+            } else {
+                q.cancel(key);
+            }
+        }
+        assert_eq!(q.len(), live.len());
+        live.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for expect in live {
+            assert_eq!(q.pop(), Some(expect));
+        }
+        assert_eq!(q.pop(), None);
     }
 
     #[test]

@@ -10,8 +10,10 @@
 //!   preserved. With `--check`, afterwards applies the [`benchcheck`]
 //!   rules — >15% timing regression against the `BENCH_san.json`
 //!   baseline, or a rare-event `event_reduction` below 10× — and exits
-//!   2 when any rule fails. See `EXPERIMENTS.md` § "Hot-path benchmark"
-//!   and § "Rare-event benchmark".
+//!   2 when any rule fails. `--only BENCH` restricts the run (and the
+//!   check) to one tracked bench, so CI can gate them at different
+//!   severities. See `EXPERIMENTS.md` § "Hot-path benchmark" and
+//!   § "Rare-event benchmark".
 
 mod benchcheck;
 mod lint;
@@ -25,11 +27,11 @@ fn main() -> ExitCode {
         Some("lint") => run_lint(),
         Some("bench-json") => run_bench_json(&args[1..]),
         Some(other) => {
-            eprintln!("unknown command '{other}'\nusage: cargo xtask lint|bench-json [--check]");
+            eprintln!("unknown command '{other}'\nusage: cargo xtask lint|bench-json [--check] [--only BENCH]");
             ExitCode::from(2)
         }
         None => {
-            eprintln!("usage: cargo xtask lint|bench-json [--check]");
+            eprintln!("usage: cargo xtask lint|bench-json [--check] [--only BENCH]");
             ExitCode::from(2)
         }
     }
@@ -72,15 +74,43 @@ const TRACKED_BENCHES: &[(&str, &str, CheckFn)] = &[
 ];
 
 fn run_bench_json(args: &[String]) -> ExitCode {
-    let check = match args {
-        [] => false,
-        [flag] if flag == "--check" => true,
-        _ => {
-            eprintln!("usage: cargo xtask bench-json [--check]");
-            return ExitCode::from(2);
+    let mut check = false;
+    let mut only: Option<&str> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--check" => check = true,
+            "--only" => match it.next() {
+                Some(name) if TRACKED_BENCHES.iter().any(|(b, _, _)| b == name) => {
+                    only = Some(name);
+                }
+                Some(name) => {
+                    eprintln!(
+                        "xtask bench-json: unknown bench '{name}' (tracked: {})",
+                        TRACKED_BENCHES
+                            .iter()
+                            .map(|(b, _, _)| *b)
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    );
+                    return ExitCode::from(2);
+                }
+                None => {
+                    eprintln!("xtask bench-json: --only needs a bench name");
+                    return ExitCode::from(2);
+                }
+            },
+            _ => {
+                eprintln!("usage: cargo xtask bench-json [--check] [--only BENCH]");
+                return ExitCode::from(2);
+            }
         }
-    };
+    }
+    let selected = |bench: &str| only.is_none_or(|o| o == bench);
     for (bench, json, _) in TRACKED_BENCHES {
+        if !selected(bench) {
+            continue;
+        }
         let status = std::process::Command::new(env!("CARGO"))
             .current_dir(workspace_root())
             .args([
@@ -110,7 +140,10 @@ fn run_bench_json(args: &[String]) -> ExitCode {
         return ExitCode::SUCCESS;
     }
     let mut failed = false;
-    for (_, json, rule) in TRACKED_BENCHES {
+    for (bench, json, rule) in TRACKED_BENCHES {
+        if !selected(bench) {
+            continue;
+        }
         let path = workspace_root().join(json);
         let text = match std::fs::read_to_string(&path) {
             Ok(t) => t,
