@@ -28,6 +28,7 @@
 pub mod linalg;
 pub mod probe;
 pub mod ratio;
+pub mod reach;
 
 use itua_san::marking::{Marking, PlaceId};
 use itua_san::model::{ActivityId, San};

@@ -19,8 +19,16 @@ commands:
                                --reps N, --seed S, --csv, --threads N, --batch N,
                                --max-states N, --results DIR, --no-resume,
                                --check, --no-check, --split-levels SPEC, --quiet)
-  check <scenario|file.scn>    structural model check only (--backend selects
-                               which points are analyzed); exit 2 on hard findings
+  check <scenario|file.scn>    model check only, no simulation (--backend selects
+                               which points are analyzed; --backend analytic picks
+                               a study's micro variant); exit 2 on hard findings.
+                               --exhaustive proves the conservation families,
+                               exact place bounds, and .scn assert claims over
+                               every reachable marking (symmetry-reduced, budget
+                               --max-states N, default 2^20), cross-validating
+                               the explorer against the analytic state-space
+                               builder and the unreduced oracle; --json emits
+                               machine-readable findings
   help                         show this message
 
 A scenario argument is a built-in name (see `itua list`) or a path to a
@@ -50,7 +58,7 @@ fn main() {
             });
             let cli = FigureCli::parse(args);
             let code = if cmd == "check" {
-                driver::check_scenario(scenario.as_ref(), cli.backend)
+                driver::check_scenario(scenario.as_ref(), &cli)
             } else {
                 driver::run_scenario(scenario.as_ref(), &cli)
             };

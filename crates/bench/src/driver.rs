@@ -3,10 +3,15 @@
 //! flags, optionally pre-flight the structural analyzer, run, print.
 
 use crate::{check_models, FigureCli};
-use itua_runner::backend::BackendKind;
+use itua_analyzer::reach::{self, ReachConfig};
+use itua_analyzer::{AnalysisConfig, Finding, Severity};
+use itua_core::{analysis, san_model};
+use itua_scenario::assert::MarkingAssert;
 use itua_scenario::file::FileScenario;
 use itua_scenario::{registry, Scenario};
+use itua_studies::sweep::SweepPoint;
 use itua_studies::table;
+use std::fmt::Write as _;
 use std::path::Path;
 
 /// Resolves a scenario argument: a built-in name from the registry, or
@@ -71,11 +76,36 @@ pub fn run_scenario(scenario: &dyn Scenario, cli: &FigureCli) -> i32 {
     }
 }
 
-/// Runs the full structural analyzer over every distinct model of the
-/// scenario's sweep (for `backend`). Returns the process exit code:
-/// 0 when clean, 2 on hard findings.
-pub fn check_scenario(scenario: &dyn Scenario, backend: BackendKind) -> i32 {
-    if check_models(&scenario.points(backend)) {
+/// Default exhaustive-exploration budget when `--max-states` is absent
+/// (quotient states; matches [`ReachConfig::default`]).
+const DEFAULT_CHECK_MAX_STATES: usize = 1 << 20;
+
+/// Runs the model check over every distinct model of the scenario's
+/// sweep (for `--backend`; the analytic backend selects a study's micro
+/// variant, which is the exhaustive checker's natural target). Returns
+/// the process exit code: 0 when clean, 2 on hard findings, budget
+/// exhaustion, or a cross-validation mismatch.
+///
+/// Two modes:
+///
+/// * structural (default): [`check_models`]'s closure-probing analyzer;
+/// * `--exhaustive`: explore the full reachability graph under the
+///   model's domain/host/replica symmetry and *prove* every
+///   conservation family, exact place bounds, livelock freedom, and the
+///   scenario's `assert` claims over every reachable marking — then
+///   cross-validate the explorer's tangible projection against
+///   `statespace.rs` (state count and transition multiset must match
+///   bit for bit) and the quotient against the unreduced oracle.
+///
+/// `--json` switches either mode's report to one machine-readable JSON
+/// object on stdout.
+pub fn check_scenario(scenario: &dyn Scenario, cli: &FigureCli) -> i32 {
+    let points = scenario.points(cli.backend);
+    if cli.exhaustive {
+        exhaustive_check_points(scenario, &points, cli)
+    } else if cli.json {
+        structural_check_json(scenario, &points)
+    } else if check_models(&points) {
         eprintln!("model check failed: hard findings above");
         2
     } else {
@@ -85,6 +115,308 @@ pub fn check_scenario(scenario: &dyn Scenario, backend: BackendKind) -> i32 {
         );
         0
     }
+}
+
+/// The distinct parameter sets among `points`, keeping first-seen order
+/// and one representative point for labeling.
+fn distinct_models(points: &[SweepPoint]) -> Vec<&SweepPoint> {
+    let mut seen: Vec<String> = Vec::new();
+    let mut out = Vec::new();
+    for point in points {
+        let key = format!("{:?}", point.params);
+        if !seen.contains(&key) {
+            seen.push(key);
+            out.push(point);
+        }
+    }
+    out
+}
+
+/// Escapes a string for inclusion in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn findings_json(findings: &[Finding]) -> String {
+    let items: Vec<String> = findings
+        .iter()
+        .map(|f| {
+            format!(
+                "{{\"id\":\"{}\",\"severity\":\"{}\",\"subject\":\"{}\",\"detail\":\"{}\"}}",
+                json_escape(&f.id),
+                match f.severity {
+                    Severity::Hard => "hard",
+                    Severity::Soft => "soft",
+                },
+                json_escape(&f.subject),
+                json_escape(&f.detail)
+            )
+        })
+        .collect();
+    format!("[{}]", items.join(","))
+}
+
+/// `--json` without `--exhaustive`: the structural analyzer's findings
+/// per distinct model, as one JSON object.
+fn structural_check_json(scenario: &dyn Scenario, points: &[SweepPoint]) -> i32 {
+    let cfg = AnalysisConfig::default();
+    let mut models = Vec::new();
+    let mut any_hard = false;
+    for point in distinct_models(points) {
+        let (findings, error) = match san_model::build(&point.params) {
+            Ok(model) => (analysis::full_report(&model, &cfg).findings, String::new()),
+            Err(e) => {
+                any_hard = true;
+                (Vec::new(), e.to_string())
+            }
+        };
+        any_hard |= findings.iter().any(|f| f.severity == Severity::Hard);
+        let mut obj = format!(
+            "{{\"series\":\"{}\",\"x\":{},\"findings\":{}",
+            json_escape(&point.series),
+            point.x,
+            findings_json(&findings)
+        );
+        if !error.is_empty() {
+            let _ = write!(obj, ",\"error\":\"{}\"", json_escape(&error));
+        }
+        obj.push('}');
+        models.push(obj);
+    }
+    println!(
+        "{{\"scenario\":\"{}\",\"mode\":\"structural\",\"models\":[{}],\"hard\":{}}}",
+        json_escape(scenario.name()),
+        models.join(","),
+        any_hard
+    );
+    i32::from(any_hard) * 2
+}
+
+/// A successful exhaustive run: the proof report, the quotient-vs-full
+/// oracle, the statespace cross-validation, and one `(assert,
+/// violation)` pair per scenario claim (`None` = proved).
+type ExhaustiveProof = (
+    analysis::ExhaustiveReport,
+    analysis::OracleAgreement,
+    analysis::CrossValidation,
+    Vec<(MarkingAssert, Option<String>)>,
+);
+
+/// One model's exhaustive-check outcome, for rendering.
+struct ExhaustiveOutcome {
+    series: String,
+    x: f64,
+    /// `Err`: a budget/build/validation failure (always exit 2).
+    result: Result<ExhaustiveProof, String>,
+}
+
+/// Evaluates the scenario's `assert` claims over every state of the
+/// *unreduced* reachability graph (an arbitrary place glob need not be
+/// closed under the symmetry group, so quotient representatives would
+/// not be sound witnesses). Returns one `(assert, violation)` pair per
+/// claim; `None` means proved.
+fn prove_asserts(
+    san: &std::sync::Arc<itua_san::model::San>,
+    asserts: &[MarkingAssert],
+    max_states: usize,
+) -> Result<Vec<(MarkingAssert, Option<String>)>, String> {
+    if asserts.is_empty() {
+        return Ok(Vec::new());
+    }
+    let matched: Vec<Vec<usize>> = asserts
+        .iter()
+        .map(|a| {
+            (0..san.num_places())
+                .filter(|&p| a.matches(san.place_name(itua_san::marking::PlaceId::from_index(p))))
+                .collect()
+        })
+        .collect();
+    for (a, places) in asserts.iter().zip(&matched) {
+        if places.is_empty() {
+            return Err(format!(
+                "assert '{a}': the place glob matches no place of this model"
+            ));
+        }
+    }
+    let graph = reach::explore(
+        san,
+        &ReachConfig::with_max_states(max_states),
+        None,
+        |_, _, _, _, _| {},
+    )
+    .map_err(|e| format!("assert proof: {e}"))?;
+    let mut violations: Vec<Option<String>> = vec![None; asserts.len()];
+    for state in &graph.states {
+        for (i, (a, places)) in asserts.iter().zip(&matched).enumerate() {
+            if violations[i].is_some() {
+                continue;
+            }
+            let values: Vec<i32> = places.iter().map(|&p| state[p]).collect();
+            if !a.holds(&values) {
+                violations[i] = Some(format!(
+                    "violated in a reachable marking: matched tokens {values:?}"
+                ));
+            }
+        }
+    }
+    Ok(asserts.iter().cloned().zip(violations).collect())
+}
+
+/// `--exhaustive`: prove properties over the full reachable space of
+/// every distinct model, cross-validating the explorer both ways.
+fn exhaustive_check_points(scenario: &dyn Scenario, points: &[SweepPoint], cli: &FigureCli) -> i32 {
+    let max_states = cli.check_max_states.unwrap_or(DEFAULT_CHECK_MAX_STATES);
+    let asserts = scenario.asserts();
+    let mut outcomes = Vec::new();
+    for point in distinct_models(points) {
+        let result = san_model::build(&point.params)
+            .map_err(|e| format!("model construction failed: {e}"))
+            .and_then(|model| {
+                let report =
+                    analysis::exhaustive_check(&model, max_states).map_err(|e| e.to_string())?;
+                let oracle = analysis::quotient_oracle(&model, max_states)?;
+                let cross = analysis::cross_validate(&model, max_states)?;
+                let proved = prove_asserts(&model.san, &asserts, max_states)?;
+                Ok((report, oracle, cross, proved))
+            });
+        outcomes.push(ExhaustiveOutcome {
+            series: point.series.clone(),
+            x: point.x,
+            result,
+        });
+    }
+    let any_hard = outcomes.iter().any(|o| match &o.result {
+        Ok((report, _, _, proved)) => {
+            report.has_hard_findings() || proved.iter().any(|(_, v)| v.is_some())
+        }
+        Err(_) => true,
+    });
+    if cli.json {
+        print_exhaustive_json(scenario, &outcomes, max_states, any_hard);
+    } else {
+        print_exhaustive_text(scenario, &outcomes, any_hard);
+    }
+    i32::from(any_hard) * 2
+}
+
+fn print_exhaustive_text(scenario: &dyn Scenario, outcomes: &[ExhaustiveOutcome], hard: bool) {
+    for o in outcomes {
+        println!("--- exhaustive check: {} (x = {}) ---", o.series, o.x);
+        match &o.result {
+            Ok((report, oracle, cross, proved)) => {
+                print!("{}", report.render());
+                println!(
+                    "oracle: quotient {} states vs unreduced {} — orbit sums agree",
+                    oracle.quotient_states, oracle.full_states
+                );
+                println!(
+                    "cross-validation: tangible projection matches statespace.rs \
+                     ({} states, {} transitions, bit-identical rates)",
+                    cross.tangible_states, cross.transitions
+                );
+                for (a, violation) in proved {
+                    match violation {
+                        None => println!("assert {a}: proved over every reachable marking"),
+                        Some(v) => println!("assert {a}: FAILED — {v}"),
+                    }
+                }
+            }
+            Err(e) => println!("FAILED: {e}"),
+        }
+    }
+    if hard {
+        eprintln!("exhaustive model check failed");
+    } else {
+        println!(
+            "scenario '{}' passed the exhaustive model check",
+            scenario.name()
+        );
+    }
+}
+
+fn print_exhaustive_json(
+    scenario: &dyn Scenario,
+    outcomes: &[ExhaustiveOutcome],
+    max_states: usize,
+    hard: bool,
+) {
+    let models: Vec<String> = outcomes
+        .iter()
+        .map(|o| {
+            let mut obj = format!("{{\"series\":\"{}\",\"x\":{}", json_escape(&o.series), o.x);
+            match &o.result {
+                Ok((report, oracle, cross, proved)) => {
+                    let asserts: Vec<String> = proved
+                        .iter()
+                        .map(|(a, v)| match v {
+                            None => format!(
+                                "{{\"assert\":\"{}\",\"proved\":true}}",
+                                json_escape(&a.to_string())
+                            ),
+                            Some(v) => format!(
+                                "{{\"assert\":\"{}\",\"proved\":false,\"detail\":\"{}\"}}",
+                                json_escape(&a.to_string()),
+                                json_escape(v)
+                            ),
+                        })
+                        .collect();
+                    let _ = write!(
+                        obj,
+                        ",\"quotient_states\":{},\"quotient_tangible\":{},\
+                         \"full_states\":{},\"full_tangible\":{},\
+                         \"transitions\":{},\"deadlocks\":{},\
+                         \"families_proved\":{},\
+                         \"max_tokens\":{{\"place\":\"{}\",\"count\":{}}},\
+                         \"oracle\":{{\"quotient_states\":{},\"full_states\":{}}},\
+                         \"cross_validation\":{{\"tangible_states\":{},\"transitions\":{}}},\
+                         \"asserts\":[{}],\"findings\":{}",
+                        report.states,
+                        report.tangible,
+                        report.full_states,
+                        report.full_tangible,
+                        report.transitions,
+                        report.deadlocks,
+                        report.families_proved,
+                        json_escape(&report.max_tokens_place),
+                        report.max_tokens,
+                        oracle.quotient_states,
+                        oracle.full_states,
+                        cross.tangible_states,
+                        cross.transitions,
+                        asserts.join(","),
+                        findings_json(&report.findings)
+                    );
+                }
+                Err(e) => {
+                    let _ = write!(obj, ",\"error\":\"{}\"", json_escape(e));
+                }
+            }
+            obj.push('}');
+            obj
+        })
+        .collect();
+    println!(
+        "{{\"scenario\":\"{}\",\"mode\":\"exhaustive\",\"max_states\":{},\"models\":[{}],\
+         \"hard\":{}}}",
+        json_escape(scenario.name()),
+        max_states,
+        models.join(","),
+        hard
+    );
 }
 
 /// Entry point of the legacy figure binaries: each is now a shim that
@@ -99,6 +431,7 @@ pub fn shim_main(name: &str) -> ! {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use itua_runner::backend::BackendKind;
 
     /// `Box<dyn Scenario>` has no `Debug`, so `unwrap_err` can't be used.
     fn expect_err(r: Result<Box<dyn Scenario>, String>) -> String {
@@ -140,5 +473,66 @@ mod tests {
 
         let err = expect_err(resolve(dir.join("absent.scn").to_str().unwrap()));
         assert!(err.contains("cannot read"));
+    }
+
+    fn micro_scn(dir: &std::path::Path, name: &str, extra: &str) -> Box<dyn Scenario> {
+        std::fs::create_dir_all(dir).unwrap();
+        let path = dir.join(name);
+        std::fs::write(
+            &path,
+            format!(
+                "domains = 1\nhosts-per-domain = 2\napps = 1\nreps-per-app = 2\n\
+                 sweep = spread-rate-domain\nvalues = 1\nmeasures = unavailability\n{extra}"
+            ),
+        )
+        .unwrap();
+        resolve(path.to_str().unwrap()).unwrap()
+    }
+
+    #[test]
+    fn exhaustive_check_proves_a_micro_scn_with_asserts() {
+        let dir = std::env::temp_dir().join("itua-driver-exhaustive");
+        let scenario = micro_scn(
+            &dir,
+            "micro.scn",
+            "assert = max(*/host_corrupt) <= 1\n\
+             assert = sum(itua/apps[0]/*/has_started) <= 2\n",
+        );
+        let mut cli = FigureCli::parse(Vec::<String>::new());
+        cli.exhaustive = true;
+        cli.check_max_states = Some(200_000);
+        assert_eq!(check_scenario(scenario.as_ref(), &cli), 0);
+        cli.json = true;
+        assert_eq!(check_scenario(scenario.as_ref(), &cli), 0);
+    }
+
+    #[test]
+    fn exhaustive_check_rejects_budget_bad_globs_and_false_claims() {
+        let dir = std::env::temp_dir().join("itua-driver-exhaustive");
+        let mut cli = FigureCli::parse(Vec::<String>::new());
+        cli.exhaustive = true;
+        cli.check_max_states = Some(200_000);
+
+        // A glob matching no place is a hard refusal, not a vacuous pass.
+        let bad_glob = micro_scn(&dir, "badglob.scn", "assert = sum(nope/*) <= 1\n");
+        assert_eq!(check_scenario(bad_glob.as_ref(), &cli), 2);
+
+        // A claim the reachable space violates fails the check.
+        let false_claim = micro_scn(&dir, "false.scn", "assert = max(*/host_corrupt) < 1\n");
+        assert_eq!(check_scenario(false_claim.as_ref(), &cli), 2);
+
+        // An exhausted state budget is a structured failure (exit 2).
+        let plain = micro_scn(&dir, "plain.scn", "");
+        cli.check_max_states = Some(3);
+        assert_eq!(check_scenario(plain.as_ref(), &cli), 2);
+    }
+
+    #[test]
+    fn structural_json_check_emits_exit_zero_on_clean_micro() {
+        let dir = std::env::temp_dir().join("itua-driver-exhaustive");
+        let scenario = micro_scn(&dir, "structural.scn", "");
+        let mut cli = FigureCli::parse(Vec::<String>::new());
+        cli.json = true;
+        assert_eq!(check_scenario(scenario.as_ref(), &cli), 0);
     }
 }

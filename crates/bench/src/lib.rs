@@ -32,8 +32,10 @@ use std::path::PathBuf;
 /// * `--batch N` — replications per batched backend call (default 32;
 ///   purely an amortisation knob, results are identical for every
 ///   choice),
-/// * `--max-states N` — analytic backend only: bound on the tangible
-///   state space before a configuration is rejected (default 100000),
+/// * `--max-states N` — state budget: for the analytic backend, the
+///   bound on the tangible state space before a configuration is
+///   rejected (default 100000); for `itua check --exhaustive`, the
+///   exploration budget in quotient states (default 2^20),
 /// * `--results DIR` — result-store directory (default `results/`),
 /// * `--no-resume` — disable the result store: re-simulate every point
 ///   and write no results file,
@@ -42,6 +44,13 @@ use std::path::PathBuf;
 ///   hard finding surfaces (see [`check_models`]),
 /// * `--no-check` — skip even the quick pre-simulation model check that
 ///   `run_measures` performs by default,
+/// * `--exhaustive` — `itua check` only: explore the full reachability
+///   graph (quotiented by the model's domain/host/replica symmetry) and
+///   *prove* the conservation families, exact place bounds, and `.scn`
+///   assertions over every reachable marking, cross-validating the
+///   explorer against the analytic state-space builder and the
+///   unreduced oracle (see [`driver::check_scenario`]),
+/// * `--json` — `itua check` only: machine-readable findings on stdout,
 /// * `--split-levels SPEC` — run every point through RESTART importance
 ///   splitting on the corrupt-domain-count level. `SPEC` is
 ///   comma-separated `<threshold>x<factor>` pairs with strictly
@@ -73,6 +82,15 @@ pub struct FigureCli {
     pub check: bool,
     /// Whether `--no-check` disabled the default quick model check.
     pub no_check: bool,
+    /// Whether `itua check --exhaustive` requested the exhaustive
+    /// reachability checker instead of the structural probe.
+    pub exhaustive: bool,
+    /// Whether `itua check --json` requested machine-readable findings.
+    pub json: bool,
+    /// Explicit `--max-states` value, when given; the exhaustive checker
+    /// uses it as its state budget (default 2^20 quotient states), the
+    /// analytic backend as its tangible-state bound (default 100000).
+    pub check_max_states: Option<usize>,
     /// RESTART splitting thresholds (`--split-levels`); `None` runs the
     /// plain replication loop.
     pub split: Option<SplitSpec>,
@@ -98,6 +116,9 @@ impl FigureCli {
             results_dir: Some(PathBuf::from("results")),
             check: false,
             no_check: false,
+            exhaustive: false,
+            json: false,
+            check_max_states: None,
             split: None,
             quiet: false,
         };
@@ -123,11 +144,13 @@ impl FigureCli {
                         .unwrap_or_else(|| panic!("--seed needs an integer"));
                 }
                 "--max-states" => {
-                    cli.backend_opts.analytic_max_states = it
+                    let n = it
                         .next()
                         .and_then(|v| v.parse().ok())
                         .filter(|&n| n > 0)
                         .unwrap_or_else(|| panic!("--max-states needs a positive integer"));
+                    cli.backend_opts.analytic_max_states = n;
+                    cli.check_max_states = Some(n);
                 }
                 "--csv" => cli.csv = true,
                 "--threads" => {
@@ -151,6 +174,8 @@ impl FigureCli {
                 "--no-resume" => cli.results_dir = None,
                 "--check" => cli.check = true,
                 "--no-check" => cli.no_check = true,
+                "--exhaustive" => cli.exhaustive = true,
+                "--json" => cli.json = true,
                 "--split-levels" => {
                     let spec = it
                         .next()
@@ -164,7 +189,7 @@ impl FigureCli {
                     "unknown argument '{other}' (try --backend des|san|analytic, \
                      --reps N, --seed S, --csv, --max-states N, --threads N, \
                      --batch N, --results DIR, --no-resume, --check, --no-check, \
-                     --split-levels SPEC, --quiet)"
+                     --exhaustive, --json, --split-levels SPEC, --quiet)"
                 ),
             }
         }
@@ -309,6 +334,25 @@ mod tests {
         let opts = cli.opts(progress.as_ref());
         assert_eq!(opts.backend, BackendKind::Analytic);
         assert_eq!(opts.backend_opts.analytic_max_states, 5000);
+    }
+
+    #[test]
+    fn parses_exhaustive_json_and_check_budget() {
+        let cli = FigureCli::parse(
+            ["--exhaustive", "--json", "--max-states", "50000"]
+                .into_iter()
+                .map(String::from),
+        );
+        assert!(cli.exhaustive);
+        assert!(cli.json);
+        assert_eq!(cli.check_max_states, Some(50000));
+        assert_eq!(cli.backend_opts.analytic_max_states, 50000);
+        // Absent --max-states leaves the exhaustive budget at its own
+        // default rather than inheriting the analytic bound.
+        let cli = FigureCli::parse(Vec::<String>::new());
+        assert!(!cli.exhaustive);
+        assert!(!cli.json);
+        assert_eq!(cli.check_max_states, None);
     }
 
     #[test]

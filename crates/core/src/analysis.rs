@@ -53,13 +53,18 @@
 //! it surfaces as a soft finding with a concrete counterexample firing).
 
 use crate::san_model::ItuaSan;
+use itua_analyzer::reach::{
+    self, ReachConfig, ReachError, SymmetryGroup, SymmetrySpec, SymmetryUnit,
+};
 use itua_analyzer::{
-    analyze, AllowEntry, AnalysisConfig, AnalysisReport, AnalysisSpec, ExpectedInvariant,
-    FiringLaw, KnownIssue,
+    analyze, AllowEntry, AnalysisConfig, AnalysisReport, AnalysisSpec, ExpectedInvariant, Finding,
+    FiringLaw, KnownIssue, Severity,
 };
 use itua_san::marking::PlaceId;
 use itua_san::model::San;
+use itua_san::statespace::StateSpace;
 use std::collections::BTreeMap;
+use std::fmt::Write as _;
 use std::sync::Arc;
 
 /// Looks up a place that the ITUA builder is known to create.
@@ -330,6 +335,483 @@ pub fn quick_check(model: &ItuaSan) -> Result<(), String> {
     }
 }
 
+// ---------------------------------------------------------------------
+// Exhaustive checking (reach-based proofs over the full reachable set)
+// ---------------------------------------------------------------------
+
+/// All place ids whose name starts with `prefix`, as raw indices in
+/// interning order. The flattening stamps identical templates in
+/// identical order, so corresponding copies yield congruent lists.
+fn places_under(san: &San, prefix: &str) -> Vec<usize> {
+    san.place_ids()
+        .filter(|&p| san.place_name(p).starts_with(prefix))
+        .map(itua_san::PlaceId::index)
+        .collect()
+}
+
+/// The ITUA permutation symmetry as a [`SymmetrySpec`]: domains are
+/// interchangeable (each carrying its hosts as interchangeable blocks),
+/// and replica slots within an application are interchangeable. The
+/// composition guarantees equivariance — identical templates per copy,
+/// communicating only through shared places the permutations fix — and
+/// the initial marking is symmetric (placement happens inside the initial
+/// vanishing cascade), so every canonical representative is itself a
+/// reachable marking.
+///
+/// Applications are *not* permuted: their identity is baked into global
+/// counter places and per-host `has_app_a` flags, which an application
+/// swap would have to permute inside host blocks.
+///
+/// # Panics
+///
+/// Panics if the model's place inventory does not have the congruent
+/// per-copy shape the builder guarantees.
+pub fn symmetry_spec(model: &ItuaSan) -> SymmetrySpec {
+    let san = &model.san;
+    let p = &model.params;
+
+    let domain_units = (0..p.num_domains)
+        .map(|d| SymmetryUnit {
+            shared: places_under(san, &format!("itua/domains[{d}]/hosts/")),
+            blocks: (0..p.hosts_per_domain)
+                .map(|h| places_under(san, &format!("itua/domains[{d}]/hosts[{h}]/host/")))
+                .collect(),
+        })
+        .collect();
+    let mut groups = vec![SymmetryGroup {
+        units: domain_units,
+    }];
+    for a in 0..p.num_apps {
+        groups.push(SymmetryGroup {
+            units: vec![SymmetryUnit {
+                shared: vec![],
+                blocks: (0..p.reps_per_app)
+                    .map(|r| {
+                        places_under(san, &format!("itua/apps[{a}]/app/replicas[{r}]/replica/"))
+                    })
+                    .collect(),
+            }],
+        });
+    }
+    SymmetrySpec::new(san.num_places(), groups).expect("ITUA symmetry groups are congruent")
+}
+
+/// The result of an exhaustive check: whole-state-space proofs instead of
+/// probe samples.
+#[derive(Debug)]
+pub struct ExhaustiveReport {
+    /// Model name.
+    pub model_name: String,
+    /// Quotient states explored (tangible + vanishing).
+    pub states: usize,
+    /// Tangible quotient states.
+    pub tangible: usize,
+    /// Full (unreduced) state count, recovered as the sum of orbit sizes.
+    pub full_states: u128,
+    /// Full tangible state count by orbit sum.
+    pub full_tangible: u128,
+    /// Firings explored on the quotient graph.
+    pub transitions: usize,
+    /// Absorbing tangible states (no enabled timed activity).
+    pub deadlocks: usize,
+    /// Conservation families proved over every reachable marking.
+    pub families_proved: usize,
+    /// Largest token count observed in any place at any reachable
+    /// marking (an exact bound, not a structural one).
+    pub max_tokens: i32,
+    /// The place attaining `max_tokens`.
+    pub max_tokens_place: String,
+    /// Findings, hard first (allowlist applied, notes appended).
+    pub findings: Vec<Finding>,
+}
+
+impl ExhaustiveReport {
+    /// Whether any hard finding is present.
+    pub fn has_hard_findings(&self) -> bool {
+        self.findings.iter().any(|f| f.severity == Severity::Hard)
+    }
+
+    /// Renders the report for terminal output.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "model '{}': exhaustive quotient {} states ({} tangible), full space {} states ({} tangible)",
+            self.model_name, self.states, self.tangible, self.full_states, self.full_tangible
+        );
+        let _ = writeln!(
+            out,
+            "explored {} firings; {} absorbing state(s)",
+            self.transitions, self.deadlocks
+        );
+        let _ = writeln!(
+            out,
+            "proved {} conservation families over every reachable marking",
+            self.families_proved
+        );
+        let _ = writeln!(
+            out,
+            "exact bounds: max {} token(s), in '{}'",
+            self.max_tokens, self.max_tokens_place
+        );
+        let hard = self
+            .findings
+            .iter()
+            .filter(|f| f.severity == Severity::Hard)
+            .count();
+        let _ = writeln!(
+            out,
+            "findings: {hard} hard, {} soft",
+            self.findings.len() - hard
+        );
+        for f in &self.findings {
+            let sev = match f.severity {
+                Severity::Hard => "HARD",
+                Severity::Soft => "soft",
+            };
+            let _ = writeln!(out, "  [{sev}] {}: {} — {}", f.id, f.subject, f.detail);
+        }
+        out
+    }
+}
+
+/// Exhaustively explores the symmetry quotient of the reachable graph and
+/// proves the ITUA spec over it: every conservation family at every
+/// reachable marking, every firing law at every firing, zero-time
+/// livelock freedom, plus dead-activity and absorbing-state detection.
+///
+/// # Errors
+///
+/// Propagates the explorer's structured [`ReachError`] (state/work budget,
+/// bad rates or weights).
+pub fn exhaustive_check(
+    model: &ItuaSan,
+    max_states: usize,
+) -> Result<ExhaustiveReport, ReachError> {
+    let san = &model.san;
+    let spec = analysis_spec(model);
+    let sym = symmetry_spec(model);
+    let cfg = ReachConfig::with_max_states(max_states);
+
+    let mut law_hits: Vec<Finding> = Vec::new();
+    let graph = reach::explore(san, &cfg, Some(&sym), |san, act, case, pre, delta| {
+        for law in &spec.laws {
+            if let Some(msg) = (law.check)(san, act, case, pre, delta) {
+                let subject = san.activity(act).name().to_owned();
+                if !law_hits
+                    .iter()
+                    .any(|f| f.id == law.id && f.subject == subject)
+                {
+                    law_hits.push(Finding {
+                        id: law.id.clone(),
+                        severity: Severity::Hard,
+                        subject,
+                        detail: format!("{}: {msg}", law.description),
+                    });
+                }
+            }
+        }
+    })?;
+
+    let mut findings: Vec<Finding> = Vec::new();
+    for inv in &spec.expected {
+        if let Some((i, got)) = graph.states.iter().enumerate().find_map(|(i, state)| {
+            let got: i64 = inv
+                .terms
+                .iter()
+                .map(|&(p, c)| c * i64::from(state[p.index()]))
+                .sum();
+            (got != inv.target).then_some((i, got))
+        }) {
+            findings.push(Finding {
+                id: inv.id.clone(),
+                severity: Severity::Hard,
+                subject: format!("reachable state #{i}"),
+                detail: format!(
+                    "'{}' is {got} at a reachable marking, expected {}",
+                    inv.description, inv.target
+                ),
+            });
+        }
+    }
+    findings.extend(law_hits);
+
+    if !graph.vanishing_cycle.is_empty() {
+        findings.push(Finding {
+            id: "vanishing-livelock".to_owned(),
+            severity: Severity::Hard,
+            subject: format!("{} vanishing state(s)", graph.vanishing_cycle.len()),
+            detail: "instantaneous activities form a reachable zero-time cycle".to_owned(),
+        });
+    }
+
+    let dead: Vec<&str> = san
+        .activities()
+        .filter(|(id, _)| !graph.fired[id.index()])
+        .map(|(_, a)| a.name())
+        .collect();
+    if !dead.is_empty() {
+        let shown: Vec<&str> = dead.iter().copied().take(5).collect();
+        findings.push(Finding {
+            id: "dead-activity-exhaustive".to_owned(),
+            severity: Severity::Soft,
+            subject: format!("{} activities", dead.len()),
+            detail: format!(
+                "never fire at any reachable marking: {}{}",
+                shown.join(", "),
+                if dead.len() > 5 { ", …" } else { "" }
+            ),
+        });
+    }
+    if !graph.deadlocks.is_empty() {
+        findings.push(Finding {
+            id: "absorbing-states".to_owned(),
+            severity: Severity::Soft,
+            subject: format!("{} tangible state(s)", graph.deadlocks.len()),
+            detail: "no timed activity enabled (expected: fully excluded/shut-down markings)"
+                .to_owned(),
+        });
+    }
+
+    for f in &mut findings {
+        if let Some(entry) = spec.allow.iter().find(|e| e.id == f.id) {
+            f.severity = Severity::Soft;
+            f.detail.push_str(&format!(" [allowed: {}]", entry.reason));
+        }
+    }
+    for note in &spec.notes {
+        findings.push(Finding {
+            id: note.id.clone(),
+            severity: Severity::Soft,
+            subject: note.subject.clone(),
+            detail: note.detail.clone(),
+        });
+    }
+    findings.sort_by_key(|f| match f.severity {
+        Severity::Hard => 0,
+        Severity::Soft => 1,
+    });
+
+    let (max_place, max_tokens) = graph
+        .place_max
+        .iter()
+        .enumerate()
+        .max_by_key(|&(_, &v)| v)
+        .map_or((0, 0), |(i, &v)| (i, v));
+    Ok(ExhaustiveReport {
+        model_name: san.name().to_owned(),
+        states: graph.num_states(),
+        tangible: graph.num_tangible(),
+        full_states: graph.orbit_total(),
+        full_tangible: graph.tangible_orbit_total(),
+        transitions: graph.num_transitions,
+        deadlocks: graph.deadlocks.len(),
+        families_proved: spec.expected.len(),
+        max_tokens,
+        max_tokens_place: san.place_name(PlaceId::from_index(max_place)).to_owned(),
+        findings,
+    })
+}
+
+/// Agreement between the quotient explorer and the unreduced oracle.
+#[derive(Debug, Clone, Copy)]
+pub struct OracleAgreement {
+    /// Quotient state count.
+    pub quotient_states: usize,
+    /// Full state count (explored without symmetry).
+    pub full_states: usize,
+}
+
+/// Runs the quotient explorer *and* the unreduced explorer and checks
+/// that orbit sizes sum to the full state count (total and tangible) and
+/// that the exact place bounds agree. Intended for micro configurations,
+/// where the full space fits the budget.
+///
+/// # Errors
+///
+/// Returns a description of the first disagreement, or of an explorer
+/// failure.
+pub fn quotient_oracle(model: &ItuaSan, max_states: usize) -> Result<OracleAgreement, String> {
+    let cfg = ReachConfig::with_max_states(max_states);
+    let sym = symmetry_spec(model);
+    let quot = reach::explore(&model.san, &cfg, Some(&sym), |_, _, _, _, _| {})
+        .map_err(|e| format!("quotient exploration failed: {e}"))?;
+    let full = reach::explore(&model.san, &cfg, None, |_, _, _, _, _| {})
+        .map_err(|e| format!("full exploration failed: {e}"))?;
+    if quot.orbit_total() != full.num_states() as u128 {
+        return Err(format!(
+            "orbit sizes sum to {} but the full explorer found {} states",
+            quot.orbit_total(),
+            full.num_states()
+        ));
+    }
+    if quot.tangible_orbit_total() != full.num_tangible() as u128 {
+        return Err(format!(
+            "tangible orbit sizes sum to {} but the full explorer found {} tangible states",
+            quot.tangible_orbit_total(),
+            full.num_tangible()
+        ));
+    }
+    if quot.place_max != full.place_max {
+        return Err("exact place bounds disagree between quotient and full explorer".to_owned());
+    }
+    Ok(OracleAgreement {
+        quotient_states: quot.num_states(),
+        full_states: full.num_states(),
+    })
+}
+
+/// Agreement between the checker's tangible projection and the analytic
+/// backend's state-space generator.
+#[derive(Debug, Clone, Copy)]
+pub struct CrossValidation {
+    /// Tangible state count (identical in both generators).
+    pub tangible_states: usize,
+    /// Transition count (identical multiset in both generators).
+    pub transitions: usize,
+}
+
+/// Cross-validates the two independently written explorers: the checker's
+/// tangible projection must match `itua_san::statespace` exactly — same
+/// state list in the same order, bit-equal transition rates, bit-equal
+/// initial distribution.
+///
+/// # Errors
+///
+/// Returns a description of the first mismatch, or of a generator
+/// failure.
+pub fn cross_validate(model: &ItuaSan, max_states: usize) -> Result<CrossValidation, String> {
+    let ours = reach::tangible_projection(&model.san, max_states)
+        .map_err(|e| format!("checker projection failed: {e}"))?;
+    let theirs = StateSpace::generate(&model.san, max_states)
+        .map_err(|e| format!("statespace generator failed: {e}"))?;
+    if ours.markings.len() != theirs.num_states() {
+        return Err(format!(
+            "state counts differ: checker {} vs statespace {}",
+            ours.markings.len(),
+            theirs.num_states()
+        ));
+    }
+    for (i, m) in ours.markings.iter().enumerate() {
+        if m.as_slice() != theirs.marking(i).values() {
+            return Err(format!("state #{i} differs between the generators"));
+        }
+    }
+    if ours.transitions.len() != theirs.transitions().len() {
+        return Err(format!(
+            "transition counts differ: checker {} vs statespace {}",
+            ours.transitions.len(),
+            theirs.transitions().len()
+        ));
+    }
+    for (k, (a, b)) in ours
+        .transitions
+        .iter()
+        .zip(theirs.transitions())
+        .enumerate()
+    {
+        if a.0 != b.0 || a.1 != b.1 || a.2.to_bits() != b.2.to_bits() {
+            return Err(format!(
+                "transition #{k} differs: checker {a:?} vs statespace {b:?}"
+            ));
+        }
+    }
+    let mut ours_init = vec![0.0f64; ours.markings.len()];
+    for &(i, p) in &ours.initial {
+        ours_init[i] += p;
+    }
+    for (i, (x, y)) in ours_init
+        .iter()
+        .zip(theirs.initial_distribution())
+        .enumerate()
+    {
+        if x.to_bits() != y.to_bits() {
+            return Err(format!("initial probability of state #{i} differs"));
+        }
+    }
+    Ok(CrossValidation {
+        tangible_states: ours.markings.len(),
+        transitions: ours.transitions.len(),
+    })
+}
+
+/// The deep (opt-in) model-check behind `Backend::self_check_deep`:
+/// exhaustive quotient proof plus generator cross-validation.
+///
+/// # Errors
+///
+/// Returns a newline-separated description of hard findings, budget
+/// errors, or cross-validation mismatches.
+pub fn deep_check(model: &ItuaSan, max_states: usize) -> Result<(), String> {
+    let report = exhaustive_check(model, max_states).map_err(|e| e.to_string())?;
+    if report.has_hard_findings() {
+        let lines: Vec<String> = report
+            .findings
+            .iter()
+            .filter(|f| f.severity == Severity::Hard)
+            .map(|f| format!("[{}] {}: {}", f.id, f.subject, f.detail))
+            .collect();
+        return Err(lines.join("\n"));
+    }
+    cross_validate(model, max_states)?;
+    Ok(())
+}
+
+/// A reachable firing that witnesses the `frac-corrupt-replica-blind`
+/// measure gap.
+#[derive(Debug, Clone)]
+pub struct GapWitness {
+    /// The `shut_host` copy that fired.
+    pub activity: String,
+    /// The reachable pre-marking (canonical representative; genuinely
+    /// reachable because the initial marking is symmetric).
+    pub marking: Vec<i32>,
+    /// The law's counterexample message.
+    pub detail: String,
+}
+
+/// Searches the full reachable quotient graph for a concrete firing that
+/// exhibits the DESIGN.md §8 `dom_excl_corrupt` replica-blindness gap:
+/// a clean host, shut down by a domain exclusion, carrying an application
+/// with undetected-corrupt replicas, without incrementing
+/// `dom_excl_corrupt`. Returns the first witness in BFS order, or `None`
+/// if no such firing is reachable under the budget.
+///
+/// # Errors
+///
+/// Propagates the explorer's structured [`ReachError`].
+pub fn find_replica_blind_witness(
+    model: &ItuaSan,
+    max_states: usize,
+) -> Result<Option<GapWitness>, ReachError> {
+    let spec = analysis_spec(model);
+    let law = spec
+        .laws
+        .iter()
+        .find(|l| l.id == "frac-corrupt-replica-blind")
+        .expect("ITUA spec carries the replica-blindness law");
+    let sym = symmetry_spec(model);
+    let cfg = ReachConfig::with_max_states(max_states);
+    let mut witness: Option<GapWitness> = None;
+    reach::explore(
+        &model.san,
+        &cfg,
+        Some(&sym),
+        |san, act, case, pre, delta| {
+            if witness.is_none() {
+                if let Some(msg) = (law.check)(san, act, case, pre, delta) {
+                    witness = Some(GapWitness {
+                        activity: san.activity(act).name().to_owned(),
+                        marking: pre.values().to_vec(),
+                        detail: msg,
+                    });
+                }
+            }
+        },
+    )?;
+    Ok(witness)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -380,5 +862,90 @@ mod tests {
             ids.dedup();
             assert_eq!(ids.len(), inv.terms.len(), "duplicate term in '{}'", inv.id);
         }
+    }
+
+    #[test]
+    fn symmetry_spec_covers_every_replicated_place() {
+        let params = Params::default().with_domains(2, 2).with_applications(1, 2);
+        let model = build(&params).unwrap();
+        let spec = symmetry_spec(&model);
+        let classes = spec.classes();
+        let san = &model.san;
+        // Corresponding places of different copies must share a class;
+        // here: host_active across all four hosts, has_started across
+        // both replica slots, dom_excluding across both domains.
+        let class_of = |name: &str| classes[san.place_id(name).unwrap().index()];
+        let host_classes: Vec<usize> = (0..2)
+            .flat_map(|d| {
+                (0..2).map(move |h| format!("itua/domains[{d}]/hosts[{h}]/host/host_active"))
+            })
+            .map(|n| class_of(&n))
+            .collect();
+        assert!(host_classes.iter().all(|&c| c == host_classes[0]));
+        assert_eq!(
+            class_of("itua/apps[0]/app/replicas[0]/replica/has_started"),
+            class_of("itua/apps[0]/app/replicas[1]/replica/has_started")
+        );
+        assert_eq!(
+            class_of("itua/domains[0]/hosts/dom_excluding"),
+            class_of("itua/domains[1]/hosts/dom_excluding")
+        );
+        // Globals stay singletons.
+        let g = san.place_id("itua/mgrs_active_sys").unwrap().index();
+        assert_eq!(classes[g], g);
+    }
+
+    #[test]
+    fn exhaustive_check_proves_all_families_on_micro() {
+        let model = micro();
+        let report = exhaustive_check(&model, 200_000).unwrap();
+        assert!(!report.has_hard_findings(), "{}", report.render());
+        assert_eq!(report.families_proved, 9);
+        assert!(report.states > 0);
+        assert!(
+            report.full_states > report.states as u128,
+            "symmetry must shrink the micro space ({} vs {})",
+            report.full_states,
+            report.states
+        );
+        // The documented gap surfaces as an allowlisted soft finding on
+        // the full reachable graph, not just on crafted markings.
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| f.id == "frac-corrupt-replica-blind" && f.severity == Severity::Soft));
+    }
+
+    #[test]
+    fn quotient_oracle_agrees_on_micro() {
+        let model = micro();
+        let agreement = quotient_oracle(&model, 200_000).unwrap();
+        assert!(agreement.quotient_states < agreement.full_states);
+    }
+
+    #[test]
+    fn cross_validation_matches_statespace_on_micro() {
+        let model = micro();
+        let cv = cross_validate(&model, 200_000).unwrap();
+        assert!(cv.tangible_states > 0);
+        assert!(cv.transitions > 0);
+    }
+
+    #[test]
+    fn deep_check_accepts_micro_and_reports_budget() {
+        let model = micro();
+        assert_eq!(deep_check(&model, 200_000), Ok(()));
+        let err = deep_check(&model, 3).unwrap_err();
+        assert!(err.contains("state budget"), "{err}");
+    }
+
+    #[test]
+    fn replica_blind_witness_is_reachable() {
+        let model = micro();
+        let w = find_replica_blind_witness(&model, 200_000)
+            .unwrap()
+            .expect("the gap has a reachable witness on the micro config");
+        assert!(w.activity.ends_with("/shut_host"));
+        assert_eq!(w.marking.len(), model.san.num_places());
     }
 }

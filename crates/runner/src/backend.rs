@@ -157,6 +157,24 @@ pub trait Backend: Sync {
     fn self_check(&self) -> Result<(), BackendError> {
         Ok(())
     }
+
+    /// An exhaustive model check: prove the structural properties over the
+    /// *entire* reachable state space (quotiented by model symmetry) under
+    /// a state budget, instead of probing a sample of markings. Opt-in via
+    /// [`ModelCheck::Deep`] — exponentially more expensive than
+    /// [`Backend::self_check`] and only feasible on micro configurations.
+    /// The default falls back to the quick check. The SAN backend runs
+    /// [`itua_core::analysis::deep_check`]: every conservation family over
+    /// every reachable marking, livelock detection, and cross-validation
+    /// of the explorer against the analytic backend's state-space builder.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BackendError`] describing every violation found, or a
+    /// budget-exceeded error when the space is larger than `max_states`.
+    fn self_check_deep(&self, _max_states: usize) -> Result<(), BackendError> {
+        self.self_check()
+    }
 }
 
 /// Whether [`run_measures_checked`] verifies the model before simulating.
@@ -168,6 +186,13 @@ pub enum ModelCheck {
     /// sweep point.
     #[default]
     Quick,
+    /// Run [`Backend::self_check_deep`]: exhaustively verify the model
+    /// over its full reachable state space (up to `max_states` quotient
+    /// states) before simulating. Micro configurations only.
+    Deep {
+        /// State budget for the exhaustive exploration.
+        max_states: usize,
+    },
     /// Skip the check (`--no-check`).
     Off,
 }
@@ -226,6 +251,11 @@ impl Backend for ItuaSanRunner {
                  simulate anyway):\n{e}"
             ))
         })
+    }
+
+    fn self_check_deep(&self, max_states: usize) -> Result<(), BackendError> {
+        itua_core::analysis::deep_check(self.model(), max_states)
+            .map_err(|e| BackendError::new(format!("SAN model failed its exhaustive check:\n{e}")))
     }
 }
 
@@ -465,6 +495,13 @@ impl Backend for ItuaBackend {
             ItuaBackend::San(b) => b.self_check(),
         }
     }
+
+    fn self_check_deep(&self, max_states: usize) -> Result<(), BackendError> {
+        match self {
+            ItuaBackend::Des(_) | ItuaBackend::Analytic(_) => Ok(()),
+            ItuaBackend::San(b) => b.self_check_deep(max_states),
+        }
+    }
 }
 
 /// Runs `replications` independent replications of `backend` and reduces
@@ -554,8 +591,10 @@ pub fn run_measures_checked<B: Backend>(
     progress: &dyn Progress,
     check: ModelCheck,
 ) -> Result<MeasureSet, BackendError> {
-    if check == ModelCheck::Quick {
-        backend.self_check()?;
+    match check {
+        ModelCheck::Quick => backend.self_check()?,
+        ModelCheck::Deep { max_states } => backend.self_check_deep(max_states)?,
+        ModelCheck::Off => {}
     }
     if let Some(exact) = backend.exact_measures(horizon, sample_times, confidence) {
         let measures = exact?;
@@ -795,6 +834,40 @@ mod tests {
         };
         // The check only gates; it must not influence the estimates.
         assert_eq!(run(ModelCheck::Quick), run(ModelCheck::Off));
+    }
+
+    #[test]
+    fn san_deep_check_gates_like_quick_on_micro() {
+        // micro_params zeroes spread, so use the spread-enabled micro
+        // config the core analysis tests use; the deep check is an
+        // exhaustive proof, not a probe, and must still only gate.
+        let params = Params::default().with_domains(1, 2).with_applications(1, 2);
+        let backend = ItuaBackend::for_params(BackendKind::San, &params).unwrap();
+        backend.self_check_deep(200_000).unwrap();
+        let run = |check| {
+            run_measures_checked(
+                &backend,
+                4,
+                0.95,
+                1,
+                2.0,
+                &[2.0],
+                &RunnerConfig::serial(),
+                &NullProgress,
+                check,
+            )
+            .unwrap()
+            .estimates()
+        };
+        assert_eq!(
+            run(ModelCheck::Deep {
+                max_states: 200_000
+            }),
+            run(ModelCheck::Off)
+        );
+        // Too small a budget is a structured refusal, not a hang.
+        let err = backend.self_check_deep(3).unwrap_err().to_string();
+        assert!(err.contains("state budget"), "{err}");
     }
 
     #[test]

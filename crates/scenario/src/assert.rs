@@ -1,0 +1,301 @@
+//! Marking assertions: safety claims a `.scn` file makes about every
+//! reachable marking of its model.
+//!
+//! An assertion line has the shape
+//!
+//! ```text
+//! assert = <agg>(<place glob>) <op> <bound>
+//! ```
+//!
+//! where `<agg>` is `sum`, `max`, or `min` over the token counts of the
+//! places whose full names match the glob (`*` matches any run of
+//! characters), `<op>` is one of `<=`, `>=`, `==`, `!=`, `<`, `>`, and
+//! `<bound>` is an integer. Example:
+//!
+//! ```text
+//! assert = sum(itua/apps[0]/*/has_started) <= 2
+//! assert = max(*/host_corrupt) <= 1
+//! ```
+//!
+//! This module is deliberately model-agnostic: it parses, matches names,
+//! and evaluates token vectors. Resolving globs against a concrete SAN
+//! and sweeping the reachable space is the exhaustive checker's job (the
+//! `itua check --exhaustive` path), keeping this crate dependency-free.
+
+use std::fmt;
+
+/// Aggregation over the matched places' token counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Agg {
+    /// Sum of all matched counts.
+    Sum,
+    /// Maximum matched count.
+    Max,
+    /// Minimum matched count.
+    Min,
+}
+
+impl Agg {
+    fn name(self) -> &'static str {
+        match self {
+            Agg::Sum => "sum",
+            Agg::Max => "max",
+            Agg::Min => "min",
+        }
+    }
+}
+
+/// Comparison operator against the bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `<=`
+    Le,
+    /// `>=`
+    Ge,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+}
+
+impl CmpOp {
+    fn symbol(self) -> &'static str {
+        match self {
+            CmpOp::Le => "<=",
+            CmpOp::Ge => ">=",
+            CmpOp::Eq => "==",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Gt => ">",
+        }
+    }
+
+    fn holds(self, lhs: i64, rhs: i64) -> bool {
+        match self {
+            CmpOp::Le => lhs <= rhs,
+            CmpOp::Ge => lhs >= rhs,
+            CmpOp::Eq => lhs == rhs,
+            CmpOp::Ne => lhs != rhs,
+            CmpOp::Lt => lhs < rhs,
+            CmpOp::Gt => lhs > rhs,
+        }
+    }
+}
+
+/// One parsed `assert =` line: an aggregate over glob-matched places
+/// compared against an integer bound, claimed for *every* reachable
+/// marking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MarkingAssert {
+    agg: Agg,
+    pattern: String,
+    op: CmpOp,
+    bound: i64,
+}
+
+impl MarkingAssert {
+    /// Parses `<agg>(<glob>) <op> <int>`.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message naming the malformed part.
+    pub fn parse(text: &str) -> Result<MarkingAssert, String> {
+        let text = text.trim();
+        let open = text
+            .find('(')
+            .ok_or_else(|| format!("assert '{text}': expected '<agg>(<place glob>) <op> <n>'"))?;
+        let agg = match &text[..open] {
+            "sum" => Agg::Sum,
+            "max" => Agg::Max,
+            "min" => Agg::Min,
+            other => {
+                return Err(format!(
+                    "assert: unknown aggregate '{other}' (sum, max, min)"
+                ))
+            }
+        };
+        let rest = &text[open + 1..];
+        let close = rest
+            .find(')')
+            .ok_or_else(|| format!("assert '{text}': missing ')'"))?;
+        let pattern = rest[..close].trim();
+        if pattern.is_empty() {
+            return Err("assert: empty place glob".to_owned());
+        }
+        let tail = rest[close + 1..].trim();
+        // Two-character operators first so '<' does not shadow '<='.
+        let ops = [
+            ("<=", CmpOp::Le),
+            (">=", CmpOp::Ge),
+            ("==", CmpOp::Eq),
+            ("!=", CmpOp::Ne),
+            ("<", CmpOp::Lt),
+            (">", CmpOp::Gt),
+        ];
+        let (op, bound_text) = ops
+            .iter()
+            .find_map(|(sym, op)| tail.strip_prefix(sym).map(|rest| (*op, rest.trim())))
+            .ok_or_else(|| {
+                format!("assert '{text}': expected an operator (<=, >=, ==, !=, <, >)")
+            })?;
+        let bound: i64 = bound_text
+            .parse()
+            .map_err(|_| format!("assert: '{bound_text}' is not an integer bound"))?;
+        Ok(MarkingAssert {
+            agg,
+            pattern: pattern.to_owned(),
+            op,
+            bound,
+        })
+    }
+
+    /// Whether `name` matches this assertion's place glob.
+    pub fn matches(&self, name: &str) -> bool {
+        glob_match(&self.pattern, name)
+    }
+
+    /// Evaluates the assertion over the matched places' token counts.
+    /// `values` must be exactly the counts of the places selected by
+    /// [`MarkingAssert::matches`], in any order.
+    ///
+    /// An empty selection makes `sum` evaluate to 0 while `max`/`min`
+    /// fail — but callers should reject empty selections up front (a
+    /// glob matching nothing is almost certainly a typo).
+    pub fn holds(&self, values: &[i32]) -> bool {
+        let lhs = match self.agg {
+            Agg::Sum => values.iter().map(|&v| i64::from(v)).sum::<i64>(),
+            Agg::Max => match values.iter().max() {
+                Some(&v) => i64::from(v),
+                None => return false,
+            },
+            Agg::Min => match values.iter().min() {
+                Some(&v) => i64::from(v),
+                None => return false,
+            },
+        };
+        self.op.holds(lhs, self.bound)
+    }
+
+    /// The place glob, for resolution against a concrete model.
+    pub fn pattern(&self) -> &str {
+        &self.pattern
+    }
+}
+
+impl fmt::Display for MarkingAssert {
+    /// The canonical form; reparsing it yields an equal assertion.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}({}) {} {}",
+            self.agg.name(),
+            self.pattern,
+            self.op.symbol(),
+            self.bound
+        )
+    }
+}
+
+/// Glob match where `*` matches any (possibly empty) run of characters;
+/// everything else is literal. Iterative backtracking over bytes (place
+/// names are ASCII).
+fn glob_match(pattern: &str, name: &str) -> bool {
+    let (p, n) = (pattern.as_bytes(), name.as_bytes());
+    let (mut pi, mut ni) = (0, 0);
+    let mut star: Option<(usize, usize)> = None;
+    while ni < n.len() {
+        if pi < p.len() && (p[pi] == n[ni]) {
+            pi += 1;
+            ni += 1;
+        } else if pi < p.len() && p[pi] == b'*' {
+            star = Some((pi, ni));
+            pi += 1;
+        } else if let Some((sp, sn)) = star {
+            // Backtrack: let the last '*' swallow one more character.
+            pi = sp + 1;
+            ni = sn + 1;
+            star = Some((sp, sn + 1));
+        } else {
+            return false;
+        }
+    }
+    while pi < p.len() && p[pi] == b'*' {
+        pi += 1;
+    }
+    pi == p.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_and_round_trips_canonical_form() {
+        for text in [
+            "sum(itua/apps[0]/*/has_started) <= 2",
+            "max(*/host_corrupt) <= 1",
+            "min(itua/mgrs_active_sys) >= 0",
+            "sum(*) != -1",
+            "sum(a) < 7",
+            "sum(a) > 0",
+            "sum(a) == 3",
+        ] {
+            let a = MarkingAssert::parse(text).unwrap();
+            assert_eq!(a.to_string(), text);
+            assert_eq!(MarkingAssert::parse(&a.to_string()).unwrap(), a);
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        for (text, needle) in [
+            ("sum has_started <= 2", "expected"),
+            ("avg(x) <= 2", "unknown aggregate"),
+            ("sum(x <= 2", "missing ')'"),
+            ("sum() <= 2", "empty place glob"),
+            ("sum(x) ~ 2", "operator"),
+            ("sum(x) <= two", "not an integer"),
+        ] {
+            let err = MarkingAssert::parse(text).unwrap_err();
+            assert!(err.contains(needle), "{text}: {err}");
+        }
+    }
+
+    #[test]
+    fn glob_semantics() {
+        let a = MarkingAssert::parse("sum(itua/apps[*]/app/replicas[*]/*) <= 9").unwrap();
+        assert!(a.matches("itua/apps[0]/app/replicas[3]/replica/has_started"));
+        assert!(!a.matches("itua/domains[0]/hosts[0]/host/host_active"));
+        let exact = MarkingAssert::parse("sum(itua/mgrs_active_sys) >= 1").unwrap();
+        assert!(exact.matches("itua/mgrs_active_sys"));
+        assert!(!exact.matches("itua/mgrs_active_sys2"));
+        let suffix = MarkingAssert::parse("max(*/host_corrupt) <= 1").unwrap();
+        assert!(suffix.matches("itua/domains[1]/hosts[0]/host/host_corrupt"));
+        assert!(!suffix.matches("itua/domains[1]/hosts[0]/host/host_corrupt_detected"));
+    }
+
+    #[test]
+    fn evaluation_per_aggregate_and_operator() {
+        let sum = MarkingAssert::parse("sum(x) <= 5").unwrap();
+        assert!(sum.holds(&[1, 2, 2]));
+        assert!(!sum.holds(&[3, 3]));
+        assert!(sum.holds(&[])); // empty sum is 0
+
+        let max = MarkingAssert::parse("max(x) < 2").unwrap();
+        assert!(max.holds(&[0, 1, 1]));
+        assert!(!max.holds(&[0, 2]));
+        assert!(!max.holds(&[])); // max over nothing never holds
+
+        let min = MarkingAssert::parse("min(x) >= 0").unwrap();
+        assert!(min.holds(&[0, 3]));
+        assert!(!min.holds(&[-1, 3]));
+
+        let ne = MarkingAssert::parse("sum(x) != 2").unwrap();
+        assert!(ne.holds(&[1]));
+        assert!(!ne.holds(&[1, 1]));
+    }
+}

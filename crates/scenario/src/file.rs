@@ -24,6 +24,9 @@
 //!   `frac_domains_excluded@5`).
 //! * `sample-times = t1, t2, ...` — extra instant-of-time sample points
 //!   (the `@t` suffixes in `measures` are added automatically).
+//! * `assert = <agg>(<place glob>) <op> <n>` — a safety claim over every
+//!   reachable marking (see [`crate::assert`]); may repeat, one claim
+//!   per line, proved by `itua check --exhaustive`.
 //!
 //! Pinned execution keys (optional; when present the file is
 //! authoritative and the corresponding CLI flag is ignored):
@@ -38,6 +41,7 @@
 //! checkpointed points instead of silently resuming them, while
 //! reformatting (comments, key order, whitespace) does not.
 
+use crate::assert::MarkingAssert;
 use crate::keys;
 use crate::Scenario;
 use itua_core::measures::names;
@@ -119,6 +123,9 @@ pub struct FileScenario {
     /// plus `@t` suffixes from `measures`), sorted and deduplicated.
     sample_times: Vec<f64>,
     measures: Vec<String>,
+    /// Safety claims over every reachable marking, in file order
+    /// (repeated `assert` lines append rather than overwrite).
+    asserts: Vec<MarkingAssert>,
     reps: Option<u32>,
     seed: Option<u64>,
     confidence: Option<f64>,
@@ -180,6 +187,7 @@ impl FileScenario {
         let mut horizon = 5.0;
         let mut sample_times: Vec<f64> = Vec::new();
         let mut measures: Option<Vec<String>> = None;
+        let mut asserts: Vec<MarkingAssert> = Vec::new();
         let mut reps = None;
         let mut seed = None;
         let mut confidence = None;
@@ -273,6 +281,9 @@ impl FileScenario {
                     }
                     measures = Some(list);
                 }
+                "assert" => {
+                    asserts.push(MarkingAssert::parse(value).map_err(|e| ScnError::at(n, e))?);
+                }
                 "reps" => {
                     reps = Some(value.parse::<u32>().map_err(|_| {
                         ScnError::at(n, format!("'{value}' is not a replication count"))
@@ -313,8 +324,8 @@ impl FileScenario {
                         n,
                         format!(
                             "unknown key '{key}' (structural keys: name, description, scheme, \
-                             schemes, sweep, values, horizon, sample-times, measures, reps, seed, \
-                             confidence, split-levels; parameter keys: {})",
+                             schemes, sweep, values, horizon, sample-times, measures, assert, \
+                             reps, seed, confidence, split-levels; parameter keys: {})",
                             keys::key_list()
                         ),
                     ));
@@ -352,6 +363,7 @@ impl FileScenario {
             horizon,
             sample_times,
             measures,
+            asserts,
             reps,
             seed,
             confidence,
@@ -424,6 +436,9 @@ impl FileScenario {
             lines.push(format!("sample-times = {}", join_f64(&self.sample_times)));
         }
         lines.push(format!("measures = {}", self.measures.join(", ")));
+        for a in &self.asserts {
+            lines.push(format!("assert = {a}"));
+        }
         if let Some(r) = self.reps {
             lines.push(format!("reps = {r}"));
         }
@@ -500,6 +515,10 @@ impl Scenario for FileScenario {
             x_label: self.sweep_key.clone(),
             panels,
         }
+    }
+
+    fn asserts(&self) -> Vec<MarkingAssert> {
+        self.asserts.clone()
     }
 
     fn fingerprint_parts(&self) -> Vec<String> {
@@ -627,6 +646,27 @@ reps = 12
         let bad = SPREAD.replace("horizon = 5", "horizon = 3");
         let err = FileScenario::parse(&bad, "x").unwrap_err();
         assert!(err.message.contains("beyond the horizon"));
+    }
+
+    #[test]
+    fn assert_lines_append_round_trip_and_change_identity() {
+        let text = SPREAD.to_owned()
+            + "assert = max(*/host_corrupt) <= 1\nassert = sum(itua/apps[*]/*) >= 0\n";
+        let s = FileScenario::parse(&text, "x").unwrap();
+        let asserts = Scenario::asserts(&s);
+        assert_eq!(asserts.len(), 2); // repeated lines append, not overwrite
+        assert_eq!(asserts[0].to_string(), "max(*/host_corrupt) <= 1");
+        let reparsed = FileScenario::parse(&s.to_string(), "x").unwrap();
+        assert_eq!(s, reparsed);
+        // Claims are part of the scenario's identity.
+        assert_ne!(
+            s.content_hash(),
+            FileScenario::parse(SPREAD, "x").unwrap().content_hash()
+        );
+        let err =
+            FileScenario::parse(&(SPREAD.to_owned() + "assert = avg(x) <= 1\n"), "x").unwrap_err();
+        assert!(err.message.contains("unknown aggregate"));
+        assert!(err.line.is_some());
     }
 
     #[test]

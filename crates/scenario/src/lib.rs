@@ -29,6 +29,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod assert;
 pub mod file;
 pub mod keys;
 pub mod registry;
@@ -70,6 +71,14 @@ pub trait Scenario {
 
     /// Renders extracted series into the scenario's figure.
     fn render(&self, series: &[Series]) -> FigureResult;
+
+    /// Marking assertions the scenario claims hold in *every* reachable
+    /// marking of its model, proved by `itua check --exhaustive`.
+    /// Built-ins claim nothing beyond the analyzer's own conservation
+    /// families; `.scn` files contribute their `assert =` lines.
+    fn asserts(&self) -> Vec<crate::assert::MarkingAssert> {
+        Vec::new()
+    }
 
     /// Identity parts folded into the result-store fingerprint after
     /// the sweep-configuration parts. Built-ins return nothing (their

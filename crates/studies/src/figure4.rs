@@ -55,13 +55,50 @@ pub fn points() -> Vec<SweepPoint> {
     pts
 }
 
+/// Domains in the exact/exhaustive micro variant.
+pub const MICRO_NUM_DOMAINS: usize = 1;
+/// Hosts-per-domain values in the micro variant.
+pub const MICRO_HOSTS_PER_DOMAIN: [usize; 2] = [1, 2];
+
+/// Figure-4-shaped micro variant: 1–2 hosts in a constant single domain
+/// with one application of two replicas. Same x-axis meaning, horizons,
+/// and measures as the full study, but small enough for the analytic
+/// backend to solve exactly and for the exhaustive reachability checker
+/// to prove properties over every reachable marking (two hosts in two
+/// domains is already past a million states).
+pub fn micro_points() -> Vec<SweepPoint> {
+    let mut pts = Vec::new();
+    for &hpd in &MICRO_HOSTS_PER_DOMAIN {
+        let params = Params::default()
+            .with_domains(MICRO_NUM_DOMAINS, hpd)
+            .with_applications(1, 2);
+        for &h in &HORIZONS {
+            pts.push(SweepPoint {
+                x: hpd as f64,
+                series: format!("for interval [0, {h:.0}]"),
+                params: params.clone(),
+                horizon: h,
+                sample_times: vec![h],
+            });
+        }
+        pts.push(SweepPoint {
+            x: hpd as f64,
+            series: "steady state".into(),
+            params,
+            horizon: LONG_HORIZON,
+            sample_times: vec![],
+        });
+    }
+    pts
+}
+
 /// The declarative descriptor of this study; the scenario registry and
 /// the `figure4` binary both run through it.
 pub const STUDY: Study = Study {
     id: "figure4",
     description: "Figure 4 (§4.2): 1–4 hosts in a constant 10 domains",
     points,
-    micro_points: None,
+    micro_points: Some(micro_points),
     measures,
     render,
 };
@@ -149,6 +186,7 @@ pub fn render(all: &[Series]) -> FigureResult {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use itua_runner::backend::BackendKind;
 
     #[test]
     fn study_covers_grid() {
@@ -170,6 +208,20 @@ mod tests {
             .map(|p| p.params.total_hosts())
             .collect();
         assert_eq!(hosts, vec![10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn micro_variant_is_figure_shaped_and_tiny() {
+        let pts = micro_points();
+        // 2 hosts-per-domain values × (2 horizons + 1 long run).
+        assert_eq!(pts.len(), 6);
+        for p in &pts {
+            assert_eq!(p.params.num_domains, MICRO_NUM_DOMAINS);
+            assert!(p.params.total_hosts() <= 2);
+            p.params.validate().unwrap();
+        }
+        assert_eq!(STUDY.points_for(BackendKind::Analytic).len(), 6);
+        assert_eq!(STUDY.points_for(BackendKind::Des).len(), 12);
     }
 
     #[test]

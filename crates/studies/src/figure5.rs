@@ -67,13 +67,55 @@ pub fn points() -> Vec<SweepPoint> {
     pts
 }
 
+/// Attack-spread rates in the exact/exhaustive micro variant.
+pub const MICRO_SPREAD_RATES: [f64; 2] = [0.0, 4.0];
+
+/// Figure-5-shaped micro variant: both exclusion schemes under zero and
+/// nonzero within-domain spread on 1 domain × 2 hosts with one
+/// application of two replicas, keeping the study's fivefold
+/// host-corruption multiplier. Same series structure and measures as
+/// the full study, small enough for exact solution and for the
+/// exhaustive reachability checker.
+pub fn micro_points() -> Vec<SweepPoint> {
+    let mut pts = Vec::new();
+    for &scheme in &[
+        ManagementScheme::HostExclusion,
+        ManagementScheme::DomainExclusion,
+    ] {
+        for &spread in &MICRO_SPREAD_RATES {
+            let params = Params::default()
+                .with_domains(1, 2)
+                .with_applications(1, 2)
+                .with_scheme(scheme)
+                .with_host_corruption_multiplier(CORRUPTION_MULTIPLIER)
+                .with_spread_rate(spread);
+            for &h in &HORIZONS {
+                pts.push(SweepPoint {
+                    x: spread,
+                    series: format!(
+                        "{} [0,{h:.0}]",
+                        match scheme {
+                            ManagementScheme::HostExclusion => "Host exclusion",
+                            ManagementScheme::DomainExclusion => "Domain exclusion",
+                        }
+                    ),
+                    params: params.clone(),
+                    horizon: h,
+                    sample_times: vec![],
+                });
+            }
+        }
+    }
+    pts
+}
+
 /// The declarative descriptor of this study; the scenario registry and
 /// the `figure5` binary both run through it.
 pub const STUDY: Study = Study {
     id: "figure5",
     description: "Figure 5 (§4.3): domain- vs host-exclusion under attack spread",
     points,
-    micro_points: None,
+    micro_points: Some(micro_points),
     measures,
     render,
 };
@@ -162,6 +204,21 @@ mod tests {
         let pts = points();
         assert!(pts.iter().any(|p| p.series.starts_with("Host exclusion")));
         assert!(pts.iter().any(|p| p.series.starts_with("Domain exclusion")));
+    }
+
+    #[test]
+    fn micro_variant_is_figure_shaped_and_tiny() {
+        use itua_runner::backend::BackendKind;
+        let pts = micro_points();
+        // 2 schemes × 2 spreads × 2 horizons.
+        assert_eq!(pts.len(), 8);
+        for p in &pts {
+            assert_eq!(p.params.host_corruption_multiplier, CORRUPTION_MULTIPLIER);
+            assert_eq!(p.params.total_hosts(), 2);
+            p.params.validate().unwrap();
+        }
+        assert_eq!(STUDY.points_for(BackendKind::Analytic).len(), 8);
+        assert_eq!(STUDY.points_for(BackendKind::Des).len(), 24);
     }
 
     #[test]

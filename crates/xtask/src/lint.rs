@@ -17,6 +17,11 @@
 //! * **float-truncation** — rounding/truncating `as` casts on float
 //!   paths (`.round() as i32`, `as f32`) silently change measures.
 //!
+//! A fifth rule, **unsafe-block**, is orthogonal to determinism: the
+//! workspace is unsafe-free by policy, and the rule locks that in over
+//! *every* crate (including the CLI layer and the vendored shims, which
+//! are exempt from the determinism rules).
+//!
 //! The lint is deliberately *text-level* (no syn, no rustc plumbing —
 //! the build environment is offline): it strips comments and string
 //! literals, skips `#[cfg(test)]` items, and flags token patterns per
@@ -36,7 +41,8 @@ pub const ALLOWLIST_FILE: &str = "determinism.allow";
 /// Source directories scanned by the lint: every crate whose code can
 /// influence reported results (simulation, statistics, model, runner,
 /// solver, studies, analyzer). The CLI/bench layer and the vendored
-/// proptest/criterion shims are exempt.
+/// proptest/criterion shims are exempt from the determinism rules but
+/// still covered by the `unsafe-block` rule via [`UNSAFE_ONLY_DIRS`].
 pub const SCAN_DIRS: &[&str] = &[
     "crates/sim/src",
     "crates/stats/src",
@@ -48,6 +54,17 @@ pub const SCAN_DIRS: &[&str] = &[
     "crates/analyzer/src",
     "crates/rare/src",
     "crates/scenario/src",
+];
+
+/// Directories exempt from the determinism rules (CLI layer, build
+/// tooling, vendored test shims) but still scanned by the
+/// `unsafe-block` rule: the workspace is unsafe-free by policy, with no
+/// exemptions.
+pub const UNSAFE_ONLY_DIRS: &[&str] = &[
+    "crates/bench/src",
+    "crates/xtask/src",
+    "crates/proptest/src",
+    "crates/criterion/src",
 ];
 
 /// One flagged line.
@@ -130,6 +147,10 @@ fn rule_message(rule: &str) -> &'static str {
             "value-changing float cast: rounding/truncating casts silently change \
              measures; audit the site and allowlist it"
         }
+        "unsafe-block" => {
+            "`unsafe` in the workspace: the entire tree is unsafe-free by policy \
+             (no FFI, no hand-rolled concurrency primitives); rewrite in safe Rust"
+        }
         _ => "unknown rule",
     }
 }
@@ -142,7 +163,11 @@ const RULES: &[Rule] = &[
     ("wall-clock", flags_wall_clock),
     ("unordered-reduction", flags_unordered_reduction),
     ("float-truncation", flags_float_truncation),
+    ("unsafe-block", flags_unsafe_block),
 ];
+
+/// The subset of [`RULES`] applied in [`UNSAFE_ONLY_DIRS`].
+const UNSAFE_ONLY_RULES: &[Rule] = &[("unsafe-block", flags_unsafe_block)];
 
 fn flags_hash_container(line: &str) -> bool {
     has_word(line, "HashMap") || has_word(line, "HashSet")
@@ -159,6 +184,12 @@ fn flags_unordered_reduction(line: &str) -> bool {
     let unordered = line.contains(".values()") || line.contains(".keys()");
     let reduces = line.contains(".sum(") || line.contains(".fold(") || line.contains(".product(");
     unordered && reduces
+}
+
+fn flags_unsafe_block(line: &str) -> bool {
+    // Word-delimited, so `unsafe_code` (as in `#![forbid(unsafe_code)]`)
+    // does not match; `unsafe {`, `unsafe fn`, `unsafe impl` all do.
+    has_word(line, "unsafe")
 }
 
 fn flags_float_truncation(line: &str) -> bool {
@@ -432,7 +463,7 @@ fn rs_files_under(dir: &Path) -> Vec<std::path::PathBuf> {
 }
 
 /// Scans one file's source text; `rel_path` is used in findings.
-fn scan_source(rel_path: &str, src: &str) -> Vec<Finding> {
+fn scan_source(rel_path: &str, src: &str, rules: &[Rule]) -> Vec<Finding> {
     let stripped = strip_code(src);
     let mask = test_line_mask(&stripped);
     let mut findings = Vec::new();
@@ -440,7 +471,7 @@ fn scan_source(rel_path: &str, src: &str) -> Vec<Finding> {
         if mask.get(idx).copied().unwrap_or(false) {
             continue;
         }
-        for (rule, check) in RULES {
+        for (rule, check) in rules {
             if check(line) {
                 findings.push(Finding {
                     rule,
@@ -460,7 +491,11 @@ fn scan_source(rel_path: &str, src: &str) -> Vec<Finding> {
 pub fn run(root: &Path, allow_path: &Path) -> Result<Outcome, String> {
     let mut allow = parse_allowlist(allow_path)?;
     let mut outcome = Outcome::default();
-    for dir in SCAN_DIRS {
+    let scans = SCAN_DIRS
+        .iter()
+        .map(|d| (*d, RULES))
+        .chain(UNSAFE_ONLY_DIRS.iter().map(|d| (*d, UNSAFE_ONLY_RULES)));
+    for (dir, rules) in scans {
         for file in rs_files_under(&root.join(dir)) {
             let rel = file
                 .strip_prefix(root)
@@ -469,7 +504,7 @@ pub fn run(root: &Path, allow_path: &Path) -> Result<Outcome, String> {
                 .replace('\\', "/");
             let src = fs::read_to_string(&file)
                 .map_err(|e| format!("reading {}: {e}", file.display()))?;
-            for finding in scan_source(&rel, &src) {
+            for finding in scan_source(&rel, &src, rules) {
                 let entry = allow
                     .iter_mut()
                     .find(|a| a.rule == finding.rule && a.path == finding.path);
@@ -622,6 +657,50 @@ mod tests {
             rules,
             vec!["float-truncation", "unordered-reduction", "wall-clock"]
         );
+    }
+
+    #[test]
+    fn unsafe_blocks_are_flagged_everywhere_but_attributes_are_not() {
+        let fx = Fixture::new("unsafe");
+        // In a determinism-scanned crate…
+        fx.write(
+            "crates/sim/src/raw.rs",
+            "pub fn peek(p: *const u8) -> u8 {\n\
+             \x20   unsafe { *p }\n\
+             }\n",
+        );
+        // …and in a crate exempt from the determinism rules.
+        fx.write("crates/bench/src/ffi.rs", "pub unsafe fn poke() {}\n");
+        // The lint attribute itself must not trip the rule.
+        fx.write(
+            "crates/stats/src/clean.rs",
+            "#![forbid(unsafe_code)]\npub fn safe() {}\n",
+        );
+        let outcome = fx.lint();
+        let flagged: Vec<_> = outcome
+            .violations
+            .iter()
+            .map(|f| (f.rule, f.path.as_str()))
+            .collect();
+        assert_eq!(
+            flagged,
+            vec![
+                ("unsafe-block", "crates/sim/src/raw.rs"),
+                ("unsafe-block", "crates/bench/src/ffi.rs"),
+            ]
+        );
+    }
+
+    #[test]
+    fn determinism_rules_do_not_apply_in_unsafe_only_dirs() {
+        let fx = Fixture::new("exempt");
+        // The CLI layer may use wall clocks and hash maps freely…
+        fx.write(
+            "crates/bench/src/timing.rs",
+            "use std::time::Instant;\nuse std::collections::HashMap;\n",
+        );
+        let outcome = fx.lint();
+        assert!(outcome.is_clean(), "{}", outcome.render());
     }
 
     #[test]
