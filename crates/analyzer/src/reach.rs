@@ -144,286 +144,13 @@ impl std::fmt::Display for ReachError {
 impl std::error::Error for ReachError {}
 
 // ---------------------------------------------------------------------
-// Symmetry specification
+// Symmetry specification (shared home: itua_san::sym)
 // ---------------------------------------------------------------------
 
-/// One interchangeable slot inside a [`SymmetryGroup`]: `shared` places
-/// belong to the unit as a whole; `blocks` are sub-slots (all of the same
-/// length) that are themselves interchangeable *within* the unit.
-///
-/// For ITUA's domain group, a unit is a domain (`shared` = the
-/// domain-level places) and each block is one host's local places. For a
-/// replica group, a single unit holds one block per replica slot.
-#[derive(Debug, Clone)]
-pub struct SymmetryUnit {
-    /// Place indices owned by the unit as a whole.
-    pub shared: Vec<usize>,
-    /// Interchangeable sub-slots; every block has the same length, and
-    /// position `j` of one block corresponds to position `j` of every
-    /// other (same local place of a different copy).
-    pub blocks: Vec<Vec<usize>>,
-}
-
-/// A set of interchangeable units. Units must be *congruent*: the same
-/// shared length, block count, and block length, with position `j` of one
-/// unit corresponding to position `j` of every other.
-#[derive(Debug, Clone)]
-pub struct SymmetryGroup {
-    /// The interchangeable units.
-    pub units: Vec<SymmetryUnit>,
-}
-
-/// Invalid [`SymmetrySpec`] construction.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum SymmetryError {
-    /// A group has no units.
-    EmptyGroup,
-    /// Units within a group (or blocks within a unit) differ in shape.
-    ShapeMismatch,
-    /// A place index is out of range.
-    IndexOutOfRange(usize),
-    /// A place index appears in more than one slot.
-    Overlap(usize),
-}
-
-impl std::fmt::Display for SymmetryError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            SymmetryError::EmptyGroup => write!(f, "symmetry group has no units"),
-            SymmetryError::ShapeMismatch => {
-                write!(f, "symmetry units/blocks within a group must be congruent")
-            }
-            SymmetryError::IndexOutOfRange(p) => {
-                write!(f, "symmetry spec references place index {p} out of range")
-            }
-            SymmetryError::Overlap(p) => {
-                write!(f, "place index {p} appears in more than one symmetry slot")
-            }
-        }
-    }
-}
-
-impl std::error::Error for SymmetryError {}
-
-/// A direct product of wreath-product symmetry groups over disjoint place
-/// sets, with canonicalization and orbit-size computation.
-#[derive(Debug, Clone)]
-pub struct SymmetrySpec {
-    groups: Vec<SymmetryGroup>,
-    num_places: usize,
-}
-
-impl SymmetrySpec {
-    /// Validates shapes and disjointness.
-    ///
-    /// # Errors
-    ///
-    /// Returns a [`SymmetryError`] if a group is empty, units or blocks
-    /// are not congruent, an index is out of range, or a place appears in
-    /// more than one slot.
-    pub fn new(num_places: usize, groups: Vec<SymmetryGroup>) -> Result<Self, SymmetryError> {
-        let mut used = vec![false; num_places];
-        let claim = |p: usize, used: &mut Vec<bool>| -> Result<(), SymmetryError> {
-            if p >= num_places {
-                return Err(SymmetryError::IndexOutOfRange(p));
-            }
-            if used[p] {
-                return Err(SymmetryError::Overlap(p));
-            }
-            used[p] = true;
-            Ok(())
-        };
-        for g in &groups {
-            let Some(first) = g.units.first() else {
-                return Err(SymmetryError::EmptyGroup);
-            };
-            let block_len = first.blocks.first().map_or(0, Vec::len);
-            for u in &g.units {
-                if u.shared.len() != first.shared.len() || u.blocks.len() != first.blocks.len() {
-                    return Err(SymmetryError::ShapeMismatch);
-                }
-                for b in &u.blocks {
-                    if b.len() != block_len {
-                        return Err(SymmetryError::ShapeMismatch);
-                    }
-                    for &p in b {
-                        claim(p, &mut used)?;
-                    }
-                }
-                for &p in &u.shared {
-                    claim(p, &mut used)?;
-                }
-            }
-        }
-        Ok(SymmetrySpec { groups, num_places })
-    }
-
-    /// Number of places the spec was built for.
-    pub fn num_places(&self) -> usize {
-        self.num_places
-    }
-
-    /// Rewrites `values` in place to the lexicographically least member of
-    /// its orbit: blocks are sorted within each unit, then units are
-    /// sorted by their full value key. Idempotent, and invariant under
-    /// any permutation of units or of blocks within a unit.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `values` is shorter than the spec's place count.
-    pub fn canonicalize(&self, values: &mut [i32]) {
-        assert!(
-            values.len() >= self.num_places,
-            "marking too short for spec"
-        );
-        for g in &self.groups {
-            for u in &g.units {
-                if u.blocks.len() > 1 {
-                    let mut blocks: Vec<Vec<i32>> = u
-                        .blocks
-                        .iter()
-                        .map(|b| b.iter().map(|&p| values[p]).collect())
-                        .collect();
-                    blocks.sort_unstable();
-                    for (slot, vals) in u.blocks.iter().zip(&blocks) {
-                        for (&p, &x) in slot.iter().zip(vals) {
-                            values[p] = x;
-                        }
-                    }
-                }
-            }
-            if g.units.len() > 1 {
-                let mut keys: Vec<Vec<i32>> = g.units.iter().map(|u| unit_key(u, values)).collect();
-                keys.sort_unstable();
-                for (u, k) in g.units.iter().zip(&keys) {
-                    let mut it = k.iter();
-                    for &p in &u.shared {
-                        values[p] = *it.next().expect("key length matches unit");
-                    }
-                    for b in &u.blocks {
-                        for &p in b {
-                            values[p] = *it.next().expect("key length matches unit");
-                        }
-                    }
-                }
-            }
-        }
-    }
-
-    /// The size of the orbit of `values` under the symmetry group:
-    /// `Π_groups [ U!/Π cᵢ! · Π_units B!/Π kⱼ! ]` where the `cᵢ` are
-    /// multiplicities of identical unit keys and the `kⱼ` multiplicities
-    /// of identical blocks within a unit. Saturates at `u128::MAX` for
-    /// astronomically symmetric markings.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `values` is shorter than the spec's place count.
-    pub fn orbit_size(&self, values: &[i32]) -> u128 {
-        assert!(
-            values.len() >= self.num_places,
-            "marking too short for spec"
-        );
-        let mut orbit = 1u128;
-        for g in &self.groups {
-            let mut keys: Vec<Vec<i32>> = Vec::with_capacity(g.units.len());
-            for u in &g.units {
-                let mut blocks: Vec<Vec<i32>> = u
-                    .blocks
-                    .iter()
-                    .map(|b| b.iter().map(|&p| values[p]).collect())
-                    .collect();
-                blocks.sort_unstable();
-                orbit = orbit.saturating_mul(distinct_arrangements(&blocks));
-                let mut k: Vec<i32> = u.shared.iter().map(|&p| values[p]).collect();
-                for b in &blocks {
-                    k.extend_from_slice(b);
-                }
-                keys.push(k);
-            }
-            keys.sort_unstable();
-            orbit = orbit.saturating_mul(distinct_arrangements(&keys));
-        }
-        orbit
-    }
-
-    /// Symmetry class of each place: places mapped onto each other by some
-    /// group element share a class id (the smallest member's index);
-    /// ungrouped places are singletons. Used to propagate exact per-place
-    /// bounds computed on canonical representatives back to every member
-    /// of the class.
-    pub fn classes(&self) -> Vec<usize> {
-        let mut class: Vec<usize> = (0..self.num_places).collect();
-        for g in &self.groups {
-            let first = &g.units[0];
-            for j in 0..first.shared.len() {
-                let rep = g
-                    .units
-                    .iter()
-                    .map(|u| u.shared[j])
-                    .min()
-                    .expect("non-empty");
-                for u in &g.units {
-                    class[u.shared[j]] = rep;
-                }
-            }
-            let block_len = first.blocks.first().map_or(0, Vec::len);
-            for j in 0..block_len {
-                let rep = g
-                    .units
-                    .iter()
-                    .flat_map(|u| u.blocks.iter().map(|b| b[j]))
-                    .min()
-                    .expect("non-empty");
-                for u in &g.units {
-                    for b in &u.blocks {
-                        class[b[j]] = rep;
-                    }
-                }
-            }
-        }
-        class
-    }
-}
-
-/// Builds the per-unit sort key: shared values then block values in slot
-/// order (blocks are assumed already sorted by [`SymmetrySpec::canonicalize`]).
-fn unit_key(u: &SymmetryUnit, values: &[i32]) -> Vec<i32> {
-    let mut k: Vec<i32> = u.shared.iter().map(|&p| values[p]).collect();
-    for b in &u.blocks {
-        k.extend(b.iter().map(|&p| values[p]));
-    }
-    k
-}
-
-/// `n! / Π(run lengths)!` for a *sorted* slice — the number of distinct
-/// arrangements of its elements. Saturating.
-fn distinct_arrangements<T: Eq>(sorted: &[T]) -> u128 {
-    let mut total = 0usize;
-    let mut out = 1u128;
-    let mut i = 0;
-    while i < sorted.len() {
-        let mut j = i + 1;
-        while j < sorted.len() && sorted[j] == sorted[i] {
-            j += 1;
-        }
-        let run = j - i;
-        total += run;
-        out = out.saturating_mul(binomial(total, run));
-        i = j;
-    }
-    out
-}
-
-/// Binomial coefficient with saturating arithmetic.
-fn binomial(n: usize, k: usize) -> u128 {
-    let k = k.min(n - k);
-    let mut res = 1u128;
-    for i in 1..=k {
-        res = res.saturating_mul((n - k + i) as u128) / (i as u128);
-    }
-    res
-}
+// The canonicalizer lives in `itua_san::sym` so the statespace
+// generator's lumped mode and this explorer use one implementation;
+// re-exported here so existing `reach::SymmetrySpec` paths keep working.
+pub use itua_san::sym::{SymmetryError, SymmetryGroup, SymmetrySpec, SymmetryUnit};
 
 // ---------------------------------------------------------------------
 // Full explorer (tangible + vanishing states)
@@ -1120,114 +847,6 @@ mod tests {
                 ("fix".to_owned(), vec![1, -1]),
             ]
         );
-    }
-
-    #[test]
-    fn canonicalize_is_idempotent_and_sorts_units() {
-        let spec = component_spec(3);
-        let mut v = vec![1, 0, 0, 1, 1, 0];
-        spec.canonicalize(&mut v);
-        // Keys (0,1) < (1,0): the down component sorts first.
-        assert_eq!(v, vec![0, 1, 1, 0, 1, 0]);
-        let again = {
-            let mut w = v.clone();
-            spec.canonicalize(&mut w);
-            w
-        };
-        assert_eq!(v, again);
-    }
-
-    #[test]
-    fn canonicalize_sorts_blocks_within_units_before_units() {
-        // One group, two units; each unit: one shared place, two blocks of
-        // one place each.
-        let units = vec![
-            SymmetryUnit {
-                shared: vec![0],
-                blocks: vec![vec![1], vec![2]],
-            },
-            SymmetryUnit {
-                shared: vec![3],
-                blocks: vec![vec![4], vec![5]],
-            },
-        ];
-        let spec = SymmetrySpec::new(6, vec![SymmetryGroup { units }]).unwrap();
-        let mut v = vec![7, 5, 2, 7, 9, 1];
-        spec.canonicalize(&mut v);
-        // Blocks sort within units: (2,5) and (1,9); unit keys
-        // (7,2,5) > (7,1,9), so the second unit sorts first.
-        assert_eq!(v, vec![7, 1, 9, 7, 2, 5]);
-    }
-
-    #[test]
-    fn orbit_size_counts_distinct_arrangements() {
-        let spec = component_spec(4);
-        // All four units identical: orbit 1.
-        assert_eq!(spec.orbit_size(&[1, 0, 1, 0, 1, 0, 1, 0]), 1);
-        // One down, three up: 4 arrangements.
-        assert_eq!(spec.orbit_size(&[0, 1, 1, 0, 1, 0, 1, 0]), 4);
-        // Two down, two up: C(4,2) = 6.
-        assert_eq!(spec.orbit_size(&[0, 1, 0, 1, 1, 0, 1, 0]), 6);
-    }
-
-    #[test]
-    fn spec_validation_rejects_bad_shapes() {
-        assert_eq!(
-            SymmetrySpec::new(2, vec![SymmetryGroup { units: vec![] }]).unwrap_err(),
-            SymmetryError::EmptyGroup
-        );
-        let units = vec![
-            SymmetryUnit {
-                shared: vec![0],
-                blocks: vec![],
-            },
-            SymmetryUnit {
-                shared: vec![1, 2],
-                blocks: vec![],
-            },
-        ];
-        assert_eq!(
-            SymmetrySpec::new(3, vec![SymmetryGroup { units }]).unwrap_err(),
-            SymmetryError::ShapeMismatch
-        );
-        let units = vec![SymmetryUnit {
-            shared: vec![5],
-            blocks: vec![],
-        }];
-        assert_eq!(
-            SymmetrySpec::new(3, vec![SymmetryGroup { units }]).unwrap_err(),
-            SymmetryError::IndexOutOfRange(5)
-        );
-        let units = vec![SymmetryUnit {
-            shared: vec![0, 0],
-            blocks: vec![],
-        }];
-        assert_eq!(
-            SymmetrySpec::new(3, vec![SymmetryGroup { units }]).unwrap_err(),
-            SymmetryError::Overlap(0)
-        );
-    }
-
-    #[test]
-    fn classes_unify_corresponding_positions() {
-        let units = vec![
-            SymmetryUnit {
-                shared: vec![0],
-                blocks: vec![vec![1], vec![2]],
-            },
-            SymmetryUnit {
-                shared: vec![3],
-                blocks: vec![vec![4], vec![5]],
-            },
-        ];
-        let spec = SymmetrySpec::new(7, vec![SymmetryGroup { units }]).unwrap();
-        let classes = spec.classes();
-        assert_eq!(classes[0], classes[3]); // shared position 0
-        assert_eq!(classes[1], classes[2]); // block position 0, unit 0
-        assert_eq!(classes[1], classes[4]); // across units
-        assert_eq!(classes[1], classes[5]);
-        assert_ne!(classes[0], classes[1]);
-        assert_eq!(classes[6], 6); // ungrouped singleton
     }
 
     #[test]

@@ -1,0 +1,226 @@
+//! Symmetry-lumping benchmark: exact analytic solution of a
+//! configuration whose unreduced tangible state space is far beyond the
+//! unlumped backend's reach, with a tracked baseline.
+//!
+//! The headline point (see [`headline_params`]) is five interchangeable
+//! single-host domains with one two-replica application and corruption
+//! spread disabled: 60 462 747 tangible states in the unreduced chain,
+//! but only 370 304 orbits once the wreath-product symmetry (domain
+//! permutations composed with per-domain host permutations, and
+//! replica-slot permutations within each application) is lumped — a
+//! ~163x reduction that turns an infeasible solve into an exact one.
+//! The unreduced count is not re-generated here; it is recovered exactly
+//! from the quotient's orbit sizes (`full_state_total`), which the
+//! lumped generator accumulates as it interns canonical
+//! representatives.
+//!
+//! Three figures of merit land in the tracked `BENCH_analytic.json`:
+//!
+//! * `reduction_factor` — full tangible states per lumped orbit on the
+//!   headline point; structural, deterministic, and gated at ≥ 20 by
+//!   `cargo xtask bench-json --check`.
+//! * `build_ms` / `solve_ms` — wall-clock for lumped state-space +
+//!   CTMC construction and for the uniformization solve; compared
+//!   against the committed baseline with the same regression factor as
+//!   the hot-path benchmark.
+//! * `micro_max_rel_err` — the worst relative disagreement between the
+//!   lumped and unlumped solutions across every measure on a micro
+//!   configuration both can solve; gated at ≤ 1e-9 (the lumping is an
+//!   exact quotient, so only uniformization truncation noise remains).
+//!
+//! `--json PATH` writes the tracked artifact (the `baseline` block is
+//! preserved once created, `current` is overwritten); `--quick` swaps
+//! the headline for a three-domain point (8 054 orbits / 184 491
+//! states) for CI smoke coverage.
+//!
+//! Usage: `cargo bench -p itua-bench --bench analytic -- [--quick]
+//! [--json PATH]` (or `cargo xtask bench-json --only analytic`).
+
+use itua_core::analytic::{AnalyticOptions, ItuaAnalytic};
+use itua_core::params::Params;
+use itua_runner::json::Json;
+use std::time::Instant;
+
+/// Mission time (hours) for the exact solve.
+const HORIZON: f64 = 5.0;
+/// State budget for the lumped builds (the headline point needs ~371k).
+const MAX_STATES: usize = 1_000_000;
+
+/// A configuration with corruption spread disabled, so the chain stays
+/// finite-rate and the symmetry group is the full wreath product.
+fn no_spread(domains: usize, hosts: usize, apps: usize, reps: usize) -> Params {
+    let mut p = Params::default()
+        .with_domains(domains, hosts)
+        .with_applications(apps, reps);
+    p.spread_rate_domain = 0.0;
+    p.spread_rate_system = 0.0;
+    p
+}
+
+/// The headline point: 60 462 747 tangible states, 370 304 orbits.
+/// Unlumped, this is ~600x over the default analytic budget and would
+/// not fit in memory as an explicit CSR chain; lumped it solves exactly.
+fn headline_params() -> Params {
+    no_spread(5, 1, 1, 2)
+}
+
+/// The `--quick` point: 184 491 tangible states, 8 054 orbits — still
+/// beyond the unlumped default budget of 100 000, but seconds to solve.
+fn quick_params() -> Params {
+    no_spread(3, 1, 1, 3)
+}
+
+/// A micro point both the lumped and unlumped backends solve fast, for
+/// the exactness cross-check.
+fn micro_params() -> Params {
+    no_spread(2, 1, 1, 2)
+}
+
+fn build(params: &Params, lump: bool) -> ItuaAnalytic {
+    ItuaAnalytic::with_options(
+        params,
+        &AnalyticOptions {
+            max_states: MAX_STATES,
+            lump,
+            threads: 1,
+        },
+    )
+    .expect("configuration fits the lumped budget")
+}
+
+/// Worst relative disagreement between lumped and unlumped solutions
+/// across every measure on the micro point.
+fn micro_max_rel_err() -> f64 {
+    let full = build(&micro_params(), false);
+    let lumped = build(&micro_params(), true);
+    let a = full
+        .solve(HORIZON, &[HORIZON], 0.95)
+        .expect("unlumped micro solve");
+    let b = lumped
+        .solve(HORIZON, &[HORIZON], 0.95)
+        .expect("lumped micro solve");
+    let (ea, eb) = (a.estimates(), b.estimates());
+    assert_eq!(ea.len(), eb.len(), "measure sets must match");
+    ea.iter()
+        .zip(&eb)
+        .map(|(x, y)| {
+            assert_eq!(x.name, y.name);
+            (x.ci.mean - y.ci.mean).abs() / x.ci.mean.abs().max(1e-12)
+        })
+        .fold(0.0, f64::max)
+}
+
+/// Resolves a `--json` path: relative paths are anchored at the
+/// workspace root (cargo runs bench binaries with cwd = crates/bench).
+fn resolve_json_path(path: &str) -> std::path::PathBuf {
+    let p = std::path::Path::new(path);
+    if p.is_absolute() {
+        return p.to_owned();
+    }
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/bench has a workspace root two levels up")
+        .join(p)
+}
+
+/// Rewrites `path`: `current` gets this run's values; `baseline` is kept
+/// from the existing file (or seeded with this run's values when the
+/// file does not exist or has no baseline).
+fn write_tracked_json(path: &std::path::Path, results: &[(String, f64)]) -> std::io::Result<()> {
+    let current = Json::Obj(
+        results
+            .iter()
+            .map(|(name, x)| (name.clone(), Json::Num(*x)))
+            .collect(),
+    );
+    let baseline = std::fs::read_to_string(path)
+        .ok()
+        .and_then(|text| Json::parse(&text).ok())
+        .and_then(|doc| doc.get("baseline").cloned())
+        .unwrap_or_else(|| current.clone());
+    let doc = Json::Obj(vec![
+        ("schema".into(), Json::Str("itua-analytic-lumped-v1".into())),
+        (
+            "unit".into(),
+            Json::Str("states, reduction factor, milliseconds, relative error".into()),
+        ),
+        ("baseline".into(), baseline),
+        ("current".into(), current),
+    ]);
+    std::fs::write(path, format!("{doc}\n"))
+}
+
+fn main() {
+    let mut quick = false;
+    let mut json_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" | "--test" => quick = true,
+            "--json" => json_path = Some(args.next().expect("--json needs a path")),
+            "--bench" => {} // passed by `cargo bench`
+            other => panic!("unknown argument '{other}' (try --quick, --json PATH)"),
+        }
+    }
+    let params = if quick {
+        quick_params()
+    } else {
+        headline_params()
+    };
+
+    let t0 = Instant::now();
+    let analytic = build(&params, true);
+    let build_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let lumped_states = analytic.num_states();
+    let full_states = analytic
+        .full_state_total()
+        .expect("lumped backend records the unreduced total");
+    let reduction = full_states as f64 / lumped_states as f64;
+
+    let t1 = Instant::now();
+    let solution = analytic
+        .solve(HORIZON, &[HORIZON], 0.95)
+        .expect("lumped headline solve");
+    let solve_ms = t1.elapsed().as_secs_f64() * 1e3;
+    let unavailability = solution
+        .mean("unavailability")
+        .expect("unavailability measure");
+    let unreliability = solution
+        .mean("unreliability")
+        .expect("unreliability measure");
+
+    let micro_err = micro_max_rel_err();
+
+    println!(
+        "lumped analytic point: {lumped_states} orbits / {full_states} tangible states \
+         ({reduction:.1}x), horizon {HORIZON} h"
+    );
+    println!("  build                  {build_ms:.0} ms");
+    println!("  solve                  {solve_ms:.0} ms");
+    println!("  unavailability         {unavailability:.6e}");
+    println!("  unreliability          {unreliability:.6e}");
+    println!("  micro_max_rel_err      {micro_err:.3e}");
+
+    assert!(
+        micro_err <= 1e-9,
+        "lumped vs unlumped micro disagreement {micro_err:.3e} exceeds 1e-9"
+    );
+
+    let results: Vec<(String, f64)> = vec![
+        ("lumped_states".into(), lumped_states as f64),
+        ("full_states".into(), full_states as f64),
+        ("reduction_factor".into(), reduction),
+        ("build_ms".into(), build_ms),
+        ("solve_ms".into(), solve_ms),
+        ("unavailability".into(), unavailability),
+        ("unreliability".into(), unreliability),
+        ("micro_max_rel_err".into(), micro_err),
+    ];
+
+    if let Some(path) = json_path {
+        let path = resolve_json_path(&path);
+        write_tracked_json(&path, &results).expect("writing tracked bench JSON");
+        println!("wrote {}", path.display());
+    }
+}

@@ -1,6 +1,8 @@
 //! Unified experiment CLI over the scenario registry.
 //!
-//! * `itua list` — the built-in scenarios and the `.scn` file format.
+//! * `itua list` — the built-in scenarios (with their analytic
+//!   feasibility: lumped vs full tangible state count on each
+//!   scenario's smallest sweep point) and the `.scn` file format.
 //! * `itua run <scenario|file.scn> [flags]` — run a scenario; flags are
 //!   exactly the legacy figure-binary flags (see `FigureCli`).
 //! * `itua check <scenario|file.scn> [flags]` — run the full structural
@@ -14,7 +16,9 @@ const USAGE: &str = "\
 usage: itua <command> [arguments]
 
 commands:
-  list                         list the built-in scenarios
+  list                         list the built-in scenarios, each with its
+                               analytic feasibility (symmetry-lumped vs full
+                               tangible state count on its smallest point)
   run <scenario|file.scn>      run a scenario (flags: --backend des|san|analytic,
                                --reps N, --seed S, --csv, --threads N, --batch N,
                                --max-states N, --results DIR, --no-resume,
@@ -43,7 +47,13 @@ fn main() {
     match cmd.as_str() {
         "list" => {
             for scenario in registry::registry() {
-                println!("{:<12} {}", scenario.name(), scenario.description());
+                println!(
+                    "{:<12} {}\n{:<12}   [{}]",
+                    scenario.name(),
+                    scenario.description(),
+                    "",
+                    driver::analytic_feasibility(scenario.as_ref()),
+                );
             }
             println!("{:<12} a user-authored scenario file", "<file.scn>");
         }

@@ -45,6 +45,45 @@ pub fn resolve(arg: &str) -> Result<Box<dyn Scenario>, String> {
     }
 }
 
+/// Analytic-feasibility summary for one scenario, shown by `itua list`:
+/// lumped vs full tangible state counts on the scenario's smallest
+/// analytic sweep point, probed under the unlumped default budget
+/// ([`ItuaAnalytic::DEFAULT_MAX_STATES`]), or `too large` when even the
+/// symmetry quotient exceeds it.
+pub fn analytic_feasibility(scenario: &dyn Scenario) -> String {
+    use itua_core::analytic::ItuaAnalytic;
+    use itua_runner::backend::BackendKind;
+    use itua_san::statespace::StateSpace;
+
+    let budget = ItuaAnalytic::DEFAULT_MAX_STATES;
+    let points = scenario.points(BackendKind::Analytic);
+    // Smallest point: fewest hosts, then fewest replicas — the cheapest
+    // configuration the analytic backend would be asked to flatten.
+    let Some(point) = points.iter().min_by_key(|p| {
+        (
+            p.params.num_domains * p.params.hosts_per_domain,
+            p.params.num_apps * p.params.reps_per_app,
+        )
+    }) else {
+        return "no points".to_owned();
+    };
+    let Ok(model) = san_model::build(&point.params) else {
+        return "model build failed".to_owned();
+    };
+    let sym = analysis::symmetry_spec(&model);
+    let lumped = StateSpace::generate_lumped(&model.san, &sym, budget)
+        .ok()
+        .map(|ss| ss.num_states());
+    let full = StateSpace::generate(&model.san, budget)
+        .ok()
+        .map(|ss| ss.num_states());
+    match (lumped, full) {
+        (Some(l), Some(f)) => format!("analytic: lumped {l} / full {f} states"),
+        (Some(l), None) => format!("analytic: lumped {l} states (full >{budget})"),
+        (None, _) => format!("analytic: too large (>{budget} even lumped)"),
+    }
+}
+
 /// Runs `scenario` under the parsed CLI flags and prints its figures.
 /// Returns the process exit code: 0 on success, 1 on a runtime error,
 /// 2 when `--check` surfaced hard analyzer findings.

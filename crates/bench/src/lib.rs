@@ -33,9 +33,16 @@ use std::path::PathBuf;
 ///   purely an amortisation knob, results are identical for every
 ///   choice),
 /// * `--max-states N` — state budget: for the analytic backend, the
-///   bound on the tangible state space before a configuration is
-///   rejected (default 100000); for `itua check --exhaustive`, the
-///   exploration budget in quotient states (default 2^20),
+///   bound on generated states before a configuration is rejected
+///   (default 1000000 lumped, 100000 unlumped); for `itua check
+///   --exhaustive`, the exploration budget in quotient states (default
+///   2^20),
+/// * `--lump` / `--no-lump` — solve the analytic backend on the exact
+///   symmetry-lumped chain (the default) or on the full tangible state
+///   space. Lumping collapses interchangeable domains/hosts/replicas
+///   into orbit representatives — same measures, orders of magnitude
+///   fewer states; `--no-lump` reproduces the pre-lumping stores byte
+///   for byte,
 /// * `--results DIR` — result-store directory (default `results/`),
 /// * `--no-resume` — disable the result store: re-simulate every point
 ///   and write no results file,
@@ -149,9 +156,11 @@ impl FigureCli {
                         .and_then(|v| v.parse().ok())
                         .filter(|&n| n > 0)
                         .unwrap_or_else(|| panic!("--max-states needs a positive integer"));
-                    cli.backend_opts.analytic_max_states = n;
+                    cli.backend_opts.analytic_max_states = Some(n);
                     cli.check_max_states = Some(n);
                 }
+                "--lump" => cli.backend_opts.analytic_lump = true,
+                "--no-lump" => cli.backend_opts.analytic_lump = false,
                 "--csv" => cli.csv = true,
                 "--threads" => {
                     cli.threads = it
@@ -187,9 +196,9 @@ impl FigureCli {
                 "--quiet" => cli.quiet = true,
                 other => panic!(
                     "unknown argument '{other}' (try --backend des|san|analytic, \
-                     --reps N, --seed S, --csv, --max-states N, --threads N, \
-                     --batch N, --results DIR, --no-resume, --check, --no-check, \
-                     --exhaustive, --json, --split-levels SPEC, --quiet)"
+                     --reps N, --seed S, --csv, --max-states N, --lump, --no-lump, \
+                     --threads N, --batch N, --results DIR, --no-resume, --check, \
+                     --no-check, --exhaustive, --json, --split-levels SPEC, --quiet)"
                 ),
             }
         }
@@ -208,12 +217,17 @@ impl FigureCli {
     /// Execution options for `run_with`, borrowing `progress` (obtain it
     /// from [`FigureCli::progress`]).
     pub fn opts<'a>(&self, progress: &'a dyn Progress) -> RunOpts<'a> {
+        let runner = RunnerConfig::default()
+            .with_threads(self.threads)
+            .with_batch_size(self.batch_size);
+        // The analytic kernel is bit-identical at any thread count, so
+        // the simulators' worker count doubles as its matvec width.
+        let mut backend_opts = self.backend_opts;
+        backend_opts.analytic_threads = runner.effective_threads();
         RunOpts {
             backend: self.backend,
-            backend_opts: self.backend_opts,
-            runner: RunnerConfig::default()
-                .with_threads(self.threads)
-                .with_batch_size(self.batch_size),
+            backend_opts,
+            runner,
             progress,
             results_dir: self.results_dir.clone(),
             check: if self.no_check {
@@ -329,11 +343,25 @@ mod tests {
                 .map(String::from),
         );
         assert_eq!(cli.backend, BackendKind::Analytic);
-        assert_eq!(cli.backend_opts.analytic_max_states, 5000);
+        assert_eq!(cli.backend_opts.analytic_max_states, Some(5000));
+        assert!(cli.backend_opts.analytic_lump, "lumping is the default");
         let progress = cli.progress();
         let opts = cli.opts(progress.as_ref());
         assert_eq!(opts.backend, BackendKind::Analytic);
-        assert_eq!(opts.backend_opts.analytic_max_states, 5000);
+        assert_eq!(opts.backend_opts.analytic_max_states, Some(5000));
+    }
+
+    #[test]
+    fn parses_lump_flags() {
+        let cli = FigureCli::parse(["--no-lump".to_owned()]);
+        assert!(!cli.backend_opts.analytic_lump);
+        let cli = FigureCli::parse(["--no-lump".to_owned(), "--lump".to_owned()]);
+        assert!(cli.backend_opts.analytic_lump, "last flag wins");
+        // The runner's effective thread count feeds the analytic kernel.
+        let cli = FigureCli::parse(["--threads".to_owned(), "6".to_owned()]);
+        let progress = cli.progress();
+        let opts = cli.opts(progress.as_ref());
+        assert_eq!(opts.backend_opts.analytic_threads, 6);
     }
 
     #[test]
@@ -346,7 +374,7 @@ mod tests {
         assert!(cli.exhaustive);
         assert!(cli.json);
         assert_eq!(cli.check_max_states, Some(50000));
-        assert_eq!(cli.backend_opts.analytic_max_states, 50000);
+        assert_eq!(cli.backend_opts.analytic_max_states, Some(50000));
         // Absent --max-states leaves the exhaustive budget at its own
         // default rather than inheriting the analytic bound.
         let cli = FigureCli::parse(Vec::<String>::new());

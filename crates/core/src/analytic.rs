@@ -32,10 +32,24 @@
 //! estimates (`value ± 0`), so everything downstream — stores,
 //! fingerprints, figure plotting — treats the analytic backend like a
 //! simulator whose every replication agrees.
+//!
+//! # Symmetry lumping
+//!
+//! By default ([`AnalyticOptions::lump`]) the chain is generated directly
+//! in canonical (orbit-representative) form under the model's
+//! wreath-product symmetry ([`crate::analysis::symmetry_spec`]):
+//! interchangeable domains, hosts within a domain, and replica slots
+//! within an application collapse into one state per orbit, shrinking the
+//! paper's configurations by orders of magnitude while staying *exact* —
+//! the group action is a model automorphism, and every measure above is
+//! orbit-invariant (applications are not permuted, and the Byzantine
+//! state sets are orbit unions, so the per-application absorbed chains
+//! lump too). The unlumped path remains available and byte-identical to
+//! its pre-lumping results.
 
 use crate::measures::{names, MeasureSet};
 use crate::params::Params;
-use crate::san_model::{self, BuildError};
+use crate::san_model::{self, BuildError, ItuaSan};
 use itua_markov::ctmc::{Ctmc, CtmcError};
 use itua_san::model::SanError;
 use itua_san::statespace::StateSpace;
@@ -49,12 +63,18 @@ const EPSILON: f64 = 1e-10;
 #[derive(Debug)]
 pub enum AnalyticError {
     /// The tangible state space exceeds the configured bound; the
-    /// configuration needs a simulation backend.
+    /// configuration needs symmetry lumping, a larger bound, or a
+    /// simulation backend.
     TooLarge {
         /// The bound that was exceeded.
         max_states: usize,
         /// Human-readable description of the offending configuration.
         config: String,
+        /// When the *unlumped* generation overflowed but the
+        /// symmetry-lumped chain fits the same bound: its measured state
+        /// count, so the error can steer the user to `--lump` instead of
+        /// a simulator.
+        lumped_fit: Option<usize>,
     },
     /// The SAN could not be built from the parameters.
     Build(BuildError),
@@ -67,7 +87,21 @@ pub enum AnalyticError {
 impl fmt::Display for AnalyticError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            AnalyticError::TooLarge { max_states, config } => write!(
+            AnalyticError::TooLarge {
+                max_states,
+                config,
+                lumped_fit: Some(lumped),
+            } => write!(
+                f,
+                "analytic backend supports ≤{max_states} states; got config {config} — \
+                 symmetry lumping fits it in {lumped} states: retry with --lump \
+                 (or raise --max-states), or use des/san"
+            ),
+            AnalyticError::TooLarge {
+                max_states,
+                config,
+                lumped_fit: None,
+            } => write!(
                 f,
                 "analytic backend supports ≤{max_states} states; got config {config} — use des/san"
             ),
@@ -85,6 +119,45 @@ fn describe(params: &Params) -> String {
         "{} domains × {} hosts/domain, {} apps × {} replicas",
         params.num_domains, params.hosts_per_domain, params.num_apps, params.reps_per_app
     )
+}
+
+/// How to build the analytic model: state budget, symmetry lumping, and
+/// solver threading.
+///
+/// Lumping changes *which* chain is solved (the exact symmetry quotient
+/// instead of the full tangible space), so it participates in sweep
+/// fingerprints; the thread count only schedules the bit-identical gather
+/// kernel and never influences results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AnalyticOptions {
+    /// Bound on generated states (lumped: orbits) before failing fast.
+    pub max_states: usize,
+    /// Generate the chain in canonical orbit-representative form under
+    /// [`crate::analysis::symmetry_spec`]. Exact; on by default.
+    pub lump: bool,
+    /// Worker threads for the uniformization matvec (results are
+    /// bit-identical at any count).
+    pub threads: usize,
+}
+
+impl Default for AnalyticOptions {
+    fn default() -> Self {
+        AnalyticOptions {
+            max_states: ItuaAnalytic::DEFAULT_MAX_STATES_LUMPED,
+            lump: true,
+            threads: 1,
+        }
+    }
+}
+
+/// Measures the lumped state count for `model` under the same budget, so
+/// a [`AnalyticError::TooLarge`] from the unlumped path can report whether
+/// `--lump` would have fit.
+fn lumped_probe(model: &ItuaSan, max_states: usize) -> Option<usize> {
+    let sym = crate::analysis::symmetry_spec(model);
+    StateSpace::generate_lumped(&model.san, &sym, max_states)
+        .ok()
+        .map(|ss| ss.num_states())
 }
 
 /// The ITUA model solved exactly: tangible state space, reward vectors,
@@ -106,16 +179,28 @@ pub struct ItuaAnalytic {
     /// Per application: the chain with that application's Byzantine states
     /// made absorbing, plus the absorbing flags.
     byz: Vec<(Ctmc, Vec<bool>)>,
+    /// Whether the chain is the symmetry quotient.
+    lumped: bool,
+    /// When lumped: total tangible states the quotient represents
+    /// (sum of orbit sizes, saturating).
+    full_states: Option<u128>,
 }
 
 impl ItuaAnalytic {
-    /// Default bound on the tangible state space. Two-domain, two-host
-    /// configurations sit in the low thousands of states; figure-4-scale
-    /// configurations blow through this bound within seconds of generation
-    /// and fail fast.
+    /// Default bound on the tangible state space for the *unlumped* path.
+    /// Two-domain, two-host configurations sit in the low thousands of
+    /// states; figure-4-scale configurations blow through this bound
+    /// within seconds of generation and fail fast.
     pub const DEFAULT_MAX_STATES: usize = 100_000;
 
-    /// Builds the state space and reward structure for `params`.
+    /// Default bound for the *lumped* path. Orbits are orders of magnitude
+    /// fewer than raw states, so the budget can afford to be an order of
+    /// magnitude larger and still solve in seconds.
+    pub const DEFAULT_MAX_STATES_LUMPED: usize = 1_000_000;
+
+    /// Builds the *unlumped* state space and reward structure for
+    /// `params`. Byte-identical to the pre-lumping analytic backend;
+    /// prefer [`ItuaAnalytic::with_options`].
     ///
     /// # Errors
     ///
@@ -124,11 +209,41 @@ impl ItuaAnalytic {
     /// [`AnalyticError::San`] / [`AnalyticError::Ctmc`] for construction
     /// failures.
     pub fn new(params: &Params, max_states: usize) -> Result<Self, AnalyticError> {
+        Self::with_options(
+            params,
+            &AnalyticOptions {
+                max_states,
+                lump: false,
+                threads: 1,
+            },
+        )
+    }
+
+    /// Builds the state space and reward structure for `params`, lumped or
+    /// plain per `opts`.
+    ///
+    /// # Errors
+    ///
+    /// As [`ItuaAnalytic::new`]; an unlumped [`AnalyticError::TooLarge`]
+    /// additionally reports whether the symmetry quotient would have fit
+    /// the same budget.
+    pub fn with_options(params: &Params, opts: &AnalyticOptions) -> Result<Self, AnalyticError> {
         let model = san_model::build(params).map_err(AnalyticError::Build)?;
-        let ss = StateSpace::generate(&model.san, max_states).map_err(|e| match e {
+        let ss = if opts.lump {
+            let sym = crate::analysis::symmetry_spec(&model);
+            StateSpace::generate_lumped(&model.san, &sym, opts.max_states)
+        } else {
+            StateSpace::generate(&model.san, opts.max_states)
+        }
+        .map_err(|e| match e {
             SanError::StateSpaceTooLarge(max) => AnalyticError::TooLarge {
                 max_states: max,
                 config: describe(params),
+                lumped_fit: if opts.lump {
+                    None
+                } else {
+                    lumped_probe(&model, max)
+                },
             },
             other => AnalyticError::San(other),
         })?;
@@ -152,10 +267,16 @@ impl ItuaAnalytic {
             }
         });
         let byz = (0..params.num_apps)
-            .map(|a| ss.absorbing_ctmc(|m| places.byzantine(m, a)))
+            .map(|a| {
+                ss.absorbing_ctmc(|m| places.byzantine(m, a))
+                    .map(|(c, flags)| (c.with_threads(opts.threads), flags))
+            })
             .collect::<Result<Vec<_>, _>>()
             .map_err(AnalyticError::Ctmc)?;
-        let ctmc = ss.to_ctmc().map_err(AnalyticError::Ctmc)?;
+        let ctmc = ss
+            .to_ctmc()
+            .map_err(AnalyticError::Ctmc)?
+            .with_threads(opts.threads);
         Ok(ItuaAnalytic {
             num_states: ss.num_states(),
             initial: ss.initial_distribution(),
@@ -165,12 +286,25 @@ impl ItuaAnalytic {
             mean_replicas_running,
             load_per_host,
             byz,
+            lumped: opts.lump,
+            full_states: ss.full_state_total(),
         })
     }
 
-    /// Number of tangible states in the composed model.
+    /// Number of generated states (orbits, when lumped).
     pub fn num_states(&self) -> usize {
         self.num_states
+    }
+
+    /// Whether the chain is the symmetry quotient.
+    pub fn is_lumped(&self) -> bool {
+        self.lumped
+    }
+
+    /// Total tangible states the lumped chain represents (sum of orbit
+    /// sizes, saturating); `None` on the unlumped path.
+    pub fn full_state_total(&self) -> Option<u128> {
+        self.full_states
     }
 
     /// Solves every analytically expressible measure over `[0, horizon]`
@@ -282,6 +416,56 @@ mod tests {
         assert!(mean(&format!("{}@5", names::REPLICAS_RUNNING)) >= 0.0);
         assert!(ms.mean(names::FRAC_CORRUPT_AT_EXCLUSION).is_none());
         assert!(ms.mean(names::TIME_TO_FIRST_BYZANTINE).is_none());
+    }
+
+    /// Two interchangeable single-host domains so the symmetry quotient
+    /// is a strict reduction; spread disabled to keep debug-build
+    /// generation fast.
+    fn symmetric_micro_params() -> Params {
+        let mut p = Params::default().with_domains(2, 1).with_applications(1, 2);
+        p.spread_rate_domain = 0.0;
+        p.spread_rate_system = 0.0;
+        p
+    }
+
+    #[test]
+    fn lumped_solution_matches_unlumped_on_micro_config() {
+        let p = symmetric_micro_params();
+        let full = ItuaAnalytic::new(&p, 1_000_000).unwrap();
+        let lumped = ItuaAnalytic::with_options(&p, &AnalyticOptions::default()).unwrap();
+        assert!(lumped.is_lumped());
+        assert!(!full.is_lumped());
+        assert!(lumped.num_states() < full.num_states());
+        assert_eq!(full.full_state_total(), None);
+        assert_eq!(lumped.full_state_total(), Some(full.num_states() as u128));
+        let a = full.solve(5.0, &[1.0, 5.0], 0.95).unwrap();
+        let b = lumped.solve(5.0, &[1.0, 5.0], 0.95).unwrap();
+        assert_eq!(a.estimates().len(), b.estimates().len());
+        for e in &a.estimates() {
+            let other = b.mean(&e.name).unwrap();
+            let denom = e.ci.mean.abs().max(1e-12);
+            assert!(
+                ((e.ci.mean - other) / denom).abs() < 1e-9,
+                "{}: full {} vs lumped {}",
+                e.name,
+                e.ci.mean,
+                other
+            );
+        }
+    }
+
+    #[test]
+    fn too_large_reports_lumped_fit_when_quotient_fits() {
+        let p = symmetric_micro_params();
+        let lumped_n = ItuaAnalytic::with_options(&p, &AnalyticOptions::default())
+            .unwrap()
+            .num_states();
+        // A budget that admits the quotient but not the full space.
+        let err = ItuaAnalytic::new(&p, lumped_n).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("--lump"), "{msg}");
+        assert!(msg.contains(&format!("{lumped_n} states")), "{msg}");
+        assert!(msg.contains("use des/san"), "{msg}");
     }
 
     #[test]

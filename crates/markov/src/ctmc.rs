@@ -10,6 +10,16 @@
 //!   unavailability.
 //! * [`Ctmc::steady_state`] — stationary distribution by Gauss–Seidel /
 //!   power iteration on the uniformized chain.
+//!
+//! All uniformization solvers run on one sparse kernel: a *gather*
+//! formulation of `y = xᵀ(I + Q/Λ)` over the transposed (incoming) CSR
+//! structure, with ping-ponged iterate buffers (no per-step allocation).
+//! Each output element accumulates its incoming terms in ascending-source
+//! order with the self-loop term merged in at `s == t` — the exact
+//! floating-point order the classic scatter formulation produces — so
+//! results are bit-identical to the scatter kernel, and to themselves at
+//! any thread count ([`Ctmc::with_threads`] splits output elements into
+//! contiguous chunks, each computed by exactly one thread).
 
 use crate::poisson::PoissonWeights;
 use crate::sparse::{CsrMatrix, SparseError};
@@ -91,9 +101,21 @@ pub struct Ctmc {
     n: usize,
     /// Off-diagonal rate matrix (diagonal implicit).
     rates: CsrMatrix,
+    /// Transpose of `rates`: row `t` lists the *incoming* `(source, rate)`
+    /// entries of state `t` in ascending source order — the structure the
+    /// gather kernel walks.
+    incoming: CsrMatrix,
     /// Exit rate of each state (sum of outgoing rates).
     exit_rates: Vec<f64>,
+    /// Worker threads for the uniformized step (1 = inline). Never
+    /// influences results: the gather kernel computes each output element
+    /// independently in a fixed per-element order.
+    threads: usize,
 }
+
+/// Below this state count the uniformized step always runs inline:
+/// per-step thread spawns would cost more than the matvec itself.
+const PARALLEL_CUTOFF: usize = 4096;
 
 impl Ctmc {
     /// Builds a CTMC from off-diagonal transition rates
@@ -113,12 +135,31 @@ impl Ctmc {
             }
         }
         let rates = CsrMatrix::from_triplets(n, n, transitions)?;
+        let incoming = rates.transpose();
         let exit_rates = (0..n).map(|s| rates.row_sum(s)).collect();
         Ok(Ctmc {
             n,
             rates,
+            incoming,
             exit_rates,
+            threads: 1,
         })
+    }
+
+    /// Sets the worker-thread count for the uniformized-step kernel and
+    /// returns the chain. A value of 0 or 1 keeps the step inline. Thread
+    /// count never influences results — each output element is computed
+    /// by exactly one thread in a fixed per-element floating-point order —
+    /// so solutions are byte-identical at any setting.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Worker threads configured for the uniformized-step kernel.
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// Number of states.
@@ -147,9 +188,63 @@ impl Ctmc {
         }
     }
 
-    /// One step of the uniformized DTMC: `y = xᵀ P` where
-    /// `P = I + Q/Λ`.
-    fn uniformized_step(&self, x: &[f64], lambda: f64) -> Vec<f64> {
+    /// One step of the uniformized DTMC, `y = xᵀ P` with `P = I + Q/Λ`,
+    /// written into the caller's buffer (every element overwritten).
+    ///
+    /// Gather formulation over the incoming CSR structure; splits the
+    /// output into contiguous chunks across [`Ctmc::threads`] workers.
+    /// Bit-identical to the scatter formulation at any thread count (see
+    /// the module docs and [`Ctmc::uniformized_step_scatter`]).
+    fn uniformized_step_into(&self, x: &[f64], lambda: f64, y: &mut [f64]) {
+        debug_assert_eq!(x.len(), self.n);
+        debug_assert_eq!(y.len(), self.n);
+        if self.threads <= 1 || self.n < PARALLEL_CUTOFF {
+            self.gather_chunk(x, lambda, y, 0);
+            return;
+        }
+        let chunk = self.n.div_ceil(self.threads);
+        std::thread::scope(|scope| {
+            for (i, ys) in y.chunks_mut(chunk).enumerate() {
+                scope.spawn(move || self.gather_chunk(x, lambda, ys, i * chunk));
+            }
+        });
+    }
+
+    /// Computes `y[j] = (xᵀP)[start + j]` for one contiguous output chunk.
+    ///
+    /// Each element accumulates its incoming terms in ascending-source
+    /// order, with the self-loop term `x[t]·(1 − E[t]/Λ)` merged in at the
+    /// position `s == t` — exactly the order in which the scatter
+    /// formulation (outer loop over sources) adds contributions to `y[t]`,
+    /// including its skip of zero-mass sources. Identical term order means
+    /// identical rounding, so gather and scatter agree bit for bit.
+    fn gather_chunk(&self, x: &[f64], lambda: f64, y: &mut [f64], start: usize) {
+        for (j, yt) in y.iter_mut().enumerate() {
+            let t = start + j;
+            let xt = x[t];
+            let mut acc = 0.0;
+            let mut self_term_pending = xt != 0.0;
+            for (s, r) in self.incoming.row(t) {
+                if self_term_pending && s > t {
+                    acc += xt * (1.0 - self.exit_rates[t] / lambda);
+                    self_term_pending = false;
+                }
+                let xs = x[s];
+                if xs != 0.0 {
+                    acc += xs * r / lambda;
+                }
+            }
+            if self_term_pending {
+                acc += xt * (1.0 - self.exit_rates[t] / lambda);
+            }
+            *yt = acc;
+        }
+    }
+
+    /// The original scatter formulation of the uniformized step, kept as
+    /// the oracle the gather kernel is tested against bit for bit.
+    #[cfg(test)]
+    fn uniformized_step_scatter(&self, x: &[f64], lambda: f64) -> Vec<f64> {
         let mut y = vec![0.0; self.n];
         for (s, &xs) in x.iter().enumerate() {
             if xs == 0.0 {
@@ -221,6 +316,7 @@ impl Ctmc {
             return Ok(acc); // every requested time is 0
         };
         let mut x = initial.to_vec();
+        let mut y = vec![0.0; self.n];
         for k in 0..=right_max {
             for (i, w) in weights.iter().enumerate() {
                 let Some(w) = w else { continue };
@@ -232,7 +328,8 @@ impl Ctmc {
                 }
             }
             if k < right_max {
-                x = self.uniformized_step(&x, lambda);
+                self.uniformized_step_into(&x, lambda, &mut y);
+                std::mem::swap(&mut x, &mut y);
             }
         }
         Ok(acc)
@@ -269,6 +366,7 @@ impl Ctmc {
         // Build cumulative from the truncated window (mass outside is ~ε).
         let mut acc = 0.0;
         let mut x = initial.to_vec();
+        let mut y = vec![0.0; self.n];
         // Precompute suffix sums of weights: P[N ≥ k+1] for window indices.
         let mut suffix = vec![0.0; weights.weights.len() + 1];
         for i in (0..weights.weights.len()).rev() {
@@ -278,7 +376,8 @@ impl Ctmc {
         for _ in 0..weights.left {
             let r: f64 = x.iter().zip(reward).map(|(p, r)| p * r).sum();
             acc += r;
-            x = self.uniformized_step(&x, lambda);
+            self.uniformized_step_into(&x, lambda, &mut y);
+            std::mem::swap(&mut x, &mut y);
         }
         for i in 0..weights.weights.len() {
             let tail = suffix[i + 1];
@@ -288,7 +387,8 @@ impl Ctmc {
             let r: f64 = x.iter().zip(reward).map(|(p, r)| p * r).sum();
             acc += tail * r;
             if i + 1 < weights.weights.len() {
-                x = self.uniformized_step(&x, lambda);
+                self.uniformized_step_into(&x, lambda, &mut y);
+                std::mem::swap(&mut x, &mut y);
             }
         }
         Ok(acc / lambda)
@@ -307,11 +407,12 @@ impl Ctmc {
     pub fn steady_state(&self, tol: f64, max_iter: usize) -> Result<Vec<f64>, CtmcError> {
         let lambda = self.uniformization_rate();
         let mut x = vec![1.0 / self.n as f64; self.n];
+        let mut y = vec![0.0; self.n];
         let mut residual = f64::INFINITY;
         for _ in 0..max_iter {
-            let y = self.uniformized_step(&x, lambda);
+            self.uniformized_step_into(&x, lambda, &mut y);
             residual = x.iter().zip(&y).map(|(a, b)| (a - b).abs()).sum::<f64>();
-            x = y;
+            std::mem::swap(&mut x, &mut y);
             if residual < tol {
                 // Renormalize against drift.
                 let s: f64 = x.iter().sum();
@@ -651,5 +752,85 @@ mod tests {
         let p = ctmc.transient(&[1.0, 0.0], 100.0, 1e-12).unwrap();
         let pi = ctmc.steady_state(1e-13, 100_000).unwrap();
         assert!((p[0] - pi[0]).abs() < 1e-9);
+    }
+
+    /// A deterministic pseudo-random chain: `n` states, ~`deg` outgoing
+    /// edges per state with LCG-derived targets and rates.
+    fn pseudo_random_chain(n: usize, deg: usize, seed: u64) -> Ctmc {
+        let mut state = seed;
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        let mut rates = Vec::new();
+        for s in 0..n {
+            for _ in 0..deg {
+                let t = (next() as usize) % n;
+                if t == s {
+                    continue;
+                }
+                let r = 0.25 + (next() % 1000) as f64 / 500.0;
+                rates.push((s, t, r));
+            }
+        }
+        Ctmc::from_rates(n, &rates).unwrap()
+    }
+
+    #[test]
+    fn gather_step_is_bit_identical_to_scatter_oracle() {
+        let ctmc = pseudo_random_chain(97, 5, 20030622);
+        let lambda = ctmc.uniformization_rate();
+        // A few iterates, including sparse early vectors with zero mass.
+        let mut x = vec![0.0; 97];
+        x[13] = 1.0;
+        for step in 0..40 {
+            let scatter = ctmc.uniformized_step_scatter(&x, lambda);
+            let mut gather = vec![0.0; 97];
+            ctmc.uniformized_step_into(&x, lambda, &mut gather);
+            for (s, (a, b)) in scatter.iter().zip(&gather).enumerate() {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "step {step}, state {s}: {a} vs {b}"
+                );
+            }
+            x = gather;
+        }
+    }
+
+    #[test]
+    fn threaded_solve_is_byte_identical_to_inline() {
+        // Big enough to clear PARALLEL_CUTOFF so threads actually spawn.
+        let n = 5000;
+        let rates: Vec<(usize, usize, f64)> = (0..n - 1)
+            .flat_map(|s| {
+                [
+                    (s, s + 1, 1.0 + (s % 7) as f64 / 3.0),
+                    (s + 1, s, 2.0 + (s % 5) as f64 / 4.0),
+                ]
+            })
+            .collect();
+        let inline = Ctmc::from_rates(n, &rates).unwrap();
+        let threaded = inline.clone().with_threads(8);
+        assert!(n >= PARALLEL_CUTOFF);
+        let mut init = vec![0.0; n];
+        init[0] = 0.25;
+        init[n / 2] = 0.75;
+        let a = inline.transient_multi(&init, &[0.4, 1.7], 1e-12).unwrap();
+        let b = threaded.transient_multi(&init, &[0.4, 1.7], 1e-12).unwrap();
+        for (da, db) in a.iter().zip(&b) {
+            for (x, y) in da.iter().zip(db) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+        let ra = inline
+            .expected_accumulated_reward(&init, &vec![1.0; n], 0.9, 1e-12)
+            .unwrap();
+        let rb = threaded
+            .expected_accumulated_reward(&init, &vec![1.0; n], 0.9, 1e-12)
+            .unwrap();
+        assert_eq!(ra.to_bits(), rb.to_bits());
     }
 }

@@ -25,7 +25,7 @@
 
 use crate::engine::{replicate_batched, RunnerConfig};
 use crate::progress::Progress;
-use itua_core::analytic::{AnalyticError, ItuaAnalytic};
+use itua_core::analytic::{AnalyticError, AnalyticOptions, ItuaAnalytic};
 use itua_core::des::{DesScratch, ItuaDes};
 use itua_core::measures::{MeasureSet, RunOutput};
 use itua_core::params::Params;
@@ -303,19 +303,49 @@ impl std::fmt::Display for BackendKind {
     }
 }
 
-/// Options for backend construction that are not model parameters (they
-/// never influence results, only whether a backend accepts a
-/// configuration), so they stay out of sweep fingerprints.
+/// Options for backend construction that are not model parameters.
+///
+/// The state budget and thread count never influence results — only
+/// whether a backend accepts a configuration and how fast it solves — so
+/// they stay out of sweep fingerprints. [`BackendOptions::analytic_lump`]
+/// selects the exact symmetry quotient: the measures are identical in
+/// exact arithmetic but the chain differs, so the sweep fingerprint
+/// records it (see `itua-studies`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BackendOptions {
-    /// State-space bound for the analytic backend.
-    pub analytic_max_states: usize,
+    /// State-space bound for the analytic backend; `None` uses the
+    /// per-mode default ([`ItuaAnalytic::DEFAULT_MAX_STATES_LUMPED`] when
+    /// lumping, [`ItuaAnalytic::DEFAULT_MAX_STATES`] otherwise).
+    pub analytic_max_states: Option<usize>,
+    /// Solve the analytic backend on the symmetry-lumped chain (exact;
+    /// the default).
+    pub analytic_lump: bool,
+    /// Worker threads for the analytic uniformization kernel (results
+    /// are bit-identical at any count).
+    pub analytic_threads: usize,
 }
 
 impl Default for BackendOptions {
     fn default() -> Self {
         BackendOptions {
-            analytic_max_states: ItuaAnalytic::DEFAULT_MAX_STATES,
+            analytic_max_states: None,
+            analytic_lump: true,
+            analytic_threads: 1,
+        }
+    }
+}
+
+impl BackendOptions {
+    /// The [`AnalyticOptions`] these backend options select.
+    pub fn analytic_options(&self) -> AnalyticOptions {
+        AnalyticOptions {
+            max_states: self.analytic_max_states.unwrap_or(if self.analytic_lump {
+                ItuaAnalytic::DEFAULT_MAX_STATES_LUMPED
+            } else {
+                ItuaAnalytic::DEFAULT_MAX_STATES
+            }),
+            lump: self.analytic_lump,
+            threads: self.analytic_threads.max(1),
         }
     }
 }
@@ -375,7 +405,7 @@ impl ItuaBackend {
             BackendKind::San => ItuaSanRunner::new(params)
                 .map(ItuaBackend::San)
                 .map_err(|e| BackendError::new(format!("SAN build failed: {e}"))),
-            BackendKind::Analytic => ItuaAnalytic::new(params, opts.analytic_max_states)
+            BackendKind::Analytic => ItuaAnalytic::with_options(params, &opts.analytic_options())
                 .map(ItuaBackend::Analytic)
                 .map_err(Into::into),
         }
@@ -800,7 +830,9 @@ mod tests {
         // rejection fast without changing its nature.
         let params = Params::default().with_domains(4, 3).with_applications(4, 7);
         let opts = BackendOptions {
-            analytic_max_states: 2_000,
+            analytic_max_states: Some(2_000),
+            analytic_lump: false,
+            analytic_threads: 1,
         };
         let Err(err) = ItuaBackend::for_params_with(BackendKind::Analytic, &params, &opts) else {
             panic!("figure-4-scale config must be rejected")
@@ -811,6 +843,47 @@ mod tests {
             "{msg}"
         );
         assert!(msg.contains("use des/san"), "{msg}");
+    }
+
+    #[test]
+    fn lumped_and_unlumped_backends_agree_on_micro_config() {
+        let lumped = BackendOptions::default();
+        assert!(lumped.analytic_lump);
+        let unlumped = BackendOptions {
+            analytic_lump: false,
+            ..lumped
+        };
+        let run = |opts: &BackendOptions| {
+            let backend =
+                ItuaBackend::for_params_with(BackendKind::Analytic, &micro_params(), opts).unwrap();
+            run_measures(
+                &backend,
+                1,
+                0.95,
+                0,
+                5.0,
+                &[2.5, 5.0],
+                &RunnerConfig::serial(),
+                &NullProgress,
+            )
+            .unwrap()
+        };
+        let a = run(&lumped);
+        let b = run(&unlumped);
+        let ea = a.estimates();
+        let eb = b.estimates();
+        assert_eq!(ea.len(), eb.len());
+        for (x, y) in ea.iter().zip(&eb) {
+            assert_eq!(x.name, y.name);
+            let denom = x.ci.mean.abs().max(1e-12);
+            assert!(
+                ((x.ci.mean - y.ci.mean) / denom).abs() < 1e-9,
+                "{}: lumped {} vs unlumped {}",
+                x.name,
+                x.ci.mean,
+                y.ci.mean
+            );
+        }
     }
 
     #[test]

@@ -16,7 +16,10 @@
 //!   (time-averaged), sticky indicators, and event-triggered observations.
 //! * [`statespace`] — exhaustive state-space generation that flattens an
 //!   all-exponential SAN into a CTMC for `itua-markov` (with on-the-fly
-//!   elimination of vanishing markings).
+//!   elimination of vanishing markings), plain or symmetry-lumped.
+//! * [`sym`] — wreath-product marking symmetries: canonicalization and
+//!   orbit sizes, shared by the lumped generator and the analyzer's
+//!   quotient explorer.
 //!
 //! # Example
 //!
@@ -69,6 +72,7 @@ pub mod model;
 pub mod reward;
 pub mod simulator;
 pub mod statespace;
+pub mod sym;
 
 pub use compose::{ComposedModel, Node};
 pub use marking::{Marking, PlaceId};

@@ -12,6 +12,7 @@
 
 use crate::marking::Marking;
 use crate::model::{ActivityId, San, SanError, Timing};
+use crate::sym::SymmetrySpec;
 use itua_markov::ctmc::{Ctmc, CtmcError};
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
@@ -42,6 +43,11 @@ pub struct StateSpace {
     /// Distribution over tangible states equivalent to the (possibly
     /// vanishing) initial marking.
     initial: Vec<(usize, f64)>,
+    /// Per-state orbit sizes when generated lumped
+    /// ([`StateSpace::generate_lumped`]): state `i` represents
+    /// `orbit_sizes[i]` markings of the unreduced chain. `None` for the
+    /// plain generator.
+    orbit_sizes: Option<Vec<u128>>,
 }
 
 impl StateSpace {
@@ -150,12 +156,170 @@ impl StateSpace {
             markings,
             transitions,
             initial,
+            orbit_sizes: None,
+        })
+    }
+
+    /// Explores the reachable tangible state space *in canonical form*
+    /// under `sym`, producing the exactly-lumped CTMC: every state is the
+    /// lexicographically least member of its orbit, and summing a
+    /// representative's outgoing rates by target orbit (done when the
+    /// transition list is assembled into a [`Ctmc`]) yields the quotient
+    /// chain. Exact lumpability holds because a [`SymmetrySpec`] asserts
+    /// the group action is a model automorphism; any orbit-invariant
+    /// reward is then solved exactly on the quotient.
+    ///
+    /// [`StateSpace::orbit_sizes`] reports how many markings of the
+    /// unreduced chain each representative stands for, so
+    /// `Σ orbit_sizes = full tangible state count` — the cross-check the
+    /// analyzer's unreduced explorer provides on micro configurations.
+    ///
+    /// # Errors
+    ///
+    /// The same family as [`StateSpace::generate`], with `max_states`
+    /// bounding the number of *orbits* interned.
+    pub fn generate_lumped(
+        san: &Arc<San>,
+        sym: &SymmetrySpec,
+        max_states: usize,
+    ) -> Result<Self, SanError> {
+        for (_, act) in san.activities() {
+            if let Timing::General(_) = act.timing() {
+                return Err(SanError::NonMarkovian(act.name().to_owned()));
+            }
+        }
+
+        let mut index: HashMap<Marking, usize> = HashMap::new();
+        let mut markings: Vec<Marking> = Vec::new();
+        let mut orbit_sizes: Vec<u128> = Vec::new();
+        let mut transitions: Vec<(usize, usize, f64)> = Vec::new();
+        let mut frontier: VecDeque<usize> = VecDeque::new();
+
+        // Canonicalize *before* interning: two tangible successors in the
+        // same orbit merge into one state, and their probabilities/rates
+        // sum when the transition list is assembled into a CTMC.
+        let intern = |m: Marking,
+                      markings: &mut Vec<Marking>,
+                      orbit_sizes: &mut Vec<u128>,
+                      index: &mut HashMap<Marking, usize>,
+                      frontier: &mut VecDeque<usize>|
+         -> Result<usize, SanError> {
+            let mut vals = m.values().to_vec();
+            sym.canonicalize(&mut vals);
+            let m = Marking::new(&vals);
+            if let Some(&i) = index.get(&m) {
+                return Ok(i);
+            }
+            if markings.len() >= max_states {
+                return Err(SanError::StateSpaceTooLarge(max_states));
+            }
+            let i = markings.len();
+            orbit_sizes.push(sym.orbit_size(&vals));
+            index.insert(m.clone(), i);
+            markings.push(m);
+            frontier.push_back(i);
+            Ok(i)
+        };
+
+        let init_marking = san.initial_marking().canonical();
+        let resolved = resolve_vanishing(san, &init_marking, max_states)?;
+        let mut initial = Vec::new();
+        for (m, p) in resolved {
+            let i = intern(
+                m,
+                &mut markings,
+                &mut orbit_sizes,
+                &mut index,
+                &mut frontier,
+            )?;
+            initial.push((i, p));
+        }
+        initial.sort_by_key(|&(i, _)| i);
+        initial.dedup_by(|a, b| {
+            if a.0 == b.0 {
+                b.1 += a.1;
+                true
+            } else {
+                false
+            }
+        });
+
+        while let Some(s) = frontier.pop_front() {
+            let marking = markings[s].clone();
+            for (_, act) in san.activities() {
+                let rate_fn = match act.timing() {
+                    Timing::Exponential(r) => r,
+                    Timing::Instantaneous => continue,
+                    Timing::General(_) => unreachable!("checked above"),
+                };
+                if !act.enabled(&marking) {
+                    continue;
+                }
+                let rate = rate_fn(&marking);
+                if !(rate.is_finite() && rate >= 0.0) {
+                    return Err(SanError::BadValue(act.name().to_owned()));
+                }
+                if rate == 0.0 {
+                    continue;
+                }
+                let weights = act.case_weights(&marking);
+                let total: f64 = weights.iter().sum();
+                if !(total.is_finite() && total > 0.0) {
+                    return Err(SanError::BadValue(act.name().to_owned()));
+                }
+                for (case, &w) in weights.iter().enumerate() {
+                    if w <= 0.0 {
+                        continue;
+                    }
+                    let mut next = marking.clone();
+                    act.fire(case, &mut next);
+                    let next = next.canonical();
+                    for (tangible, p) in resolve_vanishing(san, &next, max_states)? {
+                        let t = intern(
+                            tangible,
+                            &mut markings,
+                            &mut orbit_sizes,
+                            &mut index,
+                            &mut frontier,
+                        )?;
+                        // A transition into the representative's own orbit
+                        // is a self-loop of the quotient chain — a no-op
+                        // for CTMC dynamics, dropped like `generate` drops
+                        // literal self-loops.
+                        if t != s {
+                            transitions.push((s, t, rate * (w / total) * p));
+                        }
+                    }
+                }
+            }
+        }
+
+        Ok(StateSpace {
+            markings,
+            transitions,
+            initial,
+            orbit_sizes: Some(orbit_sizes),
         })
     }
 
     /// Number of tangible states.
     pub fn num_states(&self) -> usize {
         self.markings.len()
+    }
+
+    /// Per-state orbit sizes for a lumped space
+    /// ([`StateSpace::generate_lumped`]); `None` for the plain generator.
+    pub fn orbit_sizes(&self) -> Option<&[u128]> {
+        self.orbit_sizes.as_deref()
+    }
+
+    /// For a lumped space, the tangible state count of the *unreduced*
+    /// chain (`Σ orbit_sizes`, saturating); `None` for the plain
+    /// generator (where it would equal [`StateSpace::num_states`]).
+    pub fn full_state_total(&self) -> Option<u128> {
+        self.orbit_sizes
+            .as_ref()
+            .map(|o| o.iter().fold(0u128, |acc, &x| acc.saturating_add(x)))
     }
 
     /// The marking of state `i`.
@@ -562,6 +726,196 @@ mod tests {
         let pi = ss.to_ctmc().unwrap().steady_state(1e-12, 100_000).unwrap();
         let unavail = ss.expected_reward(&pi, |m| m.get(down) as f64);
         assert!((unavail - 0.1).abs() < 1e-8);
+    }
+
+    /// `n` independent repairable components, plus the spec making them
+    /// exchangeable — full space 2^n, quotient n+1.
+    fn n_components(n: usize) -> (StdArc<San>, crate::sym::SymmetrySpec) {
+        use crate::sym::{SymmetryGroup, SymmetrySpec, SymmetryUnit};
+        let mut b = SanBuilder::new("multi");
+        for i in 0..n {
+            let up = b.place(format!("c{i}/up"), 1);
+            let down = b.place(format!("c{i}/down"), 0);
+            b.timed_activity(format!("c{i}/fail"), 1.0)
+                .input_arc(up, 1)
+                .output_arc(down, 1)
+                .build()
+                .unwrap();
+            b.timed_activity(format!("c{i}/fix"), 2.0)
+                .input_arc(down, 1)
+                .output_arc(up, 1)
+                .build()
+                .unwrap();
+        }
+        let units = (0..n)
+            .map(|i| SymmetryUnit {
+                shared: vec![2 * i, 2 * i + 1],
+                blocks: vec![],
+            })
+            .collect();
+        let spec = SymmetrySpec::new(2 * n, vec![SymmetryGroup { units }]).unwrap();
+        (b.finish().unwrap(), spec)
+    }
+
+    #[test]
+    fn lumped_counts_and_orbit_totals_match_full() {
+        let n = 4;
+        let (san, spec) = n_components(n);
+        let full = StateSpace::generate(&san, 1 << 10).unwrap();
+        let lumped = StateSpace::generate_lumped(&san, &spec, 1 << 10).unwrap();
+        assert_eq!(full.num_states(), 1 << n);
+        assert_eq!(lumped.num_states(), n + 1);
+        assert_eq!(lumped.full_state_total(), Some((1 << n) as u128));
+        assert!(full.orbit_sizes().is_none());
+        assert!(full.full_state_total().is_none());
+    }
+
+    #[test]
+    fn lumped_transient_measures_match_full() {
+        // Expected number of down components at several horizons: the
+        // orbit-invariant reward must come out (near) identical on the
+        // quotient chain.
+        let n = 5;
+        let (san, spec) = n_components(n);
+        let full = StateSpace::generate(&san, 1 << 10).unwrap();
+        let lumped = StateSpace::generate_lumped(&san, &spec, 1 << 10).unwrap();
+        let downs = |ss: &StateSpace, s: usize| {
+            (0..n)
+                .map(|i| {
+                    ss.marking(s)
+                        .get(crate::marking::PlaceId::from_index(2 * i + 1))
+                        as f64
+                })
+                .sum::<f64>()
+        };
+        for &t in &[0.1, 0.7, 2.5] {
+            let pf = full
+                .to_ctmc()
+                .unwrap()
+                .transient(&full.initial_distribution(), t, 1e-12)
+                .unwrap();
+            let pl = lumped
+                .to_ctmc()
+                .unwrap()
+                .transient(&lumped.initial_distribution(), t, 1e-12)
+                .unwrap();
+            let ef: f64 = (0..full.num_states())
+                .map(|s| pf[s] * downs(&full, s))
+                .sum();
+            let el: f64 = (0..lumped.num_states())
+                .map(|s| pl[s] * downs(&lumped, s))
+                .sum();
+            assert!(
+                (ef - el).abs() <= 1e-12 * ef.abs().max(1.0),
+                "t = {t}: {ef} vs {el}"
+            );
+        }
+    }
+
+    #[test]
+    fn lumped_resolves_vanishing_through_canonical_form() {
+        use crate::sym::{SymmetryGroup, SymmetrySpec, SymmetryUnit};
+        // Two exchangeable lanes whose tokens pass through an
+        // instantaneous stage: the vanishing resolution must land on the
+        // same quotient regardless of which lane fires.
+        let mut b = SanBuilder::new("lanes");
+        let mut places = Vec::new();
+        for i in 0..2 {
+            let src = b.place(format!("l{i}/src"), 1);
+            let mid = b.place(format!("l{i}/mid"), 0);
+            let dst = b.place(format!("l{i}/dst"), 0);
+            b.timed_activity(format!("l{i}/go"), 1.0)
+                .input_arc(src, 1)
+                .output_arc(mid, 1)
+                .build()
+                .unwrap();
+            b.instantaneous_activity(format!("l{i}/land"))
+                .input_arc(mid, 1)
+                .output_arc(dst, 1)
+                .build()
+                .unwrap();
+            b.timed_activity(format!("l{i}/back"), 3.0)
+                .input_arc(dst, 1)
+                .output_arc(src, 1)
+                .build()
+                .unwrap();
+            places.push((src, mid, dst));
+        }
+        let san = b.finish().unwrap();
+        let units = (0..2)
+            .map(|i| SymmetryUnit {
+                shared: vec![3 * i, 3 * i + 1, 3 * i + 2],
+                blocks: vec![],
+            })
+            .collect();
+        let spec = SymmetrySpec::new(6, vec![SymmetryGroup { units }]).unwrap();
+
+        let full = StateSpace::generate(&san, 1 << 10).unwrap();
+        let lumped = StateSpace::generate_lumped(&san, &spec, 1 << 10).unwrap();
+        assert_eq!(full.num_states(), 4);
+        assert_eq!(lumped.num_states(), 3);
+        assert_eq!(lumped.full_state_total(), Some(4));
+
+        // P(both landed by t) agrees between the chains.
+        let both = |ss: &StateSpace, s: usize| {
+            places
+                .iter()
+                .map(|&(_, _, d)| ss.marking(s).get(d))
+                .sum::<i32>()
+                == 2
+        };
+        let t = 1.3;
+        let pf = full
+            .to_ctmc()
+            .unwrap()
+            .transient(&full.initial_distribution(), t, 1e-12)
+            .unwrap();
+        let pl = lumped
+            .to_ctmc()
+            .unwrap()
+            .transient(&lumped.initial_distribution(), t, 1e-12)
+            .unwrap();
+        let ef: f64 = (0..full.num_states())
+            .filter(|&s| both(&full, s))
+            .map(|s| pf[s])
+            .sum();
+        let el: f64 = (0..lumped.num_states())
+            .filter(|&s| both(&lumped, s))
+            .map(|s| pl[s])
+            .sum();
+        assert!((ef - el).abs() < 1e-12, "{ef} vs {el}");
+    }
+
+    #[test]
+    fn lumped_with_empty_spec_matches_plain_bit_for_bit() {
+        use crate::sym::SymmetrySpec;
+        // An empty spec has only the identity: the "quotient" is the full
+        // chain, and every operation runs in the same order as the plain
+        // generator — states, rates, and initial mass must be bit-equal.
+        let san = repairable(0.7, 2.3);
+        let spec = SymmetrySpec::new(2, vec![]).unwrap();
+        let plain = StateSpace::generate(&san, 100).unwrap();
+        let lumped = StateSpace::generate_lumped(&san, &spec, 100).unwrap();
+        assert_eq!(plain.num_states(), lumped.num_states());
+        for s in 0..plain.num_states() {
+            assert_eq!(plain.marking(s).values(), lumped.marking(s).values());
+        }
+        assert_eq!(plain.transitions().len(), lumped.transitions().len());
+        for (a, b) in plain.transitions().iter().zip(lumped.transitions()) {
+            assert_eq!((a.0, a.1), (b.0, b.1));
+            assert_eq!(a.2.to_bits(), b.2.to_bits());
+        }
+        assert_eq!(lumped.orbit_sizes().unwrap(), &[1, 1]);
+    }
+
+    #[test]
+    fn lumped_state_budget_bounds_orbits() {
+        let (san, spec) = n_components(6);
+        // 7 orbits exist; a budget of 3 must trip.
+        assert!(matches!(
+            StateSpace::generate_lumped(&san, &spec, 3),
+            Err(SanError::StateSpaceTooLarge(3))
+        ));
     }
 
     #[test]

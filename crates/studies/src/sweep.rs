@@ -120,9 +120,13 @@ pub struct RunOpts<'a> {
     /// report the same stored shape (the analytic backend omits the
     /// event-conditioned measures and reports zero half-widths).
     pub backend: BackendKind,
-    /// Construction options for the backend (e.g. the analytic state
-    /// bound). Not part of the sweep fingerprint: these options never
-    /// change results, only whether a configuration is accepted.
+    /// Construction options for the backend. The analytic state bound
+    /// and thread count stay out of the sweep fingerprint (they never
+    /// change results, only whether a configuration is accepted and how
+    /// fast it solves); `analytic_lump` *is* fingerprinted — the exact
+    /// symmetry quotient is a different chain, so lumped and unlumped
+    /// analytic runs checkpoint separately, and unlumped stores stay
+    /// byte-identical to the pre-lumping scheme.
     pub backend_opts: BackendOptions,
     /// How to spread replications over worker threads. The default (auto
     /// thread count) produces exactly the same estimates as
@@ -339,6 +343,7 @@ pub fn run_sweep_stored(
                 cfg,
                 opts.backend,
                 opts.split.as_ref(),
+                opts.backend == BackendKind::Analytic && opts.backend_opts.analytic_lump,
                 &opts.fingerprint_extra,
             ),
         ) {
@@ -394,16 +399,20 @@ fn store_id(sweep_id: &str, backend: BackendKind, split: Option<&SplitSpec>) -> 
 }
 
 /// Fingerprints a sweep configuration for store invalidation. The
-/// splitting spec is part of the fingerprint (it changes the sampling
-/// scheme); the thread/batch configuration is not (it never changes
-/// results). Scenario-identity parts ([`RunOpts::fingerprint_extra`])
-/// are appended last, so an empty extra list reproduces the
-/// pre-scenario fingerprint bit for bit.
+/// splitting spec and analytic lumping are part of the fingerprint (one
+/// changes the sampling scheme, the other the chain being solved); the
+/// thread/batch configuration is not (it never changes results). The
+/// `lump=on` part is pushed only for lumped analytic runs, so every
+/// pre-lumping store fingerprint is reproduced bit for bit.
+/// Scenario-identity parts ([`RunOpts::fingerprint_extra`]) are appended
+/// last, so an empty extra list reproduces the pre-scenario fingerprint
+/// bit for bit.
 fn sweep_fingerprint(
     points: &[SweepPoint],
     cfg: &SweepConfig,
     backend: BackendKind,
     split: Option<&SplitSpec>,
+    lump: bool,
     extra: &[String],
 ) -> String {
     let mut parts: Vec<String> = vec![
@@ -414,6 +423,9 @@ fn sweep_fingerprint(
     ];
     if let Some(spec) = split {
         parts.push(format!("split={spec}"));
+    }
+    if lump {
+        parts.push("lump=on".to_owned());
     }
     for p in points {
         parts.push(format!(
@@ -479,6 +491,22 @@ mod tests {
             horizon: 2.0,
             sample_times: vec![2.0],
         }
+    }
+
+    #[test]
+    fn fingerprint_records_lumping_without_disturbing_unlumped_ids() {
+        let cfg = SweepConfig::default();
+        let points = vec![tiny_point(1.0, "a")];
+        let fp = |backend, lump| sweep_fingerprint(&points, &cfg, backend, None, lump, &[]);
+        // The unlumped analytic fingerprint carries no lump part, so it
+        // is byte-identical to the pre-lumping scheme; lumping changes
+        // the chain and therefore the fingerprint.
+        assert_ne!(
+            fp(BackendKind::Analytic, false),
+            fp(BackendKind::Analytic, true)
+        );
+        // Simulation backends never lump.
+        assert_eq!(fp(BackendKind::Des, false), fp(BackendKind::Des, false));
     }
 
     #[test]

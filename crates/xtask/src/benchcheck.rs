@@ -1,7 +1,7 @@
 //! Regression rules for the tracked benchmark JSONs, applied by
 //! `cargo xtask bench-json --check`.
 //!
-//! Two files are gated:
+//! Three files are gated:
 //!
 //! * `BENCH_san.json` (schema `itua-san-hotpath-v1`) — timing medians.
 //!   Every `current` entry must stay within [`REGRESSION_FACTOR`] of its
@@ -11,6 +11,13 @@
 //!   or above [`MIN_EVENT_REDUCTION`]: the importance-splitting engine
 //!   must keep needing ≥10× fewer simulated events than plain Monte
 //!   Carlo for equal CI width on the figure-4 tail point.
+//! * `BENCH_analytic.json` (schema `itua-analytic-lumped-v1`) — the
+//!   symmetry-lumped analytic headline. `current.reduction_factor`
+//!   (full tangible states per lumped orbit) must stay at or above
+//!   [`MIN_LUMPING_REDUCTION`], `current.micro_max_rel_err` (lumped vs
+//!   unlumped cross-check) at or below [`MAX_LUMPED_REL_ERR`], and the
+//!   `build_ms`/`solve_ms` wall-clock figures within
+//!   [`REGRESSION_FACTOR`] of their baselines.
 //!
 //! The parser is deliberately minimal — xtask has no dependencies, and
 //! both files are written by the benches themselves as one-line objects
@@ -22,6 +29,18 @@ pub const REGRESSION_FACTOR: f64 = 1.15;
 /// Floor on the rare-event benchmark's work-normalized variance-reduction
 /// factor.
 pub const MIN_EVENT_REDUCTION: f64 = 10.0;
+
+/// Floor on the symmetry-lumping state-space reduction (full tangible
+/// states per lumped orbit) of the analytic headline point. The tracked
+/// point achieves ~163x; 20x leaves room to swap the point without
+/// letting the quotient silently degenerate.
+pub const MIN_LUMPING_REDUCTION: f64 = 20.0;
+
+/// Ceiling on the lumped-vs-unlumped relative disagreement across all
+/// measures on the analytic benchmark's micro cross-check. The quotient
+/// is exact, so anything above uniformization truncation noise means
+/// the canonicalizer or the lumped generator broke.
+pub const MAX_LUMPED_REL_ERR: f64 = 1e-9;
 
 /// Extracts the flat object following `"key":{` up to the next `}`.
 ///
@@ -112,6 +131,51 @@ pub fn check_rare(text: &str) -> Result<Vec<String>, String> {
     }
 }
 
+/// Checks the analytic lumping file: the structural reduction and
+/// exactness gates plus a timing regression check on the build/solve
+/// wall-clock figures.
+///
+/// Returns the list of violations (empty = clean).
+///
+/// # Errors
+///
+/// Returns a message when the file has no numeric
+/// `current.reduction_factor` or `current.micro_max_rel_err` field.
+pub fn check_analytic(text: &str) -> Result<Vec<String>, String> {
+    let baseline = numeric_entries(object_section(text, "baseline")?);
+    let current = numeric_entries(object_section(text, "current")?);
+    let reduction = lookup(&current, "reduction_factor")
+        .ok_or_else(|| "no numeric \"reduction_factor\" in \"current\"".to_owned())?;
+    let rel_err = lookup(&current, "micro_max_rel_err")
+        .ok_or_else(|| "no numeric \"micro_max_rel_err\" in \"current\"".to_owned())?;
+    let mut violations = Vec::new();
+    if reduction < MIN_LUMPING_REDUCTION {
+        violations.push(format!(
+            "reduction_factor {reduction:.1}x below the {MIN_LUMPING_REDUCTION}x floor"
+        ));
+    }
+    if rel_err > MAX_LUMPED_REL_ERR {
+        violations.push(format!(
+            "micro_max_rel_err {rel_err:.3e} above the {MAX_LUMPED_REL_ERR:.0e} ceiling"
+        ));
+    }
+    for name in ["build_ms", "solve_ms"] {
+        let (Some(cur), Some(base)) = (lookup(&current, name), lookup(&baseline, name)) else {
+            // Before a baseline is recorded there is nothing to regress
+            // against (mirrors check_san's new-scenario rule).
+            continue;
+        };
+        if cur > base * REGRESSION_FACTOR && base > 0.0 {
+            violations.push(format!(
+                "{name}: {cur:.0} ms vs baseline {base:.0} ms (+{:.0}%, limit +{:.0}%)",
+                (cur / base - 1.0) * 100.0,
+                (REGRESSION_FACTOR - 1.0) * 100.0,
+            ));
+        }
+    }
+    Ok(violations)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -152,6 +216,51 @@ mod tests {
         assert_eq!(check_rare(ok).unwrap(), Vec::<String>::new());
         let bad = r#"{"baseline":{"event_reduction":17.5},"current":{"event_reduction":9.99}}"#;
         assert_eq!(check_rare(bad).unwrap().len(), 1);
+    }
+
+    const ANALYTIC: &str = r#"{"schema":"itua-analytic-lumped-v1","unit":"states, reduction factor, milliseconds, relative error","baseline":{"reduction_factor":163.2,"micro_max_rel_err":1.0e-12,"build_ms":16000.0,"solve_ms":138000.0},"current":{"reduction_factor":163.2,"micro_max_rel_err":1.0e-12,"build_ms":16500.0,"solve_ms":139000.0}}"#;
+
+    #[test]
+    fn analytic_within_gates_is_clean() {
+        assert_eq!(check_analytic(ANALYTIC).unwrap(), Vec::<String>::new());
+    }
+
+    #[test]
+    fn analytic_reduction_floor_and_exactness_ceiling() {
+        let bad = ANALYTIC.replace(
+            "\"current\":{\"reduction_factor\":163.2,\"micro_max_rel_err\":1.0e-12",
+            "\"current\":{\"reduction_factor\":3.0,\"micro_max_rel_err\":1.0e-6",
+        );
+        let violations = check_analytic(&bad).unwrap();
+        assert_eq!(violations.len(), 2, "{violations:?}");
+        assert!(violations[0].contains("reduction_factor"), "{violations:?}");
+        assert!(
+            violations[1].contains("micro_max_rel_err"),
+            "{violations:?}"
+        );
+    }
+
+    #[test]
+    fn analytic_timing_regression_is_flagged() {
+        let bad = ANALYTIC.replace("\"solve_ms\":139000.0", "\"solve_ms\":190000.0");
+        let violations = check_analytic(&bad).unwrap();
+        assert_eq!(violations.len(), 1, "{violations:?}");
+        assert!(violations[0].starts_with("solve_ms:"), "{violations:?}");
+    }
+
+    #[test]
+    fn analytic_missing_baseline_timings_are_ignored() {
+        let text = ANALYTIC.replace(
+            "\"baseline\":{\"reduction_factor\":163.2,\"micro_max_rel_err\":1.0e-12,\"build_ms\":16000.0,\"solve_ms\":138000.0}",
+            "\"baseline\":{\"reduction_factor\":163.2,\"micro_max_rel_err\":1.0e-12}",
+        );
+        assert_eq!(check_analytic(&text).unwrap(), Vec::<String>::new());
+    }
+
+    #[test]
+    fn analytic_malformed_is_an_error() {
+        assert!(check_analytic("{}").is_err());
+        assert!(check_analytic(r#"{"baseline":{},"current":{"reduction_factor":50.0}}"#).is_err());
     }
 
     #[test]

@@ -5,15 +5,17 @@
 //!   exist, and 2 on usage errors.
 //! * `bench-json` — runs the tracked benchmarks in full mode and
 //!   rewrites the `current` sections of `BENCH_san.json` (SAN hot-path
-//!   timing medians) and `BENCH_rare.json` (rare-event splitting
-//!   figures) at the workspace root; the `baseline` sections are
-//!   preserved. With `--check`, afterwards applies the [`benchcheck`]
-//!   rules — >15% timing regression against the `BENCH_san.json`
-//!   baseline, or a rare-event `event_reduction` below 10× — and exits
-//!   2 when any rule fails. `--only BENCH` restricts the run (and the
-//!   check) to one tracked bench, so CI can gate them at different
-//!   severities. See `EXPERIMENTS.md` § "Hot-path benchmark" and
-//!   § "Rare-event benchmark".
+//!   timing medians), `BENCH_rare.json` (rare-event splitting figures),
+//!   and `BENCH_analytic.json` (symmetry-lumped analytic headline) at
+//!   the workspace root; the `baseline` sections are preserved. With
+//!   `--check`, afterwards applies the [`benchcheck`] rules — >15%
+//!   timing regression against a baseline, a rare-event
+//!   `event_reduction` below 10×, a lumping `reduction_factor` below
+//!   20×, or a lumped-vs-unlumped `micro_max_rel_err` above 1e-9 — and
+//!   exits 2 when any rule fails. `--only BENCH` restricts the run (and
+//!   the check) to one tracked bench, so CI can gate them at different
+//!   severities. See `EXPERIMENTS.md` § "Hot-path benchmark",
+//!   § "Rare-event benchmark", and § "Symmetry-lumping benchmark".
 
 mod benchcheck;
 mod lint;
@@ -71,6 +73,11 @@ type CheckFn = fn(&str) -> Result<Vec<String>, String>;
 const TRACKED_BENCHES: &[(&str, &str, CheckFn)] = &[
     ("san_hotpath", "BENCH_san.json", benchcheck::check_san),
     ("rare_split", "BENCH_rare.json", benchcheck::check_rare),
+    (
+        "analytic",
+        "BENCH_analytic.json",
+        benchcheck::check_analytic,
+    ),
 ];
 
 fn run_bench_json(args: &[String]) -> ExitCode {

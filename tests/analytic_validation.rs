@@ -14,7 +14,9 @@ use itua_repro::itua::san_model;
 use itua_repro::markov::ctmc::Ctmc;
 use itua_repro::runner::experiment::ExperimentConfig;
 use itua_repro::runner::run_experiment_parallel;
-use itua_repro::runner::{run_measures, BackendKind, ItuaBackend, NullProgress, RunnerConfig};
+use itua_repro::runner::{
+    run_measures, BackendKind, BackendOptions, ItuaBackend, NullProgress, RunnerConfig,
+};
 use itua_repro::san::model::SanBuilder;
 use itua_repro::san::reward::{EverTrue, TimeAveraged};
 use itua_repro::san::simulator::SanSimulator;
@@ -223,7 +225,11 @@ fn pure_death_unreliability() {
 /// The analytic ITUA backend, driven through the unified `run_measures`
 /// pipeline, matches a bespoke solve built directly from the state
 /// space: flatten the composed SAN, accumulate the improper-service
-/// reward, and divide by the horizon.
+/// reward, and divide by the horizon. The backend runs with `--no-lump`
+/// here because the claim is bit-for-bit pipeline wiring against the
+/// *unreduced* chain the direct solve builds; the lumped quotient is a
+/// different (smaller) chain, checked against this one to 1e-9 in
+/// `tests/lumped_agreement.rs`.
 #[test]
 fn analytic_backend_matches_direct_state_space_solve() {
     let mut params = Params::default().with_domains(1, 2).with_applications(1, 2);
@@ -242,8 +248,12 @@ fn analytic_backend_matches_direct_state_space_solve() {
         .unwrap()
         / horizon;
 
-    // Production pipeline.
-    let backend = ItuaBackend::for_params(BackendKind::Analytic, &params).unwrap();
+    // Production pipeline, pinned to the unreduced chain.
+    let opts = BackendOptions {
+        analytic_lump: false,
+        ..BackendOptions::default()
+    };
+    let backend = ItuaBackend::for_params_with(BackendKind::Analytic, &params, &opts).unwrap();
     let ms = run_measures(
         &backend,
         50,
